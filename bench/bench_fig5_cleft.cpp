@@ -1,0 +1,139 @@
+// Fig. 5 reproduction: the cell/chip junction and capacitive sensing.
+//
+// Regenerates the quantitative content behind the cross-section sketch:
+// seal resistance from the 60 nm cleft, the extracellular spike template
+// an adherent neuron produces at the electrode, the amplitude-vs-geometry
+// map, and the check against the paper's quoted 100 uV .. 5 mV window.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/artifacts.hpp"
+#include "core/experiment.hpp"
+#include "neuro/culture.hpp"
+#include "neuro/junction.hpp"
+
+namespace {
+
+using namespace biosense;
+
+void print_junction_parameters() {
+  Table t("Fig. 5 (junction): point-contact model parameters vs cleft height");
+  t.set_columns({"cleft [nm]", "R_seal [Ohm]", "coupling gain",
+                 "template peak [V]"});
+  for (double h : {30e-9, 60e-9, 120e-9}) {
+    neuro::JunctionParams p;
+    p.cleft_height = h;
+    neuro::PointContactJunction j(p);
+    double peak = 0.0;
+    for (double v : j.spike_template()) peak = std::max(peak, std::abs(v));
+    t.add_row({h * 1e9, j.seal_resistance(), j.coupling_gain(), peak});
+  }
+  t.add_note("paper: 'a cleft of order of 60 nm between cell membrane and"
+             " surface is obtained'");
+  t.print(std::cout);
+}
+
+void print_template() {
+  neuro::PointContactJunction j{neuro::JunctionParams{}};
+  const double dt = 10e-6;
+  const auto templ = j.spike_template(dt);
+
+  std::cout << "== Fig. 5 (waveform): extracellular spike at the electrode ==\n";
+  const int w = 72, h = 13;
+  double lo = 0.0, hi = 0.0;
+  for (double v : templ) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+  const int zero_row =
+      h - 1 - static_cast<int>((0.0 - lo) / (hi - lo) * (h - 1));
+  for (auto& line : canvas) line[0] = '|';
+  for (int x = 0; x < w; ++x) {
+    const std::size_t idx = static_cast<std::size_t>(
+        static_cast<double>(x) / w * static_cast<double>(templ.size() - 1));
+    int y = static_cast<int>((templ[idx] - lo) / (hi - lo) * (h - 1));
+    y = std::clamp(y, 0, h - 1);
+    canvas[static_cast<std::size_t>(h - 1 - y)][static_cast<std::size_t>(x)] = '*';
+    if (zero_row >= 0 && zero_row < h &&
+        canvas[static_cast<std::size_t>(zero_row)][static_cast<std::size_t>(x)] == ' ') {
+      canvas[static_cast<std::size_t>(zero_row)][static_cast<std::size_t>(x)] = '-';
+    }
+  }
+  for (const auto& line : canvas) std::cout << "  " << line << "\n";
+  std::cout << "  peak " << si_format(hi, "V") << ", trough "
+            << si_format(lo, "V") << ", window "
+            << si_format(static_cast<double>(templ.size()) * dt, "s")
+            << " (biphasic Na-type junction signal)\n\n";
+}
+
+void print_amplitude_population() {
+  // Sample a whole culture and histogram the per-neuron electrode
+  // amplitudes against the paper's quoted window.
+  neuro::CultureConfig cfg;
+  cfg.n_neurons = 300;
+  cfg.duration = 0.01;  // spikes irrelevant here
+  neuro::NeuronCulture culture(cfg, Rng(31));
+
+  std::vector<double> amps;
+  for (const auto& n : culture.neurons()) amps.push_back(n.peak_amplitude);
+
+  Table t("Fig. 5 (amplitudes): electrode signal amplitude across 300 cells,"
+          " 10-100 um diameters");
+  t.set_columns({"percentile", "amplitude [V]"});
+  for (double p : {5.0, 25.0, 50.0, 75.0, 95.0, 100.0}) {
+    t.add_row({p, percentile(amps, p)});
+  }
+  int in_window = 0;
+  for (double a : amps) {
+    if (a >= 100e-6 && a <= 5e-3) ++in_window;
+  }
+  t.add_note("paper: 'maximum signal amplitudes are between 100 uV and 5 mV'");
+  t.add_note(std::to_string(in_window) + "/300 cells inside the quoted window");
+  t.print(std::cout);
+  core::write_table_csv(t, "fig5_amplitudes");
+
+  core::ClaimReport claims("Fig. 5 paper-vs-measured");
+  claims.add_range("median amplitude", "100 uV .. 5 mV",
+                   percentile(amps, 50.0), 100e-6, 5e-3, "V");
+  claims.add("population inside window", ">= 2/3 of cells",
+             std::to_string(in_window) + "/300", in_window >= 200);
+  neuro::PointContactJunction j{neuro::JunctionParams{}};
+  claims.add_range("seal resistance @60 nm cleft", "~1 MOhm scale",
+                   j.seal_resistance(), 2e5, 3e6, "Ohm");
+  claims.print(std::cout);
+}
+
+void BM_SpikeTemplate(benchmark::State& state) {
+  neuro::PointContactJunction j{neuro::JunctionParams{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(j.spike_template());
+  }
+}
+BENCHMARK(BM_SpikeTemplate)->Name("hh_junction_spike_template_8ms");
+
+void BM_HhStep(benchmark::State& state) {
+  neuro::HodgkinHuxley hh;
+  for (auto _ : state) {
+    hh.step(0.05, 10e-6);
+    benchmark::DoNotOptimize(hh.v_m());
+  }
+}
+BENCHMARK(BM_HhStep)->Name("hodgkin_huxley_step_10us");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_junction_parameters();
+  print_template();
+  print_amplitude_population();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

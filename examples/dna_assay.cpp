@@ -1,0 +1,81 @@
+// Domain example 1: SNP genotyping panel with dose-response.
+//
+// Exercises the assay chemistry in the regimes the paper's Fig. 2
+// illustrates: match vs mismatch discrimination (0..4 mismatches) and a
+// concentration sweep, both read out through the full chip path.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/dna_workbench.hpp"
+#include "core/experiment.hpp"
+#include "dna/thermodynamics.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace biosense;
+
+  Rng rng(42);
+  const dna::Sequence wild_type = dna::Sequence::random(120, rng);
+  const dna::Sequence window = wild_type.subsequence(50, 20);
+
+  // --- Part 1: allele discrimination ---------------------------------------
+  // One probe per mismatch count against the same target window.
+  std::vector<dna::ProbeSpot> spots;
+  for (std::size_t mm = 0; mm <= 4; ++mm) {
+    dna::ProbeSpot spot;
+    Rng mm_rng(1000 + mm);
+    spot.probe = window.with_mismatches(mm, mm_rng).reverse_complement();
+    spot.name = "probe_mm" + std::to_string(mm);
+    spots.push_back(std::move(spot));
+  }
+
+  core::DnaWorkbenchConfig config;
+  config.protocol.time_step = 10.0;
+  core::DnaWorkbench workbench(config, spots, Rng(7));
+
+  dna::TargetSpecies target;
+  target.sequence = wild_type;
+  target.concentration = 1e-9;
+  target.name = "wild-type";
+  const auto run = workbench.run({target});
+
+  Table allele("Allele discrimination: probe mismatches vs measured current");
+  allele.set_columns({"probe", "mismatches", "duplex Kd [M]", "I_meas [A]",
+                      "call"});
+  dna::ThermoConditions cond = config.protocol.conditions;
+  for (std::size_t mm = 0; mm <= 4; ++mm) {
+    const auto& call = run.calls[mm];
+    allele.add_row({call.name, static_cast<long long>(mm),
+                    dna::dissociation_constant(window, mm, cond),
+                    call.measured_current,
+                    std::string(call.called_match ? "MATCH" : "-")});
+  }
+  allele.add_note("paper (Fig. 2): hybridization only for matching strands;"
+                  " mismatches washed off");
+  allele.print(std::cout);
+
+  // --- Part 2: dose response ------------------------------------------------
+  dna::ProbeSpot perfect;
+  perfect.probe = window.reverse_complement();
+  perfect.name = "perfect";
+  core::DnaWorkbenchConfig dr_config;
+  dr_config.protocol.hybridization_time = 120.0;  // kinetic regime
+  dr_config.protocol.wash_time = 10.0;
+  dr_config.protocol.time_step = 2.0;
+
+  Table dose("Dose response: target concentration vs sensor current");
+  dose.set_columns({"concentration [M]", "I_true [A]", "I_measured [A]"});
+  for (double conc : core::log_space(1e-12, 1e-8, 9)) {
+    core::DnaWorkbench wb(dr_config, {perfect}, Rng(11));
+    dna::TargetSpecies t;
+    t.sequence = wild_type;
+    t.concentration = conc;
+    const auto r = wb.run({t});
+    dose.add_row({conc, r.calls[0].true_current, r.calls[0].measured_current});
+  }
+  dose.add_note("in-pixel ADC covers 1 pA .. 100 nA -> ~5 decades of target"
+                " concentration");
+  dose.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ideal capacitor node: integrates charge, reports voltage. The sensor-site
+// ADC's integrating capacitor C_int and the neural pixel's gate storage
+// capacitor are instances of this.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace biosense::circuit {
+
+class CapacitorNode {
+ public:
+  explicit CapacitorNode(double capacitance_f, double v_init = 0.0)
+      : c_(capacitance_f), v_(v_init) {
+    require(capacitance_f > 0.0, "CapacitorNode: capacitance must be positive");
+  }
+
+  /// Integrates a constant current for dt seconds.
+  void integrate(double current_a, double dt) { v_ += current_a * dt / c_; }
+
+  /// Dumps a charge packet (e.g. switch charge injection) onto the node.
+  void add_charge(double coulombs) { v_ += coulombs / c_; }
+
+  void set_voltage(double v) { v_ = v; }
+  double voltage() const { return v_; }
+  double capacitance() const { return c_; }
+
+  /// Time for a constant current to move the node by `delta_v`.
+  double ramp_time(double current_a, double delta_v) const {
+    require(current_a != 0.0, "CapacitorNode: ramp needs non-zero current");
+    return c_ * delta_v / current_a;
+  }
+
+ private:
+  double c_;
+  double v_;
+};
+
+}  // namespace biosense::circuit

@@ -1,0 +1,48 @@
+#include "circuit/comparator.hpp"
+
+#include "common/error.hpp"
+
+namespace biosense::circuit {
+
+Comparator::Comparator(ComparatorParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  require(params.prop_delay >= 0.0, "Comparator: delay must be non-negative");
+  require(params.hysteresis >= 0.0,
+          "Comparator: hysteresis must be non-negative");
+  require(params.noise_rms >= 0.0, "Comparator: noise must be non-negative");
+  offset_ = rng_.normal(0.0, params.offset_sigma);
+}
+
+void Comparator::reset() {
+  out_ = false;
+  pending_ = false;
+  pending_elapsed_ = 0.0;
+}
+
+double Comparator::decision_threshold_up() {
+  return params_.threshold + offset_ + 0.5 * params_.hysteresis +
+         rng_.normal(0.0, params_.noise_rms);
+}
+
+bool Comparator::step(double v_in, double dt) {
+  const double up = params_.threshold + offset_ + 0.5 * params_.hysteresis +
+                    rng_.normal(0.0, params_.noise_rms);
+  const double down = params_.threshold + offset_ - 0.5 * params_.hysteresis;
+
+  if (!out_ && !pending_ && v_in >= up) {
+    pending_ = true;
+    pending_elapsed_ = 0.0;
+  }
+  if (pending_) {
+    pending_elapsed_ += dt;
+    if (pending_elapsed_ >= params_.prop_delay) {
+      pending_ = false;
+      out_ = true;
+      return true;  // rising edge this cycle
+    }
+  }
+  if (out_ && v_in < down) out_ = false;
+  return false;
+}
+
+}  // namespace biosense::circuit

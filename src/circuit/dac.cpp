@@ -1,0 +1,81 @@
+#include "circuit/dac.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::circuit {
+
+ResistorStringDac::ResistorStringDac(DacParams params, Rng rng)
+    : params_(params) {
+  require(params.bits >= 1 && params.bits <= 16, "Dac: bits must be in [1,16]");
+  require(params.v_ref_hi > params.v_ref_lo, "Dac: reference range inverted");
+
+  const std::size_t n_codes = 1u << params.bits;
+  // n_codes unit resistors between the references; tap k sits after k
+  // resistors. Mismatch perturbs each resistor; the string remains
+  // monotonic because every resistor stays positive.
+  std::vector<double> r(n_codes);
+  double total = 0.0;
+  for (auto& ri : r) {
+    ri = std::max(0.05, 1.0 + rng.normal(0.0, params.resistor_sigma));
+    total += ri;
+  }
+  tap_voltage_.resize(n_codes);
+  double acc = 0.0;
+  const double span = params.v_ref_hi - params.v_ref_lo;
+  for (std::size_t k = 0; k < n_codes; ++k) {
+    tap_voltage_[k] = params.v_ref_lo + span * acc / total;
+    acc += r[k];
+  }
+  buffer_offset_ = rng.normal(0.0, params.buffer_offset_sigma);
+}
+
+double ResistorStringDac::output(std::uint32_t code) const {
+  const auto idx = std::min<std::uint32_t>(code, max_code());
+  return tap_voltage_[idx] + buffer_offset_;
+}
+
+std::uint32_t ResistorStringDac::code_for(double v) const {
+  const double span = params_.v_ref_hi - params_.v_ref_lo;
+  const double t = (v - params_.v_ref_lo) / span * static_cast<double>(max_code());
+  const double clamped = std::clamp(t, 0.0, static_cast<double>(max_code()));
+  return static_cast<std::uint32_t>(std::lround(clamped));
+}
+
+double ResistorStringDac::lsb() const {
+  return (params_.v_ref_hi - params_.v_ref_lo) /
+         static_cast<double>((1u << params_.bits) - 1);
+}
+
+std::vector<double> ResistorStringDac::inl() const {
+  const std::size_t n = tap_voltage_.size();
+  const double v0 = tap_voltage_.front();
+  const double v1 = tap_voltage_.back();
+  const double step = (v1 - v0) / static_cast<double>(n - 1);
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ideal = v0 + step * static_cast<double>(k);
+    out[k] = (tap_voltage_[k] - ideal) / step;
+  }
+  return out;
+}
+
+std::vector<double> ResistorStringDac::dnl() const {
+  const std::size_t n = tap_voltage_.size();
+  const double v0 = tap_voltage_.front();
+  const double v1 = tap_voltage_.back();
+  const double step = (v1 - v0) / static_cast<double>(n - 1);
+  std::vector<double> out(n - 1);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    out[k] = (tap_voltage_[k + 1] - tap_voltage_[k]) / step - 1.0;
+  }
+  return out;
+}
+
+bool ResistorStringDac::monotonic() const {
+  return std::is_sorted(tap_voltage_.begin(), tap_voltage_.end());
+}
+
+}  // namespace biosense::circuit

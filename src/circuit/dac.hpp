@@ -1,0 +1,54 @@
+// Resistor-string D/A converter with mismatch-induced INL/DNL.
+//
+// The DNA chip periphery (Fig. 4) contains "D/A-converters to provide the
+// required voltages for the electrochemical operation": the generator and
+// collector electrode potentials of the redox-cycling cell must be set with
+// millivolt accuracy around the redox potentials of the label chemistry.
+// A resistor string is the natural monotonic architecture for that job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace biosense::circuit {
+
+struct DacParams {
+  int bits = 8;
+  double v_ref_lo = 0.0;
+  double v_ref_hi = 5.0;
+  /// Relative 1-sigma mismatch of each unit resistor.
+  double resistor_sigma = 0.002;
+  /// Output buffer offset spread, V.
+  double buffer_offset_sigma = 1e-3;
+};
+
+class ResistorStringDac {
+ public:
+  ResistorStringDac(DacParams params, Rng rng);
+
+  /// Output voltage for a digital code in [0, 2^bits - 1].
+  double output(std::uint32_t code) const;
+
+  /// Code whose output is closest to `v` (ideal transfer inversion).
+  std::uint32_t code_for(double v) const;
+
+  int bits() const { return params_.bits; }
+  std::uint32_t max_code() const { return (1u << params_.bits) - 1; }
+  double lsb() const;
+
+  /// Integral nonlinearity in LSB for each code (endpoint-corrected).
+  std::vector<double> inl() const;
+  /// Differential nonlinearity in LSB for each code transition.
+  std::vector<double> dnl() const;
+  /// True by construction for a resistor string; verified in tests.
+  bool monotonic() const;
+
+ private:
+  DacParams params_;
+  std::vector<double> tap_voltage_;  // 2^bits entries
+  double buffer_offset_;
+};
+
+}  // namespace biosense::circuit

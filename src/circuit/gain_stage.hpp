@@ -1,0 +1,105 @@
+// Calibrated current-gain stage with a single-pole bandwidth limit.
+//
+// Fig. 6 of the paper amplifies the pixel difference current through a
+// cascade of current mirrors: x100 and x7 on chip (readout amplifier,
+// BW = 4 MHz), x4 and x2 off chip (output driver, BW = 32 MHz). Mirror
+// ratios suffer from device mismatch, so "the subsequent current gain
+// stages also undergo a calibration procedure before used for signal
+// amplification" — modeled here as measuring the stage's actual gain and
+// offset with a known reference input and storing digital correction
+// factors.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noise/mismatch.hpp"
+
+namespace biosense::circuit {
+
+struct GainStageParams {
+  double nominal_gain = 100.0;
+  double bandwidth_hz = 4e6;
+  /// Relative 1-sigma spread of the as-fabricated gain (mirror mismatch).
+  double gain_sigma = 0.03;
+  /// 1-sigma input-referred offset current, A.
+  double offset_sigma = 50e-9;
+  /// Output current compliance (saturation), A; 0 disables clipping.
+  double out_limit = 0.0;
+};
+
+class GainStage {
+ public:
+  GainStage(GainStageParams params, Rng rng);
+
+  /// Advances the stage by dt with input current `i_in`; returns the output
+  /// current after the single-pole response (and calibration corrections if
+  /// calibrated).
+  double step(double i_in, double dt);
+
+  /// Measures the stage with two reference inputs and stores gain/offset
+  /// corrections, emulating the chip's calibration phase. After this,
+  /// steady-state gain error and offset are cancelled to `residual`
+  /// (relative), modeling the finite resolution of the correction DAC.
+  void calibrate(double i_ref, double residual = 1e-3);
+
+  void clear_calibration();
+  bool calibrated() const { return calibrated_; }
+
+  /// True (post-fab) gain including mismatch — what calibration estimates.
+  double actual_gain() const { return actual_gain_; }
+  double nominal_gain() const { return params_.nominal_gain; }
+  double offset() const { return offset_; }
+  double output() const { return i_out_; }
+  void reset_state() { i_out_ = 0.0; }
+
+ private:
+  GainStageParams params_;
+  double actual_gain_;
+  double offset_;
+  double corr_gain_ = 1.0;    // digital gain correction
+  double corr_offset_ = 0.0;  // output-referred offset correction, A
+  bool calibrated_ = false;
+  double i_out_ = 0.0;
+};
+
+/// Specification of one stage in a chain.
+struct StageSpec {
+  double gain = 1.0;
+  double bandwidth_hz = 4e6;
+  /// Multiplier applied to the chain's base offset sigma for this stage
+  /// (offsets referred to each stage's input scale with preceding gain).
+  double offset_scale = 1.0;
+};
+
+/// Convenience: builds the paper's four-stage chain (x100, x7 on chip at
+/// 4 MHz; x4, x2 off chip at 32 MHz) with mismatch drawn from `rng`.
+struct GainChain {
+  explicit GainChain(Rng rng, double gain_sigma = 0.03,
+                     double offset_sigma = 20e-9);
+
+  /// Builds a chain from an explicit stage list.
+  GainChain(const std::vector<StageSpec>& specs, Rng rng, double gain_sigma,
+            double offset_sigma);
+
+  /// The paper's on-chip row stages: x100, x7, both at the 4 MHz readout
+  /// amplifier bandwidth.
+  static GainChain on_chip(Rng rng, double gain_sigma = 0.03,
+                           double offset_sigma = 20e-9);
+  /// The paper's off-chip channel stages: x4, x2 behind the 32 MHz driver.
+  static GainChain off_chip(Rng rng, double gain_sigma = 0.03,
+                            double offset_sigma = 20e-9);
+
+  /// Steps all four stages in cascade.
+  double step(double i_in, double dt);
+  /// Calibrates each stage with a reference current scaled to its input
+  /// range.
+  void calibrate(double i_ref, double residual = 1e-3);
+
+  double total_nominal_gain() const;  // = 100*7*4*2 = 5600
+  double total_actual_gain() const;
+
+  std::vector<GainStage> stages;
+};
+
+}  // namespace biosense::circuit

@@ -1,0 +1,84 @@
+// Behavioral MOSFET model (EKV-style long-channel).
+//
+// The chips in the paper rely on transistor behaviour across *all* operating
+// regions: the DNA chip's regulation loop runs its source follower in strong
+// inversion while pA-level sensor currents put other devices deep into
+// subthreshold; the neural pixel's sensor transistor M1 is biased in
+// moderate inversion and its calibration exploits the monotonic I(V_GS)
+// characteristic. A simple square-law model with a hard subthreshold cutoff
+// breaks those simulations, so we use the EKV interpolation, which is
+// smooth and accurate from weak through strong inversion:
+//
+//   I_D = 2 n beta V_T^2 [ F(V_P/V_T) - F((V_P - V_DS)/V_T) ]
+//   F(x) = ln^2(1 + e^{x/2}),  V_P = (V_GS - V_T0)/n
+//
+// with beta = KP * W/L, V_T the thermal voltage, n the subthreshold slope
+// factor, plus first-order channel-length modulation. Voltages are
+// source-referenced (bulk tied to source; body effect folded into n); the
+// PMOS model mirrors the NMOS one.
+#pragma once
+
+#include "noise/mismatch.hpp"
+
+namespace biosense::circuit {
+
+enum class MosType { kNmos, kPmos };
+
+/// Electrical + geometric parameters of one device. Defaults approximate the
+/// paper's 0.5 um / 5 V CMOS process (t_ox = 15 nm).
+struct MosfetParams {
+  MosType type = MosType::kNmos;
+  double w = 1e-6;        // channel width, m
+  double l = 0.5e-6;      // channel length, m
+  double vt0 = 0.7;       // zero-bias threshold, V (magnitude)
+  double kp = 115e-6;     // transconductance factor mu*Cox, A/V^2
+  double lambda = 0.06;   // channel-length modulation, 1/V (at L = 0.5 um)
+  double n = 1.35;        // subthreshold slope factor
+  double temp_k = 300.0;  // device temperature
+  /// Threshold temperature coefficient, V/K (V_T falls when hot).
+  double vt_tempco = -1.2e-3;
+  /// Mobility exponent: kp scales as (T/300K)^(-mobility_exponent).
+  double mobility_exponent = 1.5;
+};
+
+class Mosfet {
+ public:
+  explicit Mosfet(MosfetParams params,
+                  noise::DeviceMismatch mismatch = {});
+
+  /// Drain current for gate/drain/source potentials referred to bulk.
+  /// For PMOS pass the actual node voltages; the model handles polarity.
+  /// Positive current flows drain->source for NMOS (source->drain for PMOS).
+  double drain_current(double vg, double vd, double vs) const;
+
+  /// Transconductance dI_D/dV_G at the given bias (numeric, central diff).
+  double gm(double vg, double vd, double vs) const;
+
+  /// Output conductance dI_D/dV_D at the given bias.
+  double gds(double vg, double vd, double vs) const;
+
+  /// Gate voltage (referred to bulk) that makes the device carry `id` with
+  /// the given drain/source potentials. Solved by bisection; this is what a
+  /// diode-connection or a calibration feedback loop settles to.
+  double vgs_for_current(double id, double vd, double vs) const;
+
+  /// Effective threshold including the sampled mismatch and the
+  /// temperature shift relative to 300 K.
+  double effective_vt() const {
+    return params_.vt0 + mismatch_.delta_vt +
+           params_.vt_tempco * (params_.temp_k - 300.0);
+  }
+
+  const MosfetParams& params() const { return params_; }
+  const noise::DeviceMismatch& mismatch() const { return mismatch_; }
+
+ private:
+  // Forward/reverse EKV current for source-referenced voltages (NMOS frame).
+  double ekv_current(double vgs, double vds) const;
+
+  MosfetParams params_;
+  noise::DeviceMismatch mismatch_;
+  double beta_;  // kp * W/L * beta_ratio
+};
+
+}  // namespace biosense::circuit

@@ -1,0 +1,34 @@
+#include "circuit/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/units.hpp"
+
+namespace biosense::circuit {
+
+Opamp::Opamp(OpampParams params) : params_(params) {
+  require(params.dc_gain > 0.0, "Opamp: dc_gain must be positive");
+  require(params.gbw_hz > 0.0, "Opamp: GBW must be positive");
+  require(params.slew_rate > 0.0, "Opamp: slew rate must be positive");
+  require(params.vout_max > params.vout_min, "Opamp: rails inverted");
+  pole_hz_ = params.gbw_hz / params.dc_gain;
+  vout_ = params.vout_min;
+}
+
+double Opamp::step(double v_plus, double v_minus, double dt) {
+  const double vid = (v_plus + params_.input_offset) - v_minus;
+  const double target =
+      std::clamp(params_.dc_gain * vid, params_.vout_min, params_.vout_max);
+  const double tau = 1.0 / (2.0 * constants::kPi * pole_hz_);
+  double next = one_pole_step(vout_, target, dt, tau);
+  // Slew limiting.
+  const double max_delta = params_.slew_rate * dt;
+  next = std::clamp(next, vout_ - max_delta, vout_ + max_delta);
+  vout_ = std::clamp(next, params_.vout_min, params_.vout_max);
+  return vout_;
+}
+
+}  // namespace biosense::circuit

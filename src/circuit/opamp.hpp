@@ -1,0 +1,40 @@
+// Single-pole operational amplifier behavioral model.
+//
+// Used for the DNA sensor site's electrode regulation loop (Fig. 3, the amp
+// driving the source follower that holds the sensor electrode at the DAC
+// potential) and for the neural chip's column regulation amplifier A
+// (Fig. 6). Models: finite DC gain, gain-bandwidth product (single dominant
+// pole), slew-rate limiting, output saturation and input offset.
+#pragma once
+
+namespace biosense::circuit {
+
+struct OpampParams {
+  double dc_gain = 10000.0;     // open-loop gain A_OL (V/V)
+  double gbw_hz = 10e6;         // gain-bandwidth product
+  double slew_rate = 10e6;      // V/s
+  double vout_min = 0.0;        // supply rails
+  double vout_max = 5.0;
+  double input_offset = 0.0;    // V, referred to the + input
+};
+
+class Opamp {
+ public:
+  explicit Opamp(OpampParams params);
+
+  /// Advances the amplifier by `dt` with the given inputs; returns the new
+  /// output voltage.
+  double step(double v_plus, double v_minus, double dt);
+
+  double output() const { return vout_; }
+  void reset(double vout = 0.0) { vout_ = vout; }
+
+  const OpampParams& params() const { return params_; }
+
+ private:
+  OpampParams params_;
+  double vout_ = 0.0;
+  double pole_hz_;  // dominant pole = GBW / A_OL
+};
+
+}  // namespace biosense::circuit

@@ -1,0 +1,63 @@
+// On-chip references: bandgap voltage reference and derived current
+// reference. The DNA chip periphery (Fig. 4) carries "bandgap and current
+// references" that define the electrochemical potentials and the ADC bias
+// currents; their temperature behaviour bounds the chip's operating window.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace biosense::circuit {
+
+struct BandgapParams {
+  double v_nominal = 1.235;     // V at the magic temperature
+  double t_nominal_k = 320.0;   // curvature vertex
+  double curvature = 1.0e-6;    // V/K^2 parabolic residual
+  double trim_sigma = 3e-3;     // untrimmed 1-sigma spread, V
+  double startup_tau = 10e-6;   // soft-start time constant, s
+  double noise_rms = 50e-6;     // output noise, V rms per sample
+};
+
+/// Bandgap reference with parabolic temperature curvature, sampled trim
+/// error and a soft-start transient after power-up.
+class BandgapReference {
+ public:
+  BandgapReference(BandgapParams params, Rng rng);
+
+  /// Ideal settled output at a given temperature.
+  double settled_voltage(double temp_k) const;
+
+  /// Output `t_since_powerup` seconds after enable, including startup
+  /// transient and one draw of output noise.
+  double voltage(double temp_k, double t_since_powerup);
+
+  /// Temperature coefficient in ppm/K measured between two temperatures.
+  double tempco_ppm_per_k(double t_lo_k, double t_hi_k) const;
+
+ private:
+  BandgapParams params_;
+  Rng rng_;
+  double trim_error_;
+};
+
+struct CurrentReferenceParams {
+  double i_nominal = 1e-6;      // A
+  double r_tempco = 1e-3;       // resistor tempco, 1/K (current ~ Vbg/R)
+  double t_nominal_k = 300.0;
+  double spread_sigma = 0.02;   // untrimmed relative spread
+};
+
+/// V/R current reference driven by a bandgap.
+class CurrentReference {
+ public:
+  CurrentReference(CurrentReferenceParams params, const BandgapReference& bg,
+                   Rng rng);
+
+  double current(double temp_k) const;
+
+ private:
+  CurrentReferenceParams params_;
+  const BandgapReference* bandgap_;
+  double spread_;
+};
+
+}  // namespace biosense::circuit

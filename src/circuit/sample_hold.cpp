@@ -1,0 +1,39 @@
+#include "circuit/sample_hold.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace biosense::circuit {
+
+SampleHold::SampleHold(SampleHoldParams params, Rng rng)
+    : params_(params), cap_(params.hold_cap), sw_(params.sw, rng.fork()) {
+  sw_.close();
+}
+
+void SampleHold::track(double v_in, double dt) {
+  if (holding_) {
+    sw_.close();
+    holding_ = false;
+  }
+  const double tau = sw_.r_on() * cap_.capacitance();
+  cap_.set_voltage(one_pole_step(cap_.voltage(), v_in, dt, tau));
+}
+
+void SampleHold::hold() {
+  if (holding_) return;
+  cap_.add_charge(sw_.open());
+  holding_ = true;
+}
+
+void SampleHold::idle(double dt) {
+  if (!holding_) return;
+  cap_.integrate(-params_.droop_current, dt);
+}
+
+double SampleHold::expected_pedestal() const {
+  return -params_.sw.channel_charge * params_.sw.injection_fraction *
+         (1.0 - params_.sw.compensation) / params_.hold_cap;
+}
+
+}  // namespace biosense::circuit

@@ -1,0 +1,47 @@
+// Sample-and-hold with acquisition bandwidth, charge-injection pedestal and
+// hold-mode droop. The neural pixel stores its calibration voltage exactly
+// this way: on M1's gate capacitance through switch S1 (Fig. 6); droop and
+// pedestal are the reasons the chip re-calibrates periodically.
+#pragma once
+
+#include "circuit/capacitor.hpp"
+#include "circuit/switch.hpp"
+#include "common/rng.hpp"
+
+namespace biosense::circuit {
+
+struct SampleHoldParams {
+  double hold_cap = 100e-15;      // F
+  SwitchParams sw{};              // sampling switch
+  double droop_current = 5e-15;   // hold-mode leakage, A (signed magnitude)
+};
+
+class SampleHold {
+ public:
+  SampleHold(SampleHoldParams params, Rng rng);
+
+  /// Tracks `v_in` for `dt` while sampling (RC acquisition through R_on).
+  void track(double v_in, double dt);
+
+  /// Ends acquisition: opens the switch, applies charge injection, enters
+  /// hold mode.
+  void hold();
+
+  /// Advances hold mode by dt (droop).
+  void idle(double dt);
+
+  bool holding() const { return holding_; }
+  double output() const { return cap_.voltage(); }
+
+  /// Pedestal voltage the charge injection of this S/H's switch produces on
+  /// the hold cap (expected value, for analysis).
+  double expected_pedestal() const;
+
+ private:
+  SampleHoldParams params_;
+  CapacitorNode cap_;
+  AnalogSwitch sw_;
+  bool holding_ = false;
+};
+
+}  // namespace biosense::circuit

@@ -1,0 +1,95 @@
+#include "circuit/sar_adc.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::circuit {
+
+SarAdc::SarAdc(SarAdcParams params, Rng rng) : params_(params), rng_(rng) {
+  require(params.bits >= 2 && params.bits <= 16,
+          "SarAdc: bits must be in [2,16]");
+  require(params.v_max > params.v_min, "SarAdc: range inverted");
+  require(params.unit_cap_sigma >= 0.0 && params.comparator_noise_rms >= 0.0,
+          "SarAdc: noise terms must be non-negative");
+
+  // Bit k (k = bits-1 is the MSB) nominally weighs range / 2^(bits-k).
+  const double range = params.v_max - params.v_min;
+  weights_.resize(static_cast<std::size_t>(params.bits));
+  for (int k = 0; k < params.bits; ++k) {
+    const double nominal = range / std::pow(2.0, params.bits - k);
+    // 2^k unit caps: relative error sigma/sqrt(2^k).
+    const double rel_sigma =
+        params.unit_cap_sigma / std::sqrt(std::pow(2.0, k));
+    weights_[static_cast<std::size_t>(k)] =
+        nominal * (1.0 + rng_.normal(0.0, rel_sigma));
+  }
+  offset_ = rng_.normal(0.0, params.comparator_offset_sigma);
+}
+
+double SarAdc::lsb() const {
+  return (params_.v_max - params_.v_min) /
+         static_cast<double>(1 << params_.bits);
+}
+
+std::int32_t SarAdc::convert(double v) {
+  // Successive approximation: accumulate bit weights while staying below
+  // the (offset/noise-afflicted) input.
+  const double target = v - params_.v_min + offset_;
+  double acc = 0.0;
+  std::int32_t code = 0;
+  for (int k = params_.bits - 1; k >= 0; --k) {
+    const double noise =
+        measuring_ ? 0.0 : rng_.normal(0.0, params_.comparator_noise_rms);
+    const double trial = acc + weights_[static_cast<std::size_t>(k)];
+    if (trial <= target + noise) {
+      acc = trial;
+      code |= 1 << k;
+    }
+  }
+  return code;
+}
+
+double SarAdc::to_voltage(std::int32_t code) const {
+  return params_.v_min + (static_cast<double>(code) + 0.5) * lsb();
+}
+
+std::vector<double> SarAdc::measure_dnl() {
+  measuring_ = true;
+  // Fine ramp: find each code's first occurrence -> transition voltages.
+  const int steps_per_lsb = 16;
+  const int total = (max_code() + 1) * steps_per_lsb;
+  constexpr double kUnset = -1e30;  // far outside any input range
+  std::vector<double> transition(static_cast<std::size_t>(max_code()) + 1,
+                                 kUnset);
+  std::int32_t prev = -1;
+  for (int i = 0; i < total; ++i) {
+    const double v = params_.v_min +
+                     (params_.v_max - params_.v_min) * i / (total - 1.0);
+    const auto code = convert(v);
+    if (code != prev) {
+      for (std::int32_t c = prev + 1; c <= code && c <= max_code(); ++c) {
+        if (transition[static_cast<std::size_t>(c)] <= kUnset) {
+          transition[static_cast<std::size_t>(c)] = v;
+        }
+      }
+      prev = code;
+    }
+  }
+  measuring_ = false;
+
+  std::vector<double> dnl;
+  dnl.reserve(static_cast<std::size_t>(max_code()) - 1);
+  for (std::int32_t c = 1; c < max_code(); ++c) {
+    const double lo = transition[static_cast<std::size_t>(c)];
+    const double hi = transition[static_cast<std::size_t>(c) + 1];
+    if (lo <= kUnset || hi <= kUnset) {
+      dnl.push_back(-1.0);  // missing code
+    } else {
+      dnl.push_back((hi - lo) / lsb() - 1.0);
+    }
+  }
+  return dnl;
+}
+
+}  // namespace biosense::circuit

@@ -1,0 +1,61 @@
+// Successive-approximation ADC with a binary-weighted capacitor DAC.
+//
+// Fig. 6 ends in an off-chip "Conversion" block: the 16 channel outputs
+// are digitized by discrete ADCs. A SAR converter is the natural choice at
+// 2 MS/s per channel. The model includes the real error sources: capacitor
+// mismatch in the binary-weighted array (bit weights deviate, causing
+// INL/DNL and possibly missing codes), comparator offset and per-decision
+// noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace biosense::circuit {
+
+struct SarAdcParams {
+  int bits = 10;
+  double v_min = -1.0;
+  double v_max = 1.0;
+  /// Relative 1-sigma mismatch of a *unit* capacitor. Bit k's capacitor is
+  /// 2^k units, so its relative error scales as sigma/sqrt(2^k).
+  double unit_cap_sigma = 0.002;
+  double comparator_offset_sigma = 1e-3;  // V
+  double comparator_noise_rms = 100e-6;   // V per decision
+};
+
+class SarAdc {
+ public:
+  SarAdc(SarAdcParams params, Rng rng);
+
+  /// Converts one sample (successive approximation, `bits` decisions).
+  std::int32_t convert(double v);
+
+  /// Ideal reconstruction of a code back to volts (nominal weights).
+  double to_voltage(std::int32_t code) const;
+
+  int bits() const { return params_.bits; }
+  std::int32_t max_code() const { return (1 << params_.bits) - 1; }
+  double lsb() const;
+
+  /// Static transfer measurement: code transition points via a fine ramp,
+  /// then DNL (LSB) per code. Noise is disabled during the measurement
+  /// (standard histogram practice averages it out).
+  std::vector<double> measure_dnl();
+
+  /// As-fabricated weight of bit k in volts (test observability).
+  double bit_weight(int k) const {
+    return weights_[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  SarAdcParams params_;
+  Rng rng_;
+  std::vector<double> weights_;  // actual bit weights, V
+  double offset_ = 0.0;
+  bool measuring_ = false;
+};
+
+}  // namespace biosense::circuit

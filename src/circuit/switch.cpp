@@ -1,0 +1,27 @@
+#include "circuit/switch.hpp"
+
+#include "common/error.hpp"
+
+namespace biosense::circuit {
+
+AnalogSwitch::AnalogSwitch(SwitchParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  require(params.r_on > 0.0, "AnalogSwitch: r_on must be positive");
+  require(params.injection_fraction >= 0.0 && params.injection_fraction <= 1.0,
+          "AnalogSwitch: injection fraction must be in [0,1]");
+  require(params.compensation >= 0.0 && params.compensation <= 1.0,
+          "AnalogSwitch: compensation must be in [0,1]");
+}
+
+double AnalogSwitch::open() {
+  if (!closed_) return 0.0;
+  closed_ = false;
+  const double nominal =
+      -params_.channel_charge * params_.injection_fraction;  // electrons
+  // The dummy switch cancels `compensation` of the nominal charge; the
+  // device-dependent random part survives in full.
+  return nominal * (1.0 - params_.compensation) +
+         nominal * rng_.normal(0.0, params_.injection_sigma);
+}
+
+}  // namespace biosense::circuit

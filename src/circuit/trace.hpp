@@ -1,0 +1,48 @@
+// Time-series recorder for transient simulations: collects (t, value)
+// samples and offers simple measurements (final value, settling time,
+// min/max, crossing detection). Used by tests and by the waveform benches.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace biosense::circuit {
+
+class Trace {
+ public:
+  void record(double t, double v) {
+    t_.push_back(t);
+    v_.push_back(v);
+  }
+
+  std::size_t size() const { return t_.size(); }
+  bool empty() const { return t_.empty(); }
+  const std::vector<double>& times() const { return t_; }
+  const std::vector<double>& values() const { return v_; }
+  double back_value() const { return v_.back(); }
+  double back_time() const { return t_.back(); }
+
+  double min_value() const;
+  double max_value() const;
+
+  /// First time the signal crosses `level` upward; nullopt if never.
+  std::optional<double> first_up_crossing(double level) const;
+
+  /// Times of all upward crossings of `level`.
+  std::vector<double> up_crossings(double level) const;
+
+  /// Time after which the signal stays within +/-tol of its final value.
+  std::optional<double> settling_time(double tol) const;
+
+  void clear() {
+    t_.clear();
+    v_.clear();
+  }
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+}  // namespace biosense::circuit

@@ -1,0 +1,25 @@
+// Error type for configuration/construction failures.
+//
+// biosense follows the C++ Core Guidelines convention: exceptions signal
+// violated preconditions or invalid configuration at construction time;
+// steady-state simulation paths are noexcept-friendly and report physics
+// through return values, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace biosense {
+
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws ConfigError with `msg` when `cond` is false. Used to validate
+/// user-supplied configuration structs in constructors.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw ConfigError(msg);
+}
+
+}  // namespace biosense

@@ -1,0 +1,106 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace biosense {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Unbiased rejection sampling (Lemire-style bound check kept simple).
+  const std::uint64_t limit = ~0ULL - (~0ULL % span);
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * constants::kPi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+double Rng::exponential(double lambda) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate accuracy for
+  // the large molecule/electron counts it is used for.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw < 0.0 ? 0 : static_cast<std::int64_t>(draw + 0.5);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::log_uniform(double lo, double hi) {
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace biosense

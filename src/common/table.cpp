@@ -1,0 +1,118 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace biosense {
+
+namespace {
+
+std::string cell_to_string(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  char buf[64];
+  if (const auto* d = std::get_if<double>(&c)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", *d);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", std::get<long long>(c));
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Table::add_row(std::vector<Cell> row) {
+  if (!columns_.empty() && row.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: row width != column count");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& c : row) r.push_back(cell_to_string(c));
+    text.push_back(std::move(r));
+  }
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& r : text) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << r[i];
+      if (i < widths.size()) {
+        for (std::size_t pad = r[i].size(); pad < widths[i]; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  if (!columns_.empty()) {
+    print_row(columns_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : text) print_row(r);
+  for (const auto& n : notes_) os << "  note: " << n << '\n';
+  os << '\n';
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << (i ? "," : "") << escape(columns_[i]);
+  }
+  if (!columns_.empty()) os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "") << escape(cell_to_string(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+std::string si_format(double value, const std::string& unit, int digits) {
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kPrefixes[] = {
+      {1e9, "G"},  {1e6, "M"},  {1e3, "k"},  {1.0, ""},    {1e-3, "m"},
+      {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+  };
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::abs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9995) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g %s%s", digits, value / p.scale,
+                    p.prefix, unit.c_str());
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g %s", digits, value, unit.c_str());
+  return buf;
+}
+
+}  // namespace biosense

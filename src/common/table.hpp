@@ -1,0 +1,50 @@
+// Plain-text result tables and CSV output for the benchmark harnesses.
+//
+// Every bench binary prints the series a paper figure/table reports through
+// a `Table`, so the output format is uniform across experiments:
+//
+//     Table t("Fig. 3: frequency vs sensor current");
+//     t.set_columns({"I_sensor [A]", "f [Hz]", "dev from fit [%]"});
+//     t.add_row({1e-12, 0.0102, 0.3});
+//     t.print(std::cout);
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace biosense {
+
+/// One table cell: text or a number (printed with %.6g).
+using Cell = std::variant<std::string, double, long long>;
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> names) { columns_ = std::move(names); }
+  void add_row(std::vector<Cell> row);
+  /// Free-form footnote printed under the table (paper-vs-measured notes).
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Pretty-prints with aligned columns and a separator rule.
+  void print(std::ostream& os) const;
+
+  /// Writes the rows as CSV (header = column names).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// Formats a value with an SI prefix, e.g. 1.3e-12 -> "1.3 pA".
+std::string si_format(double value, const std::string& unit, int digits = 3);
+
+}  // namespace biosense

@@ -1,0 +1,122 @@
+// SI unit literals and physical constants.
+//
+// Convention used throughout biosense: every physical quantity is a plain
+// `double` in SI base/derived units (volts, amperes, farads, seconds,
+// hertz, meters, kelvin, moles per liter for concentrations). The literals
+// below make call sites self-documenting without the overhead of a full
+// dimensional-analysis type system:
+//
+//     i2f::Config cfg;
+//     cfg.c_int = 140.0_fF;
+//     cfg.delta_v = 0.7_V;
+//
+#pragma once
+
+namespace biosense {
+
+// --- physical constants (CODATA values, SI) --------------------------------
+
+namespace constants {
+
+inline constexpr double kBoltzmann = 1.380649e-23;      // J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+inline constexpr double kGasConstant = 8.314462618;     // J/(mol K)
+inline constexpr double kAvogadro = 6.02214076e23;      // 1/mol
+inline constexpr double kFaraday = 96485.33212;         // C/mol
+inline constexpr double kZeroCelsius = 273.15;          // K
+inline constexpr double kBodyTempK = 310.15;            // 37 C in K
+inline constexpr double kRoomTempK = 300.0;             // K
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace constants
+
+// --- unit literals ----------------------------------------------------------
+
+inline namespace literals {
+
+// Voltage
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uV(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uV(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+
+// Current
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nA(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pA(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fA(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fA(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+
+// Capacitance
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_uF(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nF(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pF(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fF(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+
+// Resistance
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kOhm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MOhm(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GOhm(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_GOhm(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+
+// Time
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_s(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+// Frequency
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+// Length
+constexpr double operator""_m(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+// Concentration (molar)
+constexpr double operator""_M(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mM(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uM(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nM(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nM(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pM(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pM(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// Energy (for thermodynamics tables quoted in kcal/mol)
+constexpr double operator""_kcal_per_mol(long double v) {
+  return static_cast<double>(v) * 4184.0;  // J/mol
+}
+
+}  // namespace literals
+
+/// Thermal voltage kT/q at temperature `temp_k`.
+constexpr double thermal_voltage(double temp_k) {
+  return constants::kBoltzmann * temp_k / constants::kElectronCharge;
+}
+
+}  // namespace biosense

@@ -1,0 +1,21 @@
+#include "core/artifacts.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace biosense::core {
+
+std::string write_table_csv(const Table& table, const std::string& name,
+                            const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) return {};
+  table.write_csv(out);
+  return out.good() ? path : std::string{};
+}
+
+}  // namespace biosense::core

@@ -1,0 +1,18 @@
+// Result artifacts: benches persist their tables as CSV next to the
+// binary output so downstream analysis (plots, regressions) never has to
+// scrape stdout.
+#pragma once
+
+#include <string>
+
+#include "common/table.hpp"
+
+namespace biosense::core {
+
+/// Writes `table` as CSV to `<dir>/<name>.csv`, creating the directory if
+/// needed. Returns the path written, or an empty string on filesystem
+/// errors (benches treat persistence as best-effort).
+std::string write_table_csv(const Table& table, const std::string& name,
+                            const std::string& dir = "results");
+
+}  // namespace biosense::core

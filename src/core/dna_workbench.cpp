@@ -1,0 +1,52 @@
+#include "core/dna_workbench.hpp"
+
+#include "common/error.hpp"
+
+namespace biosense::core {
+
+DnaWorkbench::DnaWorkbench(DnaWorkbenchConfig config,
+                           std::vector<dna::ProbeSpot> spots, Rng rng)
+    : config_(config),
+      assay_(std::move(spots), config.protocol, config.redox, rng.fork()),
+      chip_(config.chip, rng.fork()),
+      host_(chip_,
+            dnachip::SerialLink(config.serial_bit_error_rate, rng.fork()),
+            config.chip.site) {
+  require(static_cast<int>(assay_.spots().size()) <= chip_.sites(),
+          "DnaWorkbench: more probe spots than sensor sites");
+  host_.set_electrode_potentials(1.2, 0.8);
+  host_.auto_calibrate();
+}
+
+WorkbenchRun DnaWorkbench::run(const std::vector<dna::TargetSpecies>& sample) {
+  const auto assay_results = assay_.run(sample);
+
+  // Map spot currents onto the array; unused sites carry only background.
+  std::vector<double> currents(static_cast<std::size_t>(chip_.sites()),
+                               config_.redox.background);
+  for (std::size_t i = 0; i < assay_results.size(); ++i) {
+    currents[i] = assay_results[i].sensor_current;
+  }
+  chip_.apply_sensor_currents(currents);
+
+  const auto frame = host_.acquire_autorange();
+
+  WorkbenchRun run;
+  run.gate_time = frame.gate_time;
+  run.serial_bits = frame.serial_bits;
+  run.crc_ok = frame.crc_ok;
+  run.calls.reserve(assay_results.size());
+  for (std::size_t i = 0; i < assay_results.size(); ++i) {
+    SpotCall call;
+    call.name = assay_results[i].spot_name;
+    call.true_current = assay_results[i].sensor_current;
+    call.measured_current =
+        i < frame.currents.size() ? frame.currents[i] : 0.0;
+    call.called_match = call.measured_current > config_.detection_threshold;
+    call.best_match_mismatches = assay_results[i].best_match_mismatches;
+    run.calls.push_back(std::move(call));
+  }
+  return run;
+}
+
+}  // namespace biosense::core

@@ -1,0 +1,62 @@
+// High-level DNA microarray workbench: the paper's Section 2 as one object.
+//
+// Wires the biology (MicroarrayAssay) to the silicon (DnaChip behind its
+// 6-pin serial HostInterface): probe spots are mapped onto the 8x16 sensor
+// array, the assay produces per-site redox currents, the chip digitizes
+// them in-pixel and streams counters out serially, and the workbench calls
+// match/no-match per spot. This is the object a platform user starts from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dna/assay.hpp"
+#include "dnachip/chip.hpp"
+
+namespace biosense::core {
+
+struct DnaWorkbenchConfig {
+  dnachip::DnaChipConfig chip{};
+  dna::AssayProtocol protocol{};
+  dna::RedoxParams redox{};
+  /// Decision threshold: a spot is called "match" when its reconstructed
+  /// current exceeds this value, A.
+  double detection_threshold = 50e-12;
+  double serial_bit_error_rate = 0.0;
+};
+
+struct SpotCall {
+  std::string name;
+  double true_current = 0.0;      // what the chemistry produced, A
+  double measured_current = 0.0;  // what the chip reported, A
+  bool called_match = false;
+  std::size_t best_match_mismatches = ~0u;
+};
+
+struct WorkbenchRun {
+  std::vector<SpotCall> calls;
+  double gate_time = 0.0;
+  std::uint64_t serial_bits = 0;
+  bool crc_ok = true;
+};
+
+class DnaWorkbench {
+ public:
+  DnaWorkbench(DnaWorkbenchConfig config, std::vector<dna::ProbeSpot> spots,
+               Rng rng);
+
+  /// Runs the wet protocol and a full chip acquisition against `sample`.
+  WorkbenchRun run(const std::vector<dna::TargetSpecies>& sample);
+
+  int spots_capacity() const { return chip_.sites(); }
+  const dnachip::DnaChip& chip() const { return chip_; }
+
+ private:
+  DnaWorkbenchConfig config_;
+  dna::MicroarrayAssay assay_;
+  dnachip::DnaChip chip_;
+  dnachip::HostInterface host_;
+};
+
+}  // namespace biosense::core

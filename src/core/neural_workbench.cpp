@@ -1,0 +1,65 @@
+#include "core/neural_workbench.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "common/stats.hpp"
+
+namespace biosense::core {
+
+NeuralWorkbench::NeuralWorkbench(NeuralWorkbenchConfig config, Rng rng)
+    : config_(config),
+      culture_(config.culture, rng.fork()),
+      chip_(config.chip, rng.fork()) {}
+
+NeuralRun NeuralWorkbench::run() {
+  NeuralRun out;
+  chip_.calibrate_all();
+  const auto [mean_off, max_off] = chip_.offset_stats();
+  out.mean_abs_offset_v = mean_off;
+  out.max_abs_offset_v = max_off;
+
+  neurochip::RecordingSession session(culture_, chip_);
+  const int n_frames = static_cast<int>(config_.recording_duration *
+                                        config_.chip.frame_rate);
+  out.frames = session.record(0.0, n_frames);
+  out.active_pixels = session.active_pixels();
+
+  // Per-pixel traces -> spike detection; only pixels covered by a neuron
+  // footprint are scanned (the rest is noise by construction).
+  dsp::SpikeDetectorConfig det = config_.detector;
+  det.fs = config_.chip.frame_rate;
+  for (int r = 0; r < chip_.rows(); ++r) {
+    for (int c = 0; c < chip_.cols(); ++c) {
+      const auto& truth = session.ground_truth(r, c);
+      if (truth.empty()) continue;
+      std::vector<double> trace;
+      trace.reserve(out.frames.size());
+      for (const auto& f : out.frames) trace.push_back(f.at(r, c));
+      auto spikes = dsp::detect_spikes(trace, det);
+      if (spikes.empty()) continue;
+      PixelDetection d;
+      d.row = r;
+      d.col = c;
+      // Remove the static per-pixel offset (calibration residual) before
+      // comparing against the clean waveform — detection does the same via
+      // its band-pass.
+      std::vector<double> trace_ac = trace;
+      std::vector<double> truth_ac = truth;
+      const double trace_mean =
+          mean(std::span<const double>(trace_ac.data(), trace_ac.size()));
+      const double truth_mean =
+          mean(std::span<const double>(truth_ac.data(), truth_ac.size()));
+      for (auto& v : trace_ac) v -= trace_mean;
+      for (auto& v : truth_ac) v -= truth_mean;
+      d.snr_db = dsp::snr_db(trace_ac, truth_ac);
+      for (double v : truth_ac) d.truth_peak = std::max(d.truth_peak, std::abs(v));
+      d.spikes = std::move(spikes);
+      out.detections.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace biosense::core

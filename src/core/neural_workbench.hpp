@@ -1,0 +1,58 @@
+// High-level neural recording workbench: the paper's Section 3 as one
+// object. Builds a culture, a 128x128 chip, records frames, and extracts
+// per-pixel spike detections with quality metrics.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/spikes.hpp"
+#include "neuro/culture.hpp"
+#include "neurochip/array.hpp"
+#include "neurochip/recording.hpp"
+
+namespace biosense::core {
+
+struct NeuralWorkbenchConfig {
+  neuro::CultureConfig culture{};
+  neurochip::NeuroChipConfig chip{};
+  dsp::SpikeDetectorConfig detector{};
+  double recording_duration = 0.5;  // s
+};
+
+struct PixelDetection {
+  int row = 0;
+  int col = 0;
+  std::vector<dsp::DetectedSpike> spikes;
+  double snr_db = 0.0;
+  /// Peak |amplitude| of the clean (ground-truth) waveform at this pixel.
+  /// Pixels at footprint edges carry microvolt-level truth; filter on this
+  /// when aggregating quality metrics.
+  double truth_peak = 0.0;
+};
+
+struct NeuralRun {
+  std::vector<neurochip::NeuroFrame> frames;
+  std::vector<PixelDetection> detections;  // pixels with >= 1 detection
+  std::size_t active_pixels = 0;
+  double mean_abs_offset_v = 0.0;  // pixel calibration quality
+  double max_abs_offset_v = 0.0;
+};
+
+class NeuralWorkbench {
+ public:
+  NeuralWorkbench(NeuralWorkbenchConfig config, Rng rng);
+
+  /// Calibrates the chip, records, runs detection on every active pixel.
+  NeuralRun run();
+
+  neurochip::NeuroChip& chip() { return chip_; }
+  const neuro::NeuronCulture& culture() const { return culture_; }
+
+ private:
+  NeuralWorkbenchConfig config_;
+  neuro::NeuronCulture culture_;
+  neurochip::NeuroChip chip_;
+};
+
+}  // namespace biosense::core

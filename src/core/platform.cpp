@@ -1,0 +1,9 @@
+#include "core/platform.hpp"
+
+namespace biosense::core {
+
+DnaChipSummary paper_dna_chip() { return DnaChipSummary{}; }
+
+NeuroChipSummary paper_neuro_chip() { return NeuroChipSummary{}; }
+
+}  // namespace biosense::core

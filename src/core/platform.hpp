@@ -1,0 +1,53 @@
+// biosense: CMOS biosensor array simulation platform.
+//
+// Umbrella header and library identity. The paper's thesis is that one
+// CMOS platform serves both molecule-based (DNA microarray) and cell-based
+// (neural recording) biosensing; this header exposes both workbenches and
+// the headline chip parameter summaries that benches check against the
+// paper's text.
+#pragma once
+
+#include <string>
+
+#include "core/dna_workbench.hpp"
+#include "core/experiment.hpp"
+#include "core/neural_workbench.hpp"
+
+namespace biosense::core {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+/// Headline parameters of the DNA microarray chip (Section 2 / Fig. 4).
+struct DnaChipSummary {
+  int rows = 16;
+  int cols = 8;
+  double current_min = 1e-12;   // A
+  double current_max = 100e-9;  // A
+  int interface_pins = 6;
+  double vdd = 5.0;             // V
+  double l_min = 0.5e-6;        // m
+  double t_ox = 15e-9;          // m
+};
+
+/// Headline parameters of the neural recording chip (Section 3 / Fig. 6).
+struct NeuroChipSummary {
+  int rows = 128;
+  int cols = 128;
+  double pitch = 7.8e-6;         // m
+  double sensor_area_side = 1e-3;  // m
+  double frame_rate = 2000.0;    // frames/s
+  double signal_min = 100e-6;    // V
+  double signal_max = 5e-3;      // V
+  double readout_amp_bw = 4e6;   // Hz
+  double output_driver_bw = 32e6;  // Hz
+  int channels = 16;
+  int mux_factor = 8;
+};
+
+/// The values the paper states, used by the summary bench as reference.
+DnaChipSummary paper_dna_chip();
+NeuroChipSummary paper_neuro_chip();
+
+}  // namespace biosense::core

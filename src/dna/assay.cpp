@@ -1,0 +1,80 @@
+#include "dna/assay.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace biosense::dna {
+
+MicroarrayAssay::MicroarrayAssay(std::vector<ProbeSpot> spots,
+                                 AssayProtocol protocol, RedoxParams redox,
+                                 Rng rng)
+    : spots_(std::move(spots)),
+      protocol_(protocol),
+      redox_(redox),
+      rng_(rng) {
+  require(!spots_.empty(), "MicroarrayAssay: need at least one spot");
+  for (const auto& s : spots_) {
+    require(!s.probe.empty() && s.n_probes > 0.0,
+            "MicroarrayAssay: invalid spot");
+  }
+}
+
+std::vector<SpotResult> MicroarrayAssay::run(
+    const std::vector<TargetSpecies>& sample) {
+  std::vector<SpotResult> results;
+  results.reserve(spots_.size());
+
+  for (const auto& spot : spots_) {
+    // Determine, per sample species, the best hybridization window and its
+    // dissociation constant.
+    std::vector<BindingSpecies> binding;
+    std::vector<std::size_t> mismatches;
+    for (const auto& target : sample) {
+      const auto mm = target.sequence.best_window_mismatches(spot.probe);
+      if (!mm || *mm > protocol_.max_mismatches) continue;
+      BindingSpecies b;
+      b.concentration = target.concentration;
+      b.kd = dissociation_constant(spot.probe, *mm, protocol_.conditions);
+      binding.push_back(b);
+      mismatches.push_back(*mm);
+    }
+
+    SpotResult r;
+    r.spot_name = spot.name;
+    if (!binding.empty()) {
+      SpotKinetics kin(protocol_.kinetics, std::move(binding));
+      kin.hybridize(protocol_.hybridization_time, protocol_.time_step);
+      kin.wash(protocol_.wash_time, protocol_.time_step);
+      r.occupancy = kin.total_theta();
+      r.bound_labels = r.occupancy * spot.n_probes;
+      r.best_match_mismatches =
+          *std::min_element(mismatches.begin(), mismatches.end());
+    }
+    RedoxCyclingSensor sensor(redox_, rng_.fork());
+    r.sensor_current = sensor.steady_state_current(r.bound_labels);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<ProbeSpot> MicroarrayAssay::design_probes(
+    const std::vector<TargetSpecies>& targets, std::size_t probe_length,
+    double n_probes_per_spot) {
+  std::vector<ProbeSpot> spots;
+  spots.reserve(targets.size());
+  for (const auto& t : targets) {
+    require(t.sequence.size() >= probe_length,
+            "design_probes: target shorter than probe length");
+    // Probe against the central window of the target.
+    const std::size_t pos = (t.sequence.size() - probe_length) / 2;
+    ProbeSpot s;
+    s.probe = t.sequence.subsequence(pos, probe_length).reverse_complement();
+    s.n_probes = n_probes_per_spot;
+    s.name = t.name;
+    spots.push_back(std::move(s));
+  }
+  return spots;
+}
+
+}  // namespace biosense::dna

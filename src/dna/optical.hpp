@@ -1,0 +1,65 @@
+// Optical fluorescence detection baseline.
+//
+// "Whereas optical detection principles make use of fluorescence or
+// chemoluminescence light originating from label molecules bound to the
+// targets [1-3], electronic principles ..." — the optical scanner is the
+// incumbent the CMOS chip competes with, so it is implemented as the
+// baseline: fluorophore labels, excitation/collection efficiency chain,
+// photobleaching during the scan, detector shot/dark noise, and a
+// per-spot digital readout. The detection-principles bench compares its
+// limit of detection against the electronic approaches.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace biosense::dna {
+
+struct FluorescenceScannerParams {
+  /// Photons emitted per fluorophore per second at the chosen excitation
+  /// power (absorption cross-section x photon flux x quantum yield).
+  double emission_rate = 5e4;
+  /// Fraction of emitted photons that reach the detector (solid angle x
+  /// filter/optics losses).
+  double collection_eff = 0.03;
+  /// Detector quantum efficiency (PMT/photodiode).
+  double detector_qe = 0.25;
+  /// Photobleaching time constant under excitation, s.
+  double bleach_tau = 20.0;
+  /// Integration time per spot, s.
+  double dwell_time = 10e-3;
+  /// Detector dark + background count rate, counts/s.
+  double dark_rate = 2e4;
+  /// Labels per bound target (single-dye labeling = 1).
+  double dyes_per_target = 1.0;
+};
+
+struct SpotScan {
+  double photons_signal = 0.0;  // expected signal counts
+  double photons_dark = 0.0;    // expected background counts
+  long long counts = 0;         // Poisson-drawn total detector counts
+  double snr = 0.0;             // expected S / sqrt(S + 2B)
+};
+
+class FluorescenceScanner {
+ public:
+  FluorescenceScanner(FluorescenceScannerParams params, Rng rng);
+
+  /// Scans one spot carrying `bound_labels` fluorophore-labeled targets.
+  /// `prior_exposure` accounts for bleaching from earlier scans.
+  SpotScan scan_spot(double bound_labels, double prior_exposure = 0.0);
+
+  /// Expected signal counts (no noise) for a label count.
+  double expected_signal(double bound_labels, double prior_exposure = 0.0) const;
+
+  /// Smallest label count detectable at 3-sigma against the background
+  /// (solves S = 3 sqrt(S + 2B)).
+  double detection_limit_labels() const;
+
+  const FluorescenceScannerParams& params() const { return params_; }
+
+ private:
+  FluorescenceScannerParams params_;
+  Rng rng_;
+};
+
+}  // namespace biosense::dna

@@ -1,0 +1,111 @@
+#include "dna/panels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::dna {
+
+AssayPanel pathogen_panel(int n_organisms, int n_present,
+                          double concentration, Rng& rng,
+                          std::size_t probe_length,
+                          std::size_t genome_length) {
+  require(n_organisms >= 1 && n_present >= 0 && n_present <= n_organisms,
+          "pathogen_panel: invalid counts");
+  AssayPanel panel;
+  for (int i = 0; i < n_organisms; ++i) {
+    TargetSpecies t;
+    t.sequence = Sequence::random(genome_length, rng);
+    t.concentration = concentration;
+    t.name = "organism" + std::to_string(i);
+    panel.catalog.push_back(std::move(t));
+  }
+  panel.spots = MicroarrayAssay::design_probes(panel.catalog, probe_length);
+
+  std::vector<std::size_t> order(static_cast<std::size_t>(n_organisms));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  panel.present.assign(static_cast<std::size_t>(n_organisms), false);
+  for (int k = 0; k < n_present; ++k) {
+    panel.present[order[static_cast<std::size_t>(k)]] = true;
+    panel.sample.push_back(panel.catalog[order[static_cast<std::size_t>(k)]]);
+  }
+  return panel;
+}
+
+AssayPanel snp_panel(int n_loci, std::size_t mismatches, double concentration,
+                     Rng& rng, std::size_t probe_length) {
+  require(n_loci >= 1, "snp_panel: need at least one locus");
+  AssayPanel panel;
+  for (int i = 0; i < n_loci; ++i) {
+    const Sequence wild_window = Sequence::random(probe_length, rng);
+    const Sequence var_window = wild_window.with_mismatches(mismatches, rng);
+
+    TargetSpecies wild;
+    wild.sequence = wild_window;
+    wild.concentration = concentration;
+    wild.name = "locus" + std::to_string(i) + "_wt";
+    TargetSpecies variant;
+    variant.sequence = var_window;
+    variant.concentration = concentration;
+    variant.name = "locus" + std::to_string(i) + "_var";
+
+    ProbeSpot wild_spot;
+    wild_spot.probe = wild_window.reverse_complement();
+    wild_spot.name = wild.name;
+    ProbeSpot var_spot;
+    var_spot.probe = var_window.reverse_complement();
+    var_spot.name = variant.name;
+
+    const bool carries_variant = rng.bernoulli(0.5);
+    panel.catalog.push_back(wild);
+    panel.catalog.push_back(variant);
+    panel.spots.push_back(std::move(wild_spot));
+    panel.spots.push_back(std::move(var_spot));
+    panel.present.push_back(!carries_variant);
+    panel.present.push_back(carries_variant);
+    panel.sample.push_back(carries_variant ? variant : wild);
+  }
+  return panel;
+}
+
+AssayPanel expression_panel(int n_genes, double c_min, double c_max, Rng& rng,
+                            std::size_t probe_length) {
+  require(n_genes >= 1 && c_max >= c_min && c_min > 0.0,
+          "expression_panel: invalid parameters");
+  AssayPanel panel;
+  for (int i = 0; i < n_genes; ++i) {
+    TargetSpecies t;
+    t.sequence = Sequence::random(150, rng);
+    t.concentration = rng.log_uniform(c_min, c_max);
+    t.name = "gene" + std::to_string(i);
+    panel.catalog.push_back(t);
+    panel.sample.push_back(t);
+    panel.present.push_back(true);
+  }
+  panel.spots = MicroarrayAssay::design_probes(panel.catalog, probe_length);
+  return panel;
+}
+
+double PanelScore::accuracy() const {
+  const int total =
+      true_positives + false_positives + true_negatives + false_negatives;
+  if (total == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) / total;
+}
+
+PanelScore score_panel(const AssayPanel& panel,
+                       const std::vector<bool>& called_match) {
+  require(called_match.size() == panel.present.size(),
+          "score_panel: size mismatch");
+  PanelScore s;
+  for (std::size_t i = 0; i < panel.present.size(); ++i) {
+    if (panel.present[i] && called_match[i]) ++s.true_positives;
+    if (!panel.present[i] && called_match[i]) ++s.false_positives;
+    if (!panel.present[i] && !called_match[i]) ++s.true_negatives;
+    if (panel.present[i] && !called_match[i]) ++s.false_negatives;
+  }
+  return s;
+}
+
+}  // namespace biosense::dna

@@ -1,0 +1,57 @@
+// Assay panel generators: reusable, realistic workloads for examples,
+// benches and stress tests. Three archetypes the paper's application space
+// implies (diagnostics, genotyping, expression profiling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dna/assay.hpp"
+
+namespace biosense::dna {
+
+/// A generated panel: targets, designed probe spots, plus ground truth for
+/// scoring a run.
+struct AssayPanel {
+  std::vector<TargetSpecies> catalog;   // everything the panel can detect
+  std::vector<ProbeSpot> spots;         // one spot per catalog entry
+  std::vector<TargetSpecies> sample;    // what is actually in the analyte
+  std::vector<bool> present;            // per spot: should it light up?
+};
+
+/// Pathogen-identification panel: `n_organisms` random signature sequences;
+/// the sample carries `n_present` of them at `concentration`.
+AssayPanel pathogen_panel(int n_organisms, int n_present,
+                          double concentration, Rng& rng,
+                          std::size_t probe_length = 20,
+                          std::size_t genome_length = 200);
+
+/// SNP genotyping panel: for each of `n_loci` a wild-type window and a
+/// variant with `mismatches` substitutions get adjacent spots; the sample
+/// carries each locus in either wild-type or variant form at random.
+/// Spots are ordered [wt0, var0, wt1, var1, ...]; `present[i]` marks the
+/// allele actually in the sample.
+AssayPanel snp_panel(int n_loci, std::size_t mismatches, double concentration,
+                     Rng& rng, std::size_t probe_length = 20);
+
+/// Expression panel: all `n_genes` present but spanning `decades` of
+/// concentration (log-uniform); `present` is all-true, and the catalog's
+/// concentrations are the ground-truth abundances.
+AssayPanel expression_panel(int n_genes, double c_min, double c_max, Rng& rng,
+                            std::size_t probe_length = 20);
+
+/// Scores called matches against the panel's ground truth.
+struct PanelScore {
+  int true_positives = 0;
+  int false_positives = 0;
+  int true_negatives = 0;
+  int false_negatives = 0;
+
+  double accuracy() const;
+};
+
+PanelScore score_panel(const AssayPanel& panel,
+                       const std::vector<bool>& called_match);
+
+}  // namespace biosense::dna

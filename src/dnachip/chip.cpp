@@ -1,0 +1,266 @@
+#include "dnachip/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::dnachip {
+
+double gate_time_from_code(std::uint16_t code) {
+  require(code <= 15, "gate_time_from_code: code must be in [0,15]");
+  return static_cast<double>(1u << code) * 1e-3;
+}
+
+DnaChip::DnaChip(DnaChipConfig config, Rng rng)
+    : config_(config),
+      rng_(rng),
+      bandgap_(config.bandgap, rng_.fork()),
+      iref_(config.iref, bandgap_, rng_.fork()),
+      dac_generator_(config.dac, rng_.fork()),
+      dac_collector_(config.dac, rng_.fork()) {
+  require(config.rows > 0 && config.cols > 0, "DnaChip: array must be non-empty");
+  require(config.counter_bits >= 4 && config.counter_bits <= 16,
+          "DnaChip: counter bits must be in [4,16] (16-bit data words)");
+
+  converters_.reserve(static_cast<std::size_t>(sites()));
+  for (int i = 0; i < sites(); ++i) {
+    i2f::I2fConfig site = config.site;
+    // Per-site leakage spread (the comparator offset spread is drawn inside
+    // the converter itself from the forked generator).
+    site.leakage =
+        std::max(0.0, site.leakage + rng_.normal(0.0, config.site_leakage_sigma));
+    converters_.emplace_back(site, rng_.fork());
+  }
+  sensor_currents_.assign(static_cast<std::size_t>(sites()), 0.0);
+  counts_.assign(static_cast<std::size_t>(sites()), 0);
+  cal_counts_.assign(static_cast<std::size_t>(sites()), 0);
+}
+
+void DnaChip::apply_sensor_currents(std::vector<double> currents) {
+  require(currents.size() == static_cast<std::size_t>(sites()),
+          "DnaChip: need one current per site");
+  sensor_currents_ = std::move(currents);
+}
+
+double DnaChip::bandgap_voltage() const {
+  return bandgap_.settled_voltage(config_.temp_k);
+}
+
+double DnaChip::reference_current() const {
+  return iref_.current(config_.temp_k);
+}
+
+std::vector<bool> DnaChip::process(const std::vector<bool>& din) {
+  const auto cmd = decode_command(din);
+  if (!cmd) return {};  // CRC failure: chip ignores the frame
+  switch (cmd->opcode) {
+    case Opcode::kNop:
+      return {};
+    case Opcode::kSetDacGenerator:
+      v_generator_ = dac_generator_.output(cmd->payload);
+      return {};
+    case Opcode::kSetDacCollector:
+      v_collector_ = dac_collector_.output(cmd->payload);
+      return {};
+    case Opcode::kSelectSite:
+      // Site selection only matters for single-site debug readout; the
+      // full-frame path reads every counter. Stored for status.
+      selected_site_ = cmd->payload;
+      return {};
+    case Opcode::kStartConversion:
+      return run_conversion(cmd->payload);
+    case Opcode::kReadFrame:
+      return read_frame();
+    case Opcode::kAutoCalibrate:
+      return auto_calibrate();
+    case Opcode::kReadStatus:
+      return status();
+    case Opcode::kReadSite:
+      return read_site();
+  }
+  return {};
+}
+
+std::vector<bool> DnaChip::run_conversion(std::uint16_t gate_code) {
+  const double gate = gate_time_from_code(gate_code);
+  last_gate_time_ = gate;
+  const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
+  for (int i = 0; i < sites(); ++i) {
+    const auto conv = converters_[static_cast<std::size_t>(i)].measure(
+        sensor_currents_[static_cast<std::size_t>(i)], gate);
+    // Saturating counter: the host detects full-scale counts and falls
+    // back to a shorter gate (see acquire_autorange).
+    counts_[static_cast<std::size_t>(i)] = std::min(conv.count, max_count);
+  }
+  return {};
+}
+
+std::vector<bool> DnaChip::read_site() {
+  // Single-site debug readout: one counter word for the site selected via
+  // kSelectSite (payload = (row << 8) | col).
+  const int row = selected_site_ >> 8;
+  const int col = selected_site_ & 0xff;
+  if (row >= config_.rows || col >= config_.cols) return {};
+  const auto idx = static_cast<std::size_t>(row * config_.cols + col);
+  return encode_data({static_cast<std::uint16_t>(counts_[idx])});
+}
+
+std::vector<bool> DnaChip::read_frame() {
+  std::vector<std::uint16_t> words;
+  words.reserve(counts_.size());
+  for (std::uint64_t c : counts_) {
+    words.push_back(static_cast<std::uint16_t>(c));
+  }
+  return encode_data(words);
+}
+
+std::vector<bool> DnaChip::auto_calibrate() {
+  // Zero-input conversion: the chip measures every site with the sensor
+  // disconnected (only leakage integrates) and stores baseline counts.
+  const double gate = last_gate_time_ > 0.0 ? last_gate_time_ : 0.128;
+  const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
+  for (int i = 0; i < sites(); ++i) {
+    const auto conv =
+        converters_[static_cast<std::size_t>(i)].measure(0.0, gate);
+    cal_counts_[static_cast<std::size_t>(i)] = std::min(conv.count, max_count);
+  }
+  calibrated_ = true;
+  std::vector<std::uint16_t> words;
+  words.reserve(cal_counts_.size());
+  for (std::uint64_t c : cal_counts_) {
+    words.push_back(static_cast<std::uint16_t>(c));
+  }
+  return encode_data(words);
+}
+
+std::vector<bool> DnaChip::status() {
+  // Status word: bandgap voltage in mV.
+  const auto mv = static_cast<std::uint16_t>(
+      std::lround(bandgap_voltage() * 1e3));
+  return encode_data({mv, static_cast<std::uint16_t>(calibrated_ ? 1 : 0)});
+}
+
+HostInterface::HostInterface(DnaChip& chip, SerialLink link,
+                             i2f::I2fConfig nominal)
+    : chip_(&chip), link_(std::move(link)), nominal_(nominal) {}
+
+std::optional<std::vector<std::uint16_t>> HostInterface::transact(
+    const CommandFrame& cmd, bool expect_reply, std::size_t reply_words) {
+  const auto wire_in = link_.transfer(encode_command(cmd));
+  const auto dout = chip_->process(wire_in);
+  if (!expect_reply) return std::vector<std::uint16_t>{};
+  if (dout.empty()) return std::nullopt;
+  const auto wire_out = link_.transfer(dout);
+  auto words = decode_data(wire_out);
+  if (!words || words->size() != reply_words) return std::nullopt;
+  return words;
+}
+
+void HostInterface::set_electrode_potentials(double v_generator,
+                                             double v_collector) {
+  circuit::ResistorStringDac ideal({}, Rng(1));  // ideal transfer for codes
+  transact({Opcode::kSetDacGenerator, static_cast<std::uint16_t>(
+                                          ideal.code_for(v_generator))},
+           false, 0);
+  transact({Opcode::kSetDacCollector, static_cast<std::uint16_t>(
+                                          ideal.code_for(v_collector))},
+           false, 0);
+}
+
+bool HostInterface::auto_calibrate(std::uint16_t gate_code) {
+  transact({Opcode::kStartConversion, gate_code}, false, 0);
+  const auto words = transact({Opcode::kAutoCalibrate, 0}, true,
+                              static_cast<std::size_t>(chip_->sites()));
+  if (!words) return false;
+  const double gate = gate_time_from_code(gate_code);
+  cal_baseline_hz_.assign(words->size(), 0.0);
+  for (std::size_t i = 0; i < words->size(); ++i) {
+    cal_baseline_hz_[i] = static_cast<double>((*words)[i]) / gate;
+  }
+  return true;
+}
+
+double HostInterface::current_from_frequency(double freq) const {
+  // Inverse of f = I/(C dV) / (1 + t_dead * I/(C dV)):
+  // I = C dV * f / (1 - f t_dead), using nominal design values as the host
+  // software would.
+  const double cq = nominal_.c_int * (nominal_.v_threshold - nominal_.v_reset);
+  const double t_dead = nominal_.comparator_delay + nominal_.delay_stage +
+                        nominal_.reset_width;
+  const double denom = 1.0 - freq * t_dead;
+  if (denom <= 1e-9) return cq * freq / 1e-9;
+  return cq * freq / denom;
+}
+
+HostInterface::Frame HostInterface::acquire(std::uint16_t gate_code) {
+  Frame frame;
+  frame.gate_time = gate_time_from_code(gate_code);
+  const std::uint64_t before = link_.bits_transferred();
+
+  transact({Opcode::kStartConversion, gate_code}, false, 0);
+  const auto words = transact({Opcode::kReadFrame, 0}, true,
+                              static_cast<std::size_t>(chip_->sites()));
+  if (!words) {
+    frame.crc_ok = false;
+    frame.serial_bits = link_.bits_transferred() - before;
+    return frame;
+  }
+  frame.raw_counts.assign(words->begin(), words->end());
+  frame.currents.resize(words->size());
+  for (std::size_t i = 0; i < words->size(); ++i) {
+    double hz = static_cast<double>((*words)[i]) / frame.gate_time;
+    if (i < cal_baseline_hz_.size()) {
+      hz = std::max(0.0, hz - cal_baseline_hz_[i]);
+    }
+    frame.currents[i] = current_from_frequency(hz);
+  }
+  frame.serial_bits = link_.bits_transferred() - before;
+  return frame;
+}
+
+double HostInterface::acquire_site(int row, int col,
+                                   std::uint16_t gate_code) {
+  const auto payload = static_cast<std::uint16_t>((row << 8) | (col & 0xff));
+  transact({Opcode::kSelectSite, payload}, false, 0);
+  transact({Opcode::kStartConversion, gate_code}, false, 0);
+  const auto words = transact({Opcode::kReadSite, 0}, true, 1);
+  if (!words) return -1.0;
+  const double gate = gate_time_from_code(gate_code);
+  double hz = static_cast<double>((*words)[0]) / gate;
+  const auto idx = static_cast<std::size_t>(row * chip_->cols() + col);
+  if (idx < cal_baseline_hz_.size()) {
+    hz = std::max(0.0, hz - cal_baseline_hz_[idx]);
+  }
+  return current_from_frequency(hz);
+}
+
+HostInterface::Frame HostInterface::acquire_autorange() {
+  // Gate ladder: 2 ms, 128 ms, 8.192 s. Keep the longest non-saturated
+  // measurement per site (saturation = counter near full scale).
+  const std::uint16_t codes[] = {1, 7, 13};
+  Frame combined;
+  std::vector<double> best_gate;
+  std::uint64_t bits = 0;
+  for (std::uint16_t code : codes) {
+    Frame f = acquire(code);
+    bits += f.serial_bits;
+    if (!f.crc_ok) continue;
+    if (combined.raw_counts.empty()) {
+      combined = f;
+      best_gate.assign(f.raw_counts.size(), f.gate_time);
+      continue;
+    }
+    for (std::size_t i = 0; i < f.raw_counts.size(); ++i) {
+      if (f.raw_counts[i] < 0xfff0) {  // not saturated at this longer gate
+        combined.raw_counts[i] = f.raw_counts[i];
+        combined.currents[i] = f.currents[i];
+        best_gate[i] = f.gate_time;
+      }
+    }
+  }
+  combined.serial_bits = bits;
+  return combined;
+}
+
+}  // namespace biosense::dnachip

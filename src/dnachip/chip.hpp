@@ -1,0 +1,147 @@
+// The full DNA microarray chip of Fig. 4: an 8x16 array of redox-cycling
+// sensor sites with in-pixel current-to-frequency conversion, peripheral
+// circuitry (bandgap and current references, auto-calibration, two DACs
+// for the electrochemical electrode potentials) and a 6-pin serial
+// interface. Basic process per the chip photo caption: Lmin = 0.5 um,
+// tox = 15 nm, VDD = 5 V.
+//
+// `DnaChip` is the silicon: it consumes command bit streams and produces
+// response bit streams. `HostInterface` is the lab instrument driving the
+// chip through a `SerialLink`, exposing a convenient typed API and doing
+// the host-side arithmetic (count -> current inversion, calibration
+// subtraction).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/dac.hpp"
+#include "circuit/references.hpp"
+#include "common/rng.hpp"
+#include "dnachip/serial.hpp"
+#include "i2f/counter.hpp"
+#include "i2f/sawtooth.hpp"
+
+namespace biosense::dnachip {
+
+struct DnaChipConfig {
+  int rows = 16;
+  int cols = 8;
+  i2f::I2fConfig site{};         // nominal converter sizing
+  int counter_bits = 16;
+  double site_leakage_sigma = 10e-15;  // per-site leakage spread, A
+  circuit::DacParams dac{};
+  circuit::BandgapParams bandgap{};
+  circuit::CurrentReferenceParams iref{};
+  double temp_k = 300.0;
+  double vdd = 5.0;
+};
+
+/// Chip-side model. All analog non-idealities (per-site comparator offsets,
+/// leakage spread, DAC INL, bandgap trim error) are frozen at construction
+/// from the seed, like a fabricated die.
+class DnaChip {
+ public:
+  DnaChip(DnaChipConfig config, Rng rng);
+
+  int rows() const { return config_.rows; }
+  int cols() const { return config_.cols; }
+  int sites() const { return config_.rows * config_.cols; }
+
+  /// Applies per-site sensor currents (row-major, A). These persist until
+  /// changed — they model the electrochemistry happening on the surface.
+  void apply_sensor_currents(std::vector<double> currents);
+
+  /// Processes one command arriving over DIN; returns the DOUT response
+  /// bit stream (empty for commands without a reply).
+  std::vector<bool> process(const std::vector<bool>& din);
+
+  // --- observability for tests (not part of the 6-pin interface) ---------
+  double generator_potential() const { return v_generator_; }
+  double collector_potential() const { return v_collector_; }
+  double bandgap_voltage() const;
+  double reference_current() const;
+  const std::vector<std::uint64_t>& last_counts() const { return counts_; }
+
+ private:
+  std::vector<bool> run_conversion(std::uint16_t gate_code);
+  std::vector<bool> read_frame();
+  std::vector<bool> read_site();
+  std::vector<bool> auto_calibrate();
+  std::vector<bool> status();
+
+  DnaChipConfig config_;
+  Rng rng_;
+  std::uint16_t selected_site_ = 0;
+  std::vector<i2f::SawtoothConverter> converters_;
+  std::vector<double> sensor_currents_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> cal_counts_;
+  circuit::BandgapReference bandgap_;
+  circuit::CurrentReference iref_;
+  circuit::ResistorStringDac dac_generator_;
+  circuit::ResistorStringDac dac_collector_;
+  double v_generator_ = 0.0;
+  double v_collector_ = 0.0;
+  double last_gate_time_ = 0.0;
+  bool calibrated_ = false;
+};
+
+/// Gate time encoding used by kStartConversion: gate = 2^code milliseconds.
+double gate_time_from_code(std::uint16_t code);
+
+/// Host-side driver: encodes commands, moves bits over the link, decodes
+/// and post-processes replies.
+class HostInterface {
+ public:
+  /// `nominal` is the datasheet converter sizing the host software uses for
+  /// the count -> current inversion (the real per-site parameters are
+  /// unknown to the host, exactly as in the lab).
+  HostInterface(DnaChip& chip, SerialLink link, i2f::I2fConfig nominal = {});
+
+  /// Sets both electrode potentials (best DAC codes for the targets).
+  void set_electrode_potentials(double v_generator, double v_collector);
+
+  /// Runs the chip's zero-input auto-calibration; stores per-site baseline
+  /// counts host-side as well.
+  bool auto_calibrate(std::uint16_t gate_code = 7);
+
+  struct Frame {
+    std::vector<std::uint64_t> raw_counts;     // per site, row-major
+    std::vector<double> currents;              // reconstructed, A
+    double gate_time = 0.0;                    // s
+    std::uint64_t serial_bits = 0;             // bits moved for this frame
+    bool crc_ok = true;
+  };
+
+  /// One conversion + full-array readout at the given gate code.
+  Frame acquire(std::uint16_t gate_code);
+
+  /// Debug path: converts and reads a single site (row, col); returns the
+  /// reconstructed current, or a negative value if the transaction failed.
+  double acquire_site(int row, int col, std::uint16_t gate_code);
+
+  /// Multi-gate acquisition covering the full 1 pA .. 100 nA dynamic range:
+  /// runs short and long gates and keeps, per site, the longest gate whose
+  /// counter did not overflow.
+  Frame acquire_autorange();
+
+  /// Inverse of the nominal converter transfer: frequency -> current.
+  double current_from_frequency(double freq) const;
+
+  std::uint64_t total_bits_transferred() const {
+    return link_.bits_transferred();
+  }
+
+ private:
+  std::optional<std::vector<std::uint16_t>> transact(
+      const CommandFrame& cmd, bool expect_reply, std::size_t reply_words);
+
+  DnaChip* chip_;
+  SerialLink link_;
+  i2f::I2fConfig nominal_;
+  std::vector<double> cal_baseline_hz_;
+};
+
+}  // namespace biosense::dnachip

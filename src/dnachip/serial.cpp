@@ -1,0 +1,108 @@
+#include "dnachip/serial.hpp"
+
+#include "common/error.hpp"
+
+namespace biosense::dnachip {
+
+namespace {
+
+void append_byte(std::vector<bool>& bits, std::uint8_t byte) {
+  for (int b = 7; b >= 0; --b) bits.push_back((byte >> b) & 1);
+}
+
+std::uint8_t read_byte(const std::vector<bool>& bits, std::size_t offset) {
+  std::uint8_t v = 0;
+  for (int b = 0; b < 8; ++b) {
+    v = static_cast<std::uint8_t>((v << 1) | (bits[offset + static_cast<std::size_t>(b)] ? 1 : 0));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& bytes) {
+  std::uint8_t crc = 0x00;
+  for (std::uint8_t byte : bytes) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
+                         : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::vector<bool> encode_command(const CommandFrame& cmd) {
+  const std::uint8_t op = static_cast<std::uint8_t>(cmd.opcode);
+  const std::uint8_t hi = static_cast<std::uint8_t>(cmd.payload >> 8);
+  const std::uint8_t lo = static_cast<std::uint8_t>(cmd.payload & 0xff);
+  const std::uint8_t crc = crc8({op, hi, lo});
+  std::vector<bool> bits;
+  bits.reserve(32);
+  append_byte(bits, op);
+  append_byte(bits, hi);
+  append_byte(bits, lo);
+  append_byte(bits, crc);
+  return bits;
+}
+
+std::optional<CommandFrame> decode_command(const std::vector<bool>& bits) {
+  if (bits.size() != 32) return std::nullopt;
+  const std::uint8_t op = read_byte(bits, 0);
+  const std::uint8_t hi = read_byte(bits, 8);
+  const std::uint8_t lo = read_byte(bits, 16);
+  const std::uint8_t crc = read_byte(bits, 24);
+  if (crc8({op, hi, lo}) != crc) return std::nullopt;
+  if (op > static_cast<std::uint8_t>(Opcode::kReadSite)) return std::nullopt;
+  CommandFrame cmd;
+  cmd.opcode = static_cast<Opcode>(op);
+  cmd.payload = static_cast<std::uint16_t>((hi << 8) | lo);
+  return cmd;
+}
+
+std::vector<bool> encode_data(const std::vector<std::uint16_t>& words) {
+  std::vector<bool> bits;
+  bits.reserve(words.size() * 24);
+  for (std::uint16_t w : words) {
+    const std::uint8_t hi = static_cast<std::uint8_t>(w >> 8);
+    const std::uint8_t lo = static_cast<std::uint8_t>(w & 0xff);
+    append_byte(bits, hi);
+    append_byte(bits, lo);
+    append_byte(bits, crc8({hi, lo}));
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint16_t>> decode_data(
+    const std::vector<bool>& bits) {
+  if (bits.size() % 24 != 0) return std::nullopt;
+  std::vector<std::uint16_t> words;
+  words.reserve(bits.size() / 24);
+  for (std::size_t i = 0; i < bits.size(); i += 24) {
+    const std::uint8_t hi = read_byte(bits, i);
+    const std::uint8_t lo = read_byte(bits, i + 8);
+    const std::uint8_t crc = read_byte(bits, i + 16);
+    if (crc8({hi, lo}) != crc) return std::nullopt;
+    words.push_back(static_cast<std::uint16_t>((hi << 8) | lo));
+  }
+  return words;
+}
+
+SerialLink::SerialLink(double bit_error_rate, Rng rng)
+    : ber_(bit_error_rate), rng_(rng) {
+  require(bit_error_rate >= 0.0 && bit_error_rate < 1.0,
+          "SerialLink: BER must be in [0,1)");
+}
+
+std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
+  std::vector<bool> out = bits;
+  if (ber_ > 0.0) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (rng_.bernoulli(ber_)) out[i] = !out[i];
+    }
+  }
+  bits_transferred_ += out.size();
+  return out;
+}
+
+}  // namespace biosense::dnachip

@@ -1,0 +1,75 @@
+// 6-pin serial digital interface of the DNA microarray chip (Fig. 4).
+//
+// The packaged chip exposes only power supply and a serial link:
+// VDD, GND, CS (chip select), SCLK, DIN (commands), DOUT (data). Commands
+// are fixed-length frames — 8-bit opcode, 16-bit payload, 8-bit CRC —
+// shifted MSB first while CS is low; conversion results stream out of DOUT
+// as CRC-protected data frames. The bit transport model supports an
+// injectable bit-error rate so tests can verify that the CRC actually
+// rejects corrupted frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace biosense::dnachip {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0x00,
+  kSetDacGenerator = 0x01,  // payload: DAC code for generator electrode
+  kSetDacCollector = 0x02,  // payload: DAC code for collector electrode
+  kSelectSite = 0x03,       // payload: (row << 8) | col
+  kStartConversion = 0x04,  // payload: gate-time code (2^code * 1 ms)
+  kReadFrame = 0x05,        // payload: unused
+  kAutoCalibrate = 0x06,    // payload: unused
+  kReadStatus = 0x07,       // payload: unused
+  kReadSite = 0x08,         // payload: unused; reads the selected site only
+};
+
+struct CommandFrame {
+  Opcode opcode = Opcode::kNop;
+  std::uint16_t payload = 0;
+};
+
+/// CRC-8 (polynomial 0x07, init 0x00) over a byte sequence.
+std::uint8_t crc8(const std::vector<std::uint8_t>& bytes);
+
+/// Encodes a command frame into its 32-bit wire representation
+/// (opcode | payload | crc), MSB first.
+std::vector<bool> encode_command(const CommandFrame& cmd);
+
+/// Decodes a 32-bit command off the wire; nullopt if the CRC fails.
+std::optional<CommandFrame> decode_command(const std::vector<bool>& bits);
+
+/// Encodes a data word stream into CRC-protected data frames: each frame is
+/// a 16-bit word + 8-bit CRC.
+std::vector<bool> encode_data(const std::vector<std::uint16_t>& words);
+
+/// Decodes data frames; nullopt if any frame's CRC fails.
+std::optional<std::vector<std::uint16_t>> decode_data(
+    const std::vector<bool>& bits);
+
+/// Bit transport with optional random bit flips (error injection).
+class SerialLink {
+ public:
+  SerialLink(double bit_error_rate, Rng rng);
+
+  /// Transfers a bit stream across the link, possibly flipping bits.
+  std::vector<bool> transfer(const std::vector<bool>& bits);
+
+  /// Bits transferred so far (both directions) — used by the timing budget
+  /// bench to compute readout time at a given SCLK.
+  std::uint64_t bits_transferred() const { return bits_transferred_; }
+
+  double bit_error_rate() const { return ber_; }
+
+ private:
+  double ber_;
+  Rng rng_;
+  std::uint64_t bits_transferred_ = 0;
+};
+
+}  // namespace biosense::dnachip

@@ -1,0 +1,113 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biosense::dsp {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_core(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  require(is_pow2(n), "fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * constants::kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = a[i + k];
+        const auto v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data) { fft_core(data, false); }
+void ifft(std::vector<std::complex<double>>& data) { fft_core(data, true); }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+PsdEstimate welch_psd(std::span<const double> signal, double fs,
+                      std::size_t segment) {
+  require(is_pow2(segment), "welch_psd: segment must be a power of two");
+  require(signal.size() >= segment, "welch_psd: signal shorter than segment");
+  require(fs > 0.0, "welch_psd: fs must be positive");
+
+  // Hann window and its power normalization.
+  std::vector<double> window(segment);
+  double win_power = 0.0;
+  for (std::size_t i = 0; i < segment; ++i) {
+    window[i] = 0.5 * (1.0 - std::cos(2.0 * constants::kPi *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(segment - 1)));
+    win_power += window[i] * window[i];
+  }
+
+  const std::size_t hop = segment / 2;
+  const std::size_t n_segments = (signal.size() - segment) / hop + 1;
+
+  std::vector<double> acc(segment / 2 + 1, 0.0);
+  std::vector<std::complex<double>> buf(segment);
+  for (std::size_t s = 0; s < n_segments; ++s) {
+    const std::size_t off = s * hop;
+    for (std::size_t i = 0; i < segment; ++i) {
+      buf[i] = signal[off + i] * window[i];
+    }
+    fft(buf);
+    for (std::size_t k = 0; k <= segment / 2; ++k) {
+      acc[k] += std::norm(buf[k]);
+    }
+  }
+
+  PsdEstimate est;
+  est.freq.resize(acc.size());
+  est.psd.resize(acc.size());
+  const double scale = 1.0 / (fs * win_power * static_cast<double>(n_segments));
+  for (std::size_t k = 0; k < acc.size(); ++k) {
+    est.freq[k] = static_cast<double>(k) * fs / static_cast<double>(segment);
+    // One-sided: double everything except DC and Nyquist.
+    const bool interior = k != 0 && k != segment / 2;
+    est.psd[k] = acc[k] * scale * (interior ? 2.0 : 1.0);
+  }
+  return est;
+}
+
+double band_rms(const PsdEstimate& est, double f_lo, double f_hi) {
+  double var = 0.0;
+  for (std::size_t k = 1; k < est.freq.size(); ++k) {
+    const double f0 = est.freq[k - 1];
+    const double f1 = est.freq[k];
+    if (f1 < f_lo || f0 > f_hi) continue;
+    var += 0.5 * (est.psd[k - 1] + est.psd[k]) * (f1 - f0);
+  }
+  return std::sqrt(var);
+}
+
+}  // namespace biosense::dsp

@@ -1,0 +1,36 @@
+// Radix-2 FFT and Welch power spectral density estimation.
+//
+// Used to validate the synthesized noise sources against their analytic
+// PSDs and to measure recorded-signal spectra in the benches.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace biosense::dsp {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of 2.
+void fft(std::vector<std::complex<double>>& data);
+
+/// Inverse FFT (normalized by 1/N).
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Next power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+struct PsdEstimate {
+  std::vector<double> freq;  // Hz
+  std::vector<double> psd;   // units^2/Hz, one-sided
+};
+
+/// Welch PSD estimate with Hann windows and 50% overlap. `fs` is the
+/// sampling rate; `segment` must be a power of two <= signal length.
+PsdEstimate welch_psd(std::span<const double> signal, double fs,
+                      std::size_t segment = 1024);
+
+/// Integrates a one-sided PSD between two frequencies (trapezoidal);
+/// returns RMS.
+double band_rms(const PsdEstimate& est, double f_lo, double f_hi);
+
+}  // namespace biosense::dsp

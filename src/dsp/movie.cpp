@@ -1,0 +1,84 @@
+#include "dsp/movie.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace biosense::dsp {
+
+FrameStack::FrameStack(std::vector<neurochip::NeuroFrame> frames)
+    : frames_(std::move(frames)) {
+  require(!frames_.empty(), "FrameStack: need at least one frame");
+  rows_ = frames_.front().rows;
+  cols_ = frames_.front().cols;
+  for (const auto& f : frames_) {
+    require(f.rows == rows_ && f.cols == cols_,
+            "FrameStack: inconsistent frame geometry");
+  }
+}
+
+double FrameStack::frame_rate() const {
+  if (frames_.size() < 2) return 0.0;
+  const double dt = frames_[1].t - frames_[0].t;
+  return dt > 0.0 ? 1.0 / dt : 0.0;
+}
+
+std::vector<double> FrameStack::pixel_trace(int r, int c) const {
+  require(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+          "FrameStack: pixel out of range");
+  std::vector<double> out;
+  out.reserve(frames_.size());
+  for (const auto& f : frames_) out.push_back(f.at(r, c));
+  return out;
+}
+
+std::vector<double> FrameStack::temporal_mean() const {
+  const std::size_t n = static_cast<std::size_t>(rows_ * cols_);
+  std::vector<double> mean(n, 0.0);
+  for (const auto& f : frames_) {
+    for (std::size_t i = 0; i < n; ++i) mean[i] += f.v_in[i];
+  }
+  for (auto& m : mean) m /= static_cast<double>(frames_.size());
+  return mean;
+}
+
+std::vector<double> FrameStack::temporal_stddev() const {
+  const std::size_t n = static_cast<std::size_t>(rows_ * cols_);
+  const auto mean = temporal_mean();
+  std::vector<double> var(n, 0.0);
+  for (const auto& f : frames_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = f.v_in[i] - mean[i];
+      var[i] += d * d;
+    }
+  }
+  for (auto& v : var) {
+    v = std::sqrt(v / static_cast<double>(frames_.size()));
+  }
+  return var;
+}
+
+std::vector<double> FrameStack::pixel_trace_ac(int r, int c) const {
+  auto trace = pixel_trace(r, c);
+  double mean = 0.0;
+  for (double v : trace) mean += v;
+  mean /= static_cast<double>(trace.size());
+  for (auto& v : trace) v -= mean;
+  return trace;
+}
+
+std::vector<std::size_t> FrameStack::most_active(std::size_t k) const {
+  const auto sd = temporal_stddev();
+  std::vector<std::size_t> idx(sd.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const std::size_t kk = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(kk),
+                    idx.end(),
+                    [&](std::size_t a, std::size_t b) { return sd[a] > sd[b]; });
+  idx.resize(kk);
+  return idx;
+}
+
+}  // namespace biosense::dsp

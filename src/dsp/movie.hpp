@@ -1,0 +1,46 @@
+// Frame-stack (movie) utilities for array recordings: per-pixel traces,
+// temporal background subtraction and activity maps. The off-chip software
+// layer every array recording system ships with.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "neurochip/array.hpp"
+
+namespace biosense::dsp {
+
+class FrameStack {
+ public:
+  explicit FrameStack(std::vector<neurochip::NeuroFrame> frames);
+
+  std::size_t size() const { return frames_.size(); }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double frame_rate() const;
+
+  /// Temporal trace of one pixel across all frames.
+  std::vector<double> pixel_trace(int r, int c) const;
+
+  /// Per-pixel temporal mean (the fixed-pattern/background image).
+  std::vector<double> temporal_mean() const;
+
+  /// Per-pixel temporal standard deviation — the activity map (active
+  /// pixels fluctuate, quiet ones show only noise).
+  std::vector<double> temporal_stddev() const;
+
+  /// Background-subtracted trace: pixel trace minus its temporal mean.
+  std::vector<double> pixel_trace_ac(int r, int c) const;
+
+  /// Indices (row-major) of the `k` most active pixels by temporal stddev.
+  std::vector<std::size_t> most_active(std::size_t k) const;
+
+  const neurochip::NeuroFrame& frame(std::size_t i) const { return frames_[i]; }
+
+ private:
+  std::vector<neurochip::NeuroFrame> frames_;
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+}  // namespace biosense::dsp

@@ -1,0 +1,170 @@
+#include "dsp/sorting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace biosense::dsp {
+
+std::vector<Snippet> extract_snippets(std::span<const double> trace,
+                                      const std::vector<DetectedSpike>& spikes,
+                                      std::size_t pre, std::size_t post) {
+  std::vector<Snippet> out;
+  out.reserve(spikes.size());
+  for (std::size_t k = 0; k < spikes.size(); ++k) {
+    const std::size_t c = spikes[k].sample;
+    if (c < pre || c + post >= trace.size()) continue;
+    Snippet s;
+    s.spike_index = k;
+    s.samples.assign(trace.begin() + static_cast<long>(c - pre),
+                     trace.begin() + static_cast<long>(c + post + 1));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<double> snippet_features(const Snippet& s) {
+  require(!s.samples.empty(), "snippet_features: empty snippet");
+  double mn = s.samples[0], mx = s.samples[0];
+  std::size_t i_mn = 0, i_mx = 0;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < s.samples.size(); ++i) {
+    if (s.samples[i] < mn) {
+      mn = s.samples[i];
+      i_mn = i;
+    }
+    if (s.samples[i] > mx) {
+      mx = s.samples[i];
+      i_mx = i;
+    }
+    energy += s.samples[i] * s.samples[i];
+  }
+  const double width = static_cast<double>(
+      i_mx > i_mn ? i_mx - i_mn : i_mn - i_mx);
+  return {mn, mx, width, std::sqrt(energy)};
+}
+
+namespace {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i] - b[i];
+    d += x * x;
+  }
+  return d;
+}
+
+}  // namespace
+
+SortResult sort_spikes(const std::vector<Snippet>& snippets, int k,
+                       int iterations) {
+  require(k >= 1, "sort_spikes: need k >= 1");
+  SortResult result;
+  result.clusters = k;
+  if (snippets.empty()) return result;
+
+  // Features, normalized per dimension to zero mean / unit spread so the
+  // width feature (samples) doesn't drown the amplitude features (volts).
+  std::vector<std::vector<double>> feats;
+  feats.reserve(snippets.size());
+  for (const auto& s : snippets) feats.push_back(snippet_features(s));
+  const std::size_t dims = feats[0].size();
+  for (std::size_t d = 0; d < dims; ++d) {
+    double mean = 0.0;
+    for (const auto& f : feats) mean += f[d];
+    mean /= static_cast<double>(feats.size());
+    double var = 0.0;
+    for (const auto& f : feats) var += (f[d] - mean) * (f[d] - mean);
+    const double sd = std::sqrt(var / static_cast<double>(feats.size()));
+    for (auto& f : feats) f[d] = sd > 0.0 ? (f[d] - mean) / sd : 0.0;
+  }
+
+  // Greedy farthest-point initialization (deterministic).
+  std::vector<std::size_t> seeds{0};
+  while (static_cast<int>(seeds.size()) < k) {
+    std::size_t best = 0;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < feats.size(); ++i) {
+      double nearest = std::numeric_limits<double>::max();
+      for (std::size_t s : seeds) nearest = std::min(nearest, sq_dist(feats[i], feats[s]));
+      if (nearest > best_d) {
+        best_d = nearest;
+        best = i;
+      }
+    }
+    seeds.push_back(best);
+  }
+  result.centroids.clear();
+  for (std::size_t s : seeds) result.centroids.push_back(feats[s]);
+
+  result.labels.assign(feats.size(), 0);
+  for (int it = 0; it < iterations; ++it) {
+    // Assign.
+    for (std::size_t i = 0; i < feats.size(); ++i) {
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d = sq_dist(feats[i], result.centroids[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          result.labels[i] = c;
+        }
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(k), std::vector<double>(dims, 0.0));
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < feats.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.labels[i]);
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += feats[i][d];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / counts[c];
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    result.inertia +=
+        sq_dist(feats[i], result.centroids[static_cast<std::size_t>(result.labels[i])]);
+  }
+  return result;
+}
+
+double sorting_accuracy(const SortResult& result,
+                        const std::vector<int>& true_source) {
+  require(result.labels.size() == true_source.size(),
+          "sorting_accuracy: size mismatch");
+  if (true_source.empty()) return 0.0;
+  // Majority label per true source.
+  std::map<int, std::map<int, int>> votes;
+  for (std::size_t i = 0; i < true_source.size(); ++i) {
+    ++votes[true_source[i]][result.labels[i]];
+  }
+  std::map<int, int> majority;
+  for (const auto& [src, counts] : votes) {
+    int best_label = 0, best = -1;
+    for (const auto& [label, n] : counts) {
+      if (n > best) {
+        best = n;
+        best_label = label;
+      }
+    }
+    majority[src] = best_label;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < true_source.size(); ++i) {
+    if (result.labels[i] == majority[true_source[i]]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(true_source.size());
+}
+
+}  // namespace biosense::dsp

@@ -1,0 +1,51 @@
+// Spike sorting: assigning detected spikes to putative source neurons.
+//
+// On a high-density array (7.8 um pitch vs 10-100 um cells) one pixel can
+// see several cells; conversely one cell covers many pixels. Sorting
+// separates sources per pixel by waveform shape: snippets are cut around
+// each detection, summarized by shape features and clustered with k-means
+// (deterministic seeding), the classic first-pass pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/spikes.hpp"
+
+namespace biosense::dsp {
+
+/// Fixed-length waveform snippet around a detection.
+struct Snippet {
+  std::size_t spike_index = 0;  // which detection it belongs to
+  std::vector<double> samples;
+};
+
+/// Cuts `pre` samples before and `post` after each detection's extremum.
+/// Detections too close to the trace edges are skipped.
+std::vector<Snippet> extract_snippets(std::span<const double> trace,
+                                      const std::vector<DetectedSpike>& spikes,
+                                      std::size_t pre = 4, std::size_t post = 8);
+
+/// Shape features of one snippet: {min, max, peak-to-peak width in samples,
+/// energy}. Used as the clustering space (normalized per feature).
+std::vector<double> snippet_features(const Snippet& s);
+
+struct SortResult {
+  std::vector<int> labels;              // cluster id per snippet
+  std::vector<std::vector<double>> centroids;  // in normalized feature space
+  int clusters = 0;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+};
+
+/// K-means over snippet features. Deterministic: initial centroids are the
+/// feature vectors most distant from each other (greedy farthest-point).
+SortResult sort_spikes(const std::vector<Snippet>& snippets, int k,
+                       int iterations = 25);
+
+/// Fraction of snippets whose label matches the majority label of their
+/// ground-truth source — sorting accuracy given known provenance.
+double sorting_accuracy(const SortResult& result,
+                        const std::vector<int>& true_source);
+
+}  // namespace biosense::dsp

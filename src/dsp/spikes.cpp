@@ -1,0 +1,146 @@
+#include "dsp/spikes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/filters.hpp"
+
+namespace biosense::dsp {
+
+std::vector<double> neo(std::span<const double> x) {
+  std::vector<double> out(x.size(), 0.0);
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    out[i] = x[i] * x[i] - x[i - 1] * x[i + 1];
+  }
+  return out;
+}
+
+std::vector<DetectedSpike> detect_spikes(std::span<const double> trace,
+                                         const SpikeDetectorConfig& cfg) {
+  require(cfg.fs > 0.0, "detect_spikes: fs must be positive");
+  if (trace.size() < 8) return {};
+
+  // Band-pass (high-pass removes offsets/droop; low-pass removes
+  // out-of-band noise). Second order on purpose: higher-order filters ring
+  // long enough after each action potential to retrigger the detector.
+  const double hi = cfg.band_hi > 0.0 ? cfg.band_hi : 0.45 * cfg.fs;
+  std::vector<double> band;
+  if (cfg.band_lo > 0.0 && cfg.band_lo < hi) {
+    BiquadCascade cascade({Biquad::highpass(cfg.band_lo, cfg.fs),
+                           Biquad::lowpass(hi, cfg.fs)});
+    // Warm the filter on the first sample so the DC level does not appear
+    // as a step transient (which would fire the detector at t ~ 0).
+    for (int k = 0; k < 400; ++k) cascade.process(trace[0]);
+    band.reserve(trace.size());
+    for (double x : trace) band.push_back(cascade.process(x));
+  } else {
+    band.assign(trace.begin(), trace.end());
+  }
+
+  const std::vector<double>& detection_signal =
+      cfg.use_neo ? neo(band) : band;
+
+  const double sigma = mad_sigma(detection_signal);
+  if (sigma <= 0.0) return {};
+  const double thr = cfg.threshold_sigmas * sigma;
+
+  std::vector<DetectedSpike> spikes;
+  const auto refractory_samples =
+      static_cast<std::size_t>(cfg.refractory * cfg.fs);
+  std::size_t i = 0;
+  while (i < detection_signal.size()) {
+    if (std::abs(detection_signal[i]) < thr) {
+      ++i;
+      continue;
+    }
+    // Find the local extremum within the refractory window.
+    std::size_t peak = i;
+    double peak_val = std::abs(band[i]);
+    const std::size_t end =
+        std::min(detection_signal.size(), i + std::max<std::size_t>(refractory_samples, 1));
+    for (std::size_t j = i; j < end; ++j) {
+      if (std::abs(band[j]) > peak_val) {
+        peak_val = std::abs(band[j]);
+        peak = j;
+      }
+    }
+    DetectedSpike s;
+    // Time stamps the detection instant (first threshold crossing), which
+    // tracks the action potential onset; `sample`/`amplitude` describe the
+    // waveform extremum inside the refractory window.
+    s.sample = peak;
+    s.time = static_cast<double>(i) / cfg.fs;
+    s.amplitude = peak_val;
+    spikes.push_back(s);
+    // Re-arm only once the band signal has fallen back below threshold, so
+    // a slow biphasic tail cannot re-trigger.
+    i = end;
+    while (i < detection_signal.size() &&
+           std::abs(detection_signal[i]) >= thr) {
+      ++i;
+    }
+  }
+  return spikes;
+}
+
+double DetectionScore::precision() const {
+  const auto denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double DetectionScore::recall() const {
+  const auto denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double DetectionScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+DetectionScore score_detections(const std::vector<DetectedSpike>& detections,
+                                const std::vector<double>& truth, double tol) {
+  DetectionScore score;
+  std::vector<bool> used(truth.size(), false);
+  for (const auto& d : detections) {
+    bool matched = false;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (!used[i] && std::abs(truth[i] - d.time) <= tol) {
+        used[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++score.true_positives;
+    } else {
+      ++score.false_positives;
+    }
+  }
+  for (bool u : used) {
+    if (!u) ++score.false_negatives;
+  }
+  return score;
+}
+
+double snr_db(std::span<const double> recorded, std::span<const double> truth) {
+  require(recorded.size() == truth.size() && !recorded.empty(),
+          "snr_db: size mismatch");
+  double p_sig = 0.0;
+  double p_err = 0.0;
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    p_sig += truth[i] * truth[i];
+    const double e = recorded[i] - truth[i];
+    p_err += e * e;
+  }
+  // Clamp the degenerate cases (all-zero truth, perfect reconstruction) to
+  // finite sentinels so aggregates over many pixels stay meaningful.
+  if (p_err <= 0.0) return 300.0;
+  if (p_sig <= 0.0) return -300.0;
+  return 10.0 * std::log10(p_sig / p_err);
+}
+
+}  // namespace biosense::dsp

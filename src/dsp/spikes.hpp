@@ -1,0 +1,59 @@
+// Spike detection and recording quality metrics.
+//
+// Detection operates on a single pixel's sampled trace: band-pass, then
+// either absolute-threshold crossing at k * sigma (sigma estimated robustly
+// with the MAD) or the nonlinear energy operator (NEO), which emphasizes
+// simultaneous amplitude and frequency content of action potentials.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace biosense::dsp {
+
+struct SpikeDetectorConfig {
+  double fs = 2000.0;          // sampling rate, Hz
+  double threshold_sigmas = 4.5;
+  /// Minimum spacing between detections. Should cover the full biphasic
+  /// extracellular waveform (~8 ms) so one action potential is counted once.
+  double refractory = 8e-3;
+  bool use_neo = false;        // threshold the NEO instead of the raw trace
+  double band_lo = 100.0;      // band-pass corner, Hz (0 disables HP)
+  double band_hi = 0.0;        // 0 = fs * 0.45
+};
+
+struct DetectedSpike {
+  std::size_t sample = 0;  // index of the waveform extremum
+  double time = 0.0;       // s, detection instant (first threshold crossing)
+  double amplitude = 0.0;  // peak absolute amplitude in band, same units as input
+};
+
+/// Nonlinear energy operator: psi[n] = x[n]^2 - x[n-1] x[n+1].
+std::vector<double> neo(std::span<const double> x);
+
+/// Detects spikes in one trace. Returns detections sorted by time.
+std::vector<DetectedSpike> detect_spikes(std::span<const double> trace,
+                                         const SpikeDetectorConfig& cfg);
+
+/// Matches detections against ground-truth spike times within `tol`;
+/// returns {true positives, false positives, false negatives}.
+struct DetectionScore {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+};
+
+DetectionScore score_detections(const std::vector<DetectedSpike>& detections,
+                                const std::vector<double>& truth,
+                                double tol = 2e-3);
+
+/// Signal-to-noise ratio of a recorded trace given the ground-truth clean
+/// waveform: 10 log10( P_signal / P_error ). Both spans must be equal size.
+double snr_db(std::span<const double> recorded, std::span<const double> truth);
+
+}  // namespace biosense::dsp

@@ -1,0 +1,57 @@
+#include "i2f/counter.hpp"
+
+#include "common/error.hpp"
+
+namespace biosense::i2f {
+
+RippleCounter::RippleCounter(int bits) : bits_(bits) {
+  require(bits >= 1 && bits <= 32, "RippleCounter: bits must be in [1,32]");
+  mask_ = (1ULL << bits) - 1;
+}
+
+void RippleCounter::count(std::uint64_t pulses) {
+  value_ = (value_ + pulses) & mask_;
+}
+
+ShiftChain::ShiftChain(int bits_per_counter)
+    : bits_per_counter_(bits_per_counter) {
+  require(bits_per_counter >= 1 && bits_per_counter <= 32,
+          "ShiftChain: bits must be in [1,32]");
+}
+
+void ShiftChain::load(const std::vector<std::uint64_t>& values) {
+  bits_.clear();
+  bits_.reserve(values.size() * static_cast<std::size_t>(bits_per_counter_));
+  for (std::uint64_t v : values) {
+    for (int b = bits_per_counter_ - 1; b >= 0; --b) {
+      bits_.push_back((v >> b) & 1ULL);
+    }
+  }
+  cursor_ = 0;
+}
+
+bool ShiftChain::shift_out() {
+  require(bits_remaining(), "ShiftChain: shift past end");
+  return bits_[cursor_++];
+}
+
+std::vector<std::uint64_t> ShiftChain::decode(const std::vector<bool>& stream,
+                                              int bits_per_counter) {
+  require(bits_per_counter >= 1 && bits_per_counter <= 32,
+          "ShiftChain::decode: bits must be in [1,32]");
+  require(stream.size() % static_cast<std::size_t>(bits_per_counter) == 0,
+          "ShiftChain::decode: stream length not a multiple of word size");
+  std::vector<std::uint64_t> out;
+  out.reserve(stream.size() / static_cast<std::size_t>(bits_per_counter));
+  for (std::size_t i = 0; i < stream.size();
+       i += static_cast<std::size_t>(bits_per_counter)) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < bits_per_counter; ++b) {
+      v = (v << 1) | (stream[i + static_cast<std::size_t>(b)] ? 1ULL : 0ULL);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace biosense::i2f

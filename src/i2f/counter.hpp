@@ -1,0 +1,59 @@
+// In-pixel digital counter / shift register (Fig. 3 right-hand block).
+//
+// Each sensor site counts its reset pulses in an n-bit ripple counter
+// during the gate window; for readout the counters are chained into a
+// shift register and clocked out serially (the chip has only a 6-pin
+// digital interface). `RippleCounter` models count/overflow; `ShiftChain`
+// models the serial readout path used by the dnachip module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace biosense::i2f {
+
+class RippleCounter {
+ public:
+  explicit RippleCounter(int bits = 16);
+
+  void clock() { value_ = (value_ + 1) & mask_; }
+  void count(std::uint64_t pulses);
+  void reset() { value_ = 0; }
+
+  std::uint64_t value() const { return value_; }
+  int bits() const { return bits_; }
+  std::uint64_t max_value() const { return mask_; }
+  /// True if `pulses` events since the last reset exceeded the range.
+  static bool would_overflow(std::uint64_t pulses, int bits) {
+    return pulses > ((1ULL << bits) - 1);
+  }
+
+ private:
+  int bits_;
+  std::uint64_t mask_;
+  std::uint64_t value_ = 0;
+};
+
+/// Serial chain of counters: load parallel, shift out bit by bit, MSB first
+/// per counter, chain ordered first-counter-first.
+class ShiftChain {
+ public:
+  explicit ShiftChain(int bits_per_counter);
+
+  void load(const std::vector<std::uint64_t>& values);
+  bool bits_remaining() const { return cursor_ < bits_.size(); }
+  /// Shifts one bit out of the chain.
+  bool shift_out();
+  std::size_t total_bits() const { return bits_.size(); }
+
+  /// Reassembles counter values from a captured bit stream (receiver side).
+  static std::vector<std::uint64_t> decode(const std::vector<bool>& stream,
+                                           int bits_per_counter);
+
+ private:
+  int bits_per_counter_;
+  std::vector<bool> bits_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace biosense::i2f

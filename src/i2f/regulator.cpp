@@ -1,0 +1,46 @@
+#include "i2f/regulator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::i2f {
+
+ElectrodeRegulator::ElectrodeRegulator(RegulatorConfig config)
+    : config_(config), opamp_(config.opamp), follower_(config.follower) {
+  require(config.electrode_cap > 0.0,
+          "ElectrodeRegulator: electrode capacitance must be positive");
+  require(config.vdd > 0.0, "ElectrodeRegulator: VDD must be positive");
+}
+
+double ElectrodeRegulator::step(double v_target, double i_sensor, double dt) {
+  // Op-amp drives the follower gate; follower sources current from VDD
+  // into the electrode node; the sensor (electrochemical cell) sinks
+  // i_sensor from the node.
+  const double v_gate = opamp_.step(v_target, v_electrode_, dt);
+  const double i_follower =
+      follower_.drain_current(v_gate, config_.vdd, v_electrode_);
+  const double i_node = i_follower - i_sensor - config_.bias_sink;
+  v_electrode_ += i_node * dt / config_.electrode_cap;
+  if (v_electrode_ < 0.0) v_electrode_ = 0.0;
+  if (v_electrode_ > config_.vdd) v_electrode_ = config_.vdd;
+  return v_electrode_;
+}
+
+circuit::Trace ElectrodeRegulator::settle(double v_target, double i_sensor,
+                                          double duration, double dt) {
+  circuit::Trace trace;
+  for (double t = 0.0; t <= duration; t += dt) {
+    trace.record(t, step(v_target, i_sensor, dt));
+  }
+  return trace;
+}
+
+double ElectrodeRegulator::dc_error(double v_target, double i_sensor) {
+  // Generous settling window: the dominant time constant is the op-amp
+  // pole (up to ~1.6 ms open-loop for a 100 dB amplifier at 10 MHz GBW).
+  settle(v_target, i_sensor, 5e-3, 20e-9);
+  return std::abs(v_electrode_ - v_target);
+}
+
+}  // namespace biosense::i2f

@@ -1,0 +1,54 @@
+// Electrode potential regulation loop (left half of Fig. 3).
+//
+// The sensor electrode must sit at a precise electrochemical potential
+// (set by the periphery DAC) regardless of the sensor current it sources.
+// An op-amp compares the electrode voltage against the DAC reference and
+// drives a source-follower transistor that supplies the sensor current;
+// the loop's DC error and transient settling determine how soon after a
+// potential step the conversion is trustworthy.
+#pragma once
+
+#include "circuit/mosfet.hpp"
+#include "circuit/opamp.hpp"
+#include "circuit/trace.hpp"
+
+namespace biosense::i2f {
+
+struct RegulatorConfig {
+  circuit::OpampParams opamp{};
+  circuit::MosfetParams follower{};
+  double electrode_cap = 5e-12;  // electrode double-layer capacitance, F
+  double vdd = 5.0;
+  /// Constant sink current at the electrode node (bias network). The
+  /// follower can only source current, so without a bleed path the loop
+  /// could never correct an overshoot when the sensor draws mere pA.
+  double bias_sink = 1e-9;
+};
+
+class ElectrodeRegulator {
+ public:
+  explicit ElectrodeRegulator(RegulatorConfig config);
+
+  /// Advances the loop by dt: the electrode sinks `i_sensor` into the
+  /// electrochemical cell while the follower sources current from VDD.
+  /// Returns the electrode voltage.
+  double step(double v_target, double i_sensor, double dt);
+
+  /// Runs until the electrode settles at v_target (within tol) or timeout;
+  /// returns the recorded trace.
+  circuit::Trace settle(double v_target, double i_sensor, double duration,
+                        double dt);
+
+  /// Steady-state regulation error |v_electrode - v_target| after `settle`.
+  double dc_error(double v_target, double i_sensor);
+
+  double electrode_voltage() const { return v_electrode_; }
+
+ private:
+  RegulatorConfig config_;
+  circuit::Opamp opamp_;
+  circuit::Mosfet follower_;
+  double v_electrode_ = 0.0;
+};
+
+}  // namespace biosense::i2f

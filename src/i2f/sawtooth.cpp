@@ -1,0 +1,127 @@
+#include "i2f/sawtooth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::i2f {
+
+namespace {
+
+circuit::ComparatorParams comparator_params(const I2fConfig& c) {
+  circuit::ComparatorParams p;
+  p.threshold = c.v_threshold;
+  p.prop_delay = c.comparator_delay;
+  p.offset_sigma = c.comparator_offset_sigma;
+  p.noise_rms = c.comparator_noise_rms;
+  return p;
+}
+
+}  // namespace
+
+SawtoothConverter::SawtoothConverter(I2fConfig config, Rng rng)
+    : config_(config),
+      rng_(rng),
+      comparator_(comparator_params(config), rng_.fork()) {
+  require(config.c_int > 0.0, "I2F: C_int must be positive");
+  require(config.v_threshold > config.v_reset,
+          "I2F: threshold must exceed reset level");
+  require(config.comparator_delay >= 0.0 && config.delay_stage >= 0.0 &&
+              config.reset_width >= 0.0,
+          "I2F: delays must be non-negative");
+}
+
+double SawtoothConverter::dead_time() const {
+  return config_.comparator_delay + config_.delay_stage + config_.reset_width;
+}
+
+double SawtoothConverter::ideal_frequency(double i_sensor) const {
+  if (i_sensor <= 0.0) return 0.0;
+  const double dv = config_.v_threshold - config_.v_reset;
+  const double ramp = config_.c_int * dv / i_sensor;
+  return 1.0 / (ramp + dead_time());
+}
+
+double SawtoothConverter::compression_corner_current() const {
+  const double dv = config_.v_threshold - config_.v_reset;
+  return config_.c_int * dv / dead_time();
+}
+
+double SawtoothConverter::comparator_offset() const {
+  return comparator_.static_offset();
+}
+
+Conversion SawtoothConverter::measure(double i_sensor, double gate_time) {
+  require(gate_time > 0.0, "I2F: gate time must be positive");
+  Conversion out;
+  out.gate_time = gate_time;
+
+  // Net integration current: sensor plus leakage (leakage pulls up in this
+  // topology — it adds to the ramp; a sign flip would model it pulling
+  // down). Below the leakage floor the converter reads the leakage, which
+  // is exactly the low-end error of the real chip.
+  const double i_net = i_sensor + config_.leakage;
+  if (i_net <= 0.0) return out;
+
+  double t = 0.0;
+  double v = config_.v_reset;
+  bool first = true;
+  while (true) {
+    // Per-cycle effective threshold: static offset + per-decision noise.
+    const double vth = comparator_.decision_threshold_up();
+    const double dv = std::max(1e-6, vth - v);
+    const double ramp_time = config_.c_int * dv / i_net;
+    const double cycle = ramp_time + dead_time();
+    if (t + cycle > gate_time) break;
+    t += cycle;
+    ++out.count;
+    if (first) {
+      out.first_period = cycle;
+      first = false;
+    }
+    // Reset is slightly incomplete: the ramp restarts a little above
+    // v_reset, and the sensor keeps integrating during the dead time is
+    // already accounted for by restarting from the residual level.
+    v = config_.v_reset + config_.reset_residual_v;
+  }
+  out.mean_frequency = static_cast<double>(out.count) / gate_time;
+  return out;
+}
+
+circuit::Trace SawtoothConverter::transient_waveform(double i_sensor,
+                                                     double duration,
+                                                     double dt) {
+  require(dt > 0.0 && duration > 0.0, "I2F: invalid transient window");
+  circuit::Trace trace;
+  comparator_.reset();
+
+  const double i_net = i_sensor + config_.leakage;
+  double v = config_.v_reset;
+  double reset_left = 0.0;   // remaining reset-device on-time
+  double delay_left = -1.0;  // remaining delay-stage time (<0 = idle)
+
+  for (double t = 0.0; t <= duration; t += dt) {
+    trace.record(t, v);
+    if (reset_left > 0.0) {
+      // Reset device discharges C_int toward v_reset much faster than the
+      // ramp; modeled as an exponential with tau = reset_width/5.
+      const double tau = config_.reset_width / 5.0;
+      v = config_.v_reset + config_.reset_residual_v +
+          (v - config_.v_reset - config_.reset_residual_v) *
+              std::exp(-dt / tau);
+      reset_left -= dt;
+      continue;
+    }
+    v += i_net * dt / config_.c_int;
+    if (delay_left >= 0.0) {
+      delay_left -= dt;
+      if (delay_left < 0.0) reset_left = config_.reset_width;
+      continue;
+    }
+    if (comparator_.step(v, dt)) delay_left = config_.delay_stage;
+  }
+  return trace;
+}
+
+}  // namespace biosense::i2f

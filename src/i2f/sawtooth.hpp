@@ -1,0 +1,81 @@
+// In-sensor-site A/D conversion by current-to-frequency conversion (Fig. 3).
+//
+// The sensor electrode is held at its electrochemical potential by a
+// regulation loop (op-amp + source follower); the sensor current is
+// mirrored onto an integrating capacitor C_int. When the ramp reaches the
+// comparator's switching threshold, a reset pulse (comparator propagation
+// delay + delay stage + reset device on-time) discharges C_int and the
+// cycle repeats; a digital counter counts reset pulses within a gate time.
+//
+//   period  T(I) = C_int * dV / I + t_dead,   t_dead = t_cmp + t_delay + t_rst
+//   f(I) = 1/T  ~  I / (C_int * dV)  for  I << C_int*dV/t_dead
+//
+// Two simulation modes:
+//  * `measure()` — exact event-driven simulation: ramp segments are solved
+//    analytically so a 1 pA input (period ~ 2 min with the default sizing)
+//    costs the same CPU as a 100 nA input. Per-cycle comparator noise,
+//    electrode leakage and reset residual are included.
+//  * `transient_waveform()` — fixed-step simulation using the behavioral
+//    comparator, for waveform inspection (the Fig. 3 sawtooth).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/comparator.hpp"
+#include "circuit/trace.hpp"
+#include "common/rng.hpp"
+
+namespace biosense::i2f {
+
+struct I2fConfig {
+  double c_int = 140e-15;       // integrating capacitance, F
+  double v_reset = 0.3;         // ramp start voltage, V
+  double v_threshold = 1.0;     // comparator switching threshold, V
+  double comparator_delay = 25e-9;   // t_cmp, s
+  double delay_stage = 50e-9;        // t_delay, s
+  double reset_width = 100e-9;       // reset device on-time, s
+  double comparator_noise_rms = 300e-6;  // per-decision threshold noise, V
+  double comparator_offset_sigma = 2e-3; // static offset spread, V
+  double leakage = 20e-15;      // parasitic electrode/reset leakage, A
+  double reset_residual_v = 1e-3;  // incomplete discharge above v_reset, V
+};
+
+/// Result of one gated conversion.
+struct Conversion {
+  std::uint64_t count = 0;     // reset pulses within the gate time
+  double gate_time = 0.0;      // s
+  double mean_frequency = 0.0; // count / gate_time, Hz
+  double first_period = 0.0;   // s (0 if no complete cycle)
+};
+
+class SawtoothConverter {
+ public:
+  SawtoothConverter(I2fConfig config, Rng rng);
+
+  /// Ideal conversion frequency for a sensor current (no noise, no offset).
+  double ideal_frequency(double i_sensor) const;
+
+  /// Dead time per cycle (comparator + delay stage + reset).
+  double dead_time() const;
+
+  /// Current at which the dead time equals the ramp time — the upper corner
+  /// of the converter's linear range.
+  double compression_corner_current() const;
+
+  /// Event-driven conversion of a constant sensor current over `gate_time`.
+  Conversion measure(double i_sensor, double gate_time);
+
+  /// Fixed-step transient producing the integrator-node waveform.
+  circuit::Trace transient_waveform(double i_sensor, double duration,
+                                    double dt);
+
+  const I2fConfig& config() const { return config_; }
+  double comparator_offset() const;
+
+ private:
+  I2fConfig config_;
+  Rng rng_;
+  circuit::Comparator comparator_;
+};
+
+}  // namespace biosense::i2f

@@ -1,0 +1,81 @@
+// Hodgkin-Huxley membrane model.
+//
+// The neural recording chip (Section 3) measures extracellular signatures
+// of action potentials: "temporal peaks of the intracellular voltage, which
+// are associated with ion currents through the cell membrane". To simulate
+// what the chip sees we need those ion currents, not just spike times —
+// so the electrogenic substrate is the classic Hodgkin-Huxley model
+// (squid-axon parameters, the standard reference kinetics), integrated
+// with exponential-Euler gating for stability.
+//
+// Internal units follow the HH convention (mV, ms, mS/cm^2, uA/cm^2);
+// accessors convert to SI.
+#pragma once
+
+#include <vector>
+
+namespace biosense::neuro {
+
+struct HhParams {
+  double c_m = 1.0;       // membrane capacitance, uF/cm^2
+  double g_na = 120.0;    // peak Na conductance, mS/cm^2
+  double g_k = 36.0;      // peak K conductance, mS/cm^2
+  double g_l = 0.3;       // leak conductance, mS/cm^2
+  double e_na = 50.0;     // Na reversal, mV
+  double e_k = -77.0;     // K reversal, mV
+  double e_l = -54.387;   // leak reversal, mV
+  double v_rest = -65.0;  // initial membrane voltage, mV
+};
+
+/// Per-step breakdown of membrane current densities (A/m^2, SI) — what the
+/// junction model consumes.
+struct MembraneCurrents {
+  double capacitive = 0.0;  // c_m dV/dt
+  double sodium = 0.0;
+  double potassium = 0.0;
+  double leak = 0.0;
+  double total() const { return capacitive + sodium + potassium + leak; }
+};
+
+class HodgkinHuxley {
+ public:
+  explicit HodgkinHuxley(HhParams params = {});
+
+  /// Advances the model by dt seconds with external stimulus current
+  /// density `i_stim` (A/m^2, positive = depolarizing).
+  void step(double i_stim_si, double dt_s);
+
+  /// Membrane potential, volts.
+  double v_m() const { return v_ * 1e-3; }
+
+  /// Ionic + capacitive current densities of the last step, A/m^2.
+  const MembraneCurrents& currents() const { return currents_; }
+
+  /// True while the membrane is above the spike detection level (0 mV).
+  bool spiking() const { return v_ > 0.0; }
+
+  double gate_m() const { return m_; }
+  double gate_h() const { return h_; }
+  double gate_n() const { return n_; }
+
+  /// Instantaneously shifts the membrane potential by `dv` volts (models a
+  /// capacitively coupled fast charge injection, e.g. chip stimulation).
+  void add_voltage(double dv) { v_ += dv * 1e3; }
+
+  /// Resets to resting state.
+  void reset();
+
+  /// Convenience: simulates `duration` at `dt` with a current pulse of
+  /// density `i_stim` applied during [t_on, t_off); returns the membrane
+  /// voltage trace (V) sampled every step.
+  std::vector<double> run_pulse(double i_stim_si, double t_on, double t_off,
+                                double duration, double dt);
+
+ private:
+  HhParams params_;
+  double v_;  // mV
+  double m_, h_, n_;
+  MembraneCurrents currents_;
+};
+
+}  // namespace biosense::neuro

@@ -1,0 +1,71 @@
+#include "neuro/junction.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biosense::neuro {
+
+PointContactJunction::PointContactJunction(JunctionParams params)
+    : params_(params) {
+  require(params.cleft_height > 0.0, "Junction: cleft height must be positive");
+  require(params.electrolyte_rho > 0.0, "Junction: resistivity must be positive");
+  require(params.neuron_diameter > 0.0, "Junction: diameter must be positive");
+  require(params.contact_fraction > 0.0 && params.contact_fraction <= 1.0,
+          "Junction: contact fraction must be in (0,1]");
+  require(params.dielectric_cap_per_area > 0.0 &&
+              params.transistor_input_cap > 0.0,
+          "Junction: capacitances must be positive");
+}
+
+double PointContactJunction::seal_resistance() const {
+  // Fromherz point-contact estimate for a circular junction: the sheet
+  // resistance of the cleft r_sheet = rho / h integrated over the disk
+  // gives R_seal = r_sheet / (5 pi) (the factor 5 pi from averaging the
+  // distributed current injection over the disk).
+  return params_.electrolyte_rho / params_.cleft_height /
+         (5.0 * constants::kPi);
+}
+
+double PointContactJunction::junction_area() const {
+  const double r = 0.5 * params_.neuron_diameter;
+  return constants::kPi * r * r * params_.contact_fraction;
+}
+
+double PointContactJunction::coupling_gain() const {
+  const double c_d = params_.dielectric_cap_per_area * junction_area();
+  return c_d / (c_d + params_.transistor_input_cap);
+}
+
+double PointContactJunction::junction_current_density(
+    const MembraneCurrents& c) const {
+  return params_.mu_cap * c.capacitive + params_.mu_na * c.sodium +
+         params_.mu_k * c.potassium + params_.mu_leak * c.leak;
+}
+
+double PointContactJunction::cleft_voltage(
+    double junction_current_density_si) const {
+  return seal_resistance() * junction_area() * junction_current_density_si;
+}
+
+double PointContactJunction::electrode_voltage(const MembraneCurrents& c) const {
+  return cleft_voltage(junction_current_density(c)) * coupling_gain();
+}
+
+std::vector<double> PointContactJunction::spike_template(double dt,
+                                                         double duration) const {
+  HodgkinHuxley hh;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(duration / dt) + 1);
+  // 0.5 ms suprathreshold pulse at t = 1 ms elicits exactly one AP.
+  const double stim = 0.15;  // A/m^2 = 15 uA/cm^2
+  for (double t = 0.0; t < duration; t += dt) {
+    const double drive = (t >= 1e-3 && t < 1.5e-3) ? stim : 0.0;
+    hh.step(drive, dt);
+    out.push_back(electrode_voltage(hh.currents()));
+  }
+  return out;
+}
+
+}  // namespace biosense::neuro

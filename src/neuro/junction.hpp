@@ -1,0 +1,86 @@
+// Point-contact model of the cell/chip junction (Fig. 5).
+//
+// An adherent neuron leaves a ~60 nm electrolytic cleft between its lower
+// membrane and the chip surface. Ion currents through the junction membrane
+// must flow out sideways through the thin cleft, whose spreading resistance
+// (the "seal" resistance R_seal) converts them into a cleft potential:
+//
+//     V_J(t) = R_seal * A_JM * J_M(t)
+//
+// with A_JM the junction membrane area and J_M the membrane current density
+// (capacitive + ionic) delivered by the Hodgkin-Huxley model. The cleft
+// potential is probed capacitively: the sensor electrode under the thin
+// dielectric forms a divider with the transistor input capacitance,
+//
+//     V_electrode = V_J * C_dielectric / (C_dielectric + C_input).
+//
+// With physiological parameters this lands in the paper's quoted range of
+// 100 uV ... 5 mV — verified by bench_fig5_cleft.
+#pragma once
+
+#include <vector>
+
+#include "neuro/hodgkin_huxley.hpp"
+
+namespace biosense::neuro {
+
+struct JunctionParams {
+  double cleft_height = 60e-9;      // m (sets R_seal via spreading formula)
+  double electrolyte_rho = 0.7;     // Ohm m (physiological saline)
+  double neuron_diameter = 20e-6;   // m
+  /// Fraction of the cell's projected area in tight junction contact.
+  double contact_fraction = 0.4;
+  double dielectric_cap_per_area = 5e-3;  // F/m^2 (10 nm high-k stack)
+  double transistor_input_cap = 10e-15;   // F
+
+  /// Channel-density scaling of the junction membrane relative to the free
+  /// membrane. For a uniform cell the net membrane current is zero between
+  /// stimuli (capacitive and ionic currents cancel by charge balance), so
+  /// the recorded signal is produced by this asymmetry: a Na-enriched
+  /// junction (mu_na > 1) yields the classic biphasic "Na-type" transient.
+  double mu_na = 2.0;
+  double mu_k = 1.0;
+  double mu_leak = 1.0;
+  double mu_cap = 1.0;
+};
+
+class PointContactJunction {
+ public:
+  explicit PointContactJunction(JunctionParams params);
+
+  /// Seal resistance from the disk spreading formula
+  /// R_seal = rho / (5 pi h) * ... reduced to rho/(5 pi h) * 1 for a disk of
+  /// radius a: R = rho a^2 / (something) — we use the standard estimate
+  /// R_seal = rho / (5 pi h) (Fromherz), independent of radius to first
+  /// order.
+  double seal_resistance() const;
+
+  double junction_area() const;
+
+  /// Capacitive divider gain from cleft potential to electrode.
+  double coupling_gain() const;
+
+  /// Junction-membrane current density (A/m^2) for a given free-membrane
+  /// current breakdown, applying the channel-density scalings.
+  double junction_current_density(const MembraneCurrents& c) const;
+
+  /// Cleft potential for a given junction current density (A/m^2).
+  double cleft_voltage(double junction_current_density_si) const;
+
+  /// Electrode potential for a given free-membrane current breakdown.
+  double electrode_voltage(const MembraneCurrents& c) const;
+
+  /// Synthesizes the extracellular spike template seen by the electrode for
+  /// one action potential: runs HH with a brief suprathreshold pulse and
+  /// maps the junction membrane currents through the model. Returns the
+  /// electrode voltage sampled at `dt` for `duration`.
+  std::vector<double> spike_template(double dt = 10e-6,
+                                     double duration = 8e-3) const;
+
+  const JunctionParams& params() const { return params_; }
+
+ private:
+  JunctionParams params_;
+};
+
+}  // namespace biosense::neuro

@@ -1,0 +1,122 @@
+#include "neuro/network_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::neuro {
+
+IzhikevichNetwork::IzhikevichNetwork(NetworkConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  require(config.n_excitatory >= 0 && config.n_inhibitory >= 0 &&
+              config.n_excitatory + config.n_inhibitory > 0,
+          "IzhikevichNetwork: need at least one neuron");
+  require(config.connectivity >= 0.0 && config.connectivity <= 1.0 &&
+              config.connectivity_inhibitory >= 0.0 &&
+              config.connectivity_inhibitory <= 1.0,
+          "IzhikevichNetwork: connectivity must be in [0,1]");
+  require(config.dt > 0.0 && config.delay >= 0.0,
+          "IzhikevichNetwork: invalid timing");
+
+  const int n = config.n_excitatory + config.n_inhibitory;
+  neurons_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (i < config.n_excitatory) {
+      // Heterogeneous excitatory population (RS..CH continuum), following
+      // the reference implementation's r^2 parameter smear.
+      const double r = rng_.uniform();
+      IzhikevichParams p;
+      p.c = -65.0 + 15.0 * r * r;
+      p.d = 8.0 - 6.0 * r * r;
+      neurons_.emplace_back(p);
+    } else {
+      const double r = rng_.uniform();
+      IzhikevichParams p;
+      p.a = 0.02 + 0.08 * r;
+      p.b = 0.25 - 0.05 * r;
+      p.d = 2.0;
+      neurons_.emplace_back(p);
+    }
+  }
+
+  weights_.assign(static_cast<std::size_t>(n), {});
+  for (int pre = 0; pre < n; ++pre) {
+    const bool exc = pre < config.n_excitatory;
+    const double w = exc ? config.w_excitatory : config.w_inhibitory;
+    const double p_conn =
+        exc ? config.connectivity : config.connectivity_inhibitory;
+    for (int post = 0; post < n; ++post) {
+      if (post == pre) continue;
+      if (rng_.bernoulli(p_conn)) {
+        weights_[static_cast<std::size_t>(pre)].emplace_back(
+            post, w * rng_.uniform());
+      }
+    }
+  }
+
+  delay_slots_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.delay / config.dt + 0.5) + 1);
+  delay_lines_.assign(delay_slots_,
+                      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  spike_trains_.assign(static_cast<std::size_t>(n), {});
+}
+
+void IzhikevichNetwork::run(double duration) {
+  const int n = size();
+  const auto steps = static_cast<std::size_t>(duration / config_.dt);
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Inputs due now = oldest slot of the delay ring.
+    auto& due = delay_lines_[slot_];
+    auto& future =
+        delay_lines_[(slot_ + delay_slots_ - 1) % delay_slots_];
+    for (int i = 0; i < n; ++i) {
+      const double noise = is_excitatory(i)
+                               ? config_.noise_excitatory * rng_.normal()
+                               : config_.noise_inhibitory * rng_.normal();
+      const double drive = noise + due[static_cast<std::size_t>(i)];
+      if (neurons_[static_cast<std::size_t>(i)].step(drive, config_.dt)) {
+        spike_trains_[static_cast<std::size_t>(i)].push_back(t_);
+        for (const auto& [post, w] : weights_[static_cast<std::size_t>(i)]) {
+          future[static_cast<std::size_t>(post)] += w;
+        }
+      }
+      due[static_cast<std::size_t>(i)] = 0.0;  // consumed
+    }
+    slot_ = (slot_ + 1) % delay_slots_;
+    t_ += config_.dt;
+  }
+}
+
+double IzhikevichNetwork::mean_rate() const {
+  if (t_ <= 0.0) return 0.0;
+  std::size_t total = 0;
+  for (const auto& tr : spike_trains_) total += tr.size();
+  return static_cast<double>(total) /
+         (static_cast<double>(size()) * t_);
+}
+
+double IzhikevichNetwork::population_burst_fraction(double frac) const {
+  if (t_ <= 0.0) return 0.0;
+  const double bin = 10e-3;
+  const auto n_bins = static_cast<std::size_t>(t_ / bin) + 1;
+  std::vector<int> active(n_bins, 0);
+  for (const auto& tr : spike_trains_) {
+    std::size_t last_bin = n_bins;  // count each neuron once per bin
+    for (double ts : tr) {
+      const auto b = static_cast<std::size_t>(ts / bin);
+      if (b != last_bin && b < n_bins) {
+        ++active[b];
+        last_bin = b;
+      }
+    }
+  }
+  const int threshold = static_cast<int>(frac * size());
+  std::size_t bursts = 0;
+  for (int a : active) {
+    if (a >= threshold) ++bursts;
+  }
+  return static_cast<double>(bursts) / static_cast<double>(n_bins);
+}
+
+}  // namespace biosense::neuro

@@ -1,0 +1,48 @@
+#include "neuro/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::neuro {
+
+void apply_wave_activity(NeuronCulture& culture, const WaveConfig& config,
+                         Rng& rng) {
+  require(config.velocity > 0.0 && config.wave_rate > 0.0,
+          "apply_wave_activity: invalid wave parameters");
+  require(config.duration > 0.0 && config.spikes_per_wave >= 1,
+          "apply_wave_activity: invalid activity window");
+
+  // Wave launch times: jittered-regular.
+  std::vector<double> launches;
+  const double period = 1.0 / config.wave_rate;
+  for (double t = 0.1 * period; t < config.duration; t += period) {
+    launches.push_back(t);
+  }
+
+  std::vector<std::vector<double>> trains;
+  trains.reserve(culture.neurons().size());
+  for (const auto& n : culture.neurons()) {
+    const double dist =
+        std::hypot(n.x - config.origin_x, n.y - config.origin_y);
+    std::vector<double> spikes;
+    for (double t0 : launches) {
+      const double arrival =
+          t0 + dist / config.velocity + rng.normal(0.0, config.jitter);
+      for (int k = 0; k < config.spikes_per_wave; ++k) {
+        const double ts = arrival + k * config.burst_interval;
+        if (ts >= 0.0 && ts < config.duration) spikes.push_back(ts);
+      }
+    }
+    std::sort(spikes.begin(), spikes.end());
+    trains.push_back(std::move(spikes));
+  }
+
+  // assign_spike_trains maps trains to neurons cyclically; sizes match, so
+  // the mapping is one-to-one and keeps each neuron's own geometry-derived
+  // train.
+  culture.assign_spike_trains(trains);
+}
+
+}  // namespace biosense::neuro

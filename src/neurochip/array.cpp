@@ -1,0 +1,192 @@
+#include "neurochip/array.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biosense::neurochip {
+
+NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
+    : config_(config),
+      rng_(rng),
+      mismatch_(config.pelgrom, rng_.fork()) {
+  require(config.rows > 0 && config.cols > 0, "NeuroChip: empty array");
+  require(config.mux_factor > 0 && config.rows % config.mux_factor == 0,
+          "NeuroChip: rows must be a multiple of the mux factor");
+  require(config.frame_rate > 0.0, "NeuroChip: frame rate must be positive");
+  require(config.adc.bits >= 4 && config.adc.bits <= 24,
+          "NeuroChip: ADC bits out of range");
+
+  const auto n = static_cast<std::size_t>(config.rows * config.cols);
+  pixels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pixels_.emplace_back(config.pixel, mismatch_, rng_.fork());
+  }
+
+  row_chains_.reserve(static_cast<std::size_t>(config.rows));
+  for (int r = 0; r < config.rows; ++r) {
+    row_chains_.push_back(circuit::GainChain::on_chip(
+        rng_.fork(), config.gain_sigma, config.gain_offset_sigma));
+  }
+  const int n_channels = config.rows / config.mux_factor;
+  channel_chains_.reserve(static_cast<std::size_t>(n_channels));
+  for (int c = 0; c < n_channels; ++c) {
+    // The off-chip stages see currents already amplified by x700; their
+    // offsets scale accordingly.
+    channel_chains_.push_back(circuit::GainChain::off_chip(
+        rng_.fork(), config.gain_sigma, config.gain_offset_sigma * 700.0));
+  }
+
+  gm_nominal_ = pixels_.front().gm();
+}
+
+TimingBudget NeuroChip::timing() const {
+  TimingBudget t;
+  t.frame_period = 1.0 / config_.frame_rate;
+  t.column_dwell = t.frame_period / config_.cols;
+  t.mux_slot = t.column_dwell / config_.mux_factor;
+  t.pixel_rate_total =
+      config_.frame_rate * config_.rows * config_.cols;
+  t.channel_rate = t.pixel_rate_total / channels();
+  const double tau_row = 1.0 / (2.0 * constants::kPi * 4e6);
+  const double tau_drv = 1.0 / (2.0 * constants::kPi * 32e6);
+  t.row_amp_settle_taus = t.column_dwell / tau_row;
+  t.driver_settle_taus = t.mux_slot / tau_drv;
+  return t;
+}
+
+void NeuroChip::calibrate_all() {
+  for (auto& p : pixels_) p.calibrate();
+  // Reference current for gain-stage calibration: a mid-scale pixel signal.
+  const double i_ref = gm_nominal_ * 1e-3;  // 1 mV equivalent
+  for (auto& ch : row_chains_) ch.calibrate(i_ref);
+  for (auto& ch : channel_chains_) ch.calibrate(i_ref * 700.0);
+  ever_calibrated_ = true;
+}
+
+void NeuroChip::decalibrate_all() {
+  for (auto& p : pixels_) p.decalibrate();
+  ever_calibrated_ = false;
+}
+
+double NeuroChip::nominal_conversion_gain() const {
+  return gm_nominal_ * 100.0 * 7.0 * 4.0 * 2.0;
+}
+
+NeuroFrame NeuroChip::capture_frame(const SignalField& field, double t) {
+  const TimingBudget tb = timing();
+  NeuroFrame frame;
+  frame.rows = config_.rows;
+  frame.cols = config_.cols;
+  frame.t = t;
+  frame.v_in.assign(static_cast<std::size_t>(config_.rows * config_.cols), 0.0);
+  frame.codes.assign(static_cast<std::size_t>(config_.rows * config_.cols), 0);
+
+  const double adc_lsb =
+      2.0 * config_.adc.full_scale / static_cast<double>(1 << config_.adc.bits);
+  const double conv_gain = nominal_conversion_gain();
+
+  for (int col = 0; col < config_.cols; ++col) {
+    const double t_col = t + col * tb.column_dwell;
+    // All rows sample this column in parallel through their row chains.
+    for (int row = 0; row < config_.rows; ++row) {
+      auto& px = pixel(row, col);
+      const double v_sig = field(row, col, t_col);
+      const double i_diff = px.read_current(v_sig, tb.column_dwell);
+      // Row amplifier settles within the column dwell; two half-dwell
+      // steps capture the residual first-order settling.
+      auto& rc = row_chains_[static_cast<std::size_t>(row)];
+      rc.step(i_diff, 0.5 * tb.column_dwell);
+      const double i_row = rc.step(i_diff, 0.5 * tb.column_dwell);
+
+      // The channel chain serves mux_factor rows in sequence within the
+      // column dwell (one mux slot each).
+      auto& cc = channel_chains_[static_cast<std::size_t>(
+          row / config_.mux_factor)];
+      cc.step(i_row, 0.5 * tb.mux_slot);
+      const double i_out = cc.step(i_row, 0.5 * tb.mux_slot);
+
+      // Off-chip ADC.
+      const double clipped = std::clamp(i_out, -config_.adc.full_scale,
+                                        config_.adc.full_scale);
+      const auto code = static_cast<std::int32_t>(
+          std::lround(clipped / adc_lsb));
+      const std::size_t idx =
+          static_cast<std::size_t>(row * config_.cols + col);
+      frame.codes[idx] = code;
+      frame.v_in[idx] = static_cast<double>(code) * adc_lsb / conv_gain;
+    }
+  }
+
+  // Hold-time effects and periodic recalibration.
+  const double frame_period = tb.frame_period;
+  for (auto& p : pixels_) p.elapse(frame_period);
+  if (ever_calibrated_ &&
+      t + frame_period - last_calibration_t_ >= config_.recalibration_interval) {
+    for (auto& p : pixels_) p.calibrate();
+    last_calibration_t_ = t + frame_period;
+  }
+  return frame;
+}
+
+std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
+                                                      const SignalField& field,
+                                                      double t0,
+                                                      int n_samples) {
+  require(row >= 0 && row < config_.rows && col >= 0 && col < config_.cols,
+          "NeuroChip: pixel out of range");
+  require(n_samples > 0, "NeuroChip: need at least one sample");
+
+  const double fs = config_.frame_rate * config_.cols;  // column-scan rate
+  const double dt = 1.0 / fs;
+  const double adc_lsb =
+      2.0 * config_.adc.full_scale / static_cast<double>(1 << config_.adc.bits);
+  const double conv_gain = nominal_conversion_gain();
+
+  auto& px = pixel(row, col);
+  auto& rc = row_chains_[static_cast<std::size_t>(row)];
+  auto& cc = channel_chains_[static_cast<std::size_t>(row / config_.mux_factor)];
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n_samples));
+  for (int k = 0; k < n_samples; ++k) {
+    const double t = t0 + k * dt;
+    const double i_diff = px.read_current(field(row, col, t), dt);
+    rc.step(i_diff, 0.5 * dt);
+    const double i_row = rc.step(i_diff, 0.5 * dt);
+    cc.step(i_row, 0.5 * dt);
+    const double i_out = cc.step(i_row, 0.5 * dt);
+    const double clipped =
+        std::clamp(i_out, -config_.adc.full_scale, config_.adc.full_scale);
+    const auto code = static_cast<std::int32_t>(std::lround(clipped / adc_lsb));
+    out.push_back(static_cast<double>(code) * adc_lsb / conv_gain);
+    px.elapse(dt);
+  }
+  return out;
+}
+
+std::vector<NeuroFrame> NeuroChip::record(const SignalField& field, double t0,
+                                          int n) {
+  std::vector<NeuroFrame> frames;
+  frames.reserve(static_cast<std::size_t>(n));
+  const double period = 1.0 / config_.frame_rate;
+  for (int k = 0; k < n; ++k) {
+    frames.push_back(capture_frame(field, t0 + k * period));
+  }
+  return frames;
+}
+
+std::pair<double, double> NeuroChip::offset_stats() const {
+  double sum = 0.0;
+  double mx = 0.0;
+  for (const auto& p : pixels_) {
+    const double o = std::abs(p.input_referred_offset());
+    sum += o;
+    mx = std::max(mx, o);
+  }
+  return {sum / static_cast<double>(pixels_.size()), mx};
+}
+
+}  // namespace biosense::neurochip

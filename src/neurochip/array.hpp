@@ -1,0 +1,147 @@
+// The 128x128 neural recording chip (Fig. 6 signal path).
+//
+// Architecture (following the paper's description and block diagram):
+//  * 128x128 calibrated sensor pixels on a 7.8 um pitch (1 mm x 1 mm
+//    total sensor area), each monitored "independent of its individual
+//    position" because the pitch is below the smallest neuron diameter.
+//  * Per ROW: a signal line into an on-chip calibrated current-gain chain
+//    (x100, x7) and readout amplifier with 4 MHz bandwidth. Calibration is
+//    "periodically performed for all rows in parallel and for all columns
+//    in sequence".
+//  * Rows are grouped 8:1 by multiplexers into 16 parallel output channels,
+//    each with an off-chip gain chain (x4, x2) behind a 32 MHz output
+//    driver, then A/D conversion off chip.
+//  * Full frame rate: 2 k frames/s -> column dwell 3.9 us, mux slot 488 ns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/gain_stage.hpp"
+#include "common/rng.hpp"
+#include "neurochip/pixel.hpp"
+#include "noise/mismatch.hpp"
+
+namespace biosense::neurochip {
+
+struct AdcParams {
+  int bits = 10;
+  /// Full-scale input current (after the gain chain), A. Signals beyond
+  /// +/- full scale clip.
+  double full_scale = 2e-3;
+};
+
+struct NeuroChipConfig {
+  int rows = 128;
+  int cols = 128;
+  double pitch = 7.8e-6;          // m
+  double frame_rate = 2000.0;     // frames/s
+  int mux_factor = 8;             // rows per output channel
+  PixelParams pixel{};
+  noise::PelgromCoefficients pelgrom{};
+  double gain_sigma = 0.03;       // per-stage gain spread
+  double gain_offset_sigma = 20e-9;  // stage offset spread (A at stage input)
+  AdcParams adc{};
+  /// Pixels are re-calibrated every this many seconds (droop otherwise
+  /// accumulates).
+  double recalibration_interval = 0.25;
+};
+
+/// Derived timing numbers; the bench checks them against the paper.
+struct TimingBudget {
+  double frame_period = 0.0;     // s
+  double column_dwell = 0.0;     // s per column (all rows in parallel)
+  double mux_slot = 0.0;         // s per row within a channel's mux cycle
+  double pixel_rate_total = 0.0; // samples/s over the whole array
+  double channel_rate = 0.0;     // samples/s per output channel
+  double row_amp_settle_taus = 0.0;   // column dwell / tau(4 MHz)
+  double driver_settle_taus = 0.0;    // mux slot / tau(32 MHz)
+};
+
+/// One captured frame: input-referred voltages (V) plus raw ADC codes,
+/// row-major.
+struct NeuroFrame {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> v_in;          // reconstructed electrode voltage, V
+  std::vector<std::int32_t> codes;   // raw ADC output
+  double t = 0.0;                    // frame start time, s
+
+  double& at(int r, int c) { return v_in[static_cast<std::size_t>(r * cols + c)]; }
+  double at(int r, int c) const {
+    return v_in[static_cast<std::size_t>(r * cols + c)];
+  }
+};
+
+/// Signal source: electrode voltage at (row, col) at time t.
+using SignalField = std::function<double(int row, int col, double t)>;
+
+class NeuroChip {
+ public:
+  NeuroChip(NeuroChipConfig config, Rng rng);
+
+  int rows() const { return config_.rows; }
+  int cols() const { return config_.cols; }
+  int channels() const { return config_.rows / config_.mux_factor; }
+  double sensor_area_side() const { return config_.rows * config_.pitch; }
+
+  TimingBudget timing() const;
+
+  /// Calibrates every pixel and every gain stage (rows in parallel,
+  /// columns in sequence — one full sweep).
+  void calibrate_all();
+
+  /// Drops all pixel calibrations (ablation support).
+  void decalibrate_all();
+
+  /// Captures one frame starting at time `t`, scanning columns in sequence
+  /// and reading all rows of a column in parallel through the row
+  /// amplifiers and 8:1 output multiplexers. Advances droop by one frame
+  /// period and re-calibrates when the recalibration interval elapses.
+  NeuroFrame capture_frame(const SignalField& field, double t);
+
+  /// Captures `n` consecutive frames starting at t0.
+  std::vector<NeuroFrame> record(const SignalField& field, double t0, int n);
+
+  /// High-rate single-pixel mode: the sequencer parks on one pixel and
+  /// streams it at the column-scan rate (frame_rate * cols samples/s,
+  /// 256 kS/s for the paper's chip), trading spatial coverage for the
+  /// temporal resolution needed to resolve full action-potential
+  /// waveforms. Returns reconstructed input-referred voltages.
+  std::vector<double> capture_pixel_highrate(int row, int col,
+                                             const SignalField& field,
+                                             double t0, int n_samples);
+
+  /// Statistics over pixel input-referred offsets (V) — calibration
+  /// quality. Pair: (mean absolute, max absolute).
+  std::pair<double, double> offset_stats() const;
+
+  SensorPixel& pixel(int r, int c) {
+    return pixels_[static_cast<std::size_t>(r * config_.cols + c)];
+  }
+  const SensorPixel& pixel(int r, int c) const {
+    return pixels_[static_cast<std::size_t>(r * config_.cols + c)];
+  }
+
+  /// Nominal end-to-end transimpedance factor used for reconstruction:
+  /// input volts -> output amps (gm * total gain).
+  double nominal_conversion_gain() const;
+
+  const NeuroChipConfig& config() const { return config_; }
+
+ private:
+  NeuroChipConfig config_;
+  Rng rng_;
+  noise::MismatchSampler mismatch_;
+  std::vector<SensorPixel> pixels_;
+  // Row chains carry the on-chip stages (x100, x7); channel chains the
+  // off-chip stages (x4, x2).
+  std::vector<circuit::GainChain> row_chains_;
+  std::vector<circuit::GainChain> channel_chains_;
+  double gm_nominal_ = 0.0;
+  double last_calibration_t_ = 0.0;
+  bool ever_calibrated_ = false;
+};
+
+}  // namespace biosense::neurochip

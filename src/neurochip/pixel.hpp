@@ -1,0 +1,95 @@
+// Calibrated sensor pixel of the 128x128 neural recording array (Fig. 6).
+//
+// The pixel's sensor transistor M1 converts the electrode voltage riding on
+// its gate into a drain current. Raw V_T mismatch between pixels is tens of
+// millivolts — two orders of magnitude above the 100 uV .. 5 mV signals —
+// so each pixel is calibrated in place:
+//
+//  * Calibration: S1 closes, the current source M2 forces its current
+//    through M1, and the feedback stores exactly the gate voltage that
+//    makes M1 carry M2's current on the gate storage capacitance. When S1
+//    opens again, M1 reproduces M2's current regardless of either device's
+//    parameters. The imperfections are the switch charge injection
+//    (a pedestal on the storage cap) and leakage droop until the next
+//    calibration cycle.
+//  * Readout: S1 open, S3 closed, M2 sinks the same current; the electrode
+//    signal coupled onto M1's gate unbalances M1 against M2 and the
+//    difference current Delta_I = gm * (v_signal + v_residual) flows into
+//    the column regulation loop (A, M3, M4) toward the gain stages.
+#pragma once
+
+#include "circuit/mosfet.hpp"
+#include "circuit/switch.hpp"
+#include "common/rng.hpp"
+#include "noise/mismatch.hpp"
+#include "noise/sources.hpp"
+
+namespace biosense::neurochip {
+
+struct PixelParams {
+  circuit::MosfetParams m1{};       // sensor transistor
+  circuit::MosfetParams m2{};       // calibration current source
+  double store_cap = 80e-15;        // gate storage capacitance, F
+  circuit::SwitchParams s1{};       // calibration switch
+  double i_cal = 2e-6;              // nominal calibration current, A
+  /// Storage-node leakage. ~10 aA is typical for a reverse-biased junction
+  /// at room temperature; it sets how often the array must re-calibrate
+  /// (droop = leak/C_store ~ 0.125 mV/s with the defaults, i.e. ~60 uV per
+  /// 0.5 s — just inside the 100 uV signal floor).
+  double droop_leak = 10e-18;
+  double v_drain = 2.0;             // M1 drain operating point, V
+  /// Input-referred noise of the pixel front-end.
+  double noise_white_psd = 2.5e-15; // V^2/Hz (~50 nV/rtHz)
+  double noise_flicker_kf = 1e-10;  // V^2 (1/f coefficient)
+};
+
+class SensorPixel {
+ public:
+  /// Draws M1/M2 mismatch from `mismatch` (frozen per pixel, like a die).
+  SensorPixel(PixelParams params, noise::MismatchSampler& mismatch, Rng rng);
+
+  /// Runs one in-pixel calibration cycle (S1 close -> settle -> S1 open
+  /// with charge injection). Electrode assumed quiet during calibration.
+  void calibrate();
+
+  /// Clears calibration (power-up state): the gate holds the nominal bias
+  /// voltage; mismatch is NOT compensated. Used by the ablation bench.
+  void decalibrate();
+
+  /// Advances hold-time effects (droop) by dt.
+  void elapse(double dt);
+
+  /// Difference current Delta_I = I_M1 - I_M2 for an electrode signal
+  /// voltage riding on M1's gate. `dt` is the sample interval used to draw
+  /// the front-end noise (pass 0 to disable noise).
+  double read_current(double v_signal, double dt = 0.0);
+
+  /// Input-referred offset voltage currently present (pedestal + droop, or
+  /// the full mismatch if uncalibrated): the voltage a zero signal appears
+  /// to have.
+  double input_referred_offset() const;
+
+  /// Transconductance of M1 at the calibrated operating point.
+  double gm() const;
+
+  /// Actual current of the pixel's M2 (with its mismatch), A.
+  double m2_current() const;
+
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  double gate_voltage_for_balance() const;
+
+  PixelParams params_;
+  circuit::Mosfet m1_;
+  circuit::Mosfet m2_;
+  circuit::AnalogSwitch s1_;
+  noise::CompositeNoise noise_;
+  double v_store_ = 0.0;   // voltage held on the storage cap
+  double i_m2_actual_ = 0.0;       // M2's as-fabricated current, A
+  double v_balance_ = 0.0;         // M1 gate voltage balancing M2
+  double v_bias_nominal_m1_ = 0.0; // power-up (uncalibrated) gate bias
+  bool calibrated_ = false;
+};
+
+}  // namespace biosense::neurochip

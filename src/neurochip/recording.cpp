@@ -1,0 +1,69 @@
+#include "neurochip/recording.hpp"
+
+#include "common/error.hpp"
+#include "neuro/spike_train.hpp"
+
+namespace biosense::neurochip {
+
+RecordingSession::RecordingSession(const neuro::NeuronCulture& culture,
+                                   NeuroChip& chip)
+    : culture_(&culture), chip_(&chip) {}
+
+std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
+  require(n_frames > 0, "RecordingSession: need at least one frame");
+  t0_ = t0;
+  n_frames_ = n_frames;
+  active_.clear();
+
+  const auto& cfg = chip_->config();
+  const TimingBudget tb = chip_->timing();
+  const double fs = cfg.frame_rate;
+
+  // Precompute, per covered pixel, its waveform at the chip's actual
+  // sampling instants: pixel (r, c) of frame k is sampled at
+  // t0 + k/fs + c*column_dwell. We fold the per-column phase into the
+  // spike times so one uniform-rate render per (pixel, neuron) suffices.
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c < cfg.cols; ++c) {
+      const double x = (c + 0.5) * cfg.pitch;
+      const double y = (r + 0.5) * cfg.pitch;
+      const auto cover = culture_->neurons_at(x, y);
+      if (cover.empty()) continue;
+
+      PixelSignal sig;
+      sig.samples.assign(static_cast<std::size_t>(n_frames), 0.0);
+      const double phase = t0 + c * tb.column_dwell;
+      for (const auto* n : cover) {
+        const double w = culture_->footprint_weight(*n, x, y);
+        std::vector<double> shifted;
+        shifted.reserve(n->spike_times.size());
+        for (double ts : n->spike_times) shifted.push_back(ts - phase);
+        const auto contrib = neuro::render_spike_waveform(
+            shifted, n->templ, culture_->config().template_fs, fs,
+            static_cast<std::size_t>(n_frames));
+        for (std::size_t i = 0; i < contrib.size(); ++i) {
+          sig.samples[i] += w * contrib[i];
+        }
+      }
+      active_.emplace(r * cfg.cols + c, std::move(sig));
+    }
+  }
+
+  auto field = [this, &cfg, fs, t0](int row, int col, double t) {
+    const auto it = active_.find(row * cfg.cols + col);
+    if (it == active_.end()) return 0.0;
+    // Frame index: the per-column phase is already folded into the
+    // precomputed samples, so truncate (not round) to the frame number.
+    const auto k = static_cast<std::size_t>((t - t0) * fs + 1e-9);
+    if (k >= it->second.samples.size()) return 0.0;
+    return it->second.samples[k];
+  };
+  return chip_->record(field, t0, n_frames);
+}
+
+const std::vector<double>& RecordingSession::ground_truth(int r, int c) const {
+  const auto it = active_.find(r * chip_->config().cols + c);
+  return it == active_.end() ? empty_ : it->second.samples;
+}
+
+}  // namespace biosense::neurochip

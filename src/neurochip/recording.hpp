@@ -1,0 +1,45 @@
+// Couples a simulated neural culture to the recording chip: precomputes
+// each covered pixel's electrode waveform at the chip's actual per-pixel
+// sampling instants (including the column scan phase) and runs the frame
+// sequencer over it. This is the "experiment" object: culture on chip,
+// record, get frames.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "neuro/culture.hpp"
+#include "neurochip/array.hpp"
+
+namespace biosense::neurochip {
+
+class RecordingSession {
+ public:
+  /// The culture's coordinate origin maps to the chip's pixel (0, 0); pixel
+  /// (r, c) sits at ((c + 0.5) pitch, (r + 0.5) pitch).
+  RecordingSession(const neuro::NeuronCulture& culture, NeuroChip& chip);
+
+  /// Records `n_frames` frames starting at time t0.
+  std::vector<NeuroFrame> record(double t0, int n_frames);
+
+  /// Number of pixels covered by at least one neuron footprint.
+  std::size_t active_pixels() const { return active_.size(); }
+
+  /// Ground truth: electrode waveform of pixel (r, c) at the chip's
+  /// sampling instants for the last `record` call (empty if uncovered).
+  const std::vector<double>& ground_truth(int r, int c) const;
+
+ private:
+  struct PixelSignal {
+    std::vector<double> samples;  // one per frame
+  };
+
+  const neuro::NeuronCulture* culture_;
+  NeuroChip* chip_;
+  std::unordered_map<int, PixelSignal> active_;  // key = r * cols + c
+  std::vector<double> empty_;
+  double t0_ = 0.0;
+  int n_frames_ = 0;
+};
+
+}  // namespace biosense::neurochip

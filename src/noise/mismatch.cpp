@@ -1,0 +1,36 @@
+#include "noise/mismatch.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::noise {
+
+MismatchSampler::MismatchSampler(PelgromCoefficients coeffs, Rng rng)
+    : coeffs_(coeffs), rng_(rng) {
+  require(coeffs.a_vt >= 0.0 && coeffs.a_beta >= 0.0,
+          "MismatchSampler: Pelgrom coefficients must be non-negative");
+}
+
+double MismatchSampler::sigma_vt(double width_m, double length_m) const {
+  require(width_m > 0.0 && length_m > 0.0,
+          "MismatchSampler: device geometry must be positive");
+  return coeffs_.a_vt / std::sqrt(width_m * length_m);
+}
+
+double MismatchSampler::sigma_beta(double width_m, double length_m) const {
+  require(width_m > 0.0 && length_m > 0.0,
+          "MismatchSampler: device geometry must be positive");
+  return coeffs_.a_beta / std::sqrt(width_m * length_m);
+}
+
+DeviceMismatch MismatchSampler::sample(double width_m, double length_m) {
+  DeviceMismatch m;
+  m.delta_vt = rng_.normal(0.0, sigma_vt(width_m, length_m));
+  // Clamp the multiplicative error to stay physical for very small devices.
+  const double rel = rng_.normal(0.0, sigma_beta(width_m, length_m));
+  m.beta_ratio = std::max(0.1, 1.0 + rel);
+  return m;
+}
+
+}  // namespace biosense::noise

@@ -1,0 +1,53 @@
+// Device-to-device parameter variation (mismatch).
+//
+// Matching of identically drawn MOS transistors follows the Pelgrom model:
+// the standard deviation of the difference of a parameter P between two
+// devices scales as sigma(dP) = A_P / sqrt(W * L), with the area in um^2
+// and A_P a process constant. For the 0.5 um / 15 nm gate-oxide process of
+// the paper's chips, A_VT is on the order of 10..15 mV*um — which is why a
+// neural pixel whose useful signal is 100 uV *must* be calibrated (Fig. 6):
+// raw V_T spread is two orders of magnitude above the signal.
+//
+// `MismatchSampler` draws per-device offsets for threshold voltage and
+// current factor; deterministic given the seed, so a simulated chip has a
+// frozen, reproducible mismatch map like a real die.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace biosense::noise {
+
+/// Process matching constants (Pelgrom coefficients).
+struct PelgromCoefficients {
+  /// Threshold-voltage matching, V*m (e.g. 12 mV*um = 12e-9 V*m).
+  double a_vt = 12e-9;
+  /// Relative current-factor matching, (dimensionless)*m
+  /// (e.g. 2 %*um = 0.02e-6).
+  double a_beta = 0.02e-6;
+};
+
+/// Per-device sampled offsets.
+struct DeviceMismatch {
+  double delta_vt = 0.0;    // V, additive threshold shift
+  double beta_ratio = 1.0;  // multiplicative current-factor error
+};
+
+class MismatchSampler {
+ public:
+  MismatchSampler(PelgromCoefficients coeffs, Rng rng);
+
+  /// Draws the mismatch of one device with gate area `width_m` x `length_m`.
+  DeviceMismatch sample(double width_m, double length_m);
+
+  /// Standard deviation of delta-VT for the given geometry.
+  double sigma_vt(double width_m, double length_m) const;
+
+  /// Standard deviation of the relative current-factor error.
+  double sigma_beta(double width_m, double length_m) const;
+
+ private:
+  PelgromCoefficients coeffs_;
+  Rng rng_;
+};
+
+}  // namespace biosense::noise

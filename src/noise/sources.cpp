@@ -1,0 +1,130 @@
+#include "noise/sources.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biosense::noise {
+
+WhiteNoise::WhiteNoise(double psd_one_sided, Rng rng)
+    : psd_(psd_one_sided), rng_(rng) {
+  require(psd_one_sided >= 0.0, "WhiteNoise: PSD must be non-negative");
+}
+
+double WhiteNoise::sample(double dt) {
+  require(dt > 0.0, "WhiteNoise: dt must be positive");
+  // Band-limited to Nyquist: variance = S * f_s / 2 = S / (2 dt).
+  const double sigma = std::sqrt(psd_ / (2.0 * dt));
+  return rng_.normal(0.0, sigma);
+}
+
+double thermal_voltage_psd(double resistance_ohm, double temp_k) {
+  return 4.0 * constants::kBoltzmann * temp_k * resistance_ohm;
+}
+
+double mosfet_thermal_current_psd(double gm, double temp_k, double gamma) {
+  return 4.0 * constants::kBoltzmann * temp_k * gamma * gm;
+}
+
+double shot_current_psd(double dc_current_a) {
+  return 2.0 * constants::kElectronCharge * std::abs(dc_current_a);
+}
+
+FlickerNoise::FlickerNoise(double kf, double f_lo, double f_hi, Rng rng,
+                           int poles_per_decade)
+    : rng_(rng) {
+  require(kf >= 0.0, "FlickerNoise: kf must be non-negative");
+  require(f_hi > f_lo && f_lo > 0.0, "FlickerNoise: need 0 < f_lo < f_hi");
+  require(poles_per_decade >= 1, "FlickerNoise: need >= 1 pole per decade");
+
+  // Sum of OU processes with corner frequencies log-spaced at ratio
+  // r = 10^(1/poles_per_decade). With per-pole stationary variance
+  // sigma2 = kf * ln(r), the summed one-sided PSD approximates kf/f
+  // across [f_lo, f_hi] (see analytic_psd for the exact sum).
+  const double ratio = std::pow(10.0, 1.0 / poles_per_decade);
+  const double sigma2 = kf * std::log(ratio);
+  for (double fc = f_lo; fc <= f_hi * (1.0 + 1e-12); fc *= ratio) {
+    Pole p;
+    p.tau = 1.0 / (2.0 * constants::kPi * fc);
+    p.sigma2 = sigma2;
+    // Start each pole in its stationary distribution so the process has no
+    // warm-up transient.
+    p.state = rng_.normal(0.0, std::sqrt(sigma2));
+    poles_.push_back(p);
+  }
+}
+
+double FlickerNoise::sample(double dt) {
+  double sum = 0.0;
+  for (auto& p : poles_) {
+    const double a = std::exp(-dt / p.tau);
+    p.state = p.state * a + rng_.normal(0.0, std::sqrt(p.sigma2 * (1.0 - a * a)));
+    sum += p.state;
+  }
+  return sum;
+}
+
+double FlickerNoise::analytic_psd(double f) const {
+  // One-sided PSD of an OU process: S(f) = 4 sigma2 tau / (1 + (2 pi f tau)^2)
+  double s = 0.0;
+  for (const auto& p : poles_) {
+    const double w = 2.0 * constants::kPi * f * p.tau;
+    s += 4.0 * p.sigma2 * p.tau / (1.0 + w * w);
+  }
+  return s;
+}
+
+RtsNoise::RtsNoise(double amplitude, double mean_time_high,
+                   double mean_time_low, Rng rng)
+    : amplitude_(amplitude),
+      rate_down_(1.0 / mean_time_high),
+      rate_up_(1.0 / mean_time_low),
+      rng_(rng) {
+  require(mean_time_high > 0.0 && mean_time_low > 0.0,
+          "RtsNoise: dwell times must be positive");
+  // Start in the stationary distribution.
+  const double p_high = mean_time_high / (mean_time_high + mean_time_low);
+  high_ = rng_.bernoulli(p_high);
+}
+
+double RtsNoise::sample(double dt) {
+  const double rate = high_ ? rate_down_ : rate_up_;
+  if (rng_.bernoulli(1.0 - std::exp(-rate * dt))) high_ = !high_;
+  return high_ ? 0.5 * amplitude_ : -0.5 * amplitude_;
+}
+
+void CompositeNoise::add_white(double psd_one_sided, Rng rng) {
+  white_.emplace_back(psd_one_sided, rng);
+  white_psd_.push_back(psd_one_sided);
+}
+
+void CompositeNoise::add_flicker(double kf, double f_lo, double f_hi, Rng rng) {
+  flicker_.emplace_back(kf, f_lo, f_hi, rng);
+  flicker_kf_.push_back(kf);
+}
+
+void CompositeNoise::add_rts(double amplitude, double t_high, double t_low,
+                             Rng rng) {
+  rts_.emplace_back(amplitude, t_high, t_low, rng);
+}
+
+double CompositeNoise::sample(double dt) {
+  double sum = 0.0;
+  for (auto& s : white_) sum += s.sample(dt);
+  for (auto& s : flicker_) sum += s.sample(dt);
+  for (auto& s : rts_) sum += s.sample(dt);
+  return sum;
+}
+
+double CompositeNoise::analytic_rms(double f_lo, double f_hi) const {
+  // White integrates to S*(f_hi-f_lo); ideal 1/f integrates to
+  // kf*ln(f_hi/f_lo). RTS is excluded (its PSD depends on dwell times and
+  // it is rarely part of a band-integrated budget).
+  double var = 0.0;
+  for (double s : white_psd_) var += s * (f_hi - f_lo);
+  for (double kf : flicker_kf_) var += kf * std::log(f_hi / f_lo);
+  return std::sqrt(var);
+}
+
+}  // namespace biosense::noise

@@ -1,0 +1,120 @@
+// Discrete-time noise source models.
+//
+// All sources follow the same convention: `sample(dt)` advances the source
+// by one simulation step of length `dt` seconds and returns the
+// instantaneous noise value for that step. White sources are modeled as
+// band-limited to the Nyquist frequency of the sampling step (variance =
+// one-sided PSD * 1/(2 dt)), which is the correct discrete-time equivalent
+// for a sampled continuous system.
+//
+// These models feed the sensor-site ADC (comparator noise, leakage), the
+// neural pixel (input-referred transistor noise) and the electrochemical
+// current model (shot noise on pA-level currents).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace biosense::noise {
+
+/// Band-limited white noise with a given one-sided PSD (units^2/Hz).
+class WhiteNoise {
+ public:
+  /// `psd_one_sided` in units^2/Hz. For a resistor's Johnson voltage noise
+  /// use `thermal_voltage_psd`; for shot noise use `shot_current_psd`.
+  WhiteNoise(double psd_one_sided, Rng rng);
+
+  double sample(double dt);
+  double psd() const { return psd_; }
+
+ private:
+  double psd_;
+  Rng rng_;
+};
+
+/// One-sided Johnson (thermal) voltage-noise PSD of a resistance:
+/// S_v = 4 k T R  [V^2/Hz].
+double thermal_voltage_psd(double resistance_ohm, double temp_k);
+
+/// One-sided thermal channel-current PSD of a MOSFET in saturation:
+/// S_i = 4 k T gamma g_m [A^2/Hz], gamma ~ 2/3 long channel.
+double mosfet_thermal_current_psd(double gm, double temp_k,
+                                  double gamma = 2.0 / 3.0);
+
+/// One-sided shot-noise current PSD of a DC current: S_i = 2 q I [A^2/Hz].
+double shot_current_psd(double dc_current_a);
+
+/// 1/f (flicker) noise synthesized as a sum of Ornstein-Uhlenbeck processes
+/// with log-spaced corner frequencies. The resulting one-sided PSD
+/// approximates S(f) = k_f / f over [f_lo, f_hi] to within a fraction of a
+/// dB (validated by tests/noise against the Welch estimator).
+class FlickerNoise {
+ public:
+  /// `kf` is the PSD coefficient: S(f) = kf / f in units^2/Hz.
+  /// [f_lo, f_hi] is the frequency band over which the 1/f shape is
+  /// synthesized; poles are placed `poles_per_decade` per decade.
+  FlickerNoise(double kf, double f_lo, double f_hi, Rng rng,
+               int poles_per_decade = 2);
+
+  double sample(double dt);
+
+  /// Analytic one-sided PSD of the synthesized process at frequency f;
+  /// used by tests to compare against the 1/f target.
+  double analytic_psd(double f) const;
+
+ private:
+  struct Pole {
+    double tau = 0.0;     // OU time constant
+    double sigma2 = 0.0;  // stationary variance contribution
+    double state = 0.0;
+  };
+  std::vector<Pole> poles_;
+  Rng rng_;
+};
+
+/// Random telegraph signal: two-state Markov process toggling between
+/// +amplitude/2 and -amplitude/2 with mean capture/emission times.
+/// Models single-trap RTS noise in small-area MOSFETs.
+class RtsNoise {
+ public:
+  RtsNoise(double amplitude, double mean_time_high, double mean_time_low,
+           Rng rng);
+
+  double sample(double dt);
+  bool high() const { return high_; }
+
+ private:
+  double amplitude_;
+  double rate_down_;  // 1/mean_time_high
+  double rate_up_;    // 1/mean_time_low
+  bool high_;
+  Rng rng_;
+};
+
+/// Composite input-referred noise for an analog front-end: white + flicker
+/// (+ optional RTS), all referred to one node.
+class CompositeNoise {
+ public:
+  CompositeNoise() = default;
+
+  void add_white(double psd_one_sided, Rng rng);
+  void add_flicker(double kf, double f_lo, double f_hi, Rng rng);
+  void add_rts(double amplitude, double t_high, double t_low, Rng rng);
+
+  double sample(double dt);
+
+  /// Integrated RMS over the band [f_lo, f_hi] predicted analytically from
+  /// the configured PSDs (white: S*(f_hi-f_lo); flicker: kf*ln(f_hi/f_lo)).
+  double analytic_rms(double f_lo, double f_hi) const;
+
+ private:
+  std::vector<WhiteNoise> white_;
+  std::vector<FlickerNoise> flicker_;
+  std::vector<RtsNoise> rts_;
+  std::vector<double> white_psd_;
+  std::vector<double> flicker_kf_;
+};
+
+}  // namespace biosense::noise

@@ -1,0 +1,170 @@
+#include "dna/assay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace biosense::dna {
+namespace {
+
+std::vector<TargetSpecies> make_targets(int n, std::size_t length, Rng& rng) {
+  std::vector<TargetSpecies> out;
+  for (int i = 0; i < n; ++i) {
+    TargetSpecies t;
+    t.sequence = Sequence::random(length, rng);
+    t.concentration = 1e-9;
+    t.name = "t" + std::to_string(i);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+AssayProtocol fast_protocol() {
+  AssayProtocol p;
+  p.hybridization_time = 1800.0;
+  p.wash_time = 120.0;
+  p.time_step = 10.0;
+  return p;
+}
+
+TEST(Assay, DesignProbesArePerfectPartners) {
+  Rng rng(1);
+  const auto targets = make_targets(4, 100, rng);
+  const auto spots = MicroarrayAssay::design_probes(targets, 20);
+  ASSERT_EQ(spots.size(), 4u);
+  for (std::size_t i = 0; i < spots.size(); ++i) {
+    const auto mm = targets[i].sequence.best_window_mismatches(spots[i].probe);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(*mm, 0u);
+    EXPECT_EQ(spots[i].name, targets[i].name);
+  }
+}
+
+TEST(Assay, DesignProbesRejectsShortTargets) {
+  Rng rng(2);
+  const auto targets = make_targets(1, 10, rng);
+  EXPECT_THROW(MicroarrayAssay::design_probes(targets, 20), ConfigError);
+}
+
+TEST(Assay, PresentTargetsLightUpAbsentStayDark) {
+  Rng rng(3);
+  const auto targets = make_targets(6, 120, rng);
+  auto spots = MicroarrayAssay::design_probes(targets, 20);
+  MicroarrayAssay assay(spots, fast_protocol(), RedoxParams{}, Rng(4));
+
+  // Sample contains only the first three targets.
+  std::vector<TargetSpecies> sample(targets.begin(), targets.begin() + 3);
+  const auto results = assay.run(sample);
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(results[static_cast<std::size_t>(i)].sensor_current, 1e-9)
+        << "present target " << i;
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].best_match_mismatches, 0u);
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_LT(results[static_cast<std::size_t>(i)].sensor_current, 10e-12)
+        << "absent target " << i;
+  }
+}
+
+class AssayMismatchDiscrimination
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AssayMismatchDiscrimination, MismatchedTargetsWashOut) {
+  // Property over mismatch count: the assay signal falls monotonically and
+  // strongly with the number of mismatches in the target.
+  const std::size_t mm = GetParam();
+  Rng rng(7);
+  const Sequence probe = Sequence::random(20, rng);
+
+  ProbeSpot spot;
+  spot.probe = probe;
+  spot.name = "spot";
+
+  TargetSpecies perfect;
+  perfect.sequence = probe.reverse_complement();
+  perfect.concentration = 1e-9;
+
+  TargetSpecies variant;
+  variant.sequence = probe.reverse_complement().with_mismatches(mm, rng);
+  variant.concentration = 1e-9;
+
+  MicroarrayAssay assay({spot}, fast_protocol(), RedoxParams{}, Rng(8));
+  const double i_perfect = assay.run({perfect})[0].sensor_current;
+  const double i_variant = assay.run({variant})[0].sensor_current;
+
+  if (mm == 0) {
+    EXPECT_NEAR(i_variant / i_perfect, 1.0, 0.05);
+  } else if (mm >= 4) {
+    // >= 4 mismatches: Kd reaches the 100 nM scale, the duplex dissociates
+    // during the wash -> at least 100x contrast.
+    EXPECT_LT(i_variant, i_perfect / 100.0);
+  } else if (mm == 3) {
+    // 3 mismatches: measurably weaker but not washed out.
+    EXPECT_LT(i_variant, i_perfect * 0.95);
+  } else {
+    // 1-2 mismatches at these (non-stringent) conditions still saturate
+    // the spot (Kd << C): no more signal than the perfect match, but not
+    // distinguishable either — exactly the regime real microarrays
+    // struggle with.
+    EXPECT_LE(i_variant, i_perfect * 1.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mismatches, AssayMismatchDiscrimination,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 6u));
+
+TEST(Assay, DoseResponseIsMonotonic) {
+  Rng rng(11);
+  const Sequence probe = Sequence::random(20, rng);
+  ProbeSpot spot;
+  spot.probe = probe;
+  // Moderate-affinity regime: shorten hybridization so occupancy tracks
+  // concentration.
+  AssayProtocol p = fast_protocol();
+  p.hybridization_time = 60.0;
+  p.wash_time = 10.0;
+
+  double prev = -1.0;
+  for (double conc : {1e-12, 1e-11, 1e-10, 1e-9, 1e-8}) {
+    MicroarrayAssay assay({spot}, p, RedoxParams{}, Rng(12));
+    TargetSpecies t;
+    t.sequence = probe.reverse_complement();
+    t.concentration = conc;
+    const double current = assay.run({t})[0].sensor_current;
+    EXPECT_GT(current, prev);
+    prev = current;
+  }
+}
+
+TEST(Assay, EmptySampleGivesBackgroundEverywhere) {
+  Rng rng(13);
+  const auto targets = make_targets(3, 100, rng);
+  auto spots = MicroarrayAssay::design_probes(targets, 20);
+  MicroarrayAssay assay(spots, fast_protocol(), RedoxParams{}, Rng(14));
+  for (const auto& r : assay.run({})) {
+    EXPECT_LT(r.sensor_current, 5e-12);
+    EXPECT_DOUBLE_EQ(r.occupancy, 0.0);
+  }
+}
+
+TEST(Assay, RejectsEmptySpotList) {
+  EXPECT_THROW(
+      MicroarrayAssay({}, fast_protocol(), RedoxParams{}, Rng(1)),
+      ConfigError);
+}
+
+TEST(Assay, SpotResultsKeepOrderAndNames) {
+  Rng rng(15);
+  const auto targets = make_targets(5, 80, rng);
+  auto spots = MicroarrayAssay::design_probes(targets, 20);
+  MicroarrayAssay assay(spots, fast_protocol(), RedoxParams{}, Rng(16));
+  const auto results = assay.run({});
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].spot_name, "t" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace biosense::dna

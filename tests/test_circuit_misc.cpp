@@ -1,0 +1,201 @@
+// Switch, capacitor node, sample-and-hold, trace and reference tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/capacitor.hpp"
+#include "circuit/references.hpp"
+#include "circuit/sample_hold.hpp"
+#include "circuit/switch.hpp"
+#include "circuit/trace.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace biosense::circuit {
+namespace {
+
+// --- AnalogSwitch -----------------------------------------------------------
+
+TEST(AnalogSwitch, OpenWithoutCloseInjectsNothing) {
+  AnalogSwitch sw(SwitchParams{}, Rng(1));
+  EXPECT_DOUBLE_EQ(sw.open(), 0.0);
+}
+
+TEST(AnalogSwitch, InjectionIsNegativeElectronCharge) {
+  SwitchParams p;
+  p.compensation = 0.0;
+  p.injection_sigma = 0.0;
+  AnalogSwitch sw(p, Rng(1));
+  sw.close();
+  const double q = sw.open();
+  EXPECT_NEAR(q, -p.channel_charge * p.injection_fraction, 1e-20);
+}
+
+TEST(AnalogSwitch, CompensationCancelsNominalNotRandom) {
+  SwitchParams p;
+  p.compensation = 1.0;  // perfect dummy switch
+  p.injection_sigma = 0.1;
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    AnalogSwitch sw(p, Rng(100 + i));
+    sw.close();
+    s.add(sw.open());
+  }
+  // Mean cancelled, spread remains at sigma * nominal.
+  const double nominal = p.channel_charge * p.injection_fraction;
+  EXPECT_NEAR(s.mean(), 0.0, 0.05 * nominal);
+  EXPECT_NEAR(s.stddev(), 0.1 * nominal, 0.02 * nominal);
+}
+
+TEST(AnalogSwitch, RejectsInvalidConfig) {
+  SwitchParams p;
+  p.r_on = 0.0;
+  EXPECT_THROW(AnalogSwitch(p, Rng(1)), ConfigError);
+  p = SwitchParams{};
+  p.compensation = 1.5;
+  EXPECT_THROW(AnalogSwitch(p, Rng(1)), ConfigError);
+}
+
+// --- CapacitorNode ----------------------------------------------------------
+
+TEST(CapacitorNode, IntegratesCurrent) {
+  CapacitorNode c(100e-15, 0.0);
+  c.integrate(1e-12, 1e-3);  // 1 pA for 1 ms -> 1 fC -> 10 mV on 100 fF
+  EXPECT_NEAR(c.voltage(), 10e-3, 1e-12);
+}
+
+TEST(CapacitorNode, ChargePackets) {
+  CapacitorNode c(50e-15, 1.0);
+  c.add_charge(-5e-15);  // -5 fC on 50 fF: -100 mV
+  EXPECT_NEAR(c.voltage(), 0.9, 1e-12);
+}
+
+TEST(CapacitorNode, RampTime) {
+  CapacitorNode c(140e-15);
+  // t = C dV / I: 140 fF * 0.7 V / 1 nA = 98 us.
+  EXPECT_NEAR(c.ramp_time(1e-9, 0.7), 98e-6, 1e-9);
+}
+
+TEST(CapacitorNode, RejectsNonPositiveCapacitance) {
+  EXPECT_THROW(CapacitorNode(0.0), ConfigError);
+}
+
+// --- SampleHold -------------------------------------------------------------
+
+TEST(SampleHold, TracksInput) {
+  SampleHold sh(SampleHoldParams{}, Rng(1));
+  for (int i = 0; i < 10000; ++i) sh.track(1.5, 1e-9);
+  EXPECT_NEAR(sh.output(), 1.5, 1e-6);
+}
+
+TEST(SampleHold, HoldAppliesPedestalOnce) {
+  SampleHoldParams p;
+  p.sw.injection_sigma = 0.0;
+  SampleHold sh(p, Rng(1));
+  for (int i = 0; i < 10000; ++i) sh.track(2.0, 1e-9);
+  sh.hold();
+  EXPECT_NEAR(sh.output() - 2.0, sh.expected_pedestal(), 1e-9);
+  const double held = sh.output();
+  sh.hold();  // idempotent
+  EXPECT_DOUBLE_EQ(sh.output(), held);
+}
+
+TEST(SampleHold, DroopsWhileHolding) {
+  SampleHoldParams p;
+  p.droop_current = 10e-15;
+  p.hold_cap = 100e-15;
+  SampleHold sh(p, Rng(1));
+  for (int i = 0; i < 10000; ++i) sh.track(1.0, 1e-9);
+  sh.hold();
+  const double v0 = sh.output();
+  sh.idle(1e-3);  // 10 fA * 1 ms / 100 fF = 100 uV droop
+  EXPECT_NEAR(v0 - sh.output(), 100e-6, 1e-9);
+}
+
+TEST(SampleHold, AcquisitionBandwidthLimited) {
+  SampleHoldParams p;
+  p.sw.r_on = 100e3;
+  p.hold_cap = 1e-12;  // tau = 100 ns
+  SampleHold sh(p, Rng(1));
+  sh.track(1.0, 100e-9);  // one tau
+  EXPECT_NEAR(sh.output(), 1.0 - std::exp(-1.0), 0.01);
+}
+
+// --- Trace ------------------------------------------------------------------
+
+TEST(Trace, CrossingsDetected) {
+  Trace t;
+  for (int i = 0; i <= 100; ++i) {
+    t.record(i * 1e-3, std::sin(2.0 * 3.14159265 * i / 50.0));
+  }
+  // Level 0.5 is crossed upward once per period (avoids the numerically
+  // ambiguous zero crossings at the sample ends).
+  const auto ups = t.up_crossings(0.5);
+  EXPECT_EQ(ups.size(), 2u);
+  EXPECT_TRUE(t.first_up_crossing(0.5).has_value());
+  EXPECT_FALSE(t.first_up_crossing(2.0).has_value());
+}
+
+TEST(Trace, MinMaxAndSettling) {
+  Trace t;
+  for (int i = 0; i <= 1000; ++i) {
+    const double v = 1.0 - std::exp(-i / 100.0);
+    t.record(i * 1e-6, v);
+  }
+  EXPECT_NEAR(t.max_value(), 1.0, 1e-3);
+  EXPECT_DOUBLE_EQ(t.min_value(), 0.0);
+  const auto st = t.settling_time(0.01);
+  ASSERT_TRUE(st.has_value());
+  // Settles within 1% after ~4.6 tau = 460 steps.
+  EXPECT_NEAR(*st, 460e-6, 20e-6);
+}
+
+// --- BandgapReference -------------------------------------------------------
+
+TEST(Bandgap, NominalVoltageAndCurvature) {
+  BandgapParams p;
+  p.trim_sigma = 0.0;
+  p.noise_rms = 0.0;
+  BandgapReference bg(p, Rng(1));
+  EXPECT_NEAR(bg.settled_voltage(p.t_nominal_k), p.v_nominal, 1e-9);
+  // Parabolic curvature: symmetric droop away from the vertex.
+  const double droop_cold = p.v_nominal - bg.settled_voltage(p.t_nominal_k - 40.0);
+  const double droop_hot = p.v_nominal - bg.settled_voltage(p.t_nominal_k + 40.0);
+  EXPECT_NEAR(droop_cold, droop_hot, 1e-12);
+  EXPECT_GT(droop_hot, 0.0);
+}
+
+TEST(Bandgap, TempcoWithinSpec) {
+  BandgapParams p;
+  p.trim_sigma = 0.0;
+  BandgapReference bg(p, Rng(1));
+  // Good bandgap: < 50 ppm/K over the industrial range.
+  EXPECT_LT(bg.tempco_ppm_per_k(273.0, 398.0), 50.0);
+}
+
+TEST(Bandgap, StartupTransient) {
+  BandgapParams p;
+  p.trim_sigma = 0.0;
+  p.noise_rms = 0.0;
+  p.startup_tau = 10e-6;
+  BandgapReference bg(p, Rng(1));
+  EXPECT_NEAR(bg.voltage(300.0, 0.0), 0.0, 1e-6);
+  EXPECT_NEAR(bg.voltage(300.0, 10e-6) / bg.settled_voltage(300.0),
+              1.0 - std::exp(-1.0), 0.01);
+  EXPECT_NEAR(bg.voltage(300.0, 1e-3), bg.settled_voltage(300.0), 1e-6);
+}
+
+TEST(CurrentReference, TracksNominalAndTemperature) {
+  BandgapParams bp;
+  bp.trim_sigma = 0.0;
+  BandgapReference bg(bp, Rng(1));
+  CurrentReferenceParams cp;
+  cp.spread_sigma = 0.0;
+  CurrentReference iref(cp, bg, Rng(2));
+  EXPECT_NEAR(iref.current(cp.t_nominal_k), cp.i_nominal, 1e-3 * cp.i_nominal);
+  // Resistor tempco reduces the current when hot.
+  EXPECT_LT(iref.current(cp.t_nominal_k + 50.0), cp.i_nominal);
+}
+
+}  // namespace
+}  // namespace biosense::circuit

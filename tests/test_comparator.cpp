@@ -1,0 +1,104 @@
+#include "circuit/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace biosense::circuit {
+namespace {
+
+ComparatorParams quiet() {
+  ComparatorParams p;
+  p.threshold = 1.0;
+  p.prop_delay = 0.0;
+  p.offset_sigma = 0.0;
+  p.noise_rms = 0.0;
+  return p;
+}
+
+TEST(Comparator, FiresOnUpwardCrossing) {
+  Comparator c(quiet(), Rng(1));
+  EXPECT_FALSE(c.step(0.5, 1e-9));
+  EXPECT_TRUE(c.step(1.1, 1e-9));
+  EXPECT_TRUE(c.output());
+}
+
+TEST(Comparator, DoesNotRefireWhileHigh) {
+  Comparator c(quiet(), Rng(1));
+  c.step(1.1, 1e-9);
+  EXPECT_FALSE(c.step(1.2, 1e-9));
+  EXPECT_FALSE(c.step(1.3, 1e-9));
+}
+
+TEST(Comparator, PropagationDelayDefersEdge) {
+  ComparatorParams p = quiet();
+  p.prop_delay = 10e-9;
+  Comparator c(p, Rng(1));
+  EXPECT_FALSE(c.step(1.1, 4e-9));  // crossing registered, delay pending
+  EXPECT_FALSE(c.step(1.1, 4e-9));  // 8 ns elapsed
+  EXPECT_TRUE(c.step(1.1, 4e-9));   // 12 ns -> edge
+}
+
+TEST(Comparator, HysteresisSeparatesThresholds) {
+  ComparatorParams p = quiet();
+  p.hysteresis = 0.2;  // up at 1.1, down at 0.9
+  Comparator c(p, Rng(1));
+  EXPECT_FALSE(c.step(1.05, 1e-9));  // below the raised threshold
+  EXPECT_TRUE(c.step(1.15, 1e-9));
+  c.step(0.95, 1e-9);  // still above the lowered threshold
+  EXPECT_TRUE(c.output());
+  c.step(0.85, 1e-9);
+  EXPECT_FALSE(c.output());
+}
+
+TEST(Comparator, StaticOffsetIsFrozenAtConstruction) {
+  ComparatorParams p = quiet();
+  p.offset_sigma = 5e-3;
+  Comparator a(p, Rng(10));
+  Comparator b(p, Rng(10));
+  EXPECT_DOUBLE_EQ(a.static_offset(), b.static_offset());
+  Comparator c(p, Rng(11));
+  EXPECT_NE(a.static_offset(), c.static_offset());
+}
+
+TEST(Comparator, OffsetSpreadMatchesSigma) {
+  ComparatorParams p = quiet();
+  p.offset_sigma = 2e-3;
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    s.add(Comparator(p, Rng(1000 + i)).static_offset());
+  }
+  EXPECT_NEAR(s.stddev(), 2e-3, 0.15e-3);
+}
+
+TEST(Comparator, DecisionThresholdNoisy) {
+  ComparatorParams p = quiet();
+  p.noise_rms = 1e-3;
+  Comparator c(p, Rng(5));
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(c.decision_threshold_up());
+  EXPECT_NEAR(s.mean(), 1.0, 1e-4);
+  EXPECT_NEAR(s.stddev(), 1e-3, 1e-4);
+}
+
+TEST(Comparator, ResetClearsState) {
+  Comparator c(quiet(), Rng(1));
+  c.step(1.5, 1e-9);
+  EXPECT_TRUE(c.output());
+  c.reset();
+  EXPECT_FALSE(c.output());
+  EXPECT_TRUE(c.step(1.5, 1e-9));  // fires again after reset
+}
+
+TEST(Comparator, RejectsInvalidConfig) {
+  ComparatorParams p = quiet();
+  p.prop_delay = -1.0;
+  EXPECT_THROW(Comparator(p, Rng(1)), ConfigError);
+  p = quiet();
+  p.hysteresis = -0.1;
+  EXPECT_THROW(Comparator(p, Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::circuit

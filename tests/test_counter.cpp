@@ -1,0 +1,95 @@
+#include "i2f/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace biosense::i2f {
+namespace {
+
+TEST(RippleCounter, CountsAndWraps) {
+  RippleCounter c(4);  // 0..15
+  c.count(10);
+  EXPECT_EQ(c.value(), 10u);
+  c.count(10);
+  EXPECT_EQ(c.value(), 4u);  // 20 mod 16
+  EXPECT_EQ(c.max_value(), 15u);
+}
+
+TEST(RippleCounter, ClockIncrementsByOne) {
+  RippleCounter c(8);
+  for (int i = 0; i < 300; ++i) c.clock();
+  EXPECT_EQ(c.value(), 300u % 256u);
+}
+
+TEST(RippleCounter, ResetClears) {
+  RippleCounter c(16);
+  c.count(12345);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RippleCounter, OverflowPredicate) {
+  EXPECT_FALSE(RippleCounter::would_overflow(65535, 16));
+  EXPECT_TRUE(RippleCounter::would_overflow(65536, 16));
+}
+
+TEST(RippleCounter, RejectsBadWidth) {
+  EXPECT_THROW(RippleCounter(0), ConfigError);
+  EXPECT_THROW(RippleCounter(33), ConfigError);
+}
+
+TEST(ShiftChain, LoadShiftDecodeRoundtrip) {
+  ShiftChain chain(16);
+  const std::vector<std::uint64_t> values{0, 1, 0xffff, 0xa5a5, 12345};
+  chain.load(values);
+  EXPECT_EQ(chain.total_bits(), 5u * 16u);
+
+  std::vector<bool> stream;
+  while (chain.bits_remaining()) stream.push_back(chain.shift_out());
+  const auto decoded = ShiftChain::decode(stream, 16);
+  EXPECT_EQ(decoded, values);
+}
+
+class ShiftChainWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftChainWidths, RandomRoundtrip) {
+  const int bits = GetParam();
+  Rng rng(99);
+  ShiftChain chain(bits);
+  std::vector<std::uint64_t> values;
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  for (int i = 0; i < 64; ++i) values.push_back(rng.next_u64() & mask);
+  chain.load(values);
+  std::vector<bool> stream;
+  while (chain.bits_remaining()) stream.push_back(chain.shift_out());
+  EXPECT_EQ(ShiftChain::decode(stream, bits), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ShiftChainWidths,
+                         ::testing::Values(1, 4, 8, 12, 16, 24, 32));
+
+TEST(ShiftChain, MsbFirstOrdering) {
+  ShiftChain chain(4);
+  chain.load({0b1000});
+  EXPECT_TRUE(chain.shift_out());
+  EXPECT_FALSE(chain.shift_out());
+  EXPECT_FALSE(chain.shift_out());
+  EXPECT_FALSE(chain.shift_out());
+}
+
+TEST(ShiftChain, ShiftPastEndThrows) {
+  ShiftChain chain(8);
+  chain.load({1});
+  for (int i = 0; i < 8; ++i) chain.shift_out();
+  EXPECT_THROW(chain.shift_out(), ConfigError);
+}
+
+TEST(ShiftChain, DecodeRejectsRaggedStream) {
+  std::vector<bool> bits(17, false);
+  EXPECT_THROW(ShiftChain::decode(bits, 16), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::i2f

@@ -1,0 +1,107 @@
+#include "circuit/dac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::circuit {
+namespace {
+
+TEST(Dac, IdealTransferWithoutMismatch) {
+  DacParams p;
+  p.resistor_sigma = 0.0;
+  p.buffer_offset_sigma = 0.0;
+  ResistorStringDac dac(p, Rng(1));
+  EXPECT_DOUBLE_EQ(dac.output(0), 0.0);
+  EXPECT_NEAR(dac.output(dac.max_code()),
+              5.0 * 255.0 / 256.0, 1e-9);  // top tap sits one unit-R below ref
+  EXPECT_NEAR(dac.output(128), 5.0 * 128.0 / 256.0, 1e-9);
+}
+
+class DacBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(DacBits, MonotonicByConstruction) {
+  DacParams p;
+  p.bits = GetParam();
+  p.resistor_sigma = 0.05;  // heavy mismatch
+  ResistorStringDac dac(p, Rng(7));
+  EXPECT_TRUE(dac.monotonic());
+  // DNL of a resistor string can never reach -1 (no missing codes).
+  for (double d : dac.dnl()) EXPECT_GT(d, -1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, DacBits, ::testing::Values(4, 6, 8, 10, 12));
+
+TEST(Dac, InlScalesWithMismatch) {
+  auto max_inl = [](double sigma, std::uint64_t seed) {
+    DacParams p;
+    p.resistor_sigma = sigma;
+    ResistorStringDac dac(p, Rng(seed));
+    double m = 0.0;
+    for (double v : dac.inl()) m = std::max(m, std::abs(v));
+    return m;
+  };
+  // Averaged over several die, larger mismatch -> larger INL.
+  double small = 0.0, large = 0.0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    small += max_inl(0.001, s);
+    large += max_inl(0.02, s);
+  }
+  EXPECT_GT(large, 5.0 * small);
+}
+
+TEST(Dac, InlEndpointsAreZero) {
+  ResistorStringDac dac(DacParams{}, Rng(3));
+  const auto inl = dac.inl();
+  EXPECT_NEAR(inl.front(), 0.0, 1e-12);
+  EXPECT_NEAR(inl.back(), 0.0, 1e-12);
+}
+
+TEST(Dac, CodeForInvertsIdealTransfer) {
+  DacParams p;
+  p.resistor_sigma = 0.0;
+  p.buffer_offset_sigma = 0.0;
+  ResistorStringDac dac(p, Rng(1));
+  for (std::uint32_t code : {0u, 1u, 37u, 128u, 255u}) {
+    const double v = 5.0 * static_cast<double>(code) /
+                     static_cast<double>(dac.max_code());
+    EXPECT_EQ(dac.code_for(v), code);
+  }
+  EXPECT_EQ(dac.code_for(-1.0), 0u);
+  EXPECT_EQ(dac.code_for(10.0), dac.max_code());
+}
+
+TEST(Dac, LsbValue) {
+  ResistorStringDac dac(DacParams{}, Rng(1));
+  EXPECT_NEAR(dac.lsb(), 5.0 / 255.0, 1e-12);
+}
+
+TEST(Dac, OutputClampsCodeOverflow) {
+  ResistorStringDac dac(DacParams{}, Rng(1));
+  EXPECT_DOUBLE_EQ(dac.output(100000), dac.output(dac.max_code()));
+}
+
+TEST(Dac, RejectsInvalidConfig) {
+  DacParams p;
+  p.bits = 0;
+  EXPECT_THROW(ResistorStringDac(p, Rng(1)), ConfigError);
+  p = DacParams{};
+  p.v_ref_hi = p.v_ref_lo;
+  EXPECT_THROW(ResistorStringDac(p, Rng(1)), ConfigError);
+}
+
+TEST(Dac, ElectrochemicalPotentialUseCase) {
+  // The chip sets generator/collector potentials around the label redox
+  // potential; an 8-bit DAC over 0..5 V must place any target within
+  // half an LSB ~ 10 mV.
+  ResistorStringDac dac(DacParams{}, Rng(11));
+  for (double target : {0.8, 1.2, 2.5}) {
+    const double actual = dac.output(dac.code_for(target));
+    EXPECT_NEAR(actual, target, dac.lsb());
+  }
+}
+
+}  // namespace
+}  // namespace biosense::circuit

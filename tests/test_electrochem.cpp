@@ -1,0 +1,116 @@
+#include "dna/electrochemistry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biosense::dna {
+namespace {
+
+RedoxParams quiet() {
+  RedoxParams p;
+  p.drift_per_s = 0.0;
+  return p;
+}
+
+TEST(Redox, CurrentPerMoleculeFormula) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  const RedoxParams p = quiet();
+  const double f_shuttle = p.diffusion / (p.electrode_gap * p.electrode_gap);
+  const double expected = p.electrons_per_cycle * constants::kElectronCharge *
+                          f_shuttle * p.collection_eff;
+  EXPECT_NEAR(s.current_per_molecule(), expected, 1e-22);
+}
+
+TEST(Redox, SteadyStatePopulationIsGenerationTimesResidence) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  EXPECT_NEAR(s.steady_state_population(1000.0),
+              1000.0 * quiet().k_cat * quiet().tau_res, 1e-6);
+}
+
+TEST(Redox, StepConvergesToSteadyState) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  double i = 0.0;
+  for (int k = 0; k < 1000; ++k) i = s.step(1e4, 0.01);
+  EXPECT_NEAR(i, s.steady_state_current(1e4), 0.01 * s.steady_state_current(1e4));
+}
+
+TEST(Redox, ExponentialApproachTimeConstant) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  // After exactly tau_res the population is 63% of steady state.
+  s.step(1e4, quiet().tau_res);
+  EXPECT_NEAR(s.product_population() / s.steady_state_population(1e4),
+              1.0 - std::exp(-1.0), 1e-6);
+}
+
+TEST(Redox, ZeroLabelsGivesBackgroundOnly) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  double i = 0.0;
+  for (int k = 0; k < 100; ++k) i = s.step(0.0, 0.01);
+  EXPECT_NEAR(i, quiet().background, 1e-15);
+}
+
+class RedoxDynamicRange : public ::testing::TestWithParam<double> {};
+
+TEST_P(RedoxDynamicRange, LabelCountsMapIntoChipRange) {
+  // The paper's converter handles 1 pA .. 100 nA. Check the label counts a
+  // real assay produces (1e2 .. 1e7 bound labels) map into that window.
+  const double n_labels = GetParam();
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  const double i = s.steady_state_current(n_labels);
+  EXPECT_GT(i, 0.5e-12);
+  EXPECT_LT(i, 200e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Labels, RedoxDynamicRange,
+                         ::testing::Values(1e2, 1e3, 1e4, 1e5, 1e6, 1e7));
+
+TEST(Redox, CurrentScalesLinearlyWithLabels) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  const double bg = quiet().background;
+  const double i1 = s.steady_state_current(1e4) - bg;
+  const double i2 = s.steady_state_current(2e4) - bg;
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+}
+
+TEST(Redox, DriftStaysBoundedAndPositive) {
+  RedoxParams p;
+  p.drift_per_s = 0.05;  // strong drift
+  RedoxCyclingSensor s(p, Rng(5));
+  for (int k = 0; k < 10000; ++k) {
+    const double i = s.step(0.0, 0.1);
+    EXPECT_GT(i, 0.0);
+    EXPECT_LT(i, p.background * 6.0);  // clamped multiplicative walk
+  }
+}
+
+TEST(Redox, ResetClearsProduct) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  s.step(1e5, 1.0);
+  EXPECT_GT(s.product_population(), 0.0);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.product_population(), 0.0);
+}
+
+TEST(Redox, RejectsInvalidConfig) {
+  RedoxParams p = quiet();
+  p.k_cat = 0.0;
+  EXPECT_THROW(RedoxCyclingSensor(p, Rng(1)), ConfigError);
+  p = quiet();
+  p.collection_eff = 1.5;
+  EXPECT_THROW(RedoxCyclingSensor(p, Rng(1)), ConfigError);
+  p = quiet();
+  p.tau_res = -1.0;
+  EXPECT_THROW(RedoxCyclingSensor(p, Rng(1)), ConfigError);
+}
+
+TEST(Redox, StepRejectsNonPositiveDt) {
+  RedoxCyclingSensor s(quiet(), Rng(1));
+  EXPECT_THROW(s.step(1.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::dna

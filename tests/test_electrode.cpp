@@ -1,0 +1,97 @@
+#include "dna/electrode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace biosense::dna {
+namespace {
+
+TEST(Ide, AreasFromGeometry) {
+  IdeGeometry g;
+  InterdigitatedElectrode ide(g);
+  EXPECT_DOUBLE_EQ(ide.electrode_area(),
+                   g.fingers * g.finger_length * g.finger_width);
+  EXPECT_GT(ide.site_area(), ide.electrode_area());
+}
+
+TEST(Ide, ShuttleFrequencyScalesInverseSquareGap) {
+  IdeGeometry g;
+  g.gap = 1e-6;
+  InterdigitatedElectrode narrow(g);
+  g.gap = 2e-6;
+  InterdigitatedElectrode wide(g);
+  EXPECT_NEAR(narrow.shuttle_frequency() / wide.shuttle_frequency(), 4.0,
+              1e-9);
+}
+
+TEST(Ide, SmallerGapCollectsBetter) {
+  IdeGeometry g;
+  g.gap = 0.5e-6;
+  InterdigitatedElectrode tight(g);
+  g.gap = 4e-6;
+  InterdigitatedElectrode loose(g);
+  EXPECT_GT(tight.collection_efficiency(), loose.collection_efficiency());
+  EXPECT_GT(tight.collection_efficiency(), 0.5);
+  EXPECT_LT(loose.collection_efficiency(), 0.25);
+}
+
+TEST(Ide, RedoxParamsCarryGeometry) {
+  IdeGeometry g;
+  g.gap = 0.8e-6;
+  InterdigitatedElectrode ide(g);
+  const auto p = ide.redox_params();
+  EXPECT_DOUBLE_EQ(p.electrode_gap, 0.8e-6);
+  EXPECT_DOUBLE_EQ(p.collection_eff, ide.collection_efficiency());
+  EXPECT_DOUBLE_EQ(p.tau_res, ide.residence_time());
+  // Enzyme kinetics untouched.
+  EXPECT_DOUBLE_EQ(p.k_cat, RedoxParams{}.k_cat);
+}
+
+TEST(Ide, TighterGeometryBoostsSensorCurrent) {
+  // The architectural knob: shrinking the IDE gap raises the chemical
+  // amplification, visible directly in the per-label current.
+  IdeGeometry g;
+  g.gap = 2e-6;
+  RedoxCyclingSensor coarse(InterdigitatedElectrode(g).redox_params(),
+                            Rng(1));
+  g.gap = 0.5e-6;
+  RedoxCyclingSensor fine(InterdigitatedElectrode(g).redox_params(), Rng(2));
+  const double bg = RedoxParams{}.background;
+  EXPECT_GT(fine.steady_state_current(1e4) - bg,
+            4.0 * (coarse.steady_state_current(1e4) - bg));
+}
+
+TEST(Ide, RandlesParametersPhysical) {
+  InterdigitatedElectrode ide(IdeGeometry{});
+  const auto p = ide.randles_params();
+  // ~1.4e-9 m^2 of gold at 0.2 F/m^2 -> hundreds of pF.
+  EXPECT_GT(p.c_double_layer, 1e-10);
+  EXPECT_LT(p.c_double_layer, 1e-6);
+  EXPECT_GT(p.r_solution, 10.0);
+  EXPECT_LT(p.r_solution, 1e6);
+}
+
+TEST(Ide, ResidenceTimeScalesWithPitch) {
+  IdeGeometry g;
+  g.finger_width = 1e-6;
+  g.gap = 1e-6;
+  InterdigitatedElectrode fine(g);
+  g.finger_width = 2e-6;
+  g.gap = 2e-6;
+  InterdigitatedElectrode coarse(g);
+  EXPECT_NEAR(coarse.residence_time() / fine.residence_time(), 4.0, 1e-9);
+}
+
+TEST(Ide, RejectsInvalidGeometry) {
+  IdeGeometry g;
+  g.fingers = 1;
+  EXPECT_THROW(InterdigitatedElectrode{g}, ConfigError);
+  g = IdeGeometry{};
+  g.gap = 0.0;
+  EXPECT_THROW(InterdigitatedElectrode{g}, ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::dna

@@ -1,0 +1,139 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace biosense::dsp {
+namespace {
+
+TEST(Fft, DcSignal) {
+  std::vector<std::complex<double>> d(8, {1.0, 0.0});
+  fft(d);
+  EXPECT_NEAR(d[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(d[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SinusoidPeaksAtItsBin) {
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> d(n);
+  const int bin = 17;
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = std::sin(2.0 * constants::kPi * bin * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  fft(d);
+  // Energy at +bin and N-bin, each of magnitude N/2.
+  EXPECT_NEAR(std::abs(d[bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(d[n - bin]), n / 2.0, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != static_cast<std::size_t>(bin) && k != n - bin) {
+      EXPECT_NEAR(std::abs(d[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, InverseRoundtrip) {
+  Rng rng(3);
+  std::vector<std::complex<double>> d(512);
+  for (auto& x : d) x = {rng.normal(), rng.normal()};
+  const auto orig = d;
+  fft(d);
+  ifft(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(d[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(d[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(5);
+  const std::size_t n = 1024;
+  std::vector<std::complex<double>> d(n);
+  double time_energy = 0.0;
+  for (auto& x : d) {
+    x = {rng.normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft(d);
+  double freq_energy = 0.0;
+  for (const auto& x : d) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> d(100);
+  EXPECT_THROW(fft(d), ConfigError);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Welch, WhiteNoiseFlatAtKnownLevel) {
+  // Unit-variance white noise sampled at fs has one-sided PSD 2/fs.
+  Rng rng(7);
+  const double fs = 10e3;
+  std::vector<double> sig(1 << 16);
+  for (auto& v : sig) v = rng.normal();
+  const auto est = welch_psd(sig, fs, 1024);
+  // Average the PSD across the mid band.
+  double acc = 0.0;
+  int count = 0;
+  for (std::size_t k = 0; k < est.freq.size(); ++k) {
+    if (est.freq[k] < 500.0 || est.freq[k] > 4500.0) continue;
+    acc += est.psd[k];
+    ++count;
+  }
+  EXPECT_NEAR(acc / count, 2.0 / fs, 0.1 * 2.0 / fs);
+}
+
+TEST(Welch, SinusoidPowerRecovered) {
+  // A sinusoid of amplitude A carries power A^2/2; integrate the PSD peak.
+  const double fs = 8192.0;
+  const double f0 = 1000.0;
+  const double amp = 3.0;
+  std::vector<double> sig(1 << 15);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    sig[i] = amp * std::sin(2.0 * constants::kPi * f0 * i / fs);
+  }
+  const auto est = welch_psd(sig, fs, 2048);
+  const double power = band_rms(est, f0 - 50.0, f0 + 50.0);
+  EXPECT_NEAR(power, amp / std::sqrt(2.0), 0.05 * amp);
+}
+
+TEST(Welch, FrequencyAxis) {
+  std::vector<double> sig(4096, 0.0);
+  const auto est = welch_psd(sig, 1000.0, 1024);
+  EXPECT_DOUBLE_EQ(est.freq.front(), 0.0);
+  EXPECT_NEAR(est.freq.back(), 500.0, 1e-9);
+  EXPECT_EQ(est.freq.size(), 513u);
+}
+
+TEST(Welch, RejectsBadArguments) {
+  std::vector<double> sig(100, 0.0);
+  EXPECT_THROW(welch_psd(sig, 1000.0, 1000), ConfigError);  // not pow2
+  EXPECT_THROW(welch_psd(sig, 1000.0, 1024), ConfigError);  // too long
+}
+
+TEST(BandRms, IntegratesSelectedBandOnly) {
+  PsdEstimate est;
+  for (int k = 0; k <= 100; ++k) {
+    est.freq.push_back(k * 10.0);
+    est.psd.push_back(1.0);  // flat 1 unit^2/Hz
+  }
+  // Band of width 200 Hz -> variance ~200 -> rms ~ 14.1 (trapezoid edges
+  // add up to one bin of slack).
+  EXPECT_NEAR(band_rms(est, 300.0, 500.0), std::sqrt(200.0), 1.0);
+}
+
+}  // namespace
+}  // namespace biosense::dsp

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "screening/funnel.hpp"
+
+namespace biosense::screening {
+namespace {
+
+TEST(FunnelStats, MonteCarloAggregates) {
+  auto cfg = FunnelConfig::standard_pipeline();
+  cfg.library_size = 100000;
+  cfg.true_active_fraction = 1e-4;
+  const auto stats = monte_carlo_funnel(cfg, 50, Rng(1));
+  EXPECT_EQ(stats.runs, 50);
+  EXPECT_GT(stats.cost_mean, 0.0);
+  EXPECT_LE(stats.cost_p10, stats.cost_mean * 1.2);
+  EXPECT_GE(stats.cost_p90, stats.cost_p10);
+  EXPECT_GT(stats.hits_mean, 0.0);
+  EXPECT_GE(stats.hits_mean, stats.hits_min);
+  EXPECT_GE(stats.failure_probability, 0.0);
+  EXPECT_LE(stats.failure_probability, 1.0);
+}
+
+TEST(FunnelStats, RareActivesRaiseFailureProbability) {
+  auto scarce = FunnelConfig::standard_pipeline();
+  scarce.library_size = 100000;
+  scarce.true_active_fraction = 2e-5;  // ~2 actives
+  auto plentiful = scarce;
+  plentiful.true_active_fraction = 1e-3;  // ~100 actives
+  const auto s_scarce = monte_carlo_funnel(scarce, 60, Rng(2));
+  const auto s_plenty = monte_carlo_funnel(plentiful, 60, Rng(2));
+  EXPECT_GT(s_scarce.failure_probability, s_plenty.failure_probability);
+  EXPECT_LT(s_plenty.failure_probability, 0.05);
+}
+
+TEST(FunnelStats, DeterministicPerSeed) {
+  auto cfg = FunnelConfig::standard_pipeline();
+  cfg.library_size = 50000;
+  const auto a = monte_carlo_funnel(cfg, 20, Rng(3));
+  const auto b = monte_carlo_funnel(cfg, 20, Rng(3));
+  EXPECT_DOUBLE_EQ(a.cost_mean, b.cost_mean);
+  EXPECT_DOUBLE_EQ(a.hits_mean, b.hits_mean);
+}
+
+TEST(FunnelStats, RejectsZeroRuns) {
+  EXPECT_THROW(
+      monte_carlo_funnel(FunnelConfig::standard_pipeline(), 0, Rng(1)),
+      ConfigError);
+}
+
+TEST(StageFromConfusion, LaplaceSmoothedRates) {
+  // 2 FP / 98 TN, 1 FN / 19 TP.
+  const auto stage = stage_from_confusion("chip", 0.1, 1e5, 2, 98, 1, 19);
+  EXPECT_NEAR(stage.false_positive_rate, 2.5 / 101.0, 1e-12);
+  EXPECT_NEAR(stage.false_negative_rate, 1.5 / 21.0, 1e-12);
+  EXPECT_EQ(stage.name, "chip");
+}
+
+TEST(StageFromConfusion, ZeroCountsStayOffExtremes) {
+  const auto stage = stage_from_confusion("perfect", 1.0, 1.0, 0, 100, 0, 100);
+  EXPECT_GT(stage.false_positive_rate, 0.0);
+  EXPECT_LT(stage.false_positive_rate, 0.01);
+  EXPECT_GT(stage.false_negative_rate, 0.0);
+}
+
+TEST(StageFromConfusion, PluggableIntoFunnel) {
+  auto cfg = FunnelConfig::standard_pipeline();
+  cfg.stages[0] = stage_from_confusion("chip-measured", 0.1, 1e5, 1, 95, 1, 31);
+  cfg.library_size = 100000;
+  ScreeningFunnel funnel(cfg, Rng(4));
+  const auto r = funnel.run();
+  EXPECT_EQ(r.stages[0].name, "chip-measured");
+  EXPECT_GT(r.total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace biosense::screening

@@ -1,0 +1,145 @@
+#include "neuro/hodgkin_huxley.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::neuro {
+namespace {
+
+constexpr double kDt = 10e-6;  // 10 us
+
+TEST(HodgkinHuxley, RestingStateIsStable) {
+  HodgkinHuxley hh;
+  for (int i = 0; i < 100000; ++i) hh.step(0.0, kDt);  // 1 s unstimulated
+  EXPECT_NEAR(hh.v_m(), -65e-3, 2e-3);
+  EXPECT_FALSE(hh.spiking());
+}
+
+TEST(HodgkinHuxley, GatesStayInUnitInterval) {
+  HodgkinHuxley hh;
+  for (int i = 0; i < 20000; ++i) {
+    const double stim = (i % 5000) < 100 ? 0.3 : 0.0;
+    hh.step(stim, kDt);
+    EXPECT_GE(hh.gate_m(), 0.0);
+    EXPECT_LE(hh.gate_m(), 1.0);
+    EXPECT_GE(hh.gate_h(), 0.0);
+    EXPECT_LE(hh.gate_h(), 1.0);
+    EXPECT_GE(hh.gate_n(), 0.0);
+    EXPECT_LE(hh.gate_n(), 1.0);
+  }
+}
+
+TEST(HodgkinHuxley, SuprathresholdPulseElicitsSpike) {
+  HodgkinHuxley hh;
+  const auto trace = hh.run_pulse(0.15, 1e-3, 1.5e-3, 10e-3, kDt);
+  double vmax = -1.0;
+  for (double v : trace) vmax = std::max(vmax, v);
+  // Full-blown action potential overshoots 0 mV.
+  EXPECT_GT(vmax, 20e-3);
+}
+
+TEST(HodgkinHuxley, SubthresholdPulseDoesNot) {
+  HodgkinHuxley hh;
+  const auto trace = hh.run_pulse(0.01, 1e-3, 1.5e-3, 10e-3, kDt);
+  double vmax = -1.0;
+  for (double v : trace) vmax = std::max(vmax, v);
+  EXPECT_LT(vmax, -40e-3);
+}
+
+TEST(HodgkinHuxley, SpikeHasAfterhyperpolarization) {
+  HodgkinHuxley hh;
+  const auto trace = hh.run_pulse(0.15, 1e-3, 1.5e-3, 15e-3, kDt);
+  double vmin = 1.0;
+  for (double v : trace) vmin = std::min(vmin, v);
+  EXPECT_LT(vmin, -70e-3);  // undershoot below rest
+}
+
+TEST(HodgkinHuxley, RefractoryPeriodBlocksImmediateRestimulation) {
+  HodgkinHuxley hh;
+  // Two strong pulses 3 ms apart: the second lands in the refractory
+  // period and must NOT produce a second full spike.
+  int spikes = 0;
+  bool above = false;
+  for (double t = 0.0; t < 20e-3; t += kDt) {
+    const bool stim = (t >= 1e-3 && t < 1.5e-3) || (t >= 4e-3 && t < 4.5e-3);
+    hh.step(stim ? 0.3 : 0.0, kDt);
+    const bool now = hh.v_m() > 0.0;
+    if (now && !above) ++spikes;
+    above = now;
+  }
+  EXPECT_EQ(spikes, 1);
+}
+
+TEST(HodgkinHuxley, SustainedCurrentProducesSpikeTrain) {
+  HodgkinHuxley hh;
+  int spikes = 0;
+  bool above = false;
+  for (double t = 0.0; t < 0.5; t += kDt) {
+    hh.step(0.1, kDt);  // 10 uA/cm^2 sustained
+    const bool now = hh.v_m() > 0.0;
+    if (now && !above) ++spikes;
+    above = now;
+  }
+  // Squid axon fires ~50-90 Hz at this drive.
+  EXPECT_GT(spikes, 20);
+  EXPECT_LT(spikes, 60);
+}
+
+TEST(HodgkinHuxley, FiringRateIncreasesWithDrive) {
+  auto count_spikes = [](double drive) {
+    HodgkinHuxley hh;
+    int spikes = 0;
+    bool above = false;
+    for (double t = 0.0; t < 0.5; t += kDt) {
+      hh.step(drive, kDt);
+      const bool now = hh.v_m() > 0.0;
+      if (now && !above) ++spikes;
+      above = now;
+    }
+    return spikes;
+  };
+  EXPECT_LT(count_spikes(0.08), count_spikes(0.20));
+}
+
+TEST(HodgkinHuxley, CurrentBalanceIsKcl) {
+  // Kirchhoff on the membrane: capacitive + ionic = injected, at every
+  // instant (the property the junction model builds on).
+  HodgkinHuxley hh;
+  for (double t = 0.0; t < 20e-3; t += kDt) {
+    const double stim = (t >= 1e-3 && t < 1.5e-3) ? 0.15 : 0.0;
+    hh.step(stim, kDt);
+    EXPECT_NEAR(hh.currents().total(), stim, 5e-3);
+  }
+}
+
+TEST(HodgkinHuxley, SodiumInwardPotassiumOutwardDuringSpike) {
+  HodgkinHuxley hh;
+  double min_na = 0.0;
+  double max_k = 0.0;
+  for (double t = 0.0; t < 10e-3; t += kDt) {
+    const double stim = (t >= 1e-3 && t < 1.5e-3) ? 0.15 : 0.0;
+    hh.step(stim, kDt);
+    min_na = std::min(min_na, hh.currents().sodium);
+    max_k = std::max(max_k, hh.currents().potassium);
+  }
+  EXPECT_LT(min_na, -1.0);  // strong inward Na (A/m^2)
+  EXPECT_GT(max_k, 1.0);    // strong outward K
+}
+
+TEST(HodgkinHuxley, ResetRestoresRest) {
+  HodgkinHuxley hh;
+  hh.run_pulse(0.15, 1e-3, 1.5e-3, 5e-3, kDt);
+  hh.reset();
+  EXPECT_NEAR(hh.v_m(), -65e-3, 1e-6);
+}
+
+TEST(HodgkinHuxley, RejectsBadDt) {
+  HodgkinHuxley hh;
+  EXPECT_THROW(hh.step(0.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::neuro

@@ -1,0 +1,171 @@
+#include "i2f/sawtooth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace biosense::i2f {
+namespace {
+
+I2fConfig quiet_config() {
+  I2fConfig c;
+  c.comparator_noise_rms = 0.0;
+  c.comparator_offset_sigma = 0.0;
+  c.leakage = 0.0;
+  c.reset_residual_v = 0.0;
+  return c;
+}
+
+TEST(I2f, IdealFrequencyFormula) {
+  SawtoothConverter conv(quiet_config(), Rng(1));
+  const I2fConfig c = quiet_config();
+  const double i = 1e-9;
+  const double ramp = c.c_int * (c.v_threshold - c.v_reset) / i;
+  EXPECT_NEAR(conv.ideal_frequency(i), 1.0 / (ramp + conv.dead_time()), 1e-6);
+  EXPECT_DOUBLE_EQ(conv.ideal_frequency(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(conv.ideal_frequency(-1e-9), 0.0);
+}
+
+TEST(I2f, DeadTimeIsSumOfDelays) {
+  const I2fConfig c = quiet_config();
+  SawtoothConverter conv(c, Rng(1));
+  EXPECT_DOUBLE_EQ(conv.dead_time(),
+                   c.comparator_delay + c.delay_stage + c.reset_width);
+}
+
+class I2fLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(I2fLinearity, MeasuredFrequencyTracksIdeal) {
+  // The paper's key claim for Fig. 3: "the measured frequency is
+  // approximately proportional to the sensor current", across
+  // 1 pA .. 100 nA (five decades).
+  const double i_sensor = GetParam();
+  SawtoothConverter conv(quiet_config(), Rng(2));
+  // Gate long enough for >= 100 counts at the low end.
+  const double gate = std::max(0.01, 120.0 / conv.ideal_frequency(i_sensor));
+  const auto conv_result = conv.measure(i_sensor, gate);
+  EXPECT_GT(conv_result.count, 50u);
+  EXPECT_NEAR(conv_result.mean_frequency / conv.ideal_frequency(i_sensor), 1.0,
+              0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveDecades, I2fLinearity,
+                         ::testing::Values(1e-12, 3e-12, 1e-11, 1e-10, 1e-9,
+                                           1e-8, 3e-8, 1e-7));
+
+TEST(I2f, HighCurrentCompression) {
+  // Above the compression corner the dead time dominates and the transfer
+  // flattens: f(10*I) < 10*f(I).
+  SawtoothConverter conv(quiet_config(), Rng(3));
+  const double corner = conv.compression_corner_current();
+  const double f1 = conv.ideal_frequency(corner);
+  const double f10 = conv.ideal_frequency(10.0 * corner);
+  EXPECT_LT(f10, 10.0 * f1 * 0.6);
+  // At the corner itself, exactly half the zero-dead-time slope.
+  const double slope_f = corner / (quiet_config().c_int *
+                                   (quiet_config().v_threshold -
+                                    quiet_config().v_reset));
+  EXPECT_NEAR(f1 / slope_f, 0.5, 1e-9);
+}
+
+TEST(I2f, LeakageSetsLowEndFloor) {
+  I2fConfig c = quiet_config();
+  c.leakage = 50e-15;
+  SawtoothConverter conv(c, Rng(4));
+  // Measuring zero input still produces counts from the leakage ramp.
+  const auto r = conv.measure(0.0, 100.0);
+  EXPECT_GT(r.count, 0u);
+  // Reading interprets as ~leakage-equivalent current.
+  const double apparent = r.mean_frequency * c.c_int * (c.v_threshold - c.v_reset);
+  EXPECT_NEAR(apparent, 50e-15, 10e-15);
+}
+
+TEST(I2f, ComparatorNoiseCreatesCycleJitter) {
+  I2fConfig noisy = quiet_config();
+  noisy.comparator_noise_rms = 5e-3;
+  SawtoothConverter a(noisy, Rng(5));
+  SawtoothConverter b(quiet_config(), Rng(5));
+  // Per-cycle threshold noise shows up as period jitter: the first period
+  // of repeated conversions varies for the noisy converter, and its spread
+  // matches noise/dV of the nominal period.
+  RunningStats pa, pb;
+  for (int k = 0; k < 200; ++k) {
+    pa.add(a.measure(1e-9, 200e-6).first_period);
+    pb.add(b.measure(1e-9, 200e-6).first_period);
+  }
+  EXPECT_GT(pa.stddev(), 10.0 * pb.stddev());
+  const double dv = quiet_config().v_threshold - quiet_config().v_reset;
+  EXPECT_NEAR(pa.stddev() / pa.mean(), 5e-3 / dv, 2e-3);
+}
+
+TEST(I2f, OffsetSpreadAcrossDies) {
+  I2fConfig c = quiet_config();
+  c.comparator_offset_sigma = 5e-3;
+  RunningStats s;
+  for (int k = 0; k < 2000; ++k) {
+    s.add(SawtoothConverter(c, Rng(100 + k)).comparator_offset());
+  }
+  EXPECT_NEAR(s.stddev(), 5e-3, 0.5e-3);
+}
+
+TEST(I2f, TransientWaveformMatchesEventSimulation) {
+  // The fixed-step sawtooth's period should agree with the event-driven
+  // calculation.
+  I2fConfig c = quiet_config();
+  SawtoothConverter conv(c, Rng(6));
+  const double i = 10e-9;
+  const double expected_period = 1.0 / conv.ideal_frequency(i);
+  const auto trace = conv.transient_waveform(i, 6.0 * expected_period, 1e-8);
+  const auto crossings = trace.up_crossings(0.9 * c.v_threshold);
+  ASSERT_GE(crossings.size(), 3u);
+  RunningStats periods;
+  for (std::size_t k = 1; k < crossings.size(); ++k) {
+    periods.add(crossings[k] - crossings[k - 1]);
+  }
+  EXPECT_NEAR(periods.mean(), expected_period, 0.05 * expected_period);
+}
+
+TEST(I2f, TransientWaveformStaysInRange) {
+  const I2fConfig c = quiet_config();
+  SawtoothConverter conv(c, Rng(7));
+  const auto trace = conv.transient_waveform(50e-9, 100e-6, 1e-8);
+  EXPECT_GE(trace.min_value(), c.v_reset - 0.05);
+  // The ramp overshoots the threshold by at most the dead-time ramp-on.
+  EXPECT_LT(trace.max_value(), c.v_threshold + 0.2);
+}
+
+TEST(I2f, CountScalesWithGateTime) {
+  SawtoothConverter conv(quiet_config(), Rng(8));
+  const auto short_gate = conv.measure(1e-9, 0.1);
+  const auto long_gate = conv.measure(1e-9, 1.0);
+  EXPECT_NEAR(static_cast<double>(long_gate.count) /
+                  static_cast<double>(short_gate.count),
+              10.0, 0.3);
+}
+
+TEST(I2f, PicoampMeasurementIsCheap) {
+  // Event-driven evaluation: a 1 pA conversion over a 100 s gate must not
+  // require stepping 100 s of waveform. Just verify it completes and gives
+  // the right count (~ ideal f * gate).
+  SawtoothConverter conv(quiet_config(), Rng(9));
+  const auto r = conv.measure(1e-12, 100.0);
+  EXPECT_NEAR(static_cast<double>(r.count),
+              conv.ideal_frequency(1e-12) * 100.0, 3.0);
+}
+
+TEST(I2f, RejectsInvalidConfig) {
+  I2fConfig c = quiet_config();
+  c.c_int = 0.0;
+  EXPECT_THROW(SawtoothConverter(c, Rng(1)), ConfigError);
+  c = quiet_config();
+  c.v_threshold = c.v_reset;
+  EXPECT_THROW(SawtoothConverter(c, Rng(1)), ConfigError);
+  SawtoothConverter ok(quiet_config(), Rng(1));
+  EXPECT_THROW(ok.measure(1e-9, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::i2f

@@ -1,0 +1,78 @@
+#include "neuro/izhikevich.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "neuro/spike_train.hpp"
+
+namespace biosense::neuro {
+namespace {
+
+constexpr double kDt = 0.5e-3;
+
+TEST(Izhikevich, QuietWithoutInput) {
+  Izhikevich n;
+  const auto spikes = n.run(0.0, 1.0, kDt);
+  EXPECT_TRUE(spikes.empty());
+}
+
+TEST(Izhikevich, FiresWithSustainedInput) {
+  Izhikevich n;
+  const auto spikes = n.run(10.0, 1.0, kDt);
+  EXPECT_GT(spikes.size(), 3u);
+}
+
+TEST(Izhikevich, RateGrowsWithDrive) {
+  Izhikevich n;
+  const auto lo = n.run(6.0, 2.0, kDt);
+  const auto hi = n.run(14.0, 2.0, kDt);
+  EXPECT_GT(hi.size(), lo.size());
+}
+
+TEST(Izhikevich, FastSpikingOutpacesRegularSpiking) {
+  Izhikevich rs(IzhikevichParams::regular_spiking());
+  Izhikevich fs(IzhikevichParams::fast_spiking());
+  const auto rs_spikes = rs.run(10.0, 2.0, kDt);
+  const auto fs_spikes = fs.run(10.0, 2.0, kDt);
+  EXPECT_GT(fs_spikes.size(), rs_spikes.size());
+}
+
+TEST(Izhikevich, ChatteringProducesBursts) {
+  Izhikevich ch(IzhikevichParams::chattering());
+  const auto spikes = ch.run(10.0, 2.0, kDt);
+  ASSERT_GT(spikes.size(), 4u);
+  // Bursting: the ISI distribution is strongly bimodal -> high CV.
+  EXPECT_GT(isi_cv(spikes), 0.5);
+}
+
+TEST(Izhikevich, RegularSpikingIsRegular) {
+  Izhikevich rs(IzhikevichParams::regular_spiking());
+  auto spikes = rs.run(10.0, 3.0, kDt);
+  ASSERT_GT(spikes.size(), 5u);
+  // Drop the initial adaptation transient.
+  spikes.erase(spikes.begin(), spikes.begin() + 3);
+  EXPECT_LT(isi_cv(spikes), 0.2);
+}
+
+TEST(Izhikevich, VoltageResetAfterSpike) {
+  Izhikevich n;
+  bool fired = false;
+  for (double t = 0.0; t < 1.0 && !fired; t += kDt) {
+    fired = n.step(10.0, kDt);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_NEAR(n.v_mv(), -65.0, 1e-9);  // c parameter
+}
+
+TEST(Izhikevich, DeterministicRuns) {
+  Izhikevich a, b;
+  EXPECT_EQ(a.run(10.0, 1.0, kDt), b.run(10.0, 1.0, kDt));
+}
+
+TEST(Izhikevich, RejectsBadDt) {
+  Izhikevich n;
+  EXPECT_THROW(n.step(0.0, -1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::neuro

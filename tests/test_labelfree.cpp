@@ -1,0 +1,121 @@
+#include "dna/labelfree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace biosense::dna {
+namespace {
+
+TEST(Impedance, LowFrequencyDominatedByChargeTransfer) {
+  ImpedanceSensor s(RandlesParams{}, Rng(1));
+  const auto z = s.impedance(0.01, 0.0);
+  // At very low f the capacitor is open: |Z| ~ Rs + Rct.
+  EXPECT_NEAR(std::abs(z),
+              RandlesParams{}.r_solution + RandlesParams{}.r_charge_transfer,
+              0.05 * RandlesParams{}.r_charge_transfer);
+}
+
+TEST(Impedance, HighFrequencyDominatedBySolution) {
+  ImpedanceSensor s(RandlesParams{}, Rng(1));
+  const auto z = s.impedance(10e6, 0.0);
+  EXPECT_NEAR(std::abs(z), RandlesParams{}.r_solution,
+              0.05 * RandlesParams{}.r_solution);
+}
+
+TEST(Impedance, HybridizationRaisesMidbandMagnitude) {
+  // Cdl drops and Rct rises with coverage -> |Z| grows at the measuring
+  // frequency.
+  ImpedanceSensor s(RandlesParams{}, Rng(1));
+  const double f = s.optimal_frequency();
+  EXPECT_GT(s.magnitude_contrast(f, 1.0), 0.05);
+  EXPECT_GT(s.magnitude_contrast(f, 1.0), s.magnitude_contrast(f, 0.3));
+  EXPECT_NEAR(s.magnitude_contrast(f, 0.0), 0.0, 1e-12);
+}
+
+TEST(Impedance, ContrastMonotonicInCoverage) {
+  ImpedanceSensor s(RandlesParams{}, Rng(1));
+  const double f = s.optimal_frequency();
+  double prev = -1.0;
+  for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double c = s.magnitude_contrast(f, theta);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Impedance, MeasurementNoiseScales) {
+  ImpedanceSensor s(RandlesParams{}, Rng(7));
+  RunningStats stats;
+  const double f = 1e3;
+  for (int i = 0; i < 2000; ++i) {
+    stats.add(s.measure_magnitude(f, 0.5, 0.01));
+  }
+  const double z = std::abs(s.impedance(f, 0.5));
+  EXPECT_NEAR(stats.mean(), z, 0.01 * z);
+  EXPECT_NEAR(stats.stddev(), 0.01 * z, 0.002 * z);
+}
+
+TEST(Impedance, RejectsInvalidConfig) {
+  RandlesParams p;
+  p.c_double_layer = 0.0;
+  EXPECT_THROW(ImpedanceSensor(p, Rng(1)), ConfigError);
+  p = RandlesParams{};
+  p.cap_drop_full = 1.0;
+  EXPECT_THROW(ImpedanceSensor(p, Rng(1)), ConfigError);
+  ImpedanceSensor ok(RandlesParams{}, Rng(1));
+  EXPECT_THROW(ok.impedance(0.0, 0.5), ConfigError);
+}
+
+TEST(Fbar, DnaArealMassFormula) {
+  // 1e16 probes/m^2 (1e12/cm^2), full coverage, 100-base targets:
+  // 1e16 * 100 * 330 g/mol / Na = 5.5e-7 kg/m^2 (55 ng/cm^2).
+  const double m = FbarSensor::dna_areal_mass(1e16, 1.0, 100);
+  EXPECT_NEAR(m, 5.5e-7, 0.1e-7);
+  EXPECT_DOUBLE_EQ(FbarSensor::dna_areal_mass(1e16, 0.0, 100), 0.0);
+}
+
+TEST(Fbar, FrequencyShiftIsNegativeAndLinear) {
+  FbarSensor s(FbarParams{}, Rng(2));
+  const double m = 1e-7;
+  EXPECT_LT(s.frequency_shift(m), 0.0);
+  EXPECT_NEAR(s.frequency_shift(2.0 * m), 2.0 * s.frequency_shift(m), 1e-9);
+}
+
+TEST(Fbar, TypicalHybridizationShiftWellAboveNoise) {
+  FbarSensor s(FbarParams{}, Rng(3));
+  const double m = FbarSensor::dna_areal_mass(1e16, 0.5, 100);
+  const double shift = std::abs(s.frequency_shift(m));
+  EXPECT_GT(shift, 20.0 * FbarParams{}.readout_noise);
+}
+
+TEST(Fbar, MassResolutionSubNanogramPerCm2) {
+  FbarSensor s(FbarParams{}, Rng(4));
+  // Published FBAR biosensors resolve ~ ng/cm^2 = 1e-8 kg/m^2 scales.
+  EXPECT_LT(s.mass_resolution(), 1e-8);
+  EXPECT_GT(s.mass_resolution(), 1e-12);
+}
+
+TEST(Fbar, DifferentialMeasurementStatistics) {
+  FbarSensor s(FbarParams{}, Rng(5));
+  const double m = 1e-8;
+  RunningStats stats;
+  for (int i = 0; i < 3000; ++i) stats.add(s.measure_shift(m));
+  EXPECT_NEAR(stats.mean(), s.frequency_shift(m),
+              5.0 * FbarParams{}.readout_noise / std::sqrt(3000.0) + 50.0);
+  // Total noise: readout (sqrt2 x 300) + residual thermal mismatch.
+  EXPECT_GT(stats.stddev(), FbarParams{}.readout_noise);
+}
+
+TEST(Fbar, RejectsInvalidConfig) {
+  FbarParams p;
+  p.f0 = 0.0;
+  EXPECT_THROW(FbarSensor(p, Rng(1)), ConfigError);
+  EXPECT_THROW(FbarSensor::dna_areal_mass(1e16, 1.5, 100), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::dna

@@ -1,0 +1,83 @@
+#include "noise/mismatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace biosense::noise {
+namespace {
+
+TEST(Mismatch, SigmaFollowsPelgromLaw) {
+  MismatchSampler s({12e-9, 0.02e-6}, Rng(1));
+  // sigma(VT) = A_VT / sqrt(WL): 1um x 1um -> 12 mV.
+  EXPECT_NEAR(s.sigma_vt(1e-6, 1e-6), 12e-3, 1e-6);
+  // Quadrupling the area halves the spread.
+  EXPECT_NEAR(s.sigma_vt(2e-6, 2e-6), 6e-3, 1e-6);
+  EXPECT_NEAR(s.sigma_beta(1e-6, 1e-6), 0.02, 1e-6);
+}
+
+class MismatchGeometry
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MismatchGeometry, SampledSpreadMatchesPredicted) {
+  const auto [w, l] = GetParam();
+  MismatchSampler s({12e-9, 0.02e-6}, Rng(42));
+  RunningStats vt;
+  RunningStats beta;
+  for (int i = 0; i < 20000; ++i) {
+    const auto m = s.sample(w, l);
+    vt.add(m.delta_vt);
+    beta.add(m.beta_ratio - 1.0);
+  }
+  EXPECT_NEAR(vt.mean(), 0.0, 3.0 * s.sigma_vt(w, l) / std::sqrt(20000.0));
+  EXPECT_NEAR(vt.stddev(), s.sigma_vt(w, l), 0.03 * s.sigma_vt(w, l));
+  EXPECT_NEAR(beta.stddev(), s.sigma_beta(w, l), 0.05 * s.sigma_beta(w, l));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MismatchGeometry,
+    ::testing::Values(std::pair{0.5e-6, 0.5e-6}, std::pair{1e-6, 0.5e-6},
+                      std::pair{1e-6, 1e-6}, std::pair{5e-6, 2e-6},
+                      std::pair{10e-6, 10e-6}));
+
+TEST(Mismatch, DeterministicPerSeed) {
+  MismatchSampler a({12e-9, 0.02e-6}, Rng(7));
+  MismatchSampler b({12e-9, 0.02e-6}, Rng(7));
+  for (int i = 0; i < 10; ++i) {
+    const auto ma = a.sample(1e-6, 1e-6);
+    const auto mb = b.sample(1e-6, 1e-6);
+    EXPECT_DOUBLE_EQ(ma.delta_vt, mb.delta_vt);
+    EXPECT_DOUBLE_EQ(ma.beta_ratio, mb.beta_ratio);
+  }
+}
+
+TEST(Mismatch, BetaRatioStaysPhysical) {
+  // Even for tiny devices with a huge relative spread, beta stays positive.
+  MismatchSampler s({12e-9, 2e-6}, Rng(3));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(s.sample(0.2e-6, 0.2e-6).beta_ratio, 0.0);
+  }
+}
+
+TEST(Mismatch, RejectsInvalidGeometry) {
+  MismatchSampler s({}, Rng(1));
+  EXPECT_THROW(s.sigma_vt(0.0, 1e-6), ConfigError);
+  EXPECT_THROW(s.sample(-1e-6, 1e-6), ConfigError);
+}
+
+TEST(Mismatch, PaperProcessContext) {
+  // In the paper's 0.5 um process a minimum-size sensor FET (W=L~1 um)
+  // has sigma(VT) ~ 10-20 mV: two orders of magnitude above the 100 uV
+  // minimum neural signal. This is the quantitative reason Fig. 6 needs
+  // in-pixel calibration.
+  MismatchSampler s({12e-9, 0.02e-6}, Rng(1));
+  const double sigma = s.sigma_vt(1e-6, 1e-6);
+  EXPECT_GT(sigma / 100e-6, 50.0);
+  EXPECT_LT(sigma / 100e-6, 500.0);
+}
+
+}  // namespace
+}  // namespace biosense::noise

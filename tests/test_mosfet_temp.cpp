@@ -1,0 +1,77 @@
+// Temperature behaviour of the MOSFET model (vt tempco + mobility) and its
+// system-level consequence: biosensor chips operate from room temperature
+// to 37 C incubation, so bias points must stay sane across that range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mosfet.hpp"
+#include "common/units.hpp"
+
+namespace biosense::circuit {
+namespace {
+
+MosfetParams at_temp(double t) {
+  MosfetParams p;
+  p.temp_k = t;
+  return p;
+}
+
+TEST(MosfetTemp, ThresholdFallsWhenHot) {
+  Mosfet cold(at_temp(280.0));
+  Mosfet nominal(at_temp(300.0));
+  Mosfet hot(at_temp(320.0));
+  EXPECT_GT(cold.effective_vt(), nominal.effective_vt());
+  EXPECT_GT(nominal.effective_vt(), hot.effective_vt());
+  // Default tempco -1.2 mV/K: 20 K -> 24 mV.
+  EXPECT_NEAR(nominal.effective_vt() - hot.effective_vt(), 24e-3, 1e-6);
+}
+
+TEST(MosfetTemp, MobilityDegradesStrongInversionCurrent) {
+  // Deep strong inversion, where the vt shift is negligible against the
+  // overdrive: current follows mobility ~ T^-1.5.
+  Mosfet nominal(at_temp(300.0));
+  Mosfet hot(at_temp(360.0));
+  const double i_nom = nominal.drain_current(4.0, 3.0, 0.0);
+  const double i_hot = hot.drain_current(4.0, 3.0, 0.0);
+  const double expected = std::pow(360.0 / 300.0, -1.5);
+  EXPECT_NEAR(i_hot / i_nom, expected, 0.05);
+}
+
+TEST(MosfetTemp, SubthresholdCurrentRisesWhenHot) {
+  // Near/below threshold the falling VT wins: leakage grows with
+  // temperature — the reason the DNA chip's pA-range floor is
+  // temperature-sensitive.
+  Mosfet nominal(at_temp(300.0));
+  Mosfet hot(at_temp(340.0));
+  EXPECT_GT(hot.drain_current(0.45, 2.0, 0.0),
+            2.0 * nominal.drain_current(0.45, 2.0, 0.0));
+}
+
+TEST(MosfetTemp, ZeroTempcoDisablesShift) {
+  MosfetParams p = at_temp(340.0);
+  p.vt_tempco = 0.0;
+  Mosfet m(p);
+  EXPECT_DOUBLE_EQ(m.effective_vt(), p.vt0);
+}
+
+TEST(MosfetTemp, ThermalVoltageTracksTemperature) {
+  EXPECT_NEAR(thermal_voltage(300.0), 25.85e-3, 0.05e-3);
+  EXPECT_NEAR(thermal_voltage(310.15) / thermal_voltage(300.0),
+              310.15 / 300.0, 1e-9);
+}
+
+TEST(MosfetTemp, OperatingPointStableAcrossIncubationRange) {
+  // A diode-connected bias from 20 C to 40 C: the solved gate voltage for
+  // a fixed current moves by tens of mV, not volts — the periphery's bias
+  // DACs can absorb it.
+  Mosfet cool(at_temp(293.0));
+  Mosfet warm(at_temp(313.0));
+  const double vg_cool = cool.vgs_for_current(1e-6, 2.0, 0.0);
+  const double vg_warm = warm.vgs_for_current(1e-6, 2.0, 0.0);
+  EXPECT_LT(std::abs(vg_cool - vg_warm), 0.1);
+  EXPECT_GT(std::abs(vg_cool - vg_warm), 1e-3);
+}
+
+}  // namespace
+}  // namespace biosense::circuit

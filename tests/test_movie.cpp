@@ -1,0 +1,100 @@
+#include "dsp/movie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace biosense::dsp {
+namespace {
+
+// Builds a synthetic movie: constant background per pixel plus a sinusoid
+// on one "active" pixel.
+std::vector<neurochip::NeuroFrame> synthetic_movie(int rows, int cols,
+                                                   int n_frames,
+                                                   int active_r,
+                                                   int active_c) {
+  std::vector<neurochip::NeuroFrame> frames;
+  for (int k = 0; k < n_frames; ++k) {
+    neurochip::NeuroFrame f;
+    f.rows = rows;
+    f.cols = cols;
+    f.t = k * 500e-6;
+    f.v_in.assign(static_cast<std::size_t>(rows * cols), 0.0);
+    f.codes.assign(static_cast<std::size_t>(rows * cols), 0);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        double v = 1e-3 * (r * cols + c);  // static per-pixel background
+        if (r == active_r && c == active_c) {
+          v += 0.5e-3 * std::sin(2.0 * 3.14159265358979 * k / 16.0);
+        }
+        f.at(r, c) = v;
+      }
+    }
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+TEST(FrameStack, GeometryAndFrameRate) {
+  FrameStack stack(synthetic_movie(4, 6, 32, 1, 2));
+  EXPECT_EQ(stack.rows(), 4);
+  EXPECT_EQ(stack.cols(), 6);
+  EXPECT_EQ(stack.size(), 32u);
+  EXPECT_NEAR(stack.frame_rate(), 2000.0, 1e-6);
+}
+
+TEST(FrameStack, PixelTraceMatchesFrames) {
+  FrameStack stack(synthetic_movie(4, 4, 8, 0, 0));
+  const auto trace = stack.pixel_trace(2, 3);
+  ASSERT_EQ(trace.size(), 8u);
+  for (double v : trace) EXPECT_DOUBLE_EQ(v, 1e-3 * (2 * 4 + 3));
+}
+
+TEST(FrameStack, TemporalMeanIsBackgroundImage) {
+  FrameStack stack(synthetic_movie(3, 3, 64, 1, 1));
+  const auto mean = stack.temporal_mean();
+  // Static pixels: mean equals background exactly; active pixel: sinusoid
+  // averages out over whole periods.
+  EXPECT_DOUBLE_EQ(mean[0], 0.0);
+  EXPECT_NEAR(mean[1 * 3 + 1], 1e-3 * 4, 1e-9);
+}
+
+TEST(FrameStack, StddevHighlightsActivePixel) {
+  FrameStack stack(synthetic_movie(5, 5, 64, 2, 2));
+  const auto sd = stack.temporal_stddev();
+  const auto active = stack.most_active(1);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], static_cast<std::size_t>(2 * 5 + 2));
+  // Sinusoid of amplitude 0.5 mV: sd = A/sqrt(2).
+  EXPECT_NEAR(sd[2 * 5 + 2], 0.5e-3 / std::sqrt(2.0), 0.05e-3);
+  EXPECT_NEAR(sd[0], 0.0, 1e-12);
+}
+
+TEST(FrameStack, AcTraceRemovesBackground) {
+  FrameStack stack(synthetic_movie(3, 3, 64, 1, 1));
+  const auto ac = stack.pixel_trace_ac(2, 2);
+  for (double v : ac) EXPECT_NEAR(v, 0.0, 1e-12);
+  const auto ac_active = stack.pixel_trace_ac(1, 1);
+  double mean = 0.0;
+  for (double v : ac_active) mean += v;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+}
+
+TEST(FrameStack, MostActiveOrdersAndClamps) {
+  FrameStack stack(synthetic_movie(4, 4, 32, 3, 3));
+  const auto top = stack.most_active(100);  // clamped to pixel count
+  EXPECT_EQ(top.size(), 16u);
+  EXPECT_EQ(top[0], static_cast<std::size_t>(3 * 4 + 3));
+}
+
+TEST(FrameStack, Validation) {
+  EXPECT_THROW(FrameStack({}), ConfigError);
+  FrameStack stack(synthetic_movie(2, 2, 4, 0, 0));
+  EXPECT_THROW(stack.pixel_trace(5, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::dsp

@@ -1,0 +1,142 @@
+#include "neuro/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsp/network.hpp"
+#include "neuro/culture.hpp"
+#include "neuro/spike_train.hpp"
+
+namespace biosense::neuro {
+namespace {
+
+NetworkConfig small_net() {
+  NetworkConfig c;
+  c.n_excitatory = 80;
+  c.n_inhibitory = 20;
+  return c;
+}
+
+TEST(IzhikevichNetwork, PopulationFiresAtCorticalRates) {
+  IzhikevichNetwork net(small_net(), Rng(1));
+  net.run(2.0);
+  // The reference network fires at a few Hz to a few tens of Hz.
+  EXPECT_GT(net.mean_rate(), 1.0);
+  EXPECT_LT(net.mean_rate(), 60.0);
+  EXPECT_NEAR(net.simulated_time(), 2.0, 1e-6);
+}
+
+TEST(IzhikevichNetwork, SpikeTimesSortedAndInWindow) {
+  IzhikevichNetwork net(small_net(), Rng(2));
+  net.run(1.0);
+  for (int i = 0; i < net.size(); ++i) {
+    const auto& tr = net.spikes(i);
+    EXPECT_TRUE(std::is_sorted(tr.begin(), tr.end()));
+    for (double t : tr) {
+      EXPECT_GE(t, 0.0);
+      EXPECT_LT(t, 1.0);
+    }
+  }
+}
+
+TEST(IzhikevichNetwork, CouplingCreatesPopulationBursts) {
+  // The hallmark of the coupled network: population events absent in an
+  // unconnected control with the same drive.
+  NetworkConfig coupled = small_net();
+  NetworkConfig uncoupled = small_net();
+  uncoupled.connectivity = 0.0;
+  IzhikevichNetwork a(coupled, Rng(3));
+  IzhikevichNetwork b(uncoupled, Rng(3));
+  a.run(3.0);
+  b.run(3.0);
+  EXPECT_GT(a.population_burst_fraction(0.1),
+            2.0 * b.population_burst_fraction(0.1) + 0.01);
+}
+
+TEST(IzhikevichNetwork, InhibitionTemperesActivity) {
+  NetworkConfig no_inh = small_net();
+  no_inh.w_inhibitory = 0.0;
+  IzhikevichNetwork with_inh(small_net(), Rng(4));
+  IzhikevichNetwork without(no_inh, Rng(4));
+  with_inh.run(3.0);
+  without.run(3.0);
+  // Count the excitatory population only (the inhibitory cells fire in
+  // both variants).
+  auto exc_rate = [](const IzhikevichNetwork& net) {
+    std::size_t total = 0;
+    for (int i = 0; i < 80; ++i) total += net.spikes(i).size();
+    return static_cast<double>(total) / (80.0 * net.simulated_time());
+  };
+  EXPECT_LT(exc_rate(with_inh), 0.95 * exc_rate(without));
+}
+
+TEST(IzhikevichNetwork, DeterministicPerSeed) {
+  IzhikevichNetwork a(small_net(), Rng(5));
+  IzhikevichNetwork b(small_net(), Rng(5));
+  a.run(1.0);
+  b.run(1.0);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.spikes(i), b.spikes(i));
+  }
+}
+
+TEST(IzhikevichNetwork, RunIsResumable) {
+  IzhikevichNetwork once(small_net(), Rng(6));
+  once.run(2.0);
+  IzhikevichNetwork twice(small_net(), Rng(6));
+  twice.run(1.0);
+  twice.run(1.0);
+  for (int i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once.spikes(i).size(), twice.spikes(i).size());
+  }
+}
+
+TEST(IzhikevichNetwork, FeedsCultureAsTissue) {
+  IzhikevichNetwork net(small_net(), Rng(7));
+  net.run(3.0);
+
+  CultureConfig cfg;
+  cfg.area_size = 0.3e-3;
+  cfg.n_neurons = 20;
+  cfg.duration = 3.0;
+  NeuronCulture culture(cfg, Rng(8));
+  culture.assign_spike_trains(net.all_spikes());
+
+  // Culture neurons now carry the network's (correlated) trains.
+  EXPECT_EQ(culture.neurons()[0].spike_times, net.spikes(0));
+  EXPECT_EQ(culture.neurons()[1].spike_times, net.spikes(1));
+
+  // Population-level structure: the tissue trains bunch into population
+  // bursts. Control: independent Poisson trains at the same mean rate.
+  auto peak_over_mean = [&](const std::vector<std::vector<double>>& trains) {
+    const auto rate = dsp::population_rate(trains, cfg.duration, 10e-3);
+    double mx = 0.0, mean_r = 0.0;
+    for (double r : rate) {
+      mx = std::max(mx, r);
+      mean_r += r / rate.size();
+    }
+    return mean_r > 0.0 ? mx / mean_r : 0.0;
+  };
+  std::vector<std::vector<double>> tissue;
+  for (const auto& n : culture.neurons()) tissue.push_back(n.spike_times);
+  Rng prng(9);
+  std::vector<std::vector<double>> control;
+  for (int i = 0; i < 20; ++i) {
+    control.push_back(
+        poisson_spike_train(net.mean_rate(), cfg.duration, prng, 0.0));
+  }
+  EXPECT_GT(peak_over_mean(tissue), 1.3 * peak_over_mean(control));
+}
+
+TEST(IzhikevichNetwork, RejectsInvalidConfig) {
+  NetworkConfig c = small_net();
+  c.n_excitatory = 0;
+  c.n_inhibitory = 0;
+  EXPECT_THROW(IzhikevichNetwork(c, Rng(1)), ConfigError);
+  c = small_net();
+  c.connectivity = 1.5;
+  EXPECT_THROW(IzhikevichNetwork(c, Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::neuro

@@ -1,0 +1,120 @@
+#include "noise/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace biosense::noise {
+namespace {
+
+TEST(WhiteNoise, VarianceMatchesPsdAndStep) {
+  // Band-limited white: var = S / (2 dt).
+  const double psd = 4e-18;  // V^2/Hz
+  const double dt = 1e-6;
+  WhiteNoise n(psd, Rng(1));
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(n.sample(dt));
+  const double expected_var = psd / (2.0 * dt);
+  EXPECT_NEAR(s.variance(), expected_var, 0.02 * expected_var);
+  EXPECT_NEAR(s.mean(), 0.0, 3.0 * std::sqrt(expected_var / 200000.0));
+}
+
+TEST(WhiteNoise, RejectsNegativePsd) {
+  EXPECT_THROW(WhiteNoise(-1.0, Rng(1)), ConfigError);
+}
+
+TEST(NoisePsdFormulas, ThermalShotMosfet) {
+  // Johnson noise of 1 kOhm at 300 K: 4kTR = 1.657e-17 V^2/Hz.
+  EXPECT_NEAR(thermal_voltage_psd(1e3, 300.0), 1.657e-17, 2e-20);
+  // Shot noise of 1 nA: 2qI = 3.204e-28 A^2/Hz.
+  EXPECT_NEAR(shot_current_psd(1e-9), 3.204e-28, 1e-31);
+  EXPECT_DOUBLE_EQ(shot_current_psd(-1e-9), shot_current_psd(1e-9));
+  // MOSFET channel noise: 4kT*gamma*gm.
+  const double gm = 1e-3;
+  EXPECT_NEAR(mosfet_thermal_current_psd(gm, 300.0),
+              4.0 * constants::kBoltzmann * 300.0 * (2.0 / 3.0) * gm, 1e-30);
+}
+
+TEST(FlickerNoise, AnalyticPsdTracksOneOverF) {
+  FlickerNoise n(1e-10, 1.0, 1e5, Rng(3), 3);
+  // In the synthesized band the analytic PSD should be within ~1.5 dB of
+  // kf/f.
+  for (double f : {10.0, 100.0, 1e3, 1e4}) {
+    const double target = 1e-10 / f;
+    const double actual = n.analytic_psd(f);
+    EXPECT_GT(actual, target / 1.5) << "f=" << f;
+    EXPECT_LT(actual, target * 1.5) << "f=" << f;
+  }
+}
+
+TEST(FlickerNoise, MeasuredSpectrumHasOneOverFSlope) {
+  // Integration test against the Welch estimator: fit log-log slope over
+  // two decades; expect approximately -1.
+  const double fs = 100e3;
+  FlickerNoise n(1e-10, 0.1, 50e3, Rng(5), 2);
+  std::vector<double> sig;
+  sig.reserve(1 << 18);
+  for (int i = 0; i < (1 << 18); ++i) sig.push_back(n.sample(1.0 / fs));
+  const auto est = dsp::welch_psd(sig, fs, 4096);
+
+  std::vector<double> logf, logp;
+  for (std::size_t k = 0; k < est.freq.size(); ++k) {
+    if (est.freq[k] < 50.0 || est.freq[k] > 5000.0) continue;
+    logf.push_back(std::log10(est.freq[k]));
+    logp.push_back(std::log10(est.psd[k]));
+  }
+  const auto fit = linear_fit(logf, logp);
+  EXPECT_NEAR(fit.slope, -1.0, 0.15);
+}
+
+TEST(FlickerNoise, RejectsBadBand) {
+  EXPECT_THROW(FlickerNoise(1e-10, 10.0, 1.0, Rng(1)), ConfigError);
+  EXPECT_THROW(FlickerNoise(1e-10, 0.0, 1.0, Rng(1)), ConfigError);
+}
+
+TEST(RtsNoise, TwoLevelsAndDutyCycle) {
+  RtsNoise n(2.0, 1e-3, 3e-3, Rng(7));
+  RunningStats s;
+  int high_count = 0;
+  const int steps = 200000;
+  for (int i = 0; i < steps; ++i) {
+    const double v = n.sample(10e-6);
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+    if (v > 0) ++high_count;
+  }
+  // Stationary duty cycle = t_high / (t_high + t_low) = 0.25.
+  EXPECT_NEAR(high_count / static_cast<double>(steps), 0.25, 0.03);
+}
+
+TEST(RtsNoise, RejectsNonPositiveDwell) {
+  EXPECT_THROW(RtsNoise(1.0, 0.0, 1.0, Rng(1)), ConfigError);
+}
+
+TEST(CompositeNoise, AnalyticRmsCombines) {
+  CompositeNoise c;
+  c.add_white(1e-16, Rng(1));
+  c.add_flicker(1e-12, 1.0, 1e5, Rng(2));
+  const double f_lo = 10.0, f_hi = 1e4;
+  const double expected = std::sqrt(1e-16 * (f_hi - f_lo) +
+                                    1e-12 * std::log(f_hi / f_lo));
+  EXPECT_NEAR(c.analytic_rms(f_lo, f_hi), expected, 1e-12);
+}
+
+TEST(CompositeNoise, SampleSumsSources) {
+  CompositeNoise c;
+  c.add_white(1e-16, Rng(3));
+  c.add_rts(1e-3, 1e-3, 1e-3, Rng(4));
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(c.sample(1e-5));
+  // Variance at least the RTS plateau (amplitude/2)^2 = 2.5e-7.
+  EXPECT_GT(s.variance(), 2e-7);
+}
+
+}  // namespace
+}  // namespace biosense::noise

@@ -1,0 +1,97 @@
+#include "circuit/opamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::circuit {
+namespace {
+
+TEST(Opamp, SettlesToGainTimesInput) {
+  OpampParams p;
+  p.dc_gain = 1000.0;
+  p.vout_max = 10.0;
+  Opamp amp(p);
+  // 1 mV differential input -> 1 V output after settling.
+  for (int i = 0; i < 200000; ++i) amp.step(1e-3, 0.0, 1e-8);
+  EXPECT_NEAR(amp.output(), 1.0, 1e-3);
+}
+
+TEST(Opamp, OutputClampsAtRails) {
+  OpampParams p;
+  p.vout_min = 0.0;
+  p.vout_max = 5.0;
+  Opamp amp(p);
+  for (int i = 0; i < 100000; ++i) amp.step(1.0, 0.0, 1e-7);
+  EXPECT_NEAR(amp.output(), 5.0, 1e-9);
+  for (int i = 0; i < 100000; ++i) amp.step(0.0, 1.0, 1e-7);
+  EXPECT_NEAR(amp.output(), 0.0, 1e-9);
+}
+
+TEST(Opamp, SlewRateLimitsLargeSteps) {
+  OpampParams p;
+  p.slew_rate = 1e6;  // 1 V/us
+  p.gbw_hz = 1e9;     // make the linear response very fast
+  p.vout_max = 10.0;
+  Opamp amp(p);
+  // After 1 us with a full-scale step, output can be at most ~1 V.
+  double t = 0.0;
+  const double dt = 1e-9;
+  while (t < 1e-6) {
+    amp.step(1.0, 0.0, dt);
+    t += dt;
+  }
+  EXPECT_LE(amp.output(), 1.0 + 2e-3);  // slack for step-count rounding
+  EXPECT_GT(amp.output(), 0.9);
+}
+
+TEST(Opamp, InputOffsetShiftsNull) {
+  OpampParams p;
+  p.input_offset = 2e-3;
+  p.dc_gain = 1000.0;
+  p.vout_max = 10.0;
+  Opamp amp(p);
+  // With v+ = v-, the offset drives the output to gain * offset.
+  for (int i = 0; i < 200000; ++i) amp.step(0.5, 0.5, 1e-8);
+  EXPECT_NEAR(amp.output(), 2.0, 0.01);
+}
+
+TEST(Opamp, BandwidthSetsFirstOrderResponse) {
+  OpampParams p;
+  p.dc_gain = 100.0;
+  p.gbw_hz = 1e6;  // pole at 10 kHz
+  p.slew_rate = 1e9;
+  p.vout_max = 10.0;
+  Opamp amp(p);
+  // Small step; after one time constant (1/(2 pi 10kHz) ~ 15.9 us) the
+  // output should be ~63% of the final value.
+  const double dt = 1e-8;
+  const double tau = 1.0 / (2.0 * 3.14159265358979 * 1e4);
+  double t = 0.0;
+  while (t < tau) {
+    amp.step(10e-3, 0.0, dt);
+    t += dt;
+  }
+  EXPECT_NEAR(amp.output(), 1.0 * (1.0 - std::exp(-1.0)), 0.03);
+}
+
+TEST(Opamp, ResetRestoresOutput) {
+  Opamp amp(OpampParams{});
+  for (int i = 0; i < 1000; ++i) amp.step(1.0, 0.0, 1e-7);
+  amp.reset(0.0);
+  EXPECT_DOUBLE_EQ(amp.output(), 0.0);
+}
+
+TEST(Opamp, RejectsInvalidConfig) {
+  OpampParams p;
+  p.dc_gain = 0.0;
+  EXPECT_THROW(Opamp{p}, ConfigError);
+  p = OpampParams{};
+  p.vout_max = p.vout_min;
+  EXPECT_THROW(Opamp{p}, ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::circuit

@@ -1,0 +1,100 @@
+#include "dna/panels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/dna_workbench.hpp"
+
+namespace biosense::dna {
+namespace {
+
+TEST(Panels, PathogenPanelStructure) {
+  Rng rng(1);
+  const auto panel = pathogen_panel(12, 4, 1e-9, rng);
+  EXPECT_EQ(panel.catalog.size(), 12u);
+  EXPECT_EQ(panel.spots.size(), 12u);
+  EXPECT_EQ(panel.sample.size(), 4u);
+  int present = 0;
+  for (bool p : panel.present) present += p;
+  EXPECT_EQ(present, 4);
+}
+
+TEST(Panels, PathogenPanelGroundTruthConsistent) {
+  Rng rng(2);
+  const auto panel = pathogen_panel(8, 3, 1e-9, rng);
+  // Every sample entry corresponds to a spot marked present.
+  for (const auto& s : panel.sample) {
+    bool found = false;
+    for (std::size_t i = 0; i < panel.catalog.size(); ++i) {
+      if (panel.catalog[i].name == s.name) {
+        EXPECT_TRUE(panel.present[i]);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Panels, SnpPanelPairsAlleles) {
+  Rng rng(3);
+  const auto panel = snp_panel(5, 4, 1e-9, rng);
+  EXPECT_EQ(panel.spots.size(), 10u);
+  EXPECT_EQ(panel.sample.size(), 5u);
+  // Exactly one allele of each locus present.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(panel.present[static_cast<std::size_t>(2 * i)],
+              panel.present[static_cast<std::size_t>(2 * i + 1)]);
+  }
+}
+
+TEST(Panels, ExpressionPanelSpansConcentrations) {
+  Rng rng(4);
+  const auto panel = expression_panel(30, 1e-12, 1e-8, rng);
+  EXPECT_EQ(panel.catalog.size(), 30u);
+  double c_min = 1.0, c_max = 0.0;
+  for (const auto& t : panel.catalog) {
+    c_min = std::min(c_min, t.concentration);
+    c_max = std::max(c_max, t.concentration);
+    EXPECT_GE(t.concentration, 1e-12);
+    EXPECT_LE(t.concentration, 1e-8);
+  }
+  EXPECT_GT(c_max / c_min, 100.0);  // actually spans decades
+}
+
+TEST(Panels, ScoreArithmetic) {
+  AssayPanel panel;
+  panel.present = {true, true, false, false};
+  const auto s = score_panel(panel, {true, false, true, false});
+  EXPECT_EQ(s.true_positives, 1);
+  EXPECT_EQ(s.false_negatives, 1);
+  EXPECT_EQ(s.false_positives, 1);
+  EXPECT_EQ(s.true_negatives, 1);
+  EXPECT_DOUBLE_EQ(s.accuracy(), 0.5);
+  EXPECT_THROW(score_panel(panel, {true}), ConfigError);
+}
+
+TEST(Panels, PathogenPanelRunsCleanOnChip) {
+  // Integration: a 24-plex diagnostic panel through the full workbench.
+  Rng rng(5);
+  const auto panel = pathogen_panel(24, 7, 1e-9, rng);
+  core::DnaWorkbenchConfig cfg;
+  cfg.protocol.time_step = 10.0;
+  core::DnaWorkbench wb(cfg, panel.spots, Rng(6));
+  const auto run = wb.run(panel.sample);
+  std::vector<bool> called;
+  for (const auto& c : run.calls) called.push_back(c.called_match);
+  const auto score = score_panel(panel, called);
+  EXPECT_EQ(score.false_negatives, 0);
+  EXPECT_LE(score.false_positives, 1);
+  EXPECT_GT(score.accuracy(), 0.95);
+}
+
+TEST(Panels, RejectsInvalidParameters) {
+  Rng rng(7);
+  EXPECT_THROW(pathogen_panel(4, 5, 1e-9, rng), ConfigError);
+  EXPECT_THROW(snp_panel(0, 2, 1e-9, rng), ConfigError);
+  EXPECT_THROW(expression_panel(10, 0.0, 1e-8, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::dna

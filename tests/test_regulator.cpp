@@ -1,0 +1,75 @@
+#include "i2f/regulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::i2f {
+namespace {
+
+RegulatorConfig wide_follower() {
+  RegulatorConfig c;
+  c.follower.w = 10e-6;  // enough drive for 100 nA .. uA sensor currents
+  return c;
+}
+
+TEST(Regulator, SettlesToTargetPotential) {
+  ElectrodeRegulator reg(wide_follower());
+  const auto trace = reg.settle(2.5, 10e-9, 1.5e-3, 10e-9);
+  EXPECT_NEAR(trace.back_value(), 2.5, 2e-3);
+}
+
+TEST(Regulator, DcErrorScalesInverselyWithGain) {
+  RegulatorConfig lo = wide_follower();
+  lo.opamp.dc_gain = 1000.0;
+  RegulatorConfig hi = wide_follower();
+  hi.opamp.dc_gain = 100000.0;
+  ElectrodeRegulator reg_lo(lo);
+  ElectrodeRegulator reg_hi(hi);
+  const double err_lo = reg_lo.dc_error(2.5, 10e-9);
+  const double err_hi = reg_hi.dc_error(2.5, 10e-9);
+  EXPECT_GT(err_lo, err_hi);
+  EXPECT_LT(err_hi, 1e-3);
+}
+
+class RegulatorLoad : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegulatorLoad, HoldsPotentialAcrossSensorCurrents) {
+  // The electrode potential must stay put whether the electrochemical cell
+  // draws 1 pA or 1 uA — the whole point of the Fig. 3 regulation loop.
+  const double i_sensor = GetParam();
+  ElectrodeRegulator reg(wide_follower());
+  EXPECT_LT(reg.dc_error(1.2, i_sensor), 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, RegulatorLoad,
+                         ::testing::Values(1e-12, 1e-10, 1e-8, 1e-7, 1e-6));
+
+TEST(Regulator, TracksPotentialSteps) {
+  ElectrodeRegulator reg(wide_follower());
+  reg.settle(1.0, 10e-9, 1e-3, 10e-9);
+  EXPECT_NEAR(reg.electrode_voltage(), 1.0, 5e-3);
+  reg.settle(2.0, 10e-9, 1e-3, 10e-9);
+  EXPECT_NEAR(reg.electrode_voltage(), 2.0, 5e-3);
+}
+
+TEST(Regulator, ElectrodeStaysWithinRails) {
+  ElectrodeRegulator reg(wide_follower());
+  const auto trace = reg.settle(4.9, 1e-6, 2e-3, 10e-9);
+  EXPECT_GE(trace.min_value(), 0.0);
+  EXPECT_LE(trace.max_value(), wide_follower().vdd);
+}
+
+TEST(Regulator, RejectsInvalidConfig) {
+  RegulatorConfig c = wide_follower();
+  c.electrode_cap = 0.0;
+  EXPECT_THROW(ElectrodeRegulator{c}, ConfigError);
+  c = wide_follower();
+  c.vdd = 0.0;
+  EXPECT_THROW(ElectrodeRegulator{c}, ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::i2f

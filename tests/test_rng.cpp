@@ -1,0 +1,177 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace biosense {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // splitmix64 seeding guarantees a nonzero, well-mixed state.
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 10; ++i) vals.insert(r.next_u64());
+  EXPECT_EQ(vals.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatch) {
+  Rng r(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit in 1000 draws
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(19);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng r(23);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(29);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+class RngPoisson : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoisson, MeanAndVarianceMatch) {
+  const double mean_target = GetParam();
+  Rng r(31);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(static_cast<double>(r.poisson(mean_target)));
+  }
+  EXPECT_NEAR(s.mean(), mean_target, 0.05 * mean_target + 0.05);
+  EXPECT_NEAR(s.variance(), mean_target, 0.1 * mean_target + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoisson,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng r(37);
+  EXPECT_EQ(r.poisson(0.0), 0);
+  EXPECT_EQ(r.poisson(-1.0), 0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(41);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, LogUniformBoundsAndSpread) {
+  Rng r(43);
+  RunningStats log_s;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.log_uniform(1e-12, 1e-7);
+    EXPECT_GE(v, 1e-12 * 0.999);
+    EXPECT_LE(v, 1e-7 * 1.001);
+    log_s.add(std::log10(v));
+  }
+  // Uniform in log10 over [-12, -7]: mean -9.5.
+  EXPECT_NEAR(log_s.mean(), -9.5, 0.1);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(47);
+  Rng child = parent.fork();
+  RunningStats corr;
+  // Crude check: products of paired standard normals should average ~0.
+  for (int i = 0; i < 20000; ++i) corr.add(parent.normal() * child.normal());
+  EXPECT_NEAR(corr.mean(), 0.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto copy = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleChangesOrder) {
+  Rng r(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng r(61);
+  const auto a = r.next_u64();
+  r.next_u64();
+  r.reseed(61);
+  EXPECT_EQ(r.next_u64(), a);
+}
+
+}  // namespace
+}  // namespace biosense

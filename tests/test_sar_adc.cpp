@@ -1,0 +1,131 @@
+#include "circuit/sar_adc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace biosense::circuit {
+namespace {
+
+SarAdcParams ideal() {
+  SarAdcParams p;
+  p.unit_cap_sigma = 0.0;
+  p.comparator_offset_sigma = 0.0;
+  p.comparator_noise_rms = 0.0;
+  return p;
+}
+
+TEST(SarAdc, IdealTransferEndpoints) {
+  SarAdc adc(ideal(), Rng(1));
+  EXPECT_EQ(adc.convert(-2.0), 0);
+  EXPECT_EQ(adc.convert(2.0), adc.max_code());
+  EXPECT_EQ(adc.convert(0.0), 1 << 9);  // mid-scale of a 10-bit converter
+}
+
+TEST(SarAdc, IdealRoundtripWithinHalfLsb) {
+  SarAdc adc(ideal(), Rng(1));
+  for (double v = -0.99; v < 0.99; v += 0.0173) {
+    const auto code = adc.convert(v);
+    EXPECT_NEAR(adc.to_voltage(code), v, adc.lsb());
+  }
+}
+
+TEST(SarAdc, TransferIsMonotoneInInput) {
+  SarAdc adc(ideal(), Rng(1));
+  std::int32_t prev = -1;
+  for (double v = -1.0; v <= 1.0; v += 1e-3) {
+    const auto code = adc.convert(v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(SarAdc, BitWeightsBinaryScaled) {
+  SarAdc adc(ideal(), Rng(1));
+  for (int k = 1; k < adc.bits(); ++k) {
+    EXPECT_NEAR(adc.bit_weight(k) / adc.bit_weight(k - 1), 2.0, 1e-12);
+  }
+  // MSB = half the range.
+  EXPECT_NEAR(adc.bit_weight(adc.bits() - 1), 1.0, 1e-12);
+}
+
+TEST(SarAdc, IdealDnlIsZero) {
+  SarAdc adc(ideal(), Rng(1));
+  for (double d : adc.measure_dnl()) {
+    EXPECT_NEAR(d, 0.0, 0.15);  // ramp quantization granularity
+  }
+}
+
+class SarAdcMismatch : public ::testing::TestWithParam<double> {};
+
+TEST_P(SarAdcMismatch, DnlGrowsWithCapMismatch) {
+  const double sigma = GetParam();
+  SarAdcParams p = ideal();
+  p.unit_cap_sigma = sigma;
+  // Average worst-case DNL over several die.
+  RunningStats worst;
+  for (int die = 0; die < 5; ++die) {
+    SarAdc adc(p, Rng(100 + die));
+    double w = 0.0;
+    for (double d : adc.measure_dnl()) w = std::max(w, std::abs(d));
+    worst.add(w);
+  }
+  if (sigma <= 0.001) {
+    EXPECT_LT(worst.mean(), 0.5);
+  } else if (sigma >= 0.02) {
+    // Heavy mismatch: DNL of an LSB or more (missing-code territory).
+    EXPECT_GT(worst.mean(), 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, SarAdcMismatch,
+                         ::testing::Values(0.0005, 0.001, 0.005, 0.02));
+
+TEST(SarAdc, ComparatorOffsetShiftsWholeTransfer) {
+  SarAdcParams p = ideal();
+  p.comparator_offset_sigma = 20e-3;
+  SarAdc adc(p, Rng(7));
+  SarAdc ref(ideal(), Rng(8));
+  // The offset shifts all codes by the same amount: difference between the
+  // two converters' readings of the same input is constant.
+  const auto d1 = adc.convert(0.2) - ref.convert(0.2);
+  const auto d2 = adc.convert(-0.4) - ref.convert(-0.4);
+  EXPECT_NEAR(d1, d2, 1.5);
+}
+
+TEST(SarAdc, NoiseMakesLsbDither) {
+  SarAdcParams p = ideal();
+  p.comparator_noise_rms = 2e-3;  // ~1 LSB of a 10-bit 2 V converter
+  SarAdc adc(p, Rng(9));
+  RunningStats codes;
+  for (int i = 0; i < 2000; ++i) {
+    codes.add(static_cast<double>(adc.convert(0.1234)));
+  }
+  EXPECT_GT(codes.stddev(), 0.3);
+  EXPECT_LT(codes.stddev(), 3.0);
+}
+
+TEST(SarAdc, SpikeScaleSignalsResolved) {
+  // End-use check: a 1 mV neural signal mapped through the x5600 chain and
+  // a transimpedance to +/-1 V full scale spans many codes.
+  SarAdc adc(SarAdcParams{}, Rng(10));
+  const double v_per_mv_input = 1.0 / 5.0;  // 5 mV input = full scale
+  const auto lo = adc.convert(0.0);
+  const auto hi = adc.convert(1e-3 * v_per_mv_input * 1e3);
+  EXPECT_GT(hi - lo, 50);
+}
+
+TEST(SarAdc, RejectsInvalidConfig) {
+  SarAdcParams p = ideal();
+  p.bits = 1;
+  EXPECT_THROW(SarAdc(p, Rng(1)), ConfigError);
+  p = ideal();
+  p.v_max = p.v_min;
+  EXPECT_THROW(SarAdc(p, Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::circuit

@@ -1,0 +1,129 @@
+#include "screening/funnel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosense::screening {
+namespace {
+
+TEST(Funnel, StandardPipelineHasPaperGradients) {
+  // Fig. 1's qualitative claim: along the pipeline cost/datapoint rises
+  // and datapoints/day falls, stage over stage.
+  const auto cfg = FunnelConfig::standard_pipeline();
+  ASSERT_EQ(cfg.stages.size(), 4u);
+  for (std::size_t i = 1; i < cfg.stages.size(); ++i) {
+    EXPECT_GT(cfg.stages[i].cost_per_datapoint,
+              cfg.stages[i - 1].cost_per_datapoint);
+    EXPECT_LT(cfg.stages[i].datapoints_per_day,
+              cfg.stages[i - 1].datapoints_per_day);
+  }
+}
+
+TEST(Funnel, CountsAreConserved) {
+  auto cfg = FunnelConfig::standard_pipeline();
+  cfg.library_size = 100000;
+  ScreeningFunnel funnel(cfg, Rng(1));
+  const auto result = funnel.run();
+  ASSERT_EQ(result.stages.size(), 4u);
+  // Stage k+1 tests exactly what stage k passed.
+  EXPECT_EQ(result.stages[0].tested, 100000u);
+  for (std::size_t i = 1; i < result.stages.size(); ++i) {
+    EXPECT_EQ(result.stages[i].tested, result.stages[i - 1].passed);
+  }
+  EXPECT_EQ(result.final_candidates, result.stages.back().passed);
+  // Actives can only be lost, never created.
+  for (const auto& s : result.stages) {
+    EXPECT_LE(s.true_actives_out, s.true_actives_in);
+  }
+}
+
+TEST(Funnel, PerfectAssaysKeepAllActives) {
+  FunnelConfig cfg;
+  cfg.library_size = 10000;
+  cfg.true_active_fraction = 0.01;  // 100 actives
+  cfg.stages = {{"perfect", 1.0, 1e4, 0.0, 0.0}};
+  ScreeningFunnel funnel(cfg, Rng(2));
+  const auto result = funnel.run();
+  EXPECT_EQ(result.final_true_actives, 100u);
+  EXPECT_EQ(result.final_candidates, 100u);
+}
+
+TEST(Funnel, FalsePositivesInflateDownstreamCost) {
+  // The economic argument for better early assays: halving the molecular
+  // stage's false-positive rate cuts the cost of the expensive stages.
+  auto run_cost = [](double fp_rate) {
+    auto cfg = FunnelConfig::standard_pipeline();
+    cfg.library_size = 500000;
+    cfg.stages[0].false_positive_rate = fp_rate;
+    ScreeningFunnel funnel(cfg, Rng(3));
+    const auto r = funnel.run();
+    // Cell-based + animal stages: the ones whose load is dominated by the
+    // molecular stage's false positives (the clinical stage's cost is
+    // dominated by the true actives and so barely moves).
+    return r.stages[1].cost + r.stages[2].cost;
+  };
+  EXPECT_GT(run_cost(0.05), 1.8 * run_cost(0.01));
+}
+
+TEST(Funnel, FalseNegativesLoseHits) {
+  auto final_hits = [](double fn_rate) {
+    FunnelConfig cfg;
+    cfg.library_size = 100000;
+    cfg.true_active_fraction = 0.005;
+    cfg.stages = {{"assay", 1.0, 1e5, 0.001, fn_rate}};
+    ScreeningFunnel funnel(cfg, Rng(4));
+    return funnel.run().final_true_actives;
+  };
+  EXPECT_GT(final_hits(0.02), final_hits(0.5));
+}
+
+TEST(Funnel, CostAndTimeAccounting) {
+  FunnelConfig cfg;
+  cfg.library_size = 1000;
+  cfg.true_active_fraction = 0.0;
+  cfg.stages = {{"s", 2.0, 100.0, 0.0, 0.0}};
+  ScreeningFunnel funnel(cfg, Rng(5));
+  const auto r = funnel.run();
+  EXPECT_DOUBLE_EQ(r.total_cost, 2000.0);
+  EXPECT_DOUBLE_EQ(r.total_days, 10.0);
+  EXPECT_EQ(r.final_candidates, 0u);
+  EXPECT_TRUE(std::isinf(r.cost_per_hit()));
+}
+
+TEST(Funnel, CostPerHitFinite) {
+  auto cfg = FunnelConfig::standard_pipeline();
+  cfg.library_size = 1000000;
+  cfg.true_active_fraction = 1e-4;
+  ScreeningFunnel funnel(cfg, Rng(6));
+  const auto r = funnel.run();
+  if (r.final_true_actives > 0) {
+    EXPECT_GT(r.cost_per_hit(), 0.0);
+    EXPECT_LT(r.cost_per_hit(), 1e12);
+  }
+}
+
+TEST(Funnel, DeterministicPerSeed) {
+  auto cfg = FunnelConfig::standard_pipeline();
+  cfg.library_size = 50000;
+  ScreeningFunnel a(cfg, Rng(7));
+  ScreeningFunnel b(cfg, Rng(7));
+  EXPECT_EQ(a.run().final_candidates, b.run().final_candidates);
+}
+
+TEST(Funnel, RejectsInvalidConfig) {
+  FunnelConfig cfg;
+  cfg.stages.clear();
+  EXPECT_THROW(ScreeningFunnel(cfg, Rng(1)), ConfigError);
+  cfg = FunnelConfig::standard_pipeline();
+  cfg.true_active_fraction = 2.0;
+  EXPECT_THROW(ScreeningFunnel(cfg, Rng(1)), ConfigError);
+  cfg = FunnelConfig::standard_pipeline();
+  cfg.stages[0].false_positive_rate = -0.1;
+  EXPECT_THROW(ScreeningFunnel(cfg, Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::screening

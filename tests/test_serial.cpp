@@ -1,0 +1,132 @@
+#include "dnachip/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace biosense::dnachip {
+namespace {
+
+TEST(Crc8, KnownVectors) {
+  // CRC-8/ATM (poly 0x07, init 0x00): "123456789" -> 0xF4.
+  std::vector<std::uint8_t> check{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(check), 0xF4);
+  EXPECT_EQ(crc8({}), 0x00);
+  EXPECT_EQ(crc8({0x00}), 0x00);
+}
+
+TEST(Crc8, DetectsSingleBitErrors) {
+  std::vector<std::uint8_t> data{0xde, 0xad, 0xbe, 0xef};
+  const auto good = crc8(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = data;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc8(corrupted), good);
+    }
+  }
+}
+
+class SerialOpcodes : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(SerialOpcodes, CommandRoundtrip) {
+  CommandFrame cmd;
+  cmd.opcode = GetParam();
+  cmd.payload = 0xbeef;
+  const auto bits = encode_command(cmd);
+  EXPECT_EQ(bits.size(), 32u);
+  const auto decoded = decode_command(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->opcode, cmd.opcode);
+  EXPECT_EQ(decoded->payload, cmd.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, SerialOpcodes,
+    ::testing::Values(Opcode::kNop, Opcode::kSetDacGenerator,
+                      Opcode::kSetDacCollector, Opcode::kSelectSite,
+                      Opcode::kStartConversion, Opcode::kReadFrame,
+                      Opcode::kAutoCalibrate, Opcode::kReadStatus));
+
+TEST(Serial, CorruptedCommandRejected) {
+  CommandFrame cmd{Opcode::kStartConversion, 7};
+  auto bits = encode_command(cmd);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto corrupted = bits;
+    corrupted[i] = !corrupted[i];
+    EXPECT_FALSE(decode_command(corrupted).has_value()) << "bit " << i;
+  }
+}
+
+TEST(Serial, WrongLengthCommandRejected) {
+  std::vector<bool> bits(31, false);
+  EXPECT_FALSE(decode_command(bits).has_value());
+}
+
+TEST(Serial, DataFramesRoundtrip) {
+  const std::vector<std::uint16_t> words{0, 1, 0xffff, 0x1234, 42};
+  const auto bits = encode_data(words);
+  EXPECT_EQ(bits.size(), words.size() * 24u);
+  const auto decoded = decode_data(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, words);
+}
+
+TEST(Serial, CorruptedDataRejected) {
+  auto bits = encode_data({0xabcd});
+  bits[5] = !bits[5];
+  EXPECT_FALSE(decode_data(bits).has_value());
+}
+
+TEST(Serial, RaggedDataRejected) {
+  std::vector<bool> bits(25, false);
+  EXPECT_FALSE(decode_data(bits).has_value());
+}
+
+TEST(SerialLink, PerfectLinkPreservesBits) {
+  SerialLink link(0.0, Rng(1));
+  const auto bits = encode_data({0x55aa, 0x1234});
+  EXPECT_EQ(link.transfer(bits), bits);
+  EXPECT_EQ(link.bits_transferred(), bits.size());
+}
+
+TEST(SerialLink, BitErrorRateFlipsExpectedFraction) {
+  SerialLink link(0.01, Rng(2));
+  std::vector<bool> bits(100000, false);
+  const auto out = link.transfer(bits);
+  int flips = 0;
+  for (bool b : out) {
+    if (b) ++flips;
+  }
+  EXPECT_NEAR(flips / 100000.0, 0.01, 0.002);
+}
+
+TEST(SerialLink, NoisyLinkEventuallyCorruptsFrames) {
+  SerialLink link(0.02, Rng(3));
+  int rejected = 0;
+  for (int k = 0; k < 200; ++k) {
+    const auto bits = link.transfer(encode_data({0x1234}));
+    if (!decode_data(bits).has_value()) ++rejected;
+  }
+  // 24 bits at 2% BER: ~38% of frames corrupted.
+  EXPECT_GT(rejected, 30);
+  EXPECT_LT(rejected, 150);
+}
+
+TEST(SerialLink, RejectsInvalidBer) {
+  EXPECT_THROW(SerialLink(-0.1, Rng(1)), ConfigError);
+  EXPECT_THROW(SerialLink(1.0, Rng(1)), ConfigError);
+}
+
+TEST(Serial, SixPinBudget) {
+  // The chip's entire digital interface is DIN + DOUT + SCLK + CS plus
+  // power: commands and data must fit a single-wire stream each.
+  // One full-array readout: 128 sites x 24 bits = 3072 bits + one command.
+  const auto cmd = encode_command({Opcode::kReadFrame, 0});
+  std::vector<std::uint16_t> frame(128, 0x1111);
+  const auto data = encode_data(frame);
+  EXPECT_EQ(cmd.size() + data.size(), 32u + 128u * 24u);
+}
+
+}  // namespace
+}  // namespace biosense::dnachip

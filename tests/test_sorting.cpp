@@ -1,0 +1,131 @@
+#include "dsp/sorting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace biosense::dsp {
+namespace {
+
+// Builds a trace with spikes from two distinct "units": unit 0 is a large
+// narrow negative spike, unit 1 a small wide one. Returns the trace plus
+// the detections and ground-truth source per detection.
+struct TwoUnitData {
+  std::vector<double> trace;
+  std::vector<DetectedSpike> spikes;
+  std::vector<int> source;
+};
+
+TwoUnitData make_two_units(double noise_rms, Rng& rng) {
+  TwoUnitData out;
+  out.trace.assign(4000, 0.0);
+  auto place = [&](std::size_t center, int unit) {
+    const double amp = unit == 0 ? -1.0e-3 : -0.4e-3;
+    const int half = unit == 0 ? 2 : 5;
+    for (int k = -half; k <= half; ++k) {
+      const double w = 1.0 - std::abs(k) / static_cast<double>(half + 1);
+      out.trace[static_cast<std::size_t>(static_cast<int>(center) + k)] +=
+          amp * w;
+    }
+    DetectedSpike s;
+    s.sample = center;
+    s.time = static_cast<double>(center) / 2000.0;
+    s.amplitude = std::abs(amp);
+    out.spikes.push_back(s);
+    out.source.push_back(unit);
+  };
+  for (std::size_t c = 100; c + 100 < out.trace.size(); c += 160) {
+    place(c, (c / 160) % 2 == 0 ? 0 : 1);
+  }
+  for (auto& v : out.trace) v += rng.normal(0.0, noise_rms);
+  return out;
+}
+
+TEST(Sorting, SnippetsHaveRequestedLength) {
+  Rng rng(1);
+  const auto data = make_two_units(5e-6, rng);
+  const auto snippets = extract_snippets(data.trace, data.spikes, 4, 8);
+  ASSERT_EQ(snippets.size(), data.spikes.size());
+  for (const auto& s : snippets) EXPECT_EQ(s.samples.size(), 13u);
+}
+
+TEST(Sorting, EdgeSpikesSkipped) {
+  std::vector<double> trace(100, 0.0);
+  std::vector<DetectedSpike> spikes(3);
+  spikes[0].sample = 1;    // too close to start
+  spikes[1].sample = 50;   // fine
+  spikes[2].sample = 98;   // too close to end
+  const auto snippets = extract_snippets(trace, spikes, 4, 8);
+  ASSERT_EQ(snippets.size(), 1u);
+  EXPECT_EQ(snippets[0].spike_index, 1u);
+}
+
+TEST(Sorting, FeaturesCaptureShape) {
+  Snippet narrow;
+  narrow.samples = {0.0, -1.0, 0.0};
+  Snippet wide;
+  wide.samples = {0.0, -0.2, -0.4, -0.2, 0.0};
+  const auto f_narrow = snippet_features(narrow);
+  const auto f_wide = snippet_features(wide);
+  EXPECT_LT(f_narrow[0], f_wide[0]);  // deeper minimum
+  EXPECT_EQ(f_narrow.size(), 4u);
+}
+
+TEST(Sorting, SeparatesTwoDistinctUnits) {
+  Rng rng(3);
+  const auto data = make_two_units(10e-6, rng);
+  const auto snippets = extract_snippets(data.trace, data.spikes, 6, 6);
+  ASSERT_EQ(snippets.size(), data.source.size());
+  const auto result = sort_spikes(snippets, 2);
+  EXPECT_GT(sorting_accuracy(result, data.source), 0.9);
+}
+
+class SortingNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(SortingNoise, AccuracyDegradesGracefully) {
+  const double noise = GetParam();
+  Rng rng(4);
+  const auto data = make_two_units(noise, rng);
+  const auto snippets = extract_snippets(data.trace, data.spikes, 6, 6);
+  const auto result = sort_spikes(snippets, 2);
+  const double acc = sorting_accuracy(result, data.source);
+  if (noise <= 20e-6) {
+    EXPECT_GT(acc, 0.85) << "noise " << noise;
+  } else {
+    EXPECT_GT(acc, 0.5) << "noise " << noise;  // never worse than chance
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, SortingNoise,
+                         ::testing::Values(2e-6, 10e-6, 20e-6, 200e-6));
+
+TEST(Sorting, SingleClusterInertiaExceedsTwoCluster) {
+  Rng rng(5);
+  const auto data = make_two_units(5e-6, rng);
+  const auto snippets = extract_snippets(data.trace, data.spikes, 6, 6);
+  const auto one = sort_spikes(snippets, 1);
+  const auto two = sort_spikes(snippets, 2);
+  EXPECT_GT(one.inertia, two.inertia);
+}
+
+TEST(Sorting, DeterministicResult) {
+  Rng rng_a(6), rng_b(6);
+  const auto da = make_two_units(5e-6, rng_a);
+  const auto db = make_two_units(5e-6, rng_b);
+  const auto ra = sort_spikes(extract_snippets(da.trace, da.spikes, 6, 6), 2);
+  const auto rb = sort_spikes(extract_snippets(db.trace, db.spikes, 6, 6), 2);
+  EXPECT_EQ(ra.labels, rb.labels);
+}
+
+TEST(Sorting, EmptyInputAndValidation) {
+  const auto result = sort_spikes({}, 3);
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_THROW(sort_spikes({}, 0), ConfigError);
+  EXPECT_THROW(sorting_accuracy(SortResult{}, {1}), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::dsp

@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace biosense {
+namespace {
+
+TEST(Table, PrintsTitleColumnsAndRows) {
+  Table t("demo");
+  t.set_columns({"a", "b"});
+  t.add_row({1.5, std::string("x")});
+  t.add_row({static_cast<long long>(7), std::string("y")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("y"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo");
+  t.set_columns({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(Table, NotesAppearInOutput) {
+  Table t("demo");
+  t.add_note("paper value: 42");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("paper value: 42"), std::string::npos);
+}
+
+TEST(Table, CsvRoundtripFormat) {
+  Table t("demo");
+  t.set_columns({"name", "value"});
+  t.add_row({std::string("plain"), 1.0});
+  t.add_row({std::string("with,comma"), 2.0});
+  t.add_row({std::string("with\"quote"), 3.0});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(SiFormat, PicksCorrectPrefix) {
+  EXPECT_EQ(si_format(1.0e-12, "A"), "1 pA");
+  EXPECT_EQ(si_format(2.5e-9, "A"), "2.5 nA");
+  EXPECT_EQ(si_format(100e-9, "A"), "100 nA");
+  EXPECT_EQ(si_format(5.0, "V"), "5 V");
+  EXPECT_EQ(si_format(7.8e-6, "m"), "7.8 um");
+  EXPECT_EQ(si_format(2e3, "Hz"), "2 kHz");
+  EXPECT_EQ(si_format(32e6, "Hz"), "32 MHz");
+  EXPECT_EQ(si_format(0.0, "V"), "0 V");
+}
+
+TEST(SiFormat, NegativeValues) {
+  EXPECT_EQ(si_format(-3.0e-3, "V"), "-3 mV");
+}
+
+}  // namespace
+}  // namespace biosense
