@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_principles.dir/bench_detection_principles.cpp.o"
+  "CMakeFiles/bench_detection_principles.dir/bench_detection_principles.cpp.o.d"
+  "bench_detection_principles"
+  "bench_detection_principles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_principles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_screening.dir/bench_fig1_screening.cpp.o"
+  "CMakeFiles/bench_fig1_screening.dir/bench_fig1_screening.cpp.o.d"
+  "bench_fig1_screening"
+  "bench_fig1_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hybridization.dir/bench_fig2_hybridization.cpp.o"
+  "CMakeFiles/bench_fig2_hybridization.dir/bench_fig2_hybridization.cpp.o.d"
+  "bench_fig2_hybridization"
+  "bench_fig2_hybridization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hybridization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

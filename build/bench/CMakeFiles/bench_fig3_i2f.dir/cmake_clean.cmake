@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_i2f.dir/bench_fig3_i2f.cpp.o"
+  "CMakeFiles/bench_fig3_i2f.dir/bench_fig3_i2f.cpp.o.d"
+  "bench_fig3_i2f"
+  "bench_fig3_i2f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_i2f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dnachip.dir/bench_fig4_dnachip.cpp.o"
+  "CMakeFiles/bench_fig4_dnachip.dir/bench_fig4_dnachip.cpp.o.d"
+  "bench_fig4_dnachip"
+  "bench_fig4_dnachip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dnachip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

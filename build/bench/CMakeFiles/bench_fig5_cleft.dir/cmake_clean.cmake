@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cleft.dir/bench_fig5_cleft.cpp.o"
+  "CMakeFiles/bench_fig5_cleft.dir/bench_fig5_cleft.cpp.o.d"
+  "bench_fig5_cleft"
+  "bench_fig5_cleft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cleft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

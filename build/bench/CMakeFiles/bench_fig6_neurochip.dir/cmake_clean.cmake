@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_neurochip.dir/bench_fig6_neurochip.cpp.o"
+  "CMakeFiles/bench_fig6_neurochip.dir/bench_fig6_neurochip.cpp.o.d"
+  "bench_fig6_neurochip"
+  "bench_fig6_neurochip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_neurochip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_assay.dir/dna_assay.cpp.o"
+  "CMakeFiles/dna_assay.dir/dna_assay.cpp.o.d"
+  "dna_assay"
+  "dna_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

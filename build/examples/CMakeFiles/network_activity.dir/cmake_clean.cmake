@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_activity.dir/network_activity.cpp.o"
+  "CMakeFiles/network_activity.dir/network_activity.cpp.o.d"
+  "network_activity"
+  "network_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

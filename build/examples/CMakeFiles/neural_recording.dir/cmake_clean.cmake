@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_recording.dir/neural_recording.cpp.o"
+  "CMakeFiles/neural_recording.dir/neural_recording.cpp.o.d"
+  "neural_recording"
+  "neural_recording.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_stimulation.dir/neural_stimulation.cpp.o"
+  "CMakeFiles/neural_stimulation.dir/neural_stimulation.cpp.o.d"
+  "neural_stimulation"
+  "neural_stimulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_stimulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

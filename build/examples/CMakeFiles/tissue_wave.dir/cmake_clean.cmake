@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tissue_wave.dir/tissue_wave.cpp.o"
+  "CMakeFiles/tissue_wave.dir/tissue_wave.cpp.o.d"
+  "tissue_wave"
+  "tissue_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tissue_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

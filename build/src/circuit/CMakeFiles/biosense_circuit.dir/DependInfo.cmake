@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/comparator.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/comparator.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/comparator.cpp.o.d"
+  "/root/repo/src/circuit/dac.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/dac.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/dac.cpp.o.d"
+  "/root/repo/src/circuit/gain_stage.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/gain_stage.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/gain_stage.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/mosfet.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/opamp.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/opamp.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/opamp.cpp.o.d"
+  "/root/repo/src/circuit/references.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/references.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/references.cpp.o.d"
+  "/root/repo/src/circuit/sample_hold.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/sample_hold.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/sample_hold.cpp.o.d"
+  "/root/repo/src/circuit/sar_adc.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/sar_adc.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/sar_adc.cpp.o.d"
+  "/root/repo/src/circuit/switch.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/switch.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/switch.cpp.o.d"
+  "/root/repo/src/circuit/trace.cpp" "src/circuit/CMakeFiles/biosense_circuit.dir/trace.cpp.o" "gcc" "src/circuit/CMakeFiles/biosense_circuit.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosense_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/biosense_noise.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_circuit.dir/comparator.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/comparator.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/dac.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/dac.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/gain_stage.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/gain_stage.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/mosfet.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/mosfet.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/opamp.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/opamp.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/references.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/references.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/sample_hold.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/sample_hold.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/sar_adc.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/sar_adc.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/switch.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/switch.cpp.o.d"
+  "CMakeFiles/biosense_circuit.dir/trace.cpp.o"
+  "CMakeFiles/biosense_circuit.dir/trace.cpp.o.d"
+  "libbiosense_circuit.a"
+  "libbiosense_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

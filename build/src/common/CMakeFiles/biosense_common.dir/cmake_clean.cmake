@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_common.dir/math_util.cpp.o"
+  "CMakeFiles/biosense_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/biosense_common.dir/rng.cpp.o"
+  "CMakeFiles/biosense_common.dir/rng.cpp.o.d"
+  "CMakeFiles/biosense_common.dir/stats.cpp.o"
+  "CMakeFiles/biosense_common.dir/stats.cpp.o.d"
+  "CMakeFiles/biosense_common.dir/table.cpp.o"
+  "CMakeFiles/biosense_common.dir/table.cpp.o.d"
+  "libbiosense_common.a"
+  "libbiosense_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

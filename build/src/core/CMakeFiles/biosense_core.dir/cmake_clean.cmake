@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_core.dir/artifacts.cpp.o"
+  "CMakeFiles/biosense_core.dir/artifacts.cpp.o.d"
+  "CMakeFiles/biosense_core.dir/dna_workbench.cpp.o"
+  "CMakeFiles/biosense_core.dir/dna_workbench.cpp.o.d"
+  "CMakeFiles/biosense_core.dir/experiment.cpp.o"
+  "CMakeFiles/biosense_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/biosense_core.dir/neural_workbench.cpp.o"
+  "CMakeFiles/biosense_core.dir/neural_workbench.cpp.o.d"
+  "CMakeFiles/biosense_core.dir/platform.cpp.o"
+  "CMakeFiles/biosense_core.dir/platform.cpp.o.d"
+  "libbiosense_core.a"
+  "libbiosense_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dna/assay.cpp" "src/dna/CMakeFiles/biosense_dna.dir/assay.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/assay.cpp.o.d"
+  "/root/repo/src/dna/electrochemistry.cpp" "src/dna/CMakeFiles/biosense_dna.dir/electrochemistry.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/electrochemistry.cpp.o.d"
+  "/root/repo/src/dna/electrode.cpp" "src/dna/CMakeFiles/biosense_dna.dir/electrode.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/electrode.cpp.o.d"
+  "/root/repo/src/dna/hybridization.cpp" "src/dna/CMakeFiles/biosense_dna.dir/hybridization.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/hybridization.cpp.o.d"
+  "/root/repo/src/dna/labelfree.cpp" "src/dna/CMakeFiles/biosense_dna.dir/labelfree.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/labelfree.cpp.o.d"
+  "/root/repo/src/dna/optical.cpp" "src/dna/CMakeFiles/biosense_dna.dir/optical.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/optical.cpp.o.d"
+  "/root/repo/src/dna/panels.cpp" "src/dna/CMakeFiles/biosense_dna.dir/panels.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/panels.cpp.o.d"
+  "/root/repo/src/dna/sequence.cpp" "src/dna/CMakeFiles/biosense_dna.dir/sequence.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/sequence.cpp.o.d"
+  "/root/repo/src/dna/thermodynamics.cpp" "src/dna/CMakeFiles/biosense_dna.dir/thermodynamics.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/thermodynamics.cpp.o.d"
+  "/root/repo/src/dna/voltammetry.cpp" "src/dna/CMakeFiles/biosense_dna.dir/voltammetry.cpp.o" "gcc" "src/dna/CMakeFiles/biosense_dna.dir/voltammetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosense_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_dna.dir/assay.cpp.o"
+  "CMakeFiles/biosense_dna.dir/assay.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/electrochemistry.cpp.o"
+  "CMakeFiles/biosense_dna.dir/electrochemistry.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/electrode.cpp.o"
+  "CMakeFiles/biosense_dna.dir/electrode.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/hybridization.cpp.o"
+  "CMakeFiles/biosense_dna.dir/hybridization.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/labelfree.cpp.o"
+  "CMakeFiles/biosense_dna.dir/labelfree.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/optical.cpp.o"
+  "CMakeFiles/biosense_dna.dir/optical.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/panels.cpp.o"
+  "CMakeFiles/biosense_dna.dir/panels.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/sequence.cpp.o"
+  "CMakeFiles/biosense_dna.dir/sequence.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/thermodynamics.cpp.o"
+  "CMakeFiles/biosense_dna.dir/thermodynamics.cpp.o.d"
+  "CMakeFiles/biosense_dna.dir/voltammetry.cpp.o"
+  "CMakeFiles/biosense_dna.dir/voltammetry.cpp.o.d"
+  "libbiosense_dna.a"
+  "libbiosense_dna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

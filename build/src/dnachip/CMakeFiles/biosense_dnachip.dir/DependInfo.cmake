@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnachip/chip.cpp" "src/dnachip/CMakeFiles/biosense_dnachip.dir/chip.cpp.o" "gcc" "src/dnachip/CMakeFiles/biosense_dnachip.dir/chip.cpp.o.d"
+  "/root/repo/src/dnachip/serial.cpp" "src/dnachip/CMakeFiles/biosense_dnachip.dir/serial.cpp.o" "gcc" "src/dnachip/CMakeFiles/biosense_dnachip.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosense_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/biosense_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2f/CMakeFiles/biosense_i2f.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/biosense_noise.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

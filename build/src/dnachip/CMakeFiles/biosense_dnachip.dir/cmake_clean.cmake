@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_dnachip.dir/chip.cpp.o"
+  "CMakeFiles/biosense_dnachip.dir/chip.cpp.o.d"
+  "CMakeFiles/biosense_dnachip.dir/serial.cpp.o"
+  "CMakeFiles/biosense_dnachip.dir/serial.cpp.o.d"
+  "libbiosense_dnachip.a"
+  "libbiosense_dnachip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_dnachip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for biosense_dnachip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/biosense_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/biosense_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filters.cpp" "src/dsp/CMakeFiles/biosense_dsp.dir/filters.cpp.o" "gcc" "src/dsp/CMakeFiles/biosense_dsp.dir/filters.cpp.o.d"
+  "/root/repo/src/dsp/movie.cpp" "src/dsp/CMakeFiles/biosense_dsp.dir/movie.cpp.o" "gcc" "src/dsp/CMakeFiles/biosense_dsp.dir/movie.cpp.o.d"
+  "/root/repo/src/dsp/network.cpp" "src/dsp/CMakeFiles/biosense_dsp.dir/network.cpp.o" "gcc" "src/dsp/CMakeFiles/biosense_dsp.dir/network.cpp.o.d"
+  "/root/repo/src/dsp/sorting.cpp" "src/dsp/CMakeFiles/biosense_dsp.dir/sorting.cpp.o" "gcc" "src/dsp/CMakeFiles/biosense_dsp.dir/sorting.cpp.o.d"
+  "/root/repo/src/dsp/spikes.cpp" "src/dsp/CMakeFiles/biosense_dsp.dir/spikes.cpp.o" "gcc" "src/dsp/CMakeFiles/biosense_dsp.dir/spikes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosense_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/neurochip/CMakeFiles/biosense_neurochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/biosense_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/biosense_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/neuro/CMakeFiles/biosense_neuro.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

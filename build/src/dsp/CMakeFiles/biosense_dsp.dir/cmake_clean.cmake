@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_dsp.dir/fft.cpp.o"
+  "CMakeFiles/biosense_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/biosense_dsp.dir/filters.cpp.o"
+  "CMakeFiles/biosense_dsp.dir/filters.cpp.o.d"
+  "CMakeFiles/biosense_dsp.dir/movie.cpp.o"
+  "CMakeFiles/biosense_dsp.dir/movie.cpp.o.d"
+  "CMakeFiles/biosense_dsp.dir/network.cpp.o"
+  "CMakeFiles/biosense_dsp.dir/network.cpp.o.d"
+  "CMakeFiles/biosense_dsp.dir/sorting.cpp.o"
+  "CMakeFiles/biosense_dsp.dir/sorting.cpp.o.d"
+  "CMakeFiles/biosense_dsp.dir/spikes.cpp.o"
+  "CMakeFiles/biosense_dsp.dir/spikes.cpp.o.d"
+  "libbiosense_dsp.a"
+  "libbiosense_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

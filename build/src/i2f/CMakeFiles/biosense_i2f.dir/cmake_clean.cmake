@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_i2f.dir/counter.cpp.o"
+  "CMakeFiles/biosense_i2f.dir/counter.cpp.o.d"
+  "CMakeFiles/biosense_i2f.dir/regulator.cpp.o"
+  "CMakeFiles/biosense_i2f.dir/regulator.cpp.o.d"
+  "CMakeFiles/biosense_i2f.dir/sawtooth.cpp.o"
+  "CMakeFiles/biosense_i2f.dir/sawtooth.cpp.o.d"
+  "libbiosense_i2f.a"
+  "libbiosense_i2f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_i2f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/culture.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/culture.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/culture.cpp.o.d"
+  "/root/repo/src/neuro/hodgkin_huxley.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/hodgkin_huxley.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/hodgkin_huxley.cpp.o.d"
+  "/root/repo/src/neuro/izhikevich.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/izhikevich.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/izhikevich.cpp.o.d"
+  "/root/repo/src/neuro/junction.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/junction.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/junction.cpp.o.d"
+  "/root/repo/src/neuro/network_model.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/network_model.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/network_model.cpp.o.d"
+  "/root/repo/src/neuro/propagation.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/propagation.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/propagation.cpp.o.d"
+  "/root/repo/src/neuro/spike_train.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/spike_train.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/spike_train.cpp.o.d"
+  "/root/repo/src/neuro/stimulation.cpp" "src/neuro/CMakeFiles/biosense_neuro.dir/stimulation.cpp.o" "gcc" "src/neuro/CMakeFiles/biosense_neuro.dir/stimulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosense_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_neuro.dir/culture.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/culture.cpp.o.d"
+  "CMakeFiles/biosense_neuro.dir/hodgkin_huxley.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/hodgkin_huxley.cpp.o.d"
+  "CMakeFiles/biosense_neuro.dir/izhikevich.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/izhikevich.cpp.o.d"
+  "CMakeFiles/biosense_neuro.dir/junction.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/junction.cpp.o.d"
+  "CMakeFiles/biosense_neuro.dir/network_model.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/network_model.cpp.o.d"
+  "CMakeFiles/biosense_neuro.dir/propagation.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/propagation.cpp.o.d"
+  "CMakeFiles/biosense_neuro.dir/spike_train.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/spike_train.cpp.o.d"
+  "CMakeFiles/biosense_neuro.dir/stimulation.cpp.o"
+  "CMakeFiles/biosense_neuro.dir/stimulation.cpp.o.d"
+  "libbiosense_neuro.a"
+  "libbiosense_neuro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_neuro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

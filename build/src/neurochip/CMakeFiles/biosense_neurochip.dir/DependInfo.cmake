@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neurochip/array.cpp" "src/neurochip/CMakeFiles/biosense_neurochip.dir/array.cpp.o" "gcc" "src/neurochip/CMakeFiles/biosense_neurochip.dir/array.cpp.o.d"
+  "/root/repo/src/neurochip/pixel.cpp" "src/neurochip/CMakeFiles/biosense_neurochip.dir/pixel.cpp.o" "gcc" "src/neurochip/CMakeFiles/biosense_neurochip.dir/pixel.cpp.o.d"
+  "/root/repo/src/neurochip/recording.cpp" "src/neurochip/CMakeFiles/biosense_neurochip.dir/recording.cpp.o" "gcc" "src/neurochip/CMakeFiles/biosense_neurochip.dir/recording.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosense_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/biosense_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/biosense_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/neuro/CMakeFiles/biosense_neuro.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

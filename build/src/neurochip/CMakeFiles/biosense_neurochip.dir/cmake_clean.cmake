@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_neurochip.dir/array.cpp.o"
+  "CMakeFiles/biosense_neurochip.dir/array.cpp.o.d"
+  "CMakeFiles/biosense_neurochip.dir/pixel.cpp.o"
+  "CMakeFiles/biosense_neurochip.dir/pixel.cpp.o.d"
+  "CMakeFiles/biosense_neurochip.dir/recording.cpp.o"
+  "CMakeFiles/biosense_neurochip.dir/recording.cpp.o.d"
+  "libbiosense_neurochip.a"
+  "libbiosense_neurochip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_neurochip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbiosense_neurochip.a"
+)

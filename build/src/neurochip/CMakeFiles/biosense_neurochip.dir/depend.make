@@ -1,0 +1,2 @@
+# Empty dependencies file for biosense_neurochip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_noise.dir/mismatch.cpp.o"
+  "CMakeFiles/biosense_noise.dir/mismatch.cpp.o.d"
+  "CMakeFiles/biosense_noise.dir/sources.cpp.o"
+  "CMakeFiles/biosense_noise.dir/sources.cpp.o.d"
+  "libbiosense_noise.a"
+  "libbiosense_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

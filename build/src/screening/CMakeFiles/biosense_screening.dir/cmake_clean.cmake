@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosense_screening.dir/funnel.cpp.o"
+  "CMakeFiles/biosense_screening.dir/funnel.cpp.o.d"
+  "libbiosense_screening.a"
+  "libbiosense_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosense_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

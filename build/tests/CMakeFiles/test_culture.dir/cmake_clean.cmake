@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_culture.dir/test_culture.cpp.o"
+  "CMakeFiles/test_culture.dir/test_culture.cpp.o.d"
+  "test_culture"
+  "test_culture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_culture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

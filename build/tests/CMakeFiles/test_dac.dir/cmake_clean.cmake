@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dac.dir/test_dac.cpp.o"
+  "CMakeFiles/test_dac.dir/test_dac.cpp.o.d"
+  "test_dac"
+  "test_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

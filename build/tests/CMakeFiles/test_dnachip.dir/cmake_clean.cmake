@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnachip.dir/test_dnachip.cpp.o"
+  "CMakeFiles/test_dnachip.dir/test_dnachip.cpp.o.d"
+  "test_dnachip"
+  "test_dnachip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnachip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

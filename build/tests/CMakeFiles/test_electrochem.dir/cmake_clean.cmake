@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_electrochem.dir/test_electrochem.cpp.o"
+  "CMakeFiles/test_electrochem.dir/test_electrochem.cpp.o.d"
+  "test_electrochem"
+  "test_electrochem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_electrochem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

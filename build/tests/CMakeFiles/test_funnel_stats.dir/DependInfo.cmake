@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_funnel_stats.cpp" "tests/CMakeFiles/test_funnel_stats.dir/test_funnel_stats.cpp.o" "gcc" "tests/CMakeFiles/test_funnel_stats.dir/test_funnel_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/biosense_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/screening/CMakeFiles/biosense_screening.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/biosense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/neurochip/CMakeFiles/biosense_neurochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/neuro/CMakeFiles/biosense_neuro.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnachip/CMakeFiles/biosense_dnachip.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2f/CMakeFiles/biosense_i2f.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/biosense_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/biosense_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/biosense_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biosense_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

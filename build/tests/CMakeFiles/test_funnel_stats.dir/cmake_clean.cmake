@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funnel_stats.dir/test_funnel_stats.cpp.o"
+  "CMakeFiles/test_funnel_stats.dir/test_funnel_stats.cpp.o.d"
+  "test_funnel_stats"
+  "test_funnel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funnel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gain_stage.dir/test_gain_stage.cpp.o"
+  "CMakeFiles/test_gain_stage.dir/test_gain_stage.cpp.o.d"
+  "test_gain_stage"
+  "test_gain_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gain_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

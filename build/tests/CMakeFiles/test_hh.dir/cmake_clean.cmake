@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hh.dir/test_hh.cpp.o"
+  "CMakeFiles/test_hh.dir/test_hh.cpp.o.d"
+  "test_hh"
+  "test_hh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybridization.dir/test_hybridization.cpp.o"
+  "CMakeFiles/test_hybridization.dir/test_hybridization.cpp.o.d"
+  "test_hybridization"
+  "test_hybridization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybridization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_i2f.dir/test_i2f.cpp.o"
+  "CMakeFiles/test_i2f.dir/test_i2f.cpp.o.d"
+  "test_i2f"
+  "test_i2f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_i2f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_i2f.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_dna.dir/test_integration_dna.cpp.o"
+  "CMakeFiles/test_integration_dna.dir/test_integration_dna.cpp.o.d"
+  "test_integration_dna"
+  "test_integration_dna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

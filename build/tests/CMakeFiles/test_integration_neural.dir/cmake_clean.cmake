@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_neural.dir/test_integration_neural.cpp.o"
+  "CMakeFiles/test_integration_neural.dir/test_integration_neural.cpp.o.d"
+  "test_integration_neural"
+  "test_integration_neural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_izhikevich.dir/test_izhikevich.cpp.o"
+  "CMakeFiles/test_izhikevich.dir/test_izhikevich.cpp.o.d"
+  "test_izhikevich"
+  "test_izhikevich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_izhikevich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_junction.dir/test_junction.cpp.o"
+  "CMakeFiles/test_junction.dir/test_junction.cpp.o.d"
+  "test_junction"
+  "test_junction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_junction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labelfree.dir/test_labelfree.cpp.o"
+  "CMakeFiles/test_labelfree.dir/test_labelfree.cpp.o.d"
+  "test_labelfree"
+  "test_labelfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labelfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

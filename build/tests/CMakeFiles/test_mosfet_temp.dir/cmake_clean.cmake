@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mosfet_temp.dir/test_mosfet_temp.cpp.o"
+  "CMakeFiles/test_mosfet_temp.dir/test_mosfet_temp.cpp.o.d"
+  "test_mosfet_temp"
+  "test_mosfet_temp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mosfet_temp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

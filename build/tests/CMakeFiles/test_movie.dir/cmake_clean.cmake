@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_movie.dir/test_movie.cpp.o"
+  "CMakeFiles/test_movie.dir/test_movie.cpp.o.d"
+  "test_movie"
+  "test_movie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_model.dir/test_network_model.cpp.o"
+  "CMakeFiles/test_network_model.dir/test_network_model.cpp.o.d"
+  "test_network_model"
+  "test_network_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neurochip.dir/test_neurochip.cpp.o"
+  "CMakeFiles/test_neurochip.dir/test_neurochip.cpp.o.d"
+  "test_neurochip"
+  "test_neurochip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neurochip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

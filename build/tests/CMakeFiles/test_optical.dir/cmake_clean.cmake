@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optical.dir/test_optical.cpp.o"
+  "CMakeFiles/test_optical.dir/test_optical.cpp.o.d"
+  "test_optical"
+  "test_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

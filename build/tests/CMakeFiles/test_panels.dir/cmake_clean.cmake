@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_panels.dir/test_panels.cpp.o"
+  "CMakeFiles/test_panels.dir/test_panels.cpp.o.d"
+  "test_panels"
+  "test_panels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_panels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

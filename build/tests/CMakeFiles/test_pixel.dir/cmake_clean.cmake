@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pixel.dir/test_pixel.cpp.o"
+  "CMakeFiles/test_pixel.dir/test_pixel.cpp.o.d"
+  "test_pixel"
+  "test_pixel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pixel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_screening.dir/test_screening.cpp.o"
+  "CMakeFiles/test_screening.dir/test_screening.cpp.o.d"
+  "test_screening"
+  "test_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spikes.dir/test_spikes.cpp.o"
+  "CMakeFiles/test_spikes.dir/test_spikes.cpp.o.d"
+  "test_spikes"
+  "test_spikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stimulation.dir/test_stimulation.cpp.o"
+  "CMakeFiles/test_stimulation.dir/test_stimulation.cpp.o.d"
+  "test_stimulation"
+  "test_stimulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stimulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
