@@ -182,10 +182,10 @@ void BM_AblationFramePerMux(benchmark::State& state) {
   cfg.mux_factor = static_cast<int>(state.range(0));
   neurochip::NeuroChip chip(cfg, Rng(75));
   chip.calibrate_all();
-  auto field = [](int, int, double) { return 1e-3; };
+  const neurochip::ConstantSource drive(1e-3);  // batched capture API
   double t = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(chip.capture_frame(field, t));
+    benchmark::DoNotOptimize(chip.capture_frame(drive, t));
     t += 500e-6;
   }
 }

@@ -110,6 +110,7 @@ void print_comparison() {
              imp_lod > redox_lod && fbar_lod > redox_lod ? "yes" : "no",
              imp_lod > redox_lod && fbar_lod > redox_lod);
   claims.print(std::cout);
+  core::write_claims_json({claims}, "bench_detection_principles");
 }
 
 void BM_CyclicVoltammetry(benchmark::State& state) {

@@ -108,6 +108,7 @@ void print_assay_currents() {
   claims.add("match retains duplex after wash", "yes (Fig. 2f)",
              i_match > 1e-9 ? "yes" : "no", i_match > 1e-9);
   claims.print(std::cout);
+  core::write_claims_json({claims}, "bench_fig2_hybridization");
 }
 
 void BM_FullAssayOneSpot(benchmark::State& state) {

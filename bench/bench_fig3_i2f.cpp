@@ -84,6 +84,7 @@ void print_transfer() {
   claims.add_range("compression corner", "above 100 nA",
                    conv.compression_corner_current(), 100e-9, 1e-5, "A");
   claims.print(std::cout);
+  core::write_claims_json({claims}, "bench_fig3_i2f");
 }
 
 void print_noise_floor() {

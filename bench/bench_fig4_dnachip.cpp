@@ -125,6 +125,7 @@ void print_autorange() {
   claims.add_range("bandgap", "~1.2 V", chip.bandgap_voltage(), 1.15, 1.3,
                    "V");
   claims.print(std::cout);
+  core::write_claims_json({claims}, "bench_fig4_dnachip");
 }
 
 void BM_FullFrameAcquisition(benchmark::State& state) {

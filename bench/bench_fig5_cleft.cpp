@@ -108,6 +108,7 @@ void print_amplitude_population() {
   claims.add_range("seal resistance @60 nm cleft", "~1 MOhm scale",
                    j.seal_resistance(), 2e5, 3e6, "Ohm");
   claims.print(std::cout);
+  core::write_claims_json({claims}, "bench_fig5_cleft");
 }
 
 void BM_SpikeTemplate(benchmark::State& state) {

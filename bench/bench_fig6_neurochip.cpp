@@ -117,6 +117,7 @@ void print_timing_budget() {
   claims.add_range("pixel pitch", "7.8 um", chip.config().pitch, 7.7e-6,
                    7.9e-6, "m");
   claims.print(std::cout);
+  core::write_claims_json({claims}, "bench_fig6_neurochip");
 }
 
 void print_recording() {
@@ -227,10 +228,10 @@ void BM_FullArrayFrame(benchmark::State& state) {
   neurochip::NeuroChipConfig cfg;
   neurochip::NeuroChip chip(cfg, Rng(45));
   chip.calibrate_all();
-  auto field = [](int, int, double) { return 0.0; };
+  const neurochip::ConstantSource quiet(0.0);  // batched capture API
   double t = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(chip.capture_frame(field, t));
+    benchmark::DoNotOptimize(chip.capture_frame(quiet, t));
     t += 500e-6;
   }
   state.SetItemsProcessed(state.iterations() * 128 * 128);

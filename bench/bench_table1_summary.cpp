@@ -9,6 +9,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "core/artifacts.hpp"
 #include "core/experiment.hpp"
 #include "core/platform.hpp"
 #include "i2f/sawtooth.hpp"
@@ -19,7 +20,7 @@ namespace {
 
 using namespace biosense;
 
-void dna_chip_summary() {
+void dna_chip_summary(std::vector<core::ClaimReport>& reports) {
   const auto paper = core::paper_dna_chip();
   dnachip::DnaChip chip(dnachip::DnaChipConfig{}, Rng(61));
   i2f::SawtoothConverter conv(i2f::I2fConfig{}, Rng(62));
@@ -45,9 +46,10 @@ void dna_chip_summary() {
   claims.add_range("bandgap reference", "periphery present",
                    chip.bandgap_voltage(), 1.15, 1.3, "V");
   claims.print(std::cout);
+  reports.push_back(std::move(claims));
 }
 
-void neuro_chip_summary() {
+void neuro_chip_summary(std::vector<core::ClaimReport>& reports) {
   const auto paper = core::paper_neuro_chip();
   neurochip::NeuroChip chip(neurochip::NeuroChipConfig{}, Rng(63));
   const auto tb = chip.timing();
@@ -98,6 +100,7 @@ void neuro_chip_summary() {
   claims.add_range("pixel offset calibrated", "near pedestal (sub-mV)", cal,
                    0.0, 1.5e-3, "V");
   claims.print(std::cout);
+  reports.push_back(std::move(claims));
 
   // Neuron-size vs pitch consistency (the paper's coverage argument).
   core::ClaimReport coverage("Pitch vs neuron size (Section 3)");
@@ -105,6 +108,7 @@ void neuro_chip_summary() {
                si_format(chip.config().pitch, "m") + " < 10 um",
                chip.config().pitch < 10e-6);
   coverage.print(std::cout);
+  reports.push_back(std::move(coverage));
 }
 
 void BM_SummaryChipBuild(benchmark::State& state) {
@@ -121,8 +125,10 @@ BENCHMARK(BM_SummaryChipBuild)->Name("neurochip_16x16_instantiation");
 }  // namespace
 
 int main(int argc, char** argv) {
-  dna_chip_summary();
-  neuro_chip_summary();
+  std::vector<core::ClaimReport> reports;
+  dna_chip_summary(reports);
+  neuro_chip_summary(reports);
+  core::write_claims_json(reports, "bench_table1_summary");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "core/neural_workbench.hpp"
 
 int main() {
@@ -26,6 +27,8 @@ int main() {
               "%.0f frames/s\n",
               cfg.chip.rows, cfg.chip.cols, cfg.chip.pitch * 1e6,
               cfg.chip.frame_rate);
+  std::printf("capture engine: %d thread(s), deterministic for any count\n",
+              max_threads());
 
   core::NeuralWorkbench workbench(cfg, Rng(99));
   const auto run = workbench.run();

@@ -18,4 +18,22 @@ std::string write_table_csv(const Table& table, const std::string& name,
   return out.good() ? path : std::string{};
 }
 
+std::string write_claims_json(const std::vector<ClaimReport>& reports,
+                              const std::string& name,
+                              const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const std::string path = dir + "/" + name + ".json";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out << ", ";
+    reports[i].to_json(out);
+  }
+  out << "]\n";
+  return out.good() ? path : std::string{};
+}
+
 }  // namespace biosense::core

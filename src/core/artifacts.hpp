@@ -4,8 +4,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 
 namespace biosense::core {
 
@@ -14,5 +16,13 @@ namespace biosense::core {
 /// errors (benches treat persistence as best-effort).
 std::string write_table_csv(const Table& table, const std::string& name,
                             const std::string& dir = "results");
+
+/// Writes the claim reports of one bench as a JSON array of report objects
+/// to `<dir>/<name>.json` (one file per bench, machine-readable twin of
+/// the stdout tables). Returns the path written, or an empty string on
+/// filesystem errors.
+std::string write_claims_json(const std::vector<ClaimReport>& reports,
+                              const std::string& name,
+                              const std::string& dir = "results");
 
 }  // namespace biosense::core

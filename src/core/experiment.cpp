@@ -48,6 +48,50 @@ bool ClaimReport::all_pass() const {
   return true;
 }
 
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void ClaimReport::to_json(std::ostream& os) const {
+  os << "{\"title\": ";
+  write_json_string(os, title_);
+  os << ", \"all_pass\": " << (all_pass() ? "true" : "false")
+     << ", \"checks\": [";
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    const auto& c = checks_[i];
+    if (i > 0) os << ", ";
+    os << "{\"quantity\": ";
+    write_json_string(os, c.quantity);
+    os << ", \"paper\": ";
+    write_json_string(os, c.paper_value);
+    os << ", \"measured\": ";
+    write_json_string(os, c.measured_value);
+    os << ", \"pass\": " << (c.pass ? "true" : "false") << "}";
+  }
+  os << "]}";
+}
+
 void ClaimReport::print(std::ostream& os) const {
   Table t(title_);
   t.set_columns({"quantity", "paper", "measured", "status"});

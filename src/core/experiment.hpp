@@ -42,8 +42,14 @@ class ClaimReport {
   bool all_pass() const;
   std::size_t size() const { return checks_.size(); }
   const std::vector<ClaimCheck>& checks() const { return checks_; }
+  const std::string& title() const { return title_; }
 
   void print(std::ostream& os) const;
+
+  /// Writes the report as one JSON object:
+  ///   {"title": ..., "all_pass": ..., "checks": [{"quantity": ...,
+  ///    "paper": ..., "measured": ..., "pass": ...}, ...]}
+  void to_json(std::ostream& os) const;
 
  private:
   std::string title_;

@@ -4,12 +4,23 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace biosense::dnachip {
 
 double gate_time_from_code(std::uint16_t code) {
   require(code <= 15, "gate_time_from_code: code must be in [0,15]");
   return static_cast<double>(1u << code) * 1e-3;
+}
+
+void DnaChipConfig::validate() const {
+  require(rows > 0 && cols > 0, "DnaChip: array must be non-empty");
+  require(counter_bits >= 4 && counter_bits <= 16,
+          "DnaChip: counter bits must be in [4,16] (16-bit data words)");
+  require(site_leakage_sigma >= 0.0,
+          "DnaChip: leakage spread must be non-negative");
+  require(temp_k > 0.0, "DnaChip: temperature must be positive");
+  require(vdd > 0.0, "DnaChip: supply voltage must be positive");
 }
 
 DnaChip::DnaChip(DnaChipConfig config, Rng rng)
@@ -19,9 +30,7 @@ DnaChip::DnaChip(DnaChipConfig config, Rng rng)
       iref_(config.iref, bandgap_, rng_.fork()),
       dac_generator_(config.dac, rng_.fork()),
       dac_collector_(config.dac, rng_.fork()) {
-  require(config.rows > 0 && config.cols > 0, "DnaChip: array must be non-empty");
-  require(config.counter_bits >= 4 && config.counter_bits <= 16,
-          "DnaChip: counter bits must be in [4,16] (16-bit data words)");
+  config.validate();
 
   converters_.reserve(static_cast<std::size_t>(sites()));
   for (int i = 0; i < sites(); ++i) {
@@ -86,13 +95,16 @@ std::vector<bool> DnaChip::run_conversion(std::uint16_t gate_code) {
   const double gate = gate_time_from_code(gate_code);
   last_gate_time_ = gate;
   const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
-  for (int i = 0; i < sites(); ++i) {
+  // All sites convert simultaneously on the chip, and each site's converter
+  // owns its comparator-noise RNG stream, so the sweep parallelizes with
+  // results independent of the thread count.
+  parallel_for(0, sites(), [&](std::int64_t i) {
     const auto conv = converters_[static_cast<std::size_t>(i)].measure(
         sensor_currents_[static_cast<std::size_t>(i)], gate);
     // Saturating counter: the host detects full-scale counts and falls
     // back to a shorter gate (see acquire_autorange).
     counts_[static_cast<std::size_t>(i)] = std::min(conv.count, max_count);
-  }
+  });
   return {};
 }
 
@@ -120,11 +132,11 @@ std::vector<bool> DnaChip::auto_calibrate() {
   // disconnected (only leakage integrates) and stores baseline counts.
   const double gate = last_gate_time_ > 0.0 ? last_gate_time_ : 0.128;
   const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
-  for (int i = 0; i < sites(); ++i) {
+  parallel_for(0, sites(), [&](std::int64_t i) {
     const auto conv =
         converters_[static_cast<std::size_t>(i)].measure(0.0, gate);
     cal_counts_[static_cast<std::size_t>(i)] = std::min(conv.count, max_count);
-  }
+  });
   calibrated_ = true;
   std::vector<std::uint16_t> words;
   words.reserve(cal_counts_.size());

@@ -36,6 +36,11 @@ struct DnaChipConfig {
   circuit::CurrentReferenceParams iref{};
   double temp_k = 300.0;
   double vdd = 5.0;
+
+  /// Throws ConfigError when the configuration is inconsistent (empty
+  /// array, counter width outside the 16-bit data words, non-physical
+  /// supply/temperature). Called by the DnaChip constructor.
+  void validate() const;
 };
 
 /// Chip-side model. All analog non-idealities (per-site comparator offsets,

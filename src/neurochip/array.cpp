@@ -2,22 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/units.hpp"
 
 namespace biosense::neurochip {
+
+void NeuroChipConfig::validate() const {
+  require(rows > 0 && cols > 0, "NeuroChip: empty array");
+  require(mux_factor > 0 && rows % mux_factor == 0,
+          "NeuroChip: rows must be a multiple of the mux factor");
+  require(frame_rate > 0.0, "NeuroChip: frame rate must be positive");
+  require(pitch > 0.0, "NeuroChip: pixel pitch must be positive");
+  require(adc.bits >= 4 && adc.bits <= 24, "NeuroChip: ADC bits out of range");
+  require(adc.full_scale > 0.0, "NeuroChip: ADC full scale must be positive");
+  require(gain_sigma >= 0.0 && gain_offset_sigma >= 0.0,
+          "NeuroChip: gain spreads must be non-negative");
+  require(recalibration_interval > 0.0,
+          "NeuroChip: recalibration interval must be positive");
+}
 
 NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
     : config_(config),
       rng_(rng),
       mismatch_(config.pelgrom, rng_.fork()) {
-  require(config.rows > 0 && config.cols > 0, "NeuroChip: empty array");
-  require(config.mux_factor > 0 && config.rows % config.mux_factor == 0,
-          "NeuroChip: rows must be a multiple of the mux factor");
-  require(config.frame_rate > 0.0, "NeuroChip: frame rate must be positive");
-  require(config.adc.bits >= 4 && config.adc.bits <= 24,
-          "NeuroChip: ADC bits out of range");
+  config.validate();
 
   const auto n = static_cast<std::size_t>(config.rows * config.cols);
   pixels_.reserve(n);
@@ -39,6 +50,7 @@ NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
         rng_.fork(), config.gain_sigma, config.gain_offset_sigma * 700.0));
   }
 
+  signal_scratch_.assign(n, 0.0);
   gm_nominal_ = pixels_.front().gm();
 }
 
@@ -57,8 +69,17 @@ TimingBudget NeuroChip::timing() const {
   return t;
 }
 
+void NeuroChip::calibrate_pixels() {
+  // Each pixel's calibration draws only from its own switch RNG stream, so
+  // the sweep parallelizes without affecting results.
+  auto* pixels = pixels_.data();
+  parallel_for(
+      0, static_cast<std::int64_t>(pixels_.size()),
+      [pixels](std::int64_t i) { pixels[i].calibrate(); }, 256);
+}
+
 void NeuroChip::calibrate_all() {
-  for (auto& p : pixels_) p.calibrate();
+  calibrate_pixels();
   // Reference current for gain-stage calibration: a mid-scale pixel signal.
   const double i_ref = gm_nominal_ * 1e-3;  // 1 mV equivalent
   for (auto& ch : row_chains_) ch.calibrate(i_ref);
@@ -75,64 +96,91 @@ double NeuroChip::nominal_conversion_gain() const {
   return gm_nominal_ * 100.0 * 7.0 * 4.0 * 2.0;
 }
 
-NeuroFrame NeuroChip::capture_frame(const SignalField& field, double t) {
+NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
   const TimingBudget tb = timing();
+  const int rows = config_.rows;
+  const int cols = config_.cols;
+  const int mux = config_.mux_factor;
   NeuroFrame frame;
-  frame.rows = config_.rows;
-  frame.cols = config_.cols;
+  frame.rows = rows;
+  frame.cols = cols;
   frame.t = t;
-  frame.v_in.assign(static_cast<std::size_t>(config_.rows * config_.cols), 0.0);
-  frame.codes.assign(static_cast<std::size_t>(config_.rows * config_.cols), 0);
+  frame.v_in.assign(static_cast<std::size_t>(rows * cols), 0.0);
+  frame.codes.assign(static_cast<std::size_t>(rows * cols), 0);
 
   const double adc_lsb =
       2.0 * config_.adc.full_scale / static_cast<double>(1 << config_.adc.bits);
   const double conv_gain = nominal_conversion_gain();
 
-  for (int col = 0; col < config_.cols; ++col) {
-    const double t_col = t + col * tb.column_dwell;
-    // All rows sample this column in parallel through their row chains.
-    for (int row = 0; row < config_.rows; ++row) {
-      auto& px = pixel(row, col);
-      const double v_sig = field(row, col, t_col);
-      const double i_diff = px.read_current(v_sig, tb.column_dwell);
-      // Row amplifier settles within the column dwell; two half-dwell
-      // steps capture the residual first-order settling.
-      auto& rc = row_chains_[static_cast<std::size_t>(row)];
-      rc.step(i_diff, 0.5 * tb.column_dwell);
-      const double i_row = rc.step(i_diff, 0.5 * tb.column_dwell);
+  // Phase 1 — batched signal evaluation, one column per work item. The
+  // scratch buffer is column-major so each call fills a contiguous span.
+  double* scratch = signal_scratch_.data();
+  parallel_for(0, cols, [&source, scratch, rows, t, &tb](std::int64_t col) {
+    source.eval_column(static_cast<int>(col), t + col * tb.column_dwell,
+                       std::span<double>(scratch + col * rows,
+                                         static_cast<std::size_t>(rows)));
+  });
 
-      // The channel chain serves mux_factor rows in sequence within the
-      // column dwell (one mux slot each).
-      auto& cc = channel_chains_[static_cast<std::size_t>(
-          row / config_.mux_factor)];
-      cc.step(i_row, 0.5 * tb.mux_slot);
-      const double i_out = cc.step(i_row, 0.5 * tb.mux_slot);
+  // Phase 2 — the analog signal path, one output channel per work item.
+  // A channel owns its mux group of rows: their pixels (and noise RNG
+  // streams), their row chains, and the shared channel chain. Columns stay
+  // in sequence inside a channel because the amplifiers' single-pole
+  // settling state carries from column to column; every state object sees
+  // the exact operation sequence of the serial scan, so frames are
+  // bitwise-identical for any thread count.
+  parallel_for(0, channels(), [&](std::int64_t ch) {
+    const int row_begin = static_cast<int>(ch) * mux;
+    auto& cc = channel_chains_[static_cast<std::size_t>(ch)];
+    for (int col = 0; col < cols; ++col) {
+      for (int row = row_begin; row < row_begin + mux; ++row) {
+        auto& px = pixel(row, col);
+        const double v_sig = scratch[col * rows + row];
+        const double i_diff = px.read_current(v_sig, tb.column_dwell);
+        // Row amplifier settles within the column dwell; two half-dwell
+        // steps capture the residual first-order settling.
+        auto& rc = row_chains_[static_cast<std::size_t>(row)];
+        rc.step(i_diff, 0.5 * tb.column_dwell);
+        const double i_row = rc.step(i_diff, 0.5 * tb.column_dwell);
 
-      // Off-chip ADC.
-      const double clipped = std::clamp(i_out, -config_.adc.full_scale,
-                                        config_.adc.full_scale);
-      const auto code = static_cast<std::int32_t>(
-          std::lround(clipped / adc_lsb));
-      const std::size_t idx =
-          static_cast<std::size_t>(row * config_.cols + col);
-      frame.codes[idx] = code;
-      frame.v_in[idx] = static_cast<double>(code) * adc_lsb / conv_gain;
+        // The channel chain serves mux_factor rows in sequence within the
+        // column dwell (one mux slot each).
+        cc.step(i_row, 0.5 * tb.mux_slot);
+        const double i_out = cc.step(i_row, 0.5 * tb.mux_slot);
+
+        // Off-chip ADC.
+        const double clipped = std::clamp(i_out, -config_.adc.full_scale,
+                                          config_.adc.full_scale);
+        const auto code = static_cast<std::int32_t>(
+            std::lround(clipped / adc_lsb));
+        const std::size_t idx = static_cast<std::size_t>(row * cols + col);
+        frame.codes[idx] = code;
+        frame.v_in[idx] = static_cast<double>(code) * adc_lsb / conv_gain;
+      }
     }
-  }
+  });
 
-  // Hold-time effects and periodic recalibration.
+  // Phase 3 — hold-time effects and periodic recalibration (per-pixel
+  // state only).
   const double frame_period = tb.frame_period;
-  for (auto& p : pixels_) p.elapse(frame_period);
+  auto* pixels = pixels_.data();
+  parallel_for(
+      0, static_cast<std::int64_t>(pixels_.size()),
+      [pixels, frame_period](std::int64_t i) { pixels[i].elapse(frame_period); },
+      1024);
   if (ever_calibrated_ &&
       t + frame_period - last_calibration_t_ >= config_.recalibration_interval) {
-    for (auto& p : pixels_) p.calibrate();
+    calibrate_pixels();
     last_calibration_t_ = t + frame_period;
   }
   return frame;
 }
 
+NeuroFrame NeuroChip::capture_frame(const SignalField& field, double t) {
+  return capture_frame(FieldSource(field), t);
+}
+
 std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
-                                                      const SignalField& field,
+                                                      const SignalSource& source,
                                                       double t0,
                                                       int n_samples) {
   require(row >= 0 && row < config_.rows && col >= 0 && col < config_.cols,
@@ -153,7 +201,7 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
   out.reserve(static_cast<std::size_t>(n_samples));
   for (int k = 0; k < n_samples; ++k) {
     const double t = t0 + k * dt;
-    const double i_diff = px.read_current(field(row, col, t), dt);
+    const double i_diff = px.read_current(source.eval(row, col, t), dt);
     rc.step(i_diff, 0.5 * dt);
     const double i_row = rc.step(i_diff, 0.5 * dt);
     cc.step(i_row, 0.5 * dt);
@@ -167,15 +215,27 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
   return out;
 }
 
-std::vector<NeuroFrame> NeuroChip::record(const SignalField& field, double t0,
+std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
+                                                      const SignalField& field,
+                                                      double t0,
+                                                      int n_samples) {
+  return capture_pixel_highrate(row, col, FieldSource(field), t0, n_samples);
+}
+
+std::vector<NeuroFrame> NeuroChip::record(const SignalSource& source, double t0,
                                           int n) {
   std::vector<NeuroFrame> frames;
   frames.reserve(static_cast<std::size_t>(n));
   const double period = 1.0 / config_.frame_rate;
   for (int k = 0; k < n; ++k) {
-    frames.push_back(capture_frame(field, t0 + k * period));
+    frames.push_back(capture_frame(source, t0 + k * period));
   }
   return frames;
+}
+
+std::vector<NeuroFrame> NeuroChip::record(const SignalField& field, double t0,
+                                          int n) {
+  return record(FieldSource(field), t0, n);
 }
 
 std::pair<double, double> NeuroChip::offset_stats() const {

@@ -12,15 +12,24 @@
 //    each with an off-chip gain chain (x4, x2) behind a 32 MHz output
 //    driver, then A/D conversion off chip.
 //  * Full frame rate: 2 k frames/s -> column dwell 3.9 us, mux slot 488 ns.
+//
+// Execution model: `capture_frame` runs on the global thread pool in two
+// deterministic phases — batched `SignalSource` evaluation across columns,
+// then the analog signal path across output channels (a channel owns its
+// mux group of rows, their pixels, row chains and the channel chain, so
+// every piece of mutable state — including each pixel's forked RNG noise
+// stream — is touched by exactly one worker, in the same order as the
+// serial scan). Frames are bitwise-identical for any thread count.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "circuit/gain_stage.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "neurochip/pixel.hpp"
+#include "neurochip/signal_source.hpp"
 #include "noise/mismatch.hpp"
 
 namespace biosense::neurochip {
@@ -46,6 +55,11 @@ struct NeuroChipConfig {
   /// Pixels are re-calibrated every this many seconds (droop otherwise
   /// accumulates).
   double recalibration_interval = 0.25;
+
+  /// Throws ConfigError when the configuration is inconsistent (empty
+  /// array, mux factor not dividing rows, non-positive rates, ...).
+  /// Called by the NeuroChip constructor.
+  void validate() const;
 };
 
 /// Derived timing numbers; the bench checks them against the paper.
@@ -72,10 +86,19 @@ struct NeuroFrame {
   double at(int r, int c) const {
     return v_in[static_cast<std::size_t>(r * cols + c)];
   }
-};
 
-/// Signal source: electrode voltage at (row, col) at time t.
-using SignalField = std::function<double(int row, int col, double t)>;
+  /// Bounds-checked raw ADC code accessor, mirroring `at(r, c)`.
+  std::int32_t& code_at(int r, int c) {
+    require(r >= 0 && r < rows && c >= 0 && c < cols,
+            "NeuroFrame::code_at: pixel out of range");
+    return codes[static_cast<std::size_t>(r * cols + c)];
+  }
+  std::int32_t code_at(int r, int c) const {
+    require(r >= 0 && r < rows && c >= 0 && c < cols,
+            "NeuroFrame::code_at: pixel out of range");
+    return codes[static_cast<std::size_t>(r * cols + c)];
+  }
+};
 
 class NeuroChip {
  public:
@@ -99,9 +122,14 @@ class NeuroChip {
   /// and reading all rows of a column in parallel through the row
   /// amplifiers and 8:1 output multiplexers. Advances droop by one frame
   /// period and re-calibrates when the recalibration interval elapses.
+  NeuroFrame capture_frame(const SignalSource& source, double t);
+
+  /// Legacy per-pixel callback overload; wraps `field` in a FieldSource
+  /// adapter and produces bitwise-identical frames.
   NeuroFrame capture_frame(const SignalField& field, double t);
 
   /// Captures `n` consecutive frames starting at t0.
+  std::vector<NeuroFrame> record(const SignalSource& source, double t0, int n);
   std::vector<NeuroFrame> record(const SignalField& field, double t0, int n);
 
   /// High-rate single-pixel mode: the sequencer parks on one pixel and
@@ -109,6 +137,9 @@ class NeuroChip {
   /// 256 kS/s for the paper's chip), trading spatial coverage for the
   /// temporal resolution needed to resolve full action-potential
   /// waveforms. Returns reconstructed input-referred voltages.
+  std::vector<double> capture_pixel_highrate(int row, int col,
+                                             const SignalSource& source,
+                                             double t0, int n_samples);
   std::vector<double> capture_pixel_highrate(int row, int col,
                                              const SignalField& field,
                                              double t0, int n_samples);
@@ -131,6 +162,8 @@ class NeuroChip {
   const NeuroChipConfig& config() const { return config_; }
 
  private:
+  void calibrate_pixels();
+
   NeuroChipConfig config_;
   Rng rng_;
   noise::MismatchSampler mismatch_;
@@ -139,6 +172,9 @@ class NeuroChip {
   // off-chip stages (x4, x2).
   std::vector<circuit::GainChain> row_chains_;
   std::vector<circuit::GainChain> channel_chains_;
+  // Column-major scratch for batched signal evaluation:
+  // signal_scratch_[col * rows + row]. Reused across frames.
+  std::vector<double> signal_scratch_;
   double gm_nominal_ = 0.0;
   double last_calibration_t_ = 0.0;
   bool ever_calibrated_ = false;

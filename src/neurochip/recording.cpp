@@ -1,9 +1,59 @@
 #include "neurochip/recording.hpp"
 
+#include <span>
+
 #include "common/error.hpp"
 #include "neuro/spike_train.hpp"
 
 namespace biosense::neurochip {
+
+namespace {
+
+/// Batched source over the session's precomputed per-pixel waveforms: a
+/// row-major grid of sample pointers (null = uncovered pixel) indexed by
+/// frame number. One virtual call fills a whole column — no hashing, no
+/// per-pixel std::function dispatch.
+class CultureSource final : public SignalSource {
+ public:
+  CultureSource(const std::vector<const double*>& grid, int cols, double t0,
+                double fs, std::size_t n_frames)
+      : grid_(grid), cols_(cols), t0_(t0), fs_(fs), n_frames_(n_frames) {}
+
+  double eval(int row, int col, double t) const override {
+    const double* samples = grid_[static_cast<std::size_t>(row * cols_ + col)];
+    if (samples == nullptr) return 0.0;
+    const std::size_t k = frame_index(t);
+    return k < n_frames_ ? samples[k] : 0.0;
+  }
+
+  void eval_column(int col, double t, std::span<double> out) const override {
+    const std::size_t k = frame_index(t);
+    if (k >= n_frames_) {
+      for (auto& v : out) v = 0.0;
+      return;
+    }
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      const double* samples =
+          grid_[r * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(col)];
+      out[r] = samples == nullptr ? 0.0 : samples[k];
+    }
+  }
+
+ private:
+  /// Frame index: the per-column phase is already folded into the
+  /// precomputed samples, so truncate (not round) to the frame number.
+  std::size_t frame_index(double t) const {
+    return static_cast<std::size_t>((t - t0_) * fs_ + 1e-9);
+  }
+
+  const std::vector<const double*>& grid_;
+  int cols_;
+  double t0_;
+  double fs_;
+  std::size_t n_frames_;
+};
+
+}  // namespace
 
 RecordingSession::RecordingSession(const neuro::NeuronCulture& culture,
                                    NeuroChip& chip)
@@ -49,16 +99,18 @@ std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
     }
   }
 
-  auto field = [this, &cfg, fs, t0](int row, int col, double t) {
-    const auto it = active_.find(row * cfg.cols + col);
-    if (it == active_.end()) return 0.0;
-    // Frame index: the per-column phase is already folded into the
-    // precomputed samples, so truncate (not round) to the frame number.
-    const auto k = static_cast<std::size_t>((t - t0) * fs + 1e-9);
-    if (k >= it->second.samples.size()) return 0.0;
-    return it->second.samples[k];
-  };
-  return chip_->record(field, t0, n_frames);
+  // Dense pointer grid for the batched capture path (the map's node
+  // storage stays stable while the source reads it).
+  std::vector<const double*> grid(
+      static_cast<std::size_t>(cfg.rows) * static_cast<std::size_t>(cfg.cols),
+      nullptr);
+  for (const auto& [key, sig] : active_) {
+    grid[static_cast<std::size_t>(key)] = sig.samples.data();
+  }
+
+  const CultureSource source(grid, cfg.cols, t0, fs,
+                             static_cast<std::size_t>(n_frames));
+  return chip_->record(source, t0, n_frames);
 }
 
 const std::vector<double>& RecordingSession::ground_truth(int r, int c) const {
