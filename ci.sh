@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build + test in the default configuration, then again under
+# AddressSanitizer and ThreadSanitizer (BIOSENSE_SANITIZE hooks the whole
+# tree; the TSan pass exercises the deterministic parallel capture paths).
+#
+# Usage: ./ci.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  shift 2
+  local dir="build-ci-${name}"
+  echo "=== [${name}] configure (BIOSENSE_SANITIZE='${sanitize}') ==="
+  cmake -B "${dir}" -S . -DBIOSENSE_SANITIZE="${sanitize}" >/dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "$@"
+}
+
+run_config default "" "$@"
+run_config asan address "$@"
+run_config tsan thread "$@"
+
+echo "=== CI: all three configurations passed ==="

@@ -11,15 +11,34 @@ DnaWorkbench::DnaWorkbench(DnaWorkbenchConfig config,
       chip_(config.chip, rng.fork()),
       host_(chip_,
             dnachip::SerialLink(config.serial_bit_error_rate, rng.fork()),
-            config.chip.site) {
+            config.chip.site, config.retry) {
   require(static_cast<int>(assay_.spots().size()) <= chip_.sites(),
           "DnaWorkbench: more probe spots than sensor sites");
+  // Faults go in before any host traffic so calibration already runs over
+  // the adverse link / die the plan describes.
+  const faults::FaultPlan plan(config.faults);
+  if (plan.any_dna_faults()) {
+    chip_.inject_faults(plan.dna_site_faults(config.chip.rows,
+                                             config.chip.cols));
+  }
+  if (plan.link_faults().any()) {
+    host_.link().inject_faults(plan.link_faults());
+  }
   host_.set_electrode_potentials(1.2, 0.8);
   host_.auto_calibrate();
 }
 
 WorkbenchRun DnaWorkbench::run(const std::vector<dna::TargetSpecies>& sample) {
   const auto assay_results = assay_.run(sample);
+
+  WorkbenchRun run;
+  if (config_.run_bist) {
+    if (auto map = host_.self_test()) {
+      run.defects = std::move(*map);
+    } else {
+      run.degradation.bist_ok = false;
+    }
+  }
 
   // Map spot currents onto the array; unused sites carry only background.
   std::vector<double> currents(static_cast<std::size_t>(chip_.sites()),
@@ -31,21 +50,43 @@ WorkbenchRun DnaWorkbench::run(const std::vector<dna::TargetSpecies>& sample) {
 
   const auto frame = host_.acquire_autorange();
 
-  WorkbenchRun run;
   run.gate_time = frame.gate_time;
   run.serial_bits = frame.serial_bits;
   run.crc_ok = frame.crc_ok;
+  run.status = frame.status;
+
+  // Graceful degradation: BIST-flagged sites are masked and replaced by
+  // their good neighbours' mean so one dead spot can't poison a call.
+  std::vector<double> measured = frame.currents;
+  if (!run.defects.empty() &&
+      measured.size() == static_cast<std::size_t>(chip_.sites())) {
+    faults::mask_interpolate(run.defects, measured);
+  }
+
+  const int cols = chip_.cols();
   run.calls.reserve(assay_results.size());
   for (std::size_t i = 0; i < assay_results.size(); ++i) {
     SpotCall call;
     call.name = assay_results[i].spot_name;
     call.true_current = assay_results[i].sensor_current;
-    call.measured_current =
-        i < frame.currents.size() ? frame.currents[i] : 0.0;
+    call.measured_current = i < measured.size() ? measured[i] : 0.0;
     call.called_match = call.measured_current > config_.detection_threshold;
+    if (!run.defects.empty()) {
+      call.masked = !run.defects.good(static_cast<int>(i) / cols,
+                                      static_cast<int>(i) % cols);
+    }
     call.best_match_mismatches = assay_results[i].best_match_mismatches;
     run.calls.push_back(std::move(call));
   }
+
+  run.degradation.yield = run.defects.empty() ? 1.0 : run.defects.yield();
+  run.degradation.masked =
+      static_cast<int>(run.defects.empty() ? 0 : run.defects.defect_count());
+  const auto& stats = host_.stats();
+  run.degradation.retries = stats.retries;
+  run.degradation.crc_failures = stats.crc_failures;
+  run.degradation.timeouts = stats.timeouts;
+  run.degradation.backoff_s = stats.backoff_s;
   return run;
 }
 

@@ -13,6 +13,8 @@
 #include "common/rng.hpp"
 #include "dna/assay.hpp"
 #include "dnachip/chip.hpp"
+#include "faults/defect_map.hpp"
+#include "faults/fault_plan.hpp"
 
 namespace biosense::core {
 
@@ -24,6 +26,12 @@ struct DnaWorkbenchConfig {
   /// current exceeds this value, A.
   double detection_threshold = 50e-12;
   double serial_bit_error_rate = 0.0;
+  /// Adverse-world description: injected die defects and link faults.
+  faults::FaultPlanConfig faults{};
+  /// Run the BIST self-test sweep before each acquisition and mask the
+  /// flagged sites out of the spot calls.
+  bool run_bist = false;
+  dnachip::RetryPolicy retry{};
 };
 
 struct SpotCall {
@@ -31,6 +39,7 @@ struct SpotCall {
   double true_current = 0.0;      // what the chemistry produced, A
   double measured_current = 0.0;  // what the chip reported, A
   bool called_match = false;
+  bool masked = false;            // site flagged by BIST; value interpolated
   std::size_t best_match_mismatches = ~0u;
 };
 
@@ -39,6 +48,11 @@ struct WorkbenchRun {
   double gate_time = 0.0;
   std::uint64_t serial_bits = 0;
   bool crc_ok = true;
+  dnachip::TxStatus status = dnachip::TxStatus::kOk;
+  /// BIST result (empty when `run_bist` is off or the sweep failed).
+  faults::DefectMap defects;
+  /// Yield, masking and transport-effort bookkeeping for this run.
+  faults::DegradationSummary degradation;
 };
 
 class DnaWorkbench {
@@ -51,6 +65,7 @@ class DnaWorkbench {
 
   int spots_capacity() const { return chip_.sites(); }
   const dnachip::DnaChip& chip() const { return chip_; }
+  const dnachip::HostInterface& host() const { return host_; }
 
  private:
   DnaWorkbenchConfig config_;

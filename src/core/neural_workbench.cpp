@@ -11,7 +11,14 @@ namespace biosense::core {
 NeuralWorkbench::NeuralWorkbench(NeuralWorkbenchConfig config, Rng rng)
     : config_(config),
       culture_(config.culture, rng.fork()),
-      chip_(config.chip, rng.fork()) {}
+      chip_(config.chip, rng.fork()) {
+  const faults::FaultPlan plan(config.faults);
+  if (plan.any_neuro_faults()) {
+    chip_.inject_faults(
+        plan.neuro_pixel_faults(config.chip.rows, config.chip.cols),
+        plan.channel_gain_drift(chip_.channels()));
+  }
+}
 
 NeuralRun NeuralWorkbench::run() {
   NeuralRun out;
@@ -19,6 +26,15 @@ NeuralRun NeuralWorkbench::run() {
   const auto [mean_off, max_off] = chip_.offset_stats();
   out.mean_abs_offset_v = mean_off;
   out.max_abs_offset_v = max_off;
+
+  if (config_.run_bist) {
+    if (auto map = chip_.self_test()) {
+      out.defects = *map;
+      chip_.set_defect_map(std::move(*map));
+    } else {
+      out.degradation.bist_ok = false;
+    }
+  }
 
   neurochip::RecordingSession session(culture_, chip_);
   const int n_frames = static_cast<int>(config_.recording_duration *
@@ -59,6 +75,10 @@ NeuralRun NeuralWorkbench::run() {
       out.detections.push_back(std::move(d));
     }
   }
+
+  out.degradation.yield = out.defects.empty() ? 1.0 : out.defects.yield();
+  out.degradation.masked =
+      static_cast<int>(out.defects.empty() ? 0 : out.defects.defect_count());
   return out;
 }
 

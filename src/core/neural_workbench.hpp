@@ -7,6 +7,8 @@
 
 #include "common/rng.hpp"
 #include "dsp/spikes.hpp"
+#include "faults/defect_map.hpp"
+#include "faults/fault_plan.hpp"
 #include "neuro/culture.hpp"
 #include "neurochip/array.hpp"
 #include "neurochip/recording.hpp"
@@ -18,6 +20,11 @@ struct NeuralWorkbenchConfig {
   neurochip::NeuroChipConfig chip{};
   dsp::SpikeDetectorConfig detector{};
   double recording_duration = 0.5;  // s
+  /// Adverse-world description: injected pixel defects and gain drift.
+  faults::FaultPlanConfig faults{};
+  /// Run the BIST sweep after calibration and mask flagged pixels out of
+  /// every recorded frame.
+  bool run_bist = false;
 };
 
 struct PixelDetection {
@@ -37,6 +44,10 @@ struct NeuralRun {
   std::size_t active_pixels = 0;
   double mean_abs_offset_v = 0.0;  // pixel calibration quality
   double max_abs_offset_v = 0.0;
+  /// BIST result (empty when `run_bist` is off or the sweep failed).
+  faults::DefectMap defects;
+  /// Yield and masking bookkeeping for this run.
+  faults::DegradationSummary degradation;
 };
 
 class NeuralWorkbench {

@@ -42,14 +42,31 @@ DnaChip::DnaChip(DnaChipConfig config, Rng rng)
     converters_.emplace_back(site, rng_.fork());
   }
   sensor_currents_.assign(static_cast<std::size_t>(sites()), 0.0);
+  extra_leakage_.assign(static_cast<std::size_t>(sites()), 0.0);
   counts_.assign(static_cast<std::size_t>(sites()), 0);
   cal_counts_.assign(static_cast<std::size_t>(sites()), 0);
+  test_counts_.assign(static_cast<std::size_t>(sites()), 0);
 }
 
 void DnaChip::apply_sensor_currents(std::vector<double> currents) {
   require(currents.size() == static_cast<std::size_t>(sites()),
           "DnaChip: need one current per site");
   sensor_currents_ = std::move(currents);
+}
+
+void DnaChip::inject_faults(const faults::SiteFaultSet& set) {
+  require(set.rows == config_.rows && set.cols == config_.cols,
+          "DnaChip: fault set dimensions mismatch");
+  require(set.type.size() == static_cast<std::size_t>(sites()) &&
+              set.value.size() == set.type.size(),
+          "DnaChip: fault set is incomplete");
+  site_faults_ = set;
+  has_site_faults_ = !set.empty();
+  for (std::size_t i = 0; i < set.type.size(); ++i) {
+    extra_leakage_[i] = set.type[i] == faults::SiteFaultType::kLeakageOutlier
+                            ? set.value[i]
+                            : 0.0;
+  }
 }
 
 double DnaChip::bandgap_voltage() const {
@@ -65,33 +82,80 @@ std::vector<bool> DnaChip::process(const std::vector<bool>& din) {
   if (!cmd) return {};  // CRC failure: chip ignores the frame
   switch (cmd->opcode) {
     case Opcode::kNop:
-      return {};
+      return encode_ack(Opcode::kNop);
     case Opcode::kSetDacGenerator:
+      if (cmd->payload > dac_generator_.max_code()) {
+        return encode_nack(ChipError::kBadDacCode);
+      }
       v_generator_ = dac_generator_.output(cmd->payload);
-      return {};
+      return encode_ack(cmd->opcode);
     case Opcode::kSetDacCollector:
+      if (cmd->payload > dac_collector_.max_code()) {
+        return encode_nack(ChipError::kBadDacCode);
+      }
       v_collector_ = dac_collector_.output(cmd->payload);
-      return {};
-    case Opcode::kSelectSite:
+      return encode_ack(cmd->opcode);
+    case Opcode::kSelectSite: {
       // Site selection only matters for single-site debug readout; the
-      // full-frame path reads every counter. Stored for status.
+      // full-frame path reads every counter. Validated here, at command
+      // execution time, so a bad address is rejected before any readout
+      // trusts it.
+      const int row = cmd->payload >> 8;
+      const int col = cmd->payload & 0xff;
+      if (row >= config_.rows || col >= config_.cols) {
+        return encode_nack(ChipError::kBadSite);
+      }
       selected_site_ = cmd->payload;
-      return {};
+      return encode_ack(cmd->opcode);
+    }
     case Opcode::kStartConversion:
       return run_conversion(cmd->payload);
     case Opcode::kReadFrame:
       return read_frame();
     case Opcode::kAutoCalibrate:
-      return auto_calibrate();
+      return auto_calibrate(cmd->payload);
     case Opcode::kReadStatus:
       return status();
     case Opcode::kReadSite:
       return read_site();
+    case Opcode::kSelfTest:
+      return self_test(cmd->payload);
   }
   return {};
 }
 
-std::vector<bool> DnaChip::run_conversion(std::uint16_t gate_code) {
+void DnaChip::apply_count_faults(std::vector<std::uint64_t>& counts) const {
+  if (!has_site_faults_) return;
+  const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    switch (site_faults_.type[i]) {
+      case faults::SiteFaultType::kDead:
+      case faults::SiteFaultType::kRailedLow:
+        counts[i] = 0;
+        break;
+      case faults::SiteFaultType::kStuck:
+        counts[i] = std::min(
+            static_cast<std::uint64_t>(site_faults_.value[i] *
+                                       static_cast<double>(max_count)),
+            max_count);
+        break;
+      case faults::SiteFaultType::kRailedHigh:
+        counts[i] = max_count;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<bool> DnaChip::run_conversion(std::uint16_t payload) {
+  const int seq = payload >> 8;
+  const std::uint16_t gate_code = payload & 0xff;
+  if (gate_code > 15) return encode_nack(ChipError::kBadGate);
+  // Retried command: the conversion already ran — acknowledge without
+  // re-running so converter noise streams stay on the fault-free
+  // trajectory.
+  if (seq == last_conv_seq_) return encode_ack(Opcode::kStartConversion);
   const double gate = gate_time_from_code(gate_code);
   last_gate_time_ = gate;
   const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
@@ -100,20 +164,27 @@ std::vector<bool> DnaChip::run_conversion(std::uint16_t gate_code) {
   // results independent of the thread count.
   parallel_for(0, sites(), [&](std::int64_t i) {
     const auto conv = converters_[static_cast<std::size_t>(i)].measure(
-        sensor_currents_[static_cast<std::size_t>(i)], gate);
+        sensor_currents_[static_cast<std::size_t>(i)] +
+            extra_leakage_[static_cast<std::size_t>(i)],
+        gate);
     // Saturating counter: the host detects full-scale counts and falls
     // back to a shorter gate (see acquire_autorange).
     counts_[static_cast<std::size_t>(i)] = std::min(conv.count, max_count);
   });
-  return {};
+  apply_count_faults(counts_);
+  last_conv_seq_ = seq;
+  return encode_ack(Opcode::kStartConversion);
 }
 
 std::vector<bool> DnaChip::read_site() {
   // Single-site debug readout: one counter word for the site selected via
-  // kSelectSite (payload = (row << 8) | col).
+  // kSelectSite (payload = (row << 8) | col). The address was validated at
+  // selection time; this guard only protects the power-on default.
   const int row = selected_site_ >> 8;
   const int col = selected_site_ & 0xff;
-  if (row >= config_.rows || col >= config_.cols) return {};
+  if (row >= config_.rows || col >= config_.cols) {
+    return encode_nack(ChipError::kBadSite);
+  }
   const auto idx = static_cast<std::size_t>(row * config_.cols + col);
   return encode_data({static_cast<std::uint16_t>(counts_[idx])});
 }
@@ -127,20 +198,58 @@ std::vector<bool> DnaChip::read_frame() {
   return encode_data(words);
 }
 
-std::vector<bool> DnaChip::auto_calibrate() {
-  // Zero-input conversion: the chip measures every site with the sensor
-  // disconnected (only leakage integrates) and stores baseline counts.
-  const double gate = last_gate_time_ > 0.0 ? last_gate_time_ : 0.128;
-  const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
-  parallel_for(0, sites(), [&](std::int64_t i) {
-    const auto conv =
-        converters_[static_cast<std::size_t>(i)].measure(0.0, gate);
-    cal_counts_[static_cast<std::size_t>(i)] = std::min(conv.count, max_count);
-  });
-  calibrated_ = true;
+std::vector<bool> DnaChip::auto_calibrate(std::uint16_t payload) {
+  const int seq = payload >> 8;
+  const std::uint16_t gate_code = payload & 0xff;
+  if (gate_code > 15) return encode_nack(ChipError::kBadGate);
+  if (seq != last_cal_seq_) {
+    // Zero-input conversion: the chip measures every site with the sensor
+    // disconnected (only leakage integrates) and stores baseline counts.
+    const double gate = gate_time_from_code(gate_code);
+    const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
+    parallel_for(0, sites(), [&](std::int64_t i) {
+      const auto conv = converters_[static_cast<std::size_t>(i)].measure(
+          extra_leakage_[static_cast<std::size_t>(i)], gate);
+      cal_counts_[static_cast<std::size_t>(i)] =
+          std::min(conv.count, max_count);
+    });
+    apply_count_faults(cal_counts_);
+    calibrated_ = true;
+    last_cal_seq_ = seq;
+  }
   std::vector<std::uint16_t> words;
   words.reserve(cal_counts_.size());
   for (std::uint64_t c : cal_counts_) {
+    words.push_back(static_cast<std::uint16_t>(c));
+  }
+  return encode_data(words);
+}
+
+std::vector<bool> DnaChip::self_test(std::uint16_t payload) {
+  // BIST conversion: integrate the internal test current (iref / 1000,
+  // ~1 nA — within the redox dynamic range) or, with the stimulus bit
+  // clear, nothing but leakage. Results go to a scratch buffer so a BIST
+  // sweep never clobbers assay counts.
+  const int seq = payload >> 8;
+  const bool stimulus = (payload & kSelfTestStimulus) != 0;
+  const std::uint16_t gate_code = payload & 0x0f;
+  if (seq != last_test_seq_) {
+    const double gate = gate_time_from_code(gate_code);
+    const double i_test =
+        stimulus ? iref_.current(config_.temp_k) / 1000.0 : 0.0;
+    const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
+    parallel_for(0, sites(), [&](std::int64_t i) {
+      const auto conv = converters_[static_cast<std::size_t>(i)].measure(
+          i_test + extra_leakage_[static_cast<std::size_t>(i)], gate);
+      test_counts_[static_cast<std::size_t>(i)] =
+          std::min(conv.count, max_count);
+    });
+    apply_count_faults(test_counts_);
+    last_test_seq_ = seq;
+  }
+  std::vector<std::uint16_t> words;
+  words.reserve(test_counts_.size());
+  for (std::uint64_t c : test_counts_) {
     words.push_back(static_cast<std::uint16_t>(c));
   }
   return encode_data(words);
@@ -154,41 +263,163 @@ std::vector<bool> DnaChip::status() {
 }
 
 HostInterface::HostInterface(DnaChip& chip, SerialLink link,
-                             i2f::I2fConfig nominal)
-    : chip_(&chip), link_(std::move(link)), nominal_(nominal) {}
+                             i2f::I2fConfig nominal, RetryPolicy retry)
+    : chip_(&chip), link_(std::move(link)), nominal_(nominal), retry_(retry) {
+  require(retry.max_attempts >= 1,
+          "HostInterface: retry policy needs at least one attempt");
+  require(retry.backoff_base_s >= 0.0 && retry.backoff_multiplier >= 1.0,
+          "HostInterface: backoff must be non-negative and non-shrinking");
+}
 
-std::optional<std::vector<std::uint16_t>> HostInterface::transact(
-    const CommandFrame& cmd, bool expect_reply, std::size_t reply_words) {
-  const auto wire_in = link_.transfer(encode_command(cmd));
-  const auto dout = chip_->process(wire_in);
-  if (!expect_reply) return std::vector<std::uint16_t>{};
-  if (dout.empty()) return std::nullopt;
-  const auto wire_out = link_.transfer(dout);
-  auto words = decode_data(wire_out);
-  if (!words || words->size() != reply_words) return std::nullopt;
-  return words;
+std::uint16_t HostInterface::next_seq() {
+  seq_ = static_cast<std::uint8_t>(seq_ + 1u);
+  return seq_;
+}
+
+void HostInterface::note_failed_attempt(int attempt) {
+  ++stats_.retries;
+  double backoff = retry_.backoff_base_s;
+  for (int i = 1; i < attempt; ++i) backoff *= retry_.backoff_multiplier;
+  stats_.backoff_s += backoff;
+}
+
+HostInterface::TxResult HostInterface::command(const CommandFrame& cmd) {
+  ++stats_.transactions;
+  TxResult result;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    const bool retry_left = attempt < retry_.max_attempts;
+    const auto wire_in = link_.transfer(encode_command(cmd));
+    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    const auto dout = chip_->process(wire_in);
+    if (dout.empty()) {
+      // The chip stayed silent: the command was lost or arrived corrupt.
+      if (link_.last_event() != LinkEvent::kTimeout) ++stats_.crc_failures;
+      if (retry_left) note_failed_attempt(attempt);
+      continue;
+    }
+    const auto wire_out = link_.transfer(dout);
+    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    if (wire_out.empty()) {
+      ++stats_.short_replies;
+      if (retry_left) note_failed_attempt(attempt);
+      continue;
+    }
+    const auto words = decode_data(wire_out);
+    if (!words || words->size() != 2) {
+      ++stats_.crc_failures;
+      if (retry_left) note_failed_attempt(attempt);
+      continue;
+    }
+    if ((*words)[0] == kNackMagic) {
+      // Deterministic rejection — retrying the same payload cannot help.
+      ++stats_.nacks;
+      result.status = TxStatus::kNack;
+      result.error = static_cast<ChipError>((*words)[1]);
+      return result;
+    }
+    if ((*words)[0] == kAckMagic) {
+      result.status = TxStatus::kOk;
+      return result;
+    }
+    ++stats_.crc_failures;  // decoded, but not an ACK/NACK shape
+    if (retry_left) note_failed_attempt(attempt);
+  }
+  result.status = TxStatus::kRetriesExhausted;
+  return result;
+}
+
+HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
+                                             std::size_t reply_words) {
+  ++stats_.transactions;
+  TxResult result;
+  // Words recovered so far across attempts: at a high bit-error rate each
+  // readback corrupts a few different 24-bit frames, so the union of a few
+  // attempts completes the frame long before a fully clean pass shows up.
+  std::vector<std::optional<std::uint16_t>> merged(reply_words);
+  std::size_t filled = 0;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    const bool retry_left = attempt < retry_.max_attempts;
+    const auto wire_in = link_.transfer(encode_command(cmd));
+    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    const auto dout = chip_->process(wire_in);
+    if (dout.empty()) {
+      if (link_.last_event() != LinkEvent::kTimeout) ++stats_.crc_failures;
+      if (retry_left) note_failed_attempt(attempt);
+      continue;
+    }
+    const auto wire_out = link_.transfer(dout);
+    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    if (wire_out.empty()) {
+      ++stats_.short_replies;
+      if (retry_left) note_failed_attempt(attempt);
+      continue;
+    }
+    // A clean 2-word frame where more data was expected is a NACK.
+    if (reply_words != 2 && wire_out.size() == 48) {
+      const auto nack = decode_data(wire_out);
+      if (nack && nack->size() == 2 && (*nack)[0] == kNackMagic) {
+        ++stats_.nacks;
+        result.status = TxStatus::kNack;
+        result.error = static_cast<ChipError>((*nack)[1]);
+        return result;
+      }
+    }
+    const auto words = decode_data_lenient(wire_out);
+    for (std::size_t i = 0; i < words.size() && i < reply_words; ++i) {
+      if (words[i] && !merged[i]) {
+        merged[i] = words[i];
+        ++filled;
+      }
+    }
+    if (filled == reply_words) {
+      result.words.resize(reply_words);
+      for (std::size_t i = 0; i < reply_words; ++i) {
+        result.words[i] = *merged[i];
+      }
+      if (reply_words == 2 && result.words[0] == kNackMagic) {
+        ++stats_.nacks;
+        result.status = TxStatus::kNack;
+        result.error = static_cast<ChipError>(result.words[1]);
+        result.words.clear();
+        return result;
+      }
+      result.status = TxStatus::kOk;
+      return result;
+    }
+    ++stats_.crc_failures;  // frame still incomplete — merge another pass
+    if (retry_left) note_failed_attempt(attempt);
+  }
+  result.status = TxStatus::kRetriesExhausted;
+  return result;
 }
 
 void HostInterface::set_electrode_potentials(double v_generator,
                                              double v_collector) {
   circuit::ResistorStringDac ideal({}, Rng(1));  // ideal transfer for codes
-  transact({Opcode::kSetDacGenerator, static_cast<std::uint16_t>(
-                                          ideal.code_for(v_generator))},
-           false, 0);
-  transact({Opcode::kSetDacCollector, static_cast<std::uint16_t>(
-                                          ideal.code_for(v_collector))},
-           false, 0);
+  command({Opcode::kSetDacGenerator,
+           static_cast<std::uint16_t>(ideal.code_for(v_generator))});
+  command({Opcode::kSetDacCollector,
+           static_cast<std::uint16_t>(ideal.code_for(v_collector))});
 }
 
 bool HostInterface::auto_calibrate(std::uint16_t gate_code) {
-  transact({Opcode::kStartConversion, gate_code}, false, 0);
-  const auto words = transact({Opcode::kAutoCalibrate, 0}, true,
-                              static_cast<std::size_t>(chip_->sites()));
-  if (!words) return false;
+  const std::uint16_t conv_seq = next_seq();
+  const auto conv = command(
+      {Opcode::kStartConversion,
+       static_cast<std::uint16_t>((conv_seq << 8) | (gate_code & 0xff))});
+  if (conv.status != TxStatus::kOk) return false;
+  const std::uint16_t cal_seq = next_seq();
+  const auto cal = query(
+      {Opcode::kAutoCalibrate,
+       static_cast<std::uint16_t>((cal_seq << 8) | (gate_code & 0xff))},
+      static_cast<std::size_t>(chip_->sites()));
+  if (cal.status != TxStatus::kOk) return false;
   const double gate = gate_time_from_code(gate_code);
-  cal_baseline_hz_.assign(words->size(), 0.0);
-  for (std::size_t i = 0; i < words->size(); ++i) {
-    cal_baseline_hz_[i] = static_cast<double>((*words)[i]) / gate;
+  cal_baseline_hz_.assign(cal.words.size(), 0.0);
+  for (std::size_t i = 0; i < cal.words.size(); ++i) {
+    cal_baseline_hz_[i] = static_cast<double>(cal.words[i]) / gate;
   }
   return true;
 }
@@ -208,38 +439,57 @@ double HostInterface::current_from_frequency(double freq) const {
 HostInterface::Frame HostInterface::acquire(std::uint16_t gate_code) {
   Frame frame;
   frame.gate_time = gate_time_from_code(gate_code);
-  const std::uint64_t before = link_.bits_transferred();
+  const std::uint64_t bits_before = link_.bits_transferred();
+  const std::uint64_t retries_before = stats_.retries;
 
-  transact({Opcode::kStartConversion, gate_code}, false, 0);
-  const auto words = transact({Opcode::kReadFrame, 0}, true,
-                              static_cast<std::size_t>(chip_->sites()));
-  if (!words) {
+  const std::uint16_t seq = next_seq();
+  const auto conv = command(
+      {Opcode::kStartConversion,
+       static_cast<std::uint16_t>((seq << 8) | (gate_code & 0xff))});
+  if (conv.status != TxStatus::kOk) {
+    frame.status = conv.status;
     frame.crc_ok = false;
-    frame.serial_bits = link_.bits_transferred() - before;
+    frame.serial_bits = link_.bits_transferred() - bits_before;
+    frame.retries = stats_.retries - retries_before;
     return frame;
   }
-  frame.raw_counts.assign(words->begin(), words->end());
-  frame.currents.resize(words->size());
-  for (std::size_t i = 0; i < words->size(); ++i) {
-    double hz = static_cast<double>((*words)[i]) / frame.gate_time;
+  const auto rd = query({Opcode::kReadFrame, 0},
+                        static_cast<std::size_t>(chip_->sites()));
+  frame.serial_bits = link_.bits_transferred() - bits_before;
+  frame.retries = stats_.retries - retries_before;
+  if (rd.status != TxStatus::kOk) {
+    frame.status = rd.status;
+    frame.crc_ok = false;
+    return frame;
+  }
+  frame.raw_counts.assign(rd.words.begin(), rd.words.end());
+  frame.currents.resize(rd.words.size());
+  for (std::size_t i = 0; i < rd.words.size(); ++i) {
+    double hz = static_cast<double>(rd.words[i]) / frame.gate_time;
     if (i < cal_baseline_hz_.size()) {
       hz = std::max(0.0, hz - cal_baseline_hz_[i]);
     }
     frame.currents[i] = current_from_frequency(hz);
   }
-  frame.serial_bits = link_.bits_transferred() - before;
   return frame;
 }
 
-double HostInterface::acquire_site(int row, int col,
-                                   std::uint16_t gate_code) {
-  const auto payload = static_cast<std::uint16_t>((row << 8) | (col & 0xff));
-  transact({Opcode::kSelectSite, payload}, false, 0);
-  transact({Opcode::kStartConversion, gate_code}, false, 0);
-  const auto words = transact({Opcode::kReadSite, 0}, true, 1);
-  if (!words) return -1.0;
+std::optional<double> HostInterface::acquire_site(int row, int col,
+                                                  std::uint16_t gate_code) {
+  if (row < 0 || row > 0xff || col < 0 || col > 0xff) return std::nullopt;
+  const auto payload = static_cast<std::uint16_t>((row << 8) | col);
+  if (command({Opcode::kSelectSite, payload}).status != TxStatus::kOk) {
+    return std::nullopt;
+  }
+  const std::uint16_t seq = next_seq();
+  const auto conv = command(
+      {Opcode::kStartConversion,
+       static_cast<std::uint16_t>((seq << 8) | (gate_code & 0xff))});
+  if (conv.status != TxStatus::kOk) return std::nullopt;
+  const auto rd = query({Opcode::kReadSite, 0}, 1);
+  if (rd.status != TxStatus::kOk) return std::nullopt;
   const double gate = gate_time_from_code(gate_code);
-  double hz = static_cast<double>((*words)[0]) / gate;
+  double hz = static_cast<double>(rd.words[0]) / gate;
   const auto idx = static_cast<std::size_t>(row * chip_->cols() + col);
   if (idx < cal_baseline_hz_.size()) {
     hz = std::max(0.0, hz - cal_baseline_hz_[idx]);
@@ -252,12 +502,16 @@ HostInterface::Frame HostInterface::acquire_autorange() {
   // measurement per site (saturation = counter near full scale).
   const std::uint16_t codes[] = {1, 7, 13};
   Frame combined;
+  combined.status = TxStatus::kRetriesExhausted;
+  combined.crc_ok = false;
   std::vector<double> best_gate;
   std::uint64_t bits = 0;
+  std::uint64_t retries = 0;
   for (std::uint16_t code : codes) {
     Frame f = acquire(code);
     bits += f.serial_bits;
-    if (!f.crc_ok) continue;
+    retries += f.retries;
+    if (f.status != TxStatus::kOk) continue;
     if (combined.raw_counts.empty()) {
       combined = f;
       best_gate.assign(f.raw_counts.size(), f.gate_time);
@@ -272,7 +526,55 @@ HostInterface::Frame HostInterface::acquire_autorange() {
     }
   }
   combined.serial_bits = bits;
+  combined.retries = retries;
   return combined;
+}
+
+std::optional<faults::DefectMap> HostInterface::self_test(
+    std::uint16_t gate_lo, std::uint16_t gate_hi, std::uint16_t leak_gate) {
+  const auto n = static_cast<std::size_t>(chip_->sites());
+  auto sweep = [&](bool stimulus,
+                   std::uint16_t gate) -> std::optional<std::vector<std::uint16_t>> {
+    const std::uint16_t seq = next_seq();
+    const auto payload = static_cast<std::uint16_t>(
+        (seq << 8) | (stimulus ? kSelfTestStimulus : 0) | (gate & 0x0f));
+    const auto r = query({Opcode::kSelfTest, payload}, n);
+    if (r.status != TxStatus::kOk) return std::nullopt;
+    return r.words;
+  };
+
+  const auto lo = sweep(true, gate_lo);
+  const auto hi = sweep(true, gate_hi);
+  const auto leak = sweep(false, leak_gate);
+  if (!lo || !hi || !leak) return std::nullopt;
+
+  // Leakage outliers stand out against the population: at a long gate a
+  // healthy site integrates a few counts of residual leakage, an outlier
+  // hundreds. The threshold scales with the observed baseline so a globally
+  // leaky process corner doesn't flag the whole die.
+  std::vector<std::uint16_t> sorted = *leak;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double leak_threshold = 4.0 * median + 32.0;
+
+  faults::DefectMap map(chip_->rows(), chip_->cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c_lo = (*lo)[i];
+    const std::uint64_t c_hi = (*hi)[i];
+    const int row = static_cast<int>(i) / chip_->cols();
+    const int col = static_cast<int>(i) % chip_->cols();
+    if (c_lo == 0 && c_hi == 0) {
+      map.mark(row, col, faults::DefectType::kDead);
+    } else if (c_hi <= c_lo + std::max<std::uint64_t>(2, c_lo / 4)) {
+      // A healthy site's count scales ~16x between the two gates; a stuck
+      // counter reports the same value at both.
+      map.mark(row, col, faults::DefectType::kStuck);
+    } else if (static_cast<double>((*leak)[i]) > leak_threshold) {
+      map.mark(row, col, faults::DefectType::kLeakage);
+    }
+  }
+  return map;
 }
 
 }  // namespace biosense::dnachip

@@ -10,6 +10,14 @@
 // chip through a `SerialLink`, exposing a convenient typed API and doing
 // the host-side arithmetic (count -> current inversion, calibration
 // subtraction).
+//
+// Robust protocol: every accepted command is acknowledged (ACK/NACK), the
+// host retries failed transactions with exponential backoff, and
+// conversion-triggering commands carry an 8-bit sequence tag so a retried
+// command is idempotent — the chip re-sends its cached result instead of
+// re-running the conversion. That keeps every converter's noise stream on
+// the same trajectory whether or not the link misbehaved, so a readout
+// recovered through retries is bitwise identical to a fault-free one.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +28,8 @@
 #include "circuit/references.hpp"
 #include "common/rng.hpp"
 #include "dnachip/serial.hpp"
+#include "faults/defect_map.hpp"
+#include "faults/fault_plan.hpp"
 #include "i2f/counter.hpp"
 #include "i2f/sawtooth.hpp"
 
@@ -58,8 +68,16 @@ class DnaChip {
   /// changed — they model the electrochemistry happening on the surface.
   void apply_sensor_currents(std::vector<double> currents);
 
+  /// Injects manufacturing defects: dead sites count nothing, stuck sites
+  /// report a fixed count regardless of stimulus or gate time, leakage
+  /// outliers add the fault's extra current at the converter input. The
+  /// underlying converter models are untouched — every converter still
+  /// runs, so RNG streams stay aligned with a fault-free die.
+  void inject_faults(const faults::SiteFaultSet& set);
+
   /// Processes one command arriving over DIN; returns the DOUT response
-  /// bit stream (empty for commands without a reply).
+  /// bit stream (empty only when the frame's CRC fails — every decoded
+  /// command is answered with data, an ACK, or a NACK).
   std::vector<bool> process(const std::vector<bool>& din);
 
   // --- observability for tests (not part of the 6-pin interface) ---------
@@ -70,19 +88,29 @@ class DnaChip {
   const std::vector<std::uint64_t>& last_counts() const { return counts_; }
 
  private:
-  std::vector<bool> run_conversion(std::uint16_t gate_code);
+  std::vector<bool> run_conversion(std::uint16_t payload);
   std::vector<bool> read_frame();
   std::vector<bool> read_site();
-  std::vector<bool> auto_calibrate();
+  std::vector<bool> auto_calibrate(std::uint16_t payload);
+  std::vector<bool> self_test(std::uint16_t payload);
   std::vector<bool> status();
+  void apply_count_faults(std::vector<std::uint64_t>& counts) const;
 
   DnaChipConfig config_;
   Rng rng_;
   std::uint16_t selected_site_ = 0;
   std::vector<i2f::SawtoothConverter> converters_;
   std::vector<double> sensor_currents_;
+  std::vector<double> extra_leakage_;
   std::vector<std::uint64_t> counts_;
   std::vector<std::uint64_t> cal_counts_;
+  std::vector<std::uint64_t> test_counts_;
+  faults::SiteFaultSet site_faults_{};
+  bool has_site_faults_ = false;
+  // Last-seen sequence tags for idempotent retries (-1 = none yet).
+  int last_conv_seq_ = -1;
+  int last_cal_seq_ = -1;
+  int last_test_seq_ = -1;
   circuit::BandgapReference bandgap_;
   circuit::CurrentReference iref_;
   circuit::ResistorStringDac dac_generator_;
@@ -96,14 +124,43 @@ class DnaChip {
 /// Gate time encoding used by kStartConversion: gate = 2^code milliseconds.
 double gate_time_from_code(std::uint16_t code);
 
+/// Outcome of a host transaction.
+enum class TxStatus : std::uint8_t {
+  kOk = 0,
+  kNack,              // the chip rejected the command (bad payload)
+  kRetriesExhausted,  // no valid reply within the retry budget
+};
+
+/// Host retry discipline: bounded attempts with exponential backoff.
+/// Backoff is simulated (accumulated arithmetically, never slept) so runs
+/// stay fast and deterministic.
+struct RetryPolicy {
+  int max_attempts = 8;
+  double backoff_base_s = 100e-6;
+  double backoff_multiplier = 2.0;
+};
+
+/// Cumulative transport-layer bookkeeping for one host interface.
+struct ProtocolStats {
+  std::uint64_t transactions = 0;  // logical commands issued
+  std::uint64_t attempts = 0;      // wire attempts including first tries
+  std::uint64_t retries = 0;       // attempts beyond the first
+  std::uint64_t crc_failures = 0;  // replies rejected by CRC / truncation
+  std::uint64_t timeouts = 0;      // transactions that hit a link timeout
+  std::uint64_t short_replies = 0; // dropped or empty replies
+  std::uint64_t nacks = 0;         // chip-side rejections
+  double backoff_s = 0.0;          // cumulative simulated backoff
+};
+
 /// Host-side driver: encodes commands, moves bits over the link, decodes
-/// and post-processes replies.
+/// and post-processes replies, and retries around link faults.
 class HostInterface {
  public:
   /// `nominal` is the datasheet converter sizing the host software uses for
   /// the count -> current inversion (the real per-site parameters are
   /// unknown to the host, exactly as in the lab).
-  HostInterface(DnaChip& chip, SerialLink link, i2f::I2fConfig nominal = {});
+  HostInterface(DnaChip& chip, SerialLink link, i2f::I2fConfig nominal = {},
+                RetryPolicy retry = {});
 
   /// Sets both electrode potentials (best DAC codes for the targets).
   void set_electrode_potentials(double v_generator, double v_collector);
@@ -117,20 +174,33 @@ class HostInterface {
     std::vector<double> currents;              // reconstructed, A
     double gate_time = 0.0;                    // s
     std::uint64_t serial_bits = 0;             // bits moved for this frame
-    bool crc_ok = true;
+    std::uint64_t retries = 0;                 // wire retries for this frame
+    TxStatus status = TxStatus::kOk;
+    bool crc_ok = true;                        // status == kOk (back-compat)
   };
 
   /// One conversion + full-array readout at the given gate code.
   Frame acquire(std::uint16_t gate_code);
 
   /// Debug path: converts and reads a single site (row, col); returns the
-  /// reconstructed current, or a negative value if the transaction failed.
-  double acquire_site(int row, int col, std::uint16_t gate_code);
+  /// reconstructed current, or nullopt when the chip rejects the site or
+  /// the transaction exhausts its retries.
+  std::optional<double> acquire_site(int row, int col,
+                                     std::uint16_t gate_code);
 
   /// Multi-gate acquisition covering the full 1 pA .. 100 nA dynamic range:
   /// runs short and long gates and keeps, per site, the longest gate whose
   /// counter did not overflow.
   Frame acquire_autorange();
+
+  /// BIST sweep: converts the internal ~1 nA test current at a short and a
+  /// long gate (dead sites answer zero, stuck sites don't scale with gate
+  /// time) plus a leakage-only long-gate pass (leakage outliers stand out
+  /// against the population median). Returns the measured defect map, or
+  /// nullopt when any sweep transaction fails outright.
+  std::optional<faults::DefectMap> self_test(std::uint16_t gate_lo = 3,
+                                             std::uint16_t gate_hi = 7,
+                                             std::uint16_t leak_gate = 13);
 
   /// Inverse of the nominal converter transfer: frequency -> current.
   double current_from_frequency(double freq) const;
@@ -139,13 +209,36 @@ class HostInterface {
     return link_.bits_transferred();
   }
 
+  const ProtocolStats& stats() const { return stats_; }
+
+  /// The underlying transport — exposed so callers can inject link faults.
+  SerialLink& link() { return link_; }
+
  private:
-  std::optional<std::vector<std::uint16_t>> transact(
-      const CommandFrame& cmd, bool expect_reply, std::size_t reply_words);
+  struct TxResult {
+    TxStatus status = TxStatus::kRetriesExhausted;
+    std::vector<std::uint16_t> words;
+    ChipError error = ChipError::kNone;
+  };
+
+  /// Sends a command expecting a 2-word ACK/NACK, retrying on lost or
+  /// corrupt frames. NACK is deterministic and returned without retry.
+  TxResult command(const CommandFrame& cmd);
+
+  /// Sends a query expecting `reply_words` data words. Valid words from
+  /// each attempt are merged, so at high bit-error rates the full frame is
+  /// recovered from the union of a few partially-corrupt readbacks.
+  TxResult query(const CommandFrame& cmd, std::size_t reply_words);
+
+  std::uint16_t next_seq();
+  void note_failed_attempt(int attempt);
 
   DnaChip* chip_;
   SerialLink link_;
   i2f::I2fConfig nominal_;
+  RetryPolicy retry_;
+  ProtocolStats stats_{};
+  std::uint8_t seq_ = 0;
   std::vector<double> cal_baseline_hz_;
 };
 

@@ -1,5 +1,7 @@
 #include "dnachip/serial.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace biosense::dnachip {
@@ -53,7 +55,7 @@ std::optional<CommandFrame> decode_command(const std::vector<bool>& bits) {
   const std::uint8_t lo = read_byte(bits, 16);
   const std::uint8_t crc = read_byte(bits, 24);
   if (crc8({op, hi, lo}) != crc) return std::nullopt;
-  if (op > static_cast<std::uint8_t>(Opcode::kReadSite)) return std::nullopt;
+  if (op > static_cast<std::uint8_t>(Opcode::kSelfTest)) return std::nullopt;
   CommandFrame cmd;
   cmd.opcode = static_cast<Opcode>(op);
   cmd.payload = static_cast<std::uint16_t>((hi << 8) | lo);
@@ -88,17 +90,88 @@ std::optional<std::vector<std::uint16_t>> decode_data(
   return words;
 }
 
+std::vector<std::optional<std::uint16_t>> decode_data_lenient(
+    const std::vector<bool>& bits) {
+  std::vector<std::optional<std::uint16_t>> words;
+  words.reserve(bits.size() / 24);
+  for (std::size_t i = 0; i + 24 <= bits.size(); i += 24) {
+    const std::uint8_t hi = read_byte(bits, i);
+    const std::uint8_t lo = read_byte(bits, i + 8);
+    const std::uint8_t crc = read_byte(bits, i + 16);
+    if (crc8({hi, lo}) == crc) {
+      words.emplace_back(static_cast<std::uint16_t>((hi << 8) | lo));
+    } else {
+      words.emplace_back(std::nullopt);
+    }
+  }
+  return words;
+}
+
+std::vector<bool> encode_ack(Opcode op) {
+  return encode_data({kAckMagic, static_cast<std::uint16_t>(op)});
+}
+
+std::vector<bool> encode_nack(ChipError err) {
+  return encode_data({kNackMagic, static_cast<std::uint16_t>(err)});
+}
+
 SerialLink::SerialLink(double bit_error_rate, Rng rng)
     : ber_(bit_error_rate), rng_(rng) {
   require(bit_error_rate >= 0.0 && bit_error_rate < 1.0,
           "SerialLink: BER must be in [0,1)");
 }
 
+void SerialLink::inject_faults(const faults::LinkFaultModel& model) {
+  model.validate();
+  faults_ = model;
+  has_frame_faults_ = true;
+  if (model.bit_error_rate > 0.0) ber_ = model.bit_error_rate;
+}
+
 std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
+  ++stats_.frames;
+  last_event_ = LinkEvent::kOk;
   std::vector<bool> out = bits;
+  if (has_frame_faults_ && !out.empty()) {
+    // One frame-level fate per transfer, drawn in a fixed order so a given
+    // seed always produces the same fault sequence.
+    if (faults_.timeout_prob > 0.0 && rng_.bernoulli(faults_.timeout_prob)) {
+      last_event_ = LinkEvent::kTimeout;
+      ++stats_.timeouts;
+      return {};
+    }
+    if (faults_.drop_prob > 0.0 && rng_.bernoulli(faults_.drop_prob)) {
+      last_event_ = LinkEvent::kDropped;
+      ++stats_.drops;
+      return {};
+    }
+    if (faults_.truncate_prob > 0.0 && out.size() > 1 &&
+        rng_.bernoulli(faults_.truncate_prob)) {
+      last_event_ = LinkEvent::kTruncated;
+      ++stats_.truncations;
+      const auto keep = static_cast<std::size_t>(rng_.uniform_int(
+          1, static_cast<std::int64_t>(out.size()) - 1));
+      out.resize(keep);
+    }
+    if (faults_.burst_prob > 0.0 && rng_.bernoulli(faults_.burst_prob) &&
+        !out.empty()) {
+      if (last_event_ == LinkEvent::kOk) last_event_ = LinkEvent::kBurst;
+      ++stats_.bursts;
+      const auto start = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(out.size()) - 1));
+      const auto end =
+          std::min(out.size(), start + static_cast<std::size_t>(
+                                           faults_.burst_length));
+      for (std::size_t i = start; i < end; ++i) out[i] = !out[i];
+      stats_.bit_flips += end - start;
+    }
+  }
   if (ber_ > 0.0) {
     for (std::size_t i = 0; i < out.size(); ++i) {
-      if (rng_.bernoulli(ber_)) out[i] = !out[i];
+      if (rng_.bernoulli(ber_)) {
+        out[i] = !out[i];
+        ++stats_.bit_flips;
+      }
     }
   }
   bits_transferred_ += out.size();

@@ -4,9 +4,16 @@
 // VDD, GND, CS (chip select), SCLK, DIN (commands), DOUT (data). Commands
 // are fixed-length frames — 8-bit opcode, 16-bit payload, 8-bit CRC —
 // shifted MSB first while CS is low; conversion results stream out of DOUT
-// as CRC-protected data frames. The bit transport model supports an
-// injectable bit-error rate so tests can verify that the CRC actually
-// rejects corrupted frames.
+// as CRC-protected data frames. Every accepted command is answered: query
+// commands reply with their data, all others with a 2-word ACK frame, and
+// commands carrying an invalid payload with a 2-word NACK frame — the
+// host never has to guess whether silence means "rejected" or "lost".
+//
+// The bit transport (`SerialLink`) models an imperfect lab cable: an
+// injectable per-bit error rate plus frame-level faults (error bursts,
+// dropped frames, truncations, transaction timeouts) supplied by a
+// `faults::LinkFaultModel`, so tests can verify that the CRC rejects
+// corrupted frames and that the host protocol recovers.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
 
 namespace biosense::dnachip {
 
@@ -22,16 +30,36 @@ enum class Opcode : std::uint8_t {
   kSetDacGenerator = 0x01,  // payload: DAC code for generator electrode
   kSetDacCollector = 0x02,  // payload: DAC code for collector electrode
   kSelectSite = 0x03,       // payload: (row << 8) | col
-  kStartConversion = 0x04,  // payload: gate-time code (2^code * 1 ms)
+  kStartConversion = 0x04,  // payload: (seq << 8) | gate-time code
   kReadFrame = 0x05,        // payload: unused
-  kAutoCalibrate = 0x06,    // payload: unused
+  kAutoCalibrate = 0x06,    // payload: (seq << 8) | gate-time code
   kReadStatus = 0x07,       // payload: unused
   kReadSite = 0x08,         // payload: unused; reads the selected site only
+  kSelfTest = 0x09,         // payload: (seq << 8) | (stimulus << 4) | gate
 };
+
+/// Self-test payload bit: convert with the internal test current injected
+/// (clear = leakage-only sweep).
+inline constexpr std::uint16_t kSelfTestStimulus = 0x10;
 
 struct CommandFrame {
   Opcode opcode = Opcode::kNop;
   std::uint16_t payload = 0;
+};
+
+// Acknowledge protocol: a 2-word data frame [magic, detail]. ACK carries
+// the acknowledged opcode, NACK the chip-side error code. The magic words
+// are chosen away from plausible counter values, and the host only
+// interprets them where a 2-word reply is not the expected data shape.
+inline constexpr std::uint16_t kAckMagic = 0xA55A;
+inline constexpr std::uint16_t kNackMagic = 0xE77E;
+
+/// Chip-side command rejection reasons (NACK detail word).
+enum class ChipError : std::uint16_t {
+  kNone = 0,
+  kBadSite = 1,     // kSelectSite row/col outside the array
+  kBadGate = 2,     // gate-time code outside [0,15]
+  kBadDacCode = 3,  // DAC code beyond the converter's resolution
 };
 
 /// CRC-8 (polynomial 0x07, init 0x00) over a byte sequence.
@@ -52,13 +80,55 @@ std::vector<bool> encode_data(const std::vector<std::uint16_t>& words);
 std::optional<std::vector<std::uint16_t>> decode_data(
     const std::vector<bool>& bits);
 
-/// Bit transport with optional random bit flips (error injection).
+/// Lenient decode for retry merging: one entry per complete 24-bit frame,
+/// nullopt where that frame's CRC fails. Trailing partial frames are
+/// ignored — the caller knows the expected word count and treats missing
+/// words as invalid.
+std::vector<std::optional<std::uint16_t>> decode_data_lenient(
+    const std::vector<bool>& bits);
+
+/// The chip's positive acknowledge for `op`.
+std::vector<bool> encode_ack(Opcode op);
+
+/// The chip's rejection frame for an invalid payload.
+std::vector<bool> encode_nack(ChipError err);
+
+/// What happened to the last frame through the link.
+enum class LinkEvent : std::uint8_t {
+  kOk = 0,     // delivered (possibly with per-bit flips — CRC's job)
+  kBurst,      // a contiguous run of bits was flipped
+  kDropped,    // the frame vanished entirely
+  kTruncated,  // the frame was cut short
+  kTimeout,    // the transaction hung; the host observed a timeout
+};
+
+struct LinkStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t bit_flips = 0;
+};
+
+/// Bit transport with injectable faults: random bit flips plus the
+/// frame-level fault model of a `FaultPlan`.
 class SerialLink {
  public:
   SerialLink(double bit_error_rate, Rng rng);
 
-  /// Transfers a bit stream across the link, possibly flipping bits.
+  /// Installs a frame-level fault model. A non-zero model bit-error rate
+  /// overrides the constructed one.
+  void inject_faults(const faults::LinkFaultModel& model);
+
+  /// Transfers a bit stream across the link. Frame-level faults may drop
+  /// the stream entirely (empty result), truncate it, or flip a burst;
+  /// per-bit errors flip individual bits. `last_event()` reports what
+  /// happened.
   std::vector<bool> transfer(const std::vector<bool>& bits);
+
+  LinkEvent last_event() const { return last_event_; }
+  const LinkStats& stats() const { return stats_; }
 
   /// Bits transferred so far (both directions) — used by the timing budget
   /// bench to compute readout time at a given SCLK.
@@ -69,7 +139,15 @@ class SerialLink {
  private:
   double ber_;
   Rng rng_;
+  faults::LinkFaultModel faults_{};
+  bool has_frame_faults_ = false;
+  LinkEvent last_event_ = LinkEvent::kOk;
+  LinkStats stats_{};
   std::uint64_t bits_transferred_ = 0;
 };
+
+/// The issue-tracker name for the transport layer; `SerialLink` is the
+/// concrete 6-pin implementation.
+using BitTransport = SerialLink;
 
 }  // namespace biosense::dnachip

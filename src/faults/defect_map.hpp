@@ -1,0 +1,89 @@
+// Defect maps and graceful-degradation reporting.
+//
+// A `DefectMap` is the host's empirical picture of a die: which sites or
+// pixels a BIST self-test sweep found dead, stuck, railed or leaky. It is
+// what the readout stack degrades gracefully *against* — defective sites
+// are masked and neighbor-interpolated instead of poisoning downstream
+// analysis, and the map's yield goes into the run's degradation summary.
+//
+// The map is the *measured* counterpart of the *injected*
+// `faults::SiteFaultSet`: tests compare the two (`false_negatives`) to
+// prove the BIST catches everything the plan injected.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace biosense::faults {
+
+/// Defect classification produced by a BIST sweep.
+enum class DefectType : std::uint8_t {
+  kGood = 0,
+  kDead,     // no response to the test stimulus
+  kStuck,    // fixed output regardless of stimulus / gate time
+  kRailed,   // pinned at ADC full scale
+  kLeakage,  // leakage far above the population baseline
+};
+
+const char* defect_type_name(DefectType t);
+
+/// Per-site defect status of one die, row-major.
+class DefectMap {
+ public:
+  DefectMap() = default;
+  DefectMap(int rows, int cols);  // all good
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return status_.empty(); }
+
+  DefectType at(int r, int c) const;
+  void mark(int r, int c, DefectType t);
+  bool good(int r, int c) const { return at(r, c) == DefectType::kGood; }
+
+  std::size_t defect_count() const;
+  /// Fraction of good sites (1.0 for an empty map).
+  double yield() const;
+  /// (row, col) of every defective site, row-major order.
+  std::vector<std::pair<int, int>> defects() const;
+
+  /// Number of faulted sites in `truth` (an injected fault set of the same
+  /// dimensions) that this map fails to flag — the BIST false-negative
+  /// count. A type mismatch (e.g. stuck classified as dead) still counts
+  /// as flagged.
+  std::size_t false_negatives(const SiteFaultSet& truth) const;
+
+  /// {"rows": ..., "cols": ..., "yield": ..., "defects": [{"row": ...,
+  ///  "col": ..., "type": "dead"}, ...]}
+  void to_json(std::ostream& os) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<DefectType> status_;
+};
+
+/// Replaces the value at every defective site with the mean of its good
+/// 4-neighbours (0 when all neighbours are defective), in place.
+/// `values` is the row-major per-site data of the map's grid.
+void mask_interpolate(const DefectMap& map, std::vector<double>& values);
+
+/// One run's graceful-degradation summary: how much of the die was usable
+/// and what the transport layer had to do to deliver the data.
+struct DegradationSummary {
+  double yield = 1.0;  // good-site fraction from the defect map
+  int masked = 0;      // sites/pixels masked and interpolated
+  std::uint64_t retries = 0;
+  std::uint64_t crc_failures = 0;
+  std::uint64_t timeouts = 0;
+  double backoff_s = 0.0;  // cumulative retry backoff (simulated)
+  bool bist_ok = true;     // the self-test sweep itself completed
+
+  void to_json(std::ostream& os) const;
+};
+
+}  // namespace biosense::faults

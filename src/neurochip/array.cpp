@@ -51,7 +51,72 @@ NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
   }
 
   signal_scratch_.assign(n, 0.0);
+  channel_drift_.assign(static_cast<std::size_t>(n_channels), 1.0);
   gm_nominal_ = pixels_.front().gm();
+}
+
+void NeuroChip::inject_faults(const faults::SiteFaultSet& set,
+                              std::vector<double> channel_drift) {
+  require(set.rows == config_.rows && set.cols == config_.cols,
+          "NeuroChip: fault set dimensions mismatch");
+  require(set.type.size() == pixels_.size() &&
+              set.value.size() == set.type.size(),
+          "NeuroChip: fault set is incomplete");
+  pixel_faults_ = set;
+  has_pixel_faults_ = !set.empty();
+  if (!channel_drift.empty()) {
+    require(channel_drift.size() == static_cast<std::size_t>(channels()),
+            "NeuroChip: need one drift multiplier per output channel");
+    channel_drift_ = std::move(channel_drift);
+  }
+}
+
+std::int32_t NeuroChip::apply_pixel_fault(std::size_t idx,
+                                          std::int32_t code) const {
+  const auto full_code = static_cast<std::int32_t>(1 << (config_.adc.bits - 1));
+  switch (pixel_faults_.type[idx]) {
+    case faults::SiteFaultType::kDead:
+      return 0;
+    case faults::SiteFaultType::kStuck:
+      return static_cast<std::int32_t>(
+          std::lround(pixel_faults_.value[idx] * full_code));
+    case faults::SiteFaultType::kRailedHigh:
+      return full_code;
+    case faults::SiteFaultType::kRailedLow:
+      return -full_code;
+    default:
+      return code;
+  }
+}
+
+void NeuroChip::mask_frame(NeuroFrame& frame, double adc_lsb,
+                           double conv_gain) const {
+  require(defect_map_.rows() == frame.rows && defect_map_.cols() == frame.cols,
+          "NeuroChip: defect map dimensions mismatch");
+  // Serial masking pass over the (typically sparse) defect list. Reads only
+  // good-neighbour codes, so in-place writes cannot feed back.
+  for (const auto& [r, c] : defect_map_.defects()) {
+    std::int64_t sum = 0;
+    int n = 0;
+    const int nbr[4][2] = {{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}};
+    for (const auto& rc : nbr) {
+      if (rc[0] < 0 || rc[0] >= frame.rows || rc[1] < 0 ||
+          rc[1] >= frame.cols) {
+        continue;
+      }
+      if (!defect_map_.good(rc[0], rc[1])) continue;
+      sum += frame.codes[static_cast<std::size_t>(rc[0] * frame.cols + rc[1])];
+      ++n;
+    }
+    const auto code =
+        n > 0 ? static_cast<std::int32_t>(std::lround(
+                    static_cast<double>(sum) / static_cast<double>(n)))
+              : 0;
+    const auto idx = static_cast<std::size_t>(r * frame.cols + c);
+    frame.codes[idx] = code;
+    frame.v_in[idx] = static_cast<double>(code) * adc_lsb / conv_gain;
+    ++frame.masked;
+  }
 }
 
 TimingBudget NeuroChip::timing() const {
@@ -143,21 +208,28 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
         const double i_row = rc.step(i_diff, 0.5 * tb.column_dwell);
 
         // The channel chain serves mux_factor rows in sequence within the
-        // column dwell (one mux slot each).
+        // column dwell (one mux slot each). Gain-chain drift scales the
+        // delivered current.
         cc.step(i_row, 0.5 * tb.mux_slot);
-        const double i_out = cc.step(i_row, 0.5 * tb.mux_slot);
+        const double i_out = cc.step(i_row, 0.5 * tb.mux_slot) *
+                             channel_drift_[static_cast<std::size_t>(ch)];
 
         // Off-chip ADC.
         const double clipped = std::clamp(i_out, -config_.adc.full_scale,
                                           config_.adc.full_scale);
-        const auto code = static_cast<std::int32_t>(
+        auto code = static_cast<std::int32_t>(
             std::lround(clipped / adc_lsb));
         const std::size_t idx = static_cast<std::size_t>(row * cols + col);
+        if (has_pixel_faults_) code = apply_pixel_fault(idx, code);
         frame.codes[idx] = code;
         frame.v_in[idx] = static_cast<double>(code) * adc_lsb / conv_gain;
       }
     }
   });
+
+  // Defect-map masking: replace flagged pixels by their good neighbours'
+  // mean before anything downstream sees the frame.
+  if (!defect_map_.empty()) mask_frame(frame, adc_lsb, conv_gain);
 
   // Phase 3 — hold-time effects and periodic recalibration (per-pixel
   // state only).
@@ -195,7 +267,9 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
 
   auto& px = pixel(row, col);
   auto& rc = row_chains_[static_cast<std::size_t>(row)];
-  auto& cc = channel_chains_[static_cast<std::size_t>(row / config_.mux_factor)];
+  const auto ch = static_cast<std::size_t>(row / config_.mux_factor);
+  auto& cc = channel_chains_[ch];
+  const std::size_t idx = static_cast<std::size_t>(row * config_.cols + col);
 
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n_samples));
@@ -205,14 +279,68 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
     rc.step(i_diff, 0.5 * dt);
     const double i_row = rc.step(i_diff, 0.5 * dt);
     cc.step(i_row, 0.5 * dt);
-    const double i_out = cc.step(i_row, 0.5 * dt);
+    const double i_out = cc.step(i_row, 0.5 * dt) * channel_drift_[ch];
     const double clipped =
         std::clamp(i_out, -config_.adc.full_scale, config_.adc.full_scale);
-    const auto code = static_cast<std::int32_t>(std::lround(clipped / adc_lsb));
+    auto code = static_cast<std::int32_t>(std::lround(clipped / adc_lsb));
+    if (has_pixel_faults_) code = apply_pixel_fault(idx, code);
     out.push_back(static_cast<double>(code) * adc_lsb / conv_gain);
     px.elapse(dt);
   }
   return out;
+}
+
+std::optional<faults::DefectMap> NeuroChip::self_test(double v_probe) {
+  if (!ever_calibrated_) return std::nullopt;
+  require(v_probe > 0.0, "NeuroChip: self-test probe must be positive");
+
+  // Run the sweep without masking: an installed defect map must not hide
+  // the very pixels the sweep is supposed to re-test.
+  faults::DefectMap stashed = std::move(defect_map_);
+  defect_map_ = faults::DefectMap{};
+  const NeuroFrame base = capture_frame(ConstantSource(0.0), 0.0);
+  const NeuroFrame step = capture_frame(ConstantSource(v_probe), 0.0);
+  defect_map_ = std::move(stashed);
+
+  // The healthy reference is the array's own median |delta|: it folds in
+  // whatever the real signal path delivers (amplifier settling, AC-coupling
+  // droop, channel gain drift) instead of trusting the nominal conversion
+  // gain, and stays valid as long as defects are a minority. Dead and stuck
+  // pixels don't move at all between the two probe levels, so a quarter of
+  // the median (floored at 2 codes) separates them cleanly even from
+  // healthy pixels deep in the gain-mismatch tail.
+  const std::size_t n = base.codes.size();
+  std::vector<double> deltas(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deltas[i] = std::abs(static_cast<double>(step.codes[i]) -
+                         static_cast<double>(base.codes[i]));
+  }
+  std::vector<double> sorted = deltas;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median_delta = sorted[sorted.size() / 2];
+  const double dead_threshold = std::max(2.0, 0.25 * median_delta);
+  const auto full_code =
+      static_cast<std::int32_t>(1 << (config_.adc.bits - 1));
+
+  faults::DefectMap map(config_.rows, config_.cols);
+  for (int r = 0; r < config_.rows; ++r) {
+    for (int c = 0; c < config_.cols; ++c) {
+      const std::int32_t c0 = base.code_at(r, c);
+      const std::int32_t c1 = step.code_at(r, c);
+      if (std::abs(c0) >= full_code - 1 && std::abs(c1) >= full_code - 1) {
+        map.mark(r, c, faults::DefectType::kRailed);
+        continue;
+      }
+      if (deltas[static_cast<std::size_t>(r * config_.cols + c)] <
+          dead_threshold) {
+        map.mark(r, c,
+                 c0 == 0 && c1 == 0 ? faults::DefectType::kDead
+                                    : faults::DefectType::kStuck);
+      }
+    }
+  }
+  return map;
 }
 
 std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,

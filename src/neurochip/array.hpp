@@ -23,11 +23,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "circuit/gain_stage.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "faults/defect_map.hpp"
+#include "faults/fault_plan.hpp"
 #include "neurochip/pixel.hpp"
 #include "neurochip/signal_source.hpp"
 #include "noise/mismatch.hpp"
@@ -81,6 +84,7 @@ struct NeuroFrame {
   std::vector<double> v_in;          // reconstructed electrode voltage, V
   std::vector<std::int32_t> codes;   // raw ADC output
   double t = 0.0;                    // frame start time, s
+  int masked = 0;                    // pixels masked via the defect map
 
   double& at(int r, int c) { return v_in[static_cast<std::size_t>(r * cols + c)]; }
   double at(int r, int c) const {
@@ -117,6 +121,26 @@ class NeuroChip {
 
   /// Drops all pixel calibrations (ablation support).
   void decalibrate_all();
+
+  /// Injects manufacturing defects: dead/stuck/railed pixels override the
+  /// ADC code at the observation point (every pixel's analog model still
+  /// runs, keeping RNG streams aligned with a fault-free die), and
+  /// `channel_drift` multiplies each output channel's gain chain (size must
+  /// be `channels()`; empty = no drift).
+  void inject_faults(const faults::SiteFaultSet& set,
+                     std::vector<double> channel_drift = {});
+
+  /// Installs the defect map that `capture_frame` masks against: defective
+  /// pixels are replaced by the mean of their good 4-neighbour codes.
+  void set_defect_map(faults::DefectMap map) { defect_map_ = std::move(map); }
+  const faults::DefectMap& defect_map() const { return defect_map_; }
+
+  /// BIST sweep: captures one frame at 0 V and one at `v_probe` (uniform
+  /// test stimulus) and classifies each pixel from its raw codes — railed
+  /// pixels sit at an ADC rail in both frames, dead/stuck pixels don't move
+  /// by the expected code delta. Requires a calibrated chip; the sweep
+  /// bypasses any installed defect map so known defects re-test honestly.
+  std::optional<faults::DefectMap> self_test(double v_probe = 1e-3);
 
   /// Captures one frame starting at time `t`, scanning columns in sequence
   /// and reading all rows of a column in parallel through the row
@@ -163,11 +187,17 @@ class NeuroChip {
 
  private:
   void calibrate_pixels();
+  std::int32_t apply_pixel_fault(std::size_t idx, std::int32_t code) const;
+  void mask_frame(NeuroFrame& frame, double adc_lsb, double conv_gain) const;
 
   NeuroChipConfig config_;
   Rng rng_;
   noise::MismatchSampler mismatch_;
   std::vector<SensorPixel> pixels_;
+  faults::SiteFaultSet pixel_faults_{};
+  bool has_pixel_faults_ = false;
+  std::vector<double> channel_drift_;  // gain multiplier per output channel
+  faults::DefectMap defect_map_{};
   // Row chains carry the on-chip stages (x100, x7); channel chains the
   // off-chip stages (x4, x2).
   std::vector<circuit::GainChain> row_chains_;

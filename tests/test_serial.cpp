@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace biosense::dnachip {
@@ -46,7 +48,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Opcode::kNop, Opcode::kSetDacGenerator,
                       Opcode::kSetDacCollector, Opcode::kSelectSite,
                       Opcode::kStartConversion, Opcode::kReadFrame,
-                      Opcode::kAutoCalibrate, Opcode::kReadStatus));
+                      Opcode::kAutoCalibrate, Opcode::kReadStatus,
+                      Opcode::kReadSite, Opcode::kSelfTest));
 
 TEST(Serial, CorruptedCommandRejected) {
   CommandFrame cmd{Opcode::kStartConversion, 7};
@@ -56,6 +59,94 @@ TEST(Serial, CorruptedCommandRejected) {
     corrupted[i] = !corrupted[i];
     EXPECT_FALSE(decode_command(corrupted).has_value()) << "bit " << i;
   }
+}
+
+TEST_P(SerialOpcodes, ExhaustiveOneAndTwoBitFlipsRejected) {
+  // CRC-8 poly 0x07 has Hamming distance 4 up to 119 data bits, so EVERY
+  // 1-bit and 2-bit corruption of a 32-bit command frame must be caught.
+  // A flip may turn the frame into a *different valid command* only if the
+  // CRC colludes — distance 4 says it cannot for <= 3 flips, so the decode
+  // must fail outright.
+  const auto bits = encode_command({GetParam(), 0x5a3c});
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto one = bits;
+    one[i] = !one[i];
+    EXPECT_FALSE(decode_command(one).has_value()) << "flip " << i;
+    for (std::size_t j = i + 1; j < bits.size(); ++j) {
+      auto two = one;
+      two[j] = !two[j];
+      EXPECT_FALSE(decode_command(two).has_value())
+          << "flips " << i << "," << j;
+    }
+  }
+}
+
+TEST(Serial, ExhaustiveDataFrameFlipsRejected) {
+  // Same exhaustive sweep for a 24-bit data frame: every 1-bit and 2-bit
+  // flip must fail the word's CRC (strict and lenient decoders agree).
+  const auto bits = encode_data({0xc3a5});
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto one = bits;
+    one[i] = !one[i];
+    EXPECT_FALSE(decode_data(one).has_value()) << "flip " << i;
+    const auto lenient_one = decode_data_lenient(one);
+    ASSERT_EQ(lenient_one.size(), 1u);
+    EXPECT_FALSE(lenient_one[0].has_value()) << "flip " << i;
+    for (std::size_t j = i + 1; j < bits.size(); ++j) {
+      auto two = one;
+      two[j] = !two[j];
+      EXPECT_FALSE(decode_data(two).has_value()) << "flips " << i << "," << j;
+      const auto lenient_two = decode_data_lenient(two);
+      ASSERT_EQ(lenient_two.size(), 1u);
+      EXPECT_FALSE(lenient_two[0].has_value()) << "flips " << i << "," << j;
+    }
+  }
+}
+
+TEST(Serial, TruncatedFramesRejectedWithoutCrash) {
+  const auto cmd = encode_command({Opcode::kReadFrame, 0});
+  const auto data = encode_data({0x1234, 0xabcd});
+  for (std::size_t n = 0; n < cmd.size(); ++n) {
+    EXPECT_FALSE(
+        decode_command(std::vector<bool>(cmd.begin(),
+                                         cmd.begin() + static_cast<long>(n)))
+            .has_value())
+        << "length " << n;
+  }
+  for (std::size_t n = 0; n < data.size(); ++n) {
+    const std::vector<bool> cut(data.begin(),
+                                data.begin() + static_cast<long>(n));
+    if (n % 24 != 0) {
+      EXPECT_FALSE(decode_data(cut).has_value()) << "length " << n;
+    }
+    // The lenient decoder keeps whole leading frames and drops the tail.
+    EXPECT_EQ(decode_data_lenient(cut).size(), n / 24) << "length " << n;
+  }
+}
+
+TEST(Serial, LenientDecodeRecoversValidWordsAroundCorruptOnes) {
+  auto bits = encode_data({10, 20, 30});
+  bits[30] = !bits[30];  // corrupt only the middle word
+  EXPECT_FALSE(decode_data(bits).has_value());  // strict: all-or-nothing
+  const auto words = decode_data_lenient(bits);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], std::optional<std::uint16_t>(10));
+  EXPECT_FALSE(words[1].has_value());
+  EXPECT_EQ(words[2], std::optional<std::uint16_t>(30));
+}
+
+TEST(Serial, AckNackFramesRoundtrip) {
+  const auto ack = decode_data(encode_ack(Opcode::kStartConversion));
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->size(), 2u);
+  EXPECT_EQ((*ack)[0], kAckMagic);
+  EXPECT_EQ((*ack)[1], static_cast<std::uint16_t>(Opcode::kStartConversion));
+
+  const auto nack = decode_data(encode_nack(ChipError::kBadSite));
+  ASSERT_TRUE(nack.has_value());
+  ASSERT_EQ(nack->size(), 2u);
+  EXPECT_EQ((*nack)[0], kNackMagic);
+  EXPECT_EQ((*nack)[1], static_cast<std::uint16_t>(ChipError::kBadSite));
 }
 
 TEST(Serial, WrongLengthCommandRejected) {
@@ -116,6 +207,102 @@ TEST(SerialLink, NoisyLinkEventuallyCorruptsFrames) {
 TEST(SerialLink, RejectsInvalidBer) {
   EXPECT_THROW(SerialLink(-0.1, Rng(1)), ConfigError);
   EXPECT_THROW(SerialLink(1.0, Rng(1)), ConfigError);
+}
+
+TEST(SerialLink, DropFaultsReturnEmptyFrames) {
+  SerialLink link(0.0, Rng(4));
+  faults::LinkFaultModel model;
+  model.drop_prob = 0.5;
+  link.inject_faults(model);
+  int dropped = 0;
+  for (int k = 0; k < 200; ++k) {
+    if (link.transfer(encode_data({0x1234})).empty()) {
+      EXPECT_EQ(link.last_event(), LinkEvent::kDropped);
+      ++dropped;
+    }
+  }
+  EXPECT_NEAR(dropped, 100, 30);
+  EXPECT_EQ(link.stats().drops, static_cast<std::uint64_t>(dropped));
+}
+
+TEST(SerialLink, TruncationShortensFrames) {
+  SerialLink link(0.0, Rng(5));
+  faults::LinkFaultModel model;
+  model.truncate_prob = 1.0 - 1e-9;  // probabilities live in [0,1)
+  link.inject_faults(model);
+  const auto bits = encode_data({0xabcd, 0x1234});
+  for (int k = 0; k < 50; ++k) {
+    const auto out = link.transfer(bits);
+    EXPECT_EQ(link.last_event(), LinkEvent::kTruncated);
+    EXPECT_LT(out.size(), bits.size());
+    EXPECT_GE(out.size(), 1u);
+    // Truncated frames must be rejected cleanly, never crash a decoder. A
+    // cut landing exactly on a word boundary leaves a self-consistent but
+    // shorter frame — the host catches that one by word count instead.
+    const auto words = decode_data(out);
+    if (out.size() % 24 == 0) {
+      ASSERT_TRUE(words.has_value());
+      EXPECT_LT(words->size(), 2u);
+    } else {
+      EXPECT_FALSE(words.has_value());
+    }
+  }
+}
+
+TEST(SerialLink, TimeoutsAreReportedAsEvents) {
+  SerialLink link(0.0, Rng(6));
+  faults::LinkFaultModel model;
+  model.timeout_prob = 0.3;
+  link.inject_faults(model);
+  int timeouts = 0;
+  for (int k = 0; k < 200; ++k) {
+    const auto out = link.transfer(encode_data({1}));
+    if (link.last_event() == LinkEvent::kTimeout) {
+      EXPECT_TRUE(out.empty());
+      ++timeouts;
+    }
+  }
+  EXPECT_NEAR(timeouts, 60, 30);
+  EXPECT_EQ(link.stats().timeouts, static_cast<std::uint64_t>(timeouts));
+}
+
+TEST(SerialLink, BurstsFlipContiguousBits) {
+  SerialLink link(0.0, Rng(7));
+  faults::LinkFaultModel model;
+  model.burst_prob = 1.0 - 1e-9;
+  model.burst_length = 4;
+  link.inject_faults(model);
+  const std::vector<bool> zeros(64, false);
+  const auto out = link.transfer(zeros);
+  ASSERT_EQ(out.size(), zeros.size());
+  int flips = 0;
+  std::size_t first = zeros.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i]) {
+      ++flips;
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  EXPECT_EQ(link.last_event(), LinkEvent::kBurst);
+  EXPECT_GE(flips, 1);
+  EXPECT_LE(flips, 4);
+  EXPECT_EQ(last - first + 1, static_cast<std::size_t>(flips));  // contiguous
+}
+
+TEST(SerialLink, FaultModelBerOverridesConstructedBer) {
+  SerialLink link(0.0, Rng(8));
+  faults::LinkFaultModel model;
+  model.bit_error_rate = 0.01;
+  link.inject_faults(model);
+  std::vector<bool> bits(100000, false);
+  const auto out = link.transfer(bits);
+  int flips = 0;
+  for (bool b : out) {
+    if (b) ++flips;
+  }
+  EXPECT_NEAR(flips / 100000.0, 0.01, 0.002);
 }
 
 TEST(Serial, SixPinBudget) {
