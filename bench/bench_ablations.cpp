@@ -34,19 +34,19 @@ void ablation_i2f_sizing() {
   for (double c_int : {35e-15, 140e-15, 560e-15}) {
     for (double dead_scale : {0.2, 1.0, 5.0}) {
       i2f::I2fConfig cfg;
-      cfg.c_int = c_int;
+      cfg.c_int = Capacitance(c_int);
       cfg.comparator_delay *= dead_scale;
       cfg.delay_stage *= dead_scale;
       cfg.reset_width *= dead_scale;
       i2f::SawtoothConverter conv(cfg, Rng(71));
-      const double slope =
-          1.0 / (cfg.c_int * (cfg.v_threshold - cfg.v_reset));
+      const double slope = 1.0 / (cfg.c_int * cfg.delta_v()).value();
       const double comp100 =
           100.0 * (1.0 - conv.ideal_frequency(100e-9) / (slope * 100e-9));
       // Usable range: from the leakage floor to the 50%-compression point.
-      const double i_floor = cfg.leakage * 2.0;
+      const double i_floor = (cfg.leakage * 2.0).value();
       const double i_ceil = conv.compression_corner_current();
-      t.add_row({cfg.c_int, conv.dead_time(), conv.ideal_frequency(1e-12),
+      t.add_row({cfg.c_int.value(), conv.dead_time(),
+                 conv.ideal_frequency(1e-12),
                  comp100, std::log10(i_ceil / i_floor)});
     }
   }
@@ -126,12 +126,13 @@ void ablation_redox_cycling() {
   Rng rng(74);
   dna::RedoxCyclingSensor s_with(with, rng.fork());
   const double f_shuttle =
-      with.diffusion / (with.electrode_gap * with.electrode_gap);
-  const double gain = f_shuttle * with.tau_res *
+      (with.diffusion / (with.electrode_gap * with.electrode_gap)).value();
+  const double gain = f_shuttle * with.tau_res.value() *
                       with.electrons_per_cycle / 1.0;
   for (double labels : {1e2, 1e4, 1e6}) {
     const double i_cyc = s_with.steady_state_current(labels);
-    const double i_single = (i_cyc - with.background) / gain + with.background;
+    const double i_single =
+        (i_cyc - with.background.value()) / gain + with.background.value();
     auto in_range = [](double i) {
       return i >= 1e-12 && i <= 100e-9 ? "yes" : "NO";
     };

@@ -56,8 +56,7 @@ void print_transfer() {
 
   std::vector<double> log_i, log_f;
   const double slope_hz_per_a =
-      1.0 / (conv.config().c_int *
-             (conv.config().v_threshold - conv.config().v_reset));
+      1.0 / (conv.config().c_int * conv.config().delta_v()).value();
   for (double i : core::log_space(1e-12, 100e-9, 11)) {
     const double gate = std::min(200.0, std::max(0.05, 200.0 / conv.ideal_frequency(i)));
     const auto c = conv.measure(i, gate);
@@ -99,7 +98,7 @@ void print_noise_floor() {
                c.mean_frequency});
     s.add(c.mean_frequency);
   }
-  t.add_note("leakage (" + si_format(noisy.leakage, "A") +
+  t.add_note("leakage (" + si_format(noisy.leakage.value(), "A") +
              ") sets the apparent-current floor at the pA end");
   t.print(std::cout);
 }

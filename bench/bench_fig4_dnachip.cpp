@@ -26,7 +26,8 @@ void print_fullchip_assay() {
     dna::TargetSpecies t;
     t.sequence = dna::Sequence::random(120, rng);
     t.concentration = 1e-9;
-    t.name = "g" + std::to_string(i);
+    t.name = "g";
+    t.name += std::to_string(i);
     panel.push_back(std::move(t));
   }
   auto spots = dna::MicroarrayAssay::design_probes(panel, 20);
@@ -87,14 +88,14 @@ void print_periphery() {
   Table t("Fig. 4 (periphery): references and DACs");
   t.set_columns({"block", "value"});
   t.add_row({std::string("bandgap reference"),
-             si_format(chip.bandgap_voltage(), "V")});
+             si_format(chip.bandgap_voltage().value(), "V")});
   t.add_row({std::string("current reference"),
-             si_format(chip.reference_current(), "A")});
-  host.set_electrode_potentials(1.2, 0.8);
+             si_format(chip.reference_current().value(), "A")});
+  host.set_electrode_potentials(1.2_V, 0.8_V);
   t.add_row({std::string("generator electrode (target 1.2 V)"),
-             si_format(chip.generator_potential(), "V")});
+             si_format(chip.generator_potential().value(), "V")});
   t.add_row({std::string("collector electrode (target 0.8 V)"),
-             si_format(chip.collector_potential(), "V")});
+             si_format(chip.collector_potential().value(), "V")});
   t.add_note("'bandgap and current references, auto-calibration circuits,"
              " D/A-converters to provide the required voltages'");
   t.print(std::cout);
@@ -122,7 +123,8 @@ void print_autorange() {
   core::ClaimReport claims("Fig. 4 paper-vs-measured");
   claims.add("array size", "16 x 8 = 128 sensors",
              std::to_string(chip.sites()), chip.sites() == 128);
-  claims.add_range("bandgap", "~1.2 V", chip.bandgap_voltage(), 1.15, 1.3,
+  claims.add_range("bandgap", "~1.2 V", chip.bandgap_voltage().value(), 1.15,
+                   1.3,
                    "V");
   claims.print(std::cout);
   core::write_claims_json({claims}, "bench_fig4_dnachip");

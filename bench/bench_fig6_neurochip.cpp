@@ -107,14 +107,16 @@ void print_timing_budget() {
   core::ClaimReport claims("Fig. 6 paper-vs-measured");
   claims.add("array", "128 x 128 on 1 mm x 1 mm",
              std::to_string(chip.rows()) + " x " + std::to_string(chip.cols()) +
-                 " on " + si_format(chip.sensor_area_side(), "m") + " side",
-             chip.rows() == 128 && std::abs(chip.sensor_area_side() - 1e-3) < 2e-5);
+                 " on " + si_format(chip.sensor_area_side().value(), "m") + " side",
+             chip.rows() == 128 &&
+                 std::abs(chip.sensor_area_side().value() - 1e-3) < 2e-5);
   claims.add("full frame rate", "2k samples/s",
-             si_format(chip.config().frame_rate, "frames/s"),
-             chip.config().frame_rate == 2000.0);
+             si_format(chip.config().frame_rate.value(), "frames/s"),
+             chip.config().frame_rate == 2.0_kHz);
   claims.add("channels", "16", std::to_string(chip.channels()),
              chip.channels() == 16);
-  claims.add_range("pixel pitch", "7.8 um", chip.config().pitch, 7.7e-6,
+  claims.add_range("pixel pitch", "7.8 um", chip.config().pitch.value(),
+                   7.7e-6,
                    7.9e-6, "m");
   claims.print(std::cout);
   core::write_claims_json({claims}, "bench_fig6_neurochip");
@@ -127,7 +129,7 @@ void print_recording() {
   cfg.culture.area_size = 64 * 7.8e-6;
   cfg.culture.n_neurons = 20;
   cfg.culture.duration = 0.25;
-  cfg.recording_duration = 0.25;
+  cfg.recording_duration = Time(0.25);
   core::NeuralWorkbench wb(cfg, Rng(44));
   const auto run = wb.run();
 
@@ -190,7 +192,7 @@ void print_tissue_recording() {
   // Detected spike trains on the 12 most active pixels -> pairwise
   // synchrony, compared against the network's own trains.
   dsp::SpikeDetectorConfig det;
-  det.fs = cfg.frame_rate;
+  det.fs = cfg.frame_rate.value();
   std::vector<std::vector<double>> recorded;
   for (std::size_t idx : stack.most_active(60)) {
     const int r = static_cast<int>(idx) / cfg.cols;

@@ -36,15 +36,15 @@ void dna_chip_summary(std::vector<core::ClaimReport>& reports) {
   const double f_hi = conv.ideal_frequency(paper.current_max);
   claims.add_range("f @ 1 pA (resolvable with long gate)", "> 0",
                    f_lo, 1e-3, 1e3, "Hz");
-  const double slope = paper.current_max /
-                       (conv.config().c_int *
-                        (conv.config().v_threshold - conv.config().v_reset));
+  const double slope =
+      paper.current_max /
+      (conv.config().c_int * conv.config().delta_v()).value();
   claims.add_range("compression @ 100 nA", "< 50 %",
                    100.0 * (1.0 - f_hi / slope), 0.0, 50.0, "%");
   claims.add("interface", "6 pin, serial digital",
              "CS/SCLK/DIN/DOUT + VDD/GND", true);
   claims.add_range("bandgap reference", "periphery present",
-                   chip.bandgap_voltage(), 1.15, 1.3, "V");
+                   chip.bandgap_voltage().value(), 1.15, 1.3, "V");
   claims.print(std::cout);
   reports.push_back(std::move(claims));
 }
@@ -58,12 +58,12 @@ void neuro_chip_summary(std::vector<core::ClaimReport>& reports) {
   claims.add("array", "128 x 128",
              std::to_string(chip.rows()) + " x " + std::to_string(chip.cols()),
              chip.rows() == paper.rows && chip.cols() == paper.cols);
-  claims.add_range("pixel pitch", "7.8 um", chip.config().pitch,
+  claims.add_range("pixel pitch", "7.8 um", chip.config().pitch.value(),
                    paper.pitch * 0.99, paper.pitch * 1.01, "m");
-  claims.add_range("sensor area side", "1 mm", chip.sensor_area_side(),
-                   0.99e-3, 1.01e-3, "m");
+  claims.add_range("sensor area side", "1 mm",
+                   chip.sensor_area_side().value(), 0.99e-3, 1.01e-3, "m");
   claims.add_range("full frame rate", "2 ksamples/s",
-                   chip.config().frame_rate, 1999.0, 2001.0, "Hz");
+                   chip.config().frame_rate.value(), 1999.0, 2001.0, "Hz");
   claims.add("output channels", "16", std::to_string(chip.channels()),
              chip.channels() == paper.channels);
   claims.add_range("per-channel rate", "(derived) ~2 MS/s", tb.channel_rate,
@@ -105,8 +105,8 @@ void neuro_chip_summary(std::vector<core::ClaimReport>& reports) {
   // Neuron-size vs pitch consistency (the paper's coverage argument).
   core::ClaimReport coverage("Pitch vs neuron size (Section 3)");
   coverage.add("pitch < smallest neuron diameter", "7.8 um < 10 um",
-               si_format(chip.config().pitch, "m") + " < 10 um",
-               chip.config().pitch < 10e-6);
+               si_format(chip.config().pitch.value(), "m") + " < 10 um",
+               chip.config().pitch < 10.0_um);
   coverage.print(std::cout);
   reports.push_back(std::move(coverage));
 }

@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 CI: build + test in the default configuration, then again under
-# AddressSanitizer and ThreadSanitizer (BIOSENSE_SANITIZE hooks the whole
-# tree; the TSan pass exercises the deterministic parallel capture paths).
+# AddressSanitizer, ThreadSanitizer and UndefinedBehaviorSanitizer
+# (BIOSENSE_SANITIZE hooks the whole tree; the TSan pass exercises the
+# deterministic parallel capture paths, and the UBSan pass is built with
+# -fno-sanitize-recover=all so any report is a hard test failure).
+#
+# All configurations build with BIOSENSE_WERROR=ON: a warning anywhere in
+# the tree fails CI. After the sanitizer matrix, two static gates run:
+# clang-tidy (if installed — skipped with a note otherwise) and the
+# repo-invariant linter tools/lint.sh.
 #
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
@@ -14,7 +21,8 @@ run_config() {
   shift 2
   local dir="build-ci-${name}"
   echo "=== [${name}] configure (BIOSENSE_SANITIZE='${sanitize}') ==="
-  cmake -B "${dir}" -S . -DBIOSENSE_SANITIZE="${sanitize}" >/dev/null
+  cmake -B "${dir}" -S . -DBIOSENSE_SANITIZE="${sanitize}" \
+        -DBIOSENSE_WERROR=ON >/dev/null
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${name}] ctest ==="
@@ -24,5 +32,21 @@ run_config() {
 run_config default "" "$@"
 run_config asan address "$@"
 run_config tsan thread "$@"
+run_config ubsan undefined "$@"
 
-echo "=== CI: all three configurations passed ==="
+echo "=== [clang-tidy] static analysis ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Reuse the default config's compile commands; .clang-tidy at the repo
+  # root selects the checks.
+  cmake -B build-ci-default -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p build-ci-default --quiet --warnings-as-errors='*'
+else
+  echo "clang-tidy not installed; skipping (checks are configured in"
+  echo ".clang-tidy and run automatically where the tool is available)"
+fi
+
+echo "=== [lint] repo invariants ==="
+./tools/lint.sh
+
+echo "=== CI: all four sanitizer configurations + static gates passed ==="

@@ -21,12 +21,12 @@ int main() {
   cfg.culture.area_size = 48 * 7.8e-6;  // scale the culture to the array
   cfg.culture.n_neurons = 14;
   cfg.culture.duration = 0.5;
-  cfg.recording_duration = 0.5;
+  cfg.recording_duration = Time(0.5);
 
   std::printf("Neural recording demo: %dx%d pixels, %.1f um pitch, "
               "%.0f frames/s\n",
-              cfg.chip.rows, cfg.chip.cols, cfg.chip.pitch * 1e6,
-              cfg.chip.frame_rate);
+              cfg.chip.rows, cfg.chip.cols, (cfg.chip.pitch * 1e6).value(),
+              cfg.chip.frame_rate.value());
   std::printf("capture engine: %d thread(s), deterministic for any count\n",
               max_threads());
 
@@ -51,7 +51,8 @@ int main() {
 
   std::printf("\nspike raster (50 ms per column character):\n");
   for (const auto* d : strongest) {
-    std::string row(static_cast<std::size_t>(cfg.recording_duration / 0.05),
+    std::string row(
+        static_cast<std::size_t>(cfg.recording_duration.value() / 0.05),
                     '.');
     for (const auto& s : d->spikes) {
       const auto bin = static_cast<std::size_t>(s.time / 0.05);

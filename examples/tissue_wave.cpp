@@ -39,7 +39,7 @@ int main() {
 
   std::printf("tissue wave demo: %.0f mm/s wave over %dx%d pixels, "
               "%.0f frames/s\n",
-              wave.velocity * 1e3, n, n, chip_cfg.frame_rate);
+              wave.velocity * 1e3, n, n, chip_cfg.frame_rate.value());
 
   neurochip::RecordingSession session(culture, chip);
   const auto frames = session.record(0.0, 2000);
@@ -48,7 +48,7 @@ int main() {
   // Detect spikes on the most active pixels; keep each site's first
   // strong detection inside the first wave window as its arrival time.
   dsp::SpikeDetectorConfig det;
-  det.fs = chip_cfg.frame_rate;
+  det.fs = chip_cfg.frame_rate.value();
   // First-wave window: before the second wave AND before the chip's first
   // periodic recalibration (whose offset step is itself detectable).
   const double first_window = std::min(1.0 / wave.wave_rate, 0.2);
@@ -60,8 +60,8 @@ int main() {
     for (const auto& sp : spikes) {
       if (sp.time >= first_window) break;
       if (sp.amplitude < 1e-3) continue;  // wave bursts are multi-mV
-      xs.push_back((c + 0.5) * chip_cfg.pitch);
-      ys.push_back((r + 0.5) * chip_cfg.pitch);
+      xs.push_back(((c + 0.5) * chip_cfg.pitch).value());
+      ys.push_back(((r + 0.5) * chip_cfg.pitch).value());
       arrivals.push_back(sp.time);
       break;
     }
@@ -86,7 +86,7 @@ int main() {
     double acc = 0.0;
     int cnt = 0;
     for (std::size_t i = 0; i < xs.size(); ++i) {
-      const int col = static_cast<int>(xs[i] / chip_cfg.pitch);
+      const int col = static_cast<int>(xs[i] / chip_cfg.pitch.value());
       if (col / 8 == band) {
         acc += arrivals[i];
         ++cnt;

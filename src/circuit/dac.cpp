@@ -12,7 +12,7 @@ ResistorStringDac::ResistorStringDac(DacParams params, Rng rng)
   require(params.bits >= 1 && params.bits <= 16, "Dac: bits must be in [1,16]");
   require(params.v_ref_hi > params.v_ref_lo, "Dac: reference range inverted");
 
-  const std::size_t n_codes = 1u << params.bits;
+  const std::size_t n_codes = std::size_t{1} << params.bits;
   // n_codes unit resistors between the references; tap k sits after k
   // resistors. Mismatch perturbs each resistor; the string remains
   // monotonic because every resistor stays positive.
@@ -24,12 +24,12 @@ ResistorStringDac::ResistorStringDac(DacParams params, Rng rng)
   }
   tap_voltage_.resize(n_codes);
   double acc = 0.0;
-  const double span = params.v_ref_hi - params.v_ref_lo;
+  const double span = (params.v_ref_hi - params.v_ref_lo).value();
   for (std::size_t k = 0; k < n_codes; ++k) {
-    tap_voltage_[k] = params.v_ref_lo + span * acc / total;
+    tap_voltage_[k] = params.v_ref_lo.value() + span * acc / total;
     acc += r[k];
   }
-  buffer_offset_ = rng.normal(0.0, params.buffer_offset_sigma);
+  buffer_offset_ = rng.normal(0.0, params.buffer_offset_sigma.value());
 }
 
 double ResistorStringDac::output(std::uint32_t code) const {
@@ -38,14 +38,15 @@ double ResistorStringDac::output(std::uint32_t code) const {
 }
 
 std::uint32_t ResistorStringDac::code_for(double v) const {
-  const double span = params_.v_ref_hi - params_.v_ref_lo;
-  const double t = (v - params_.v_ref_lo) / span * static_cast<double>(max_code());
+  const double span = (params_.v_ref_hi - params_.v_ref_lo).value();
+  const double t =
+      (v - params_.v_ref_lo.value()) / span * static_cast<double>(max_code());
   const double clamped = std::clamp(t, 0.0, static_cast<double>(max_code()));
   return static_cast<std::uint32_t>(std::lround(clamped));
 }
 
 double ResistorStringDac::lsb() const {
-  return (params_.v_ref_hi - params_.v_ref_lo) /
+  return (params_.v_ref_hi - params_.v_ref_lo).value() /
          static_cast<double>((1u << params_.bits) - 1);
 }
 

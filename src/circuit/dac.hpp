@@ -11,17 +11,18 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::circuit {
 
 struct DacParams {
   int bits = 8;
-  double v_ref_lo = 0.0;
-  double v_ref_hi = 5.0;
+  Voltage v_ref_lo = 0.0_V;
+  Voltage v_ref_hi = 5.0_V;
   /// Relative 1-sigma mismatch of each unit resistor.
   double resistor_sigma = 0.002;
-  /// Output buffer offset spread, V.
-  double buffer_offset_sigma = 1e-3;
+  /// Output buffer offset spread.
+  Voltage buffer_offset_sigma = 1.0_mV;
 };
 
 class ResistorStringDac {

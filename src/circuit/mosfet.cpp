@@ -39,7 +39,7 @@ Mosfet::Mosfet(MosfetParams params, noise::DeviceMismatch mismatch)
 
 double Mosfet::ekv_current(double vgs, double vds) const {
   // Source-referenced EKV (bulk tied to source; body effect folded into n).
-  const double vt_th = thermal_voltage(params_.temp_k);
+  const double vt_th = thermal_voltage(params_.temp_k).value();
   const double vp = (vgs - effective_vt()) / params_.n;  // pinch-off voltage
   const double i_spec = 2.0 * params_.n * beta_ * vt_th * vt_th;
   const double fwd = ekv_f(vp / vt_th);

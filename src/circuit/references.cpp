@@ -8,14 +8,17 @@ namespace biosense::circuit {
 
 BandgapReference::BandgapReference(BandgapParams params, Rng rng)
     : params_(params), rng_(rng) {
-  require(params.v_nominal > 0.0, "Bandgap: nominal voltage must be positive");
-  require(params.startup_tau > 0.0, "Bandgap: startup tau must be positive");
-  trim_error_ = rng_.normal(0.0, params.trim_sigma);
+  require(params.v_nominal > Voltage(0.0),
+          "Bandgap: nominal voltage must be positive");
+  require(params.startup_tau > Time(0.0),
+          "Bandgap: startup tau must be positive");
+  trim_error_ = rng_.normal(0.0, params.trim_sigma.value());
 }
 
 double BandgapReference::settled_voltage(double temp_k) const {
   const double dt = temp_k - params_.t_nominal_k;
-  return params_.v_nominal + trim_error_ - params_.curvature * dt * dt;
+  return params_.v_nominal.value() + trim_error_ -
+         params_.curvature * dt * dt;
 }
 
 double BandgapReference::voltage(double temp_k, double t_since_powerup) {
@@ -23,8 +26,8 @@ double BandgapReference::voltage(double temp_k, double t_since_powerup) {
   const double startup =
       t_since_powerup < 0.0
           ? 0.0
-          : 1.0 - std::exp(-t_since_powerup / params_.startup_tau);
-  return settled * startup + rng_.normal(0.0, params_.noise_rms);
+          : 1.0 - std::exp(-t_since_powerup / params_.startup_tau.value());
+  return settled * startup + rng_.normal(0.0, params_.noise_rms.value());
 }
 
 double BandgapReference::tempco_ppm_per_k(double t_lo_k, double t_hi_k) const {
@@ -38,7 +41,8 @@ double BandgapReference::tempco_ppm_per_k(double t_lo_k, double t_hi_k) const {
 CurrentReference::CurrentReference(CurrentReferenceParams params,
                                    const BandgapReference& bg, Rng rng)
     : params_(params), bandgap_(&bg) {
-  require(params.i_nominal > 0.0, "CurrentReference: current must be positive");
+  require(params.i_nominal > Current(0.0),
+          "CurrentReference: current must be positive");
   spread_ = 1.0 + rng.normal(0.0, params.spread_sigma);
 }
 
@@ -46,7 +50,7 @@ double CurrentReference::current(double temp_k) const {
   const double v_rel = bandgap_->settled_voltage(temp_k) /
                        bandgap_->settled_voltage(params_.t_nominal_k);
   const double r_rel = 1.0 + params_.r_tempco * (temp_k - params_.t_nominal_k);
-  return params_.i_nominal * spread_ * v_rel / r_rel;
+  return (params_.i_nominal * spread_).value() * v_rel / r_rel;
 }
 
 }  // namespace biosense::circuit

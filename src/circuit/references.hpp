@@ -5,16 +5,17 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::circuit {
 
 struct BandgapParams {
-  double v_nominal = 1.235;     // V at the magic temperature
+  Voltage v_nominal = Voltage(1.235);  // at the magic temperature
   double t_nominal_k = 320.0;   // curvature vertex
   double curvature = 1.0e-6;    // V/K^2 parabolic residual
-  double trim_sigma = 3e-3;     // untrimmed 1-sigma spread, V
-  double startup_tau = 10e-6;   // soft-start time constant, s
-  double noise_rms = 50e-6;     // output noise, V rms per sample
+  Voltage trim_sigma = 3.0_mV;  // untrimmed 1-sigma spread
+  Time startup_tau = 10.0_us;   // soft-start time constant
+  Voltage noise_rms = 50.0_uV;  // output noise, rms per sample
 };
 
 /// Bandgap reference with parabolic temperature curvature, sampled trim
@@ -40,7 +41,7 @@ class BandgapReference {
 };
 
 struct CurrentReferenceParams {
-  double i_nominal = 1e-6;      // A
+  Current i_nominal = 1.0_uA;
   double r_tempco = 1e-3;       // resistor tempco, 1/K (current ~ Vbg/R)
   double t_nominal_k = 300.0;
   double spread_sigma = 0.02;   // untrimmed relative spread

@@ -7,7 +7,9 @@
 namespace biosense::circuit {
 
 SampleHold::SampleHold(SampleHoldParams params, Rng rng)
-    : params_(params), cap_(params.hold_cap), sw_(params.sw, rng.fork()) {
+    : params_(params),
+      cap_(params.hold_cap.value()),
+      sw_(params.sw, rng.fork()) {
   sw_.close();
 }
 
@@ -28,12 +30,12 @@ void SampleHold::hold() {
 
 void SampleHold::idle(double dt) {
   if (!holding_) return;
-  cap_.integrate(-params_.droop_current, dt);
+  cap_.integrate(-params_.droop_current.value(), dt);
 }
 
 double SampleHold::expected_pedestal() const {
   return -params_.sw.channel_charge * params_.sw.injection_fraction *
-         (1.0 - params_.sw.compensation) / params_.hold_cap;
+         (1.0 - params_.sw.compensation) / params_.hold_cap.value();
 }
 
 }  // namespace biosense::circuit

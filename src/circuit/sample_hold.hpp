@@ -7,13 +7,14 @@
 #include "circuit/capacitor.hpp"
 #include "circuit/switch.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::circuit {
 
 struct SampleHoldParams {
-  double hold_cap = 100e-15;      // F
+  Capacitance hold_cap = 100.0_fF;
   SwitchParams sw{};              // sampling switch
-  double droop_current = 5e-15;   // hold-mode leakage, A (signed magnitude)
+  Current droop_current = Current(5e-15);  // hold-mode leakage (signed)
 };
 
 class SampleHold {

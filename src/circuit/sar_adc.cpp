@@ -10,7 +10,8 @@ SarAdc::SarAdc(SarAdcParams params, Rng rng) : params_(params), rng_(rng) {
   require(params.bits >= 2 && params.bits <= 16,
           "SarAdc: bits must be in [2,16]");
   require(params.v_max > params.v_min, "SarAdc: range inverted");
-  require(params.unit_cap_sigma >= 0.0 && params.comparator_noise_rms >= 0.0,
+  require(params.unit_cap_sigma >= 0.0 &&
+              params.comparator_noise_rms >= Voltage(0.0),
           "SarAdc: noise terms must be non-negative");
 
   // Bit k (k = bits-1 is the MSB) nominally weighs range / 2^(bits-k).
@@ -24,7 +25,7 @@ SarAdc::SarAdc(SarAdcParams params, Rng rng) : params_(params), rng_(rng) {
     weights_[static_cast<std::size_t>(k)] =
         nominal * (1.0 + rng_.normal(0.0, rel_sigma));
   }
-  offset_ = rng_.normal(0.0, params.comparator_offset_sigma);
+  offset_ = rng_.normal(0.0, params.comparator_offset_sigma.value());
 }
 
 double SarAdc::lsb() const {
@@ -40,7 +41,8 @@ std::int32_t SarAdc::convert(double v) {
   std::int32_t code = 0;
   for (int k = params_.bits - 1; k >= 0; --k) {
     const double noise =
-        measuring_ ? 0.0 : rng_.normal(0.0, params_.comparator_noise_rms);
+        measuring_ ? 0.0
+                   : rng_.normal(0.0, params_.comparator_noise_rms.value());
     const double trial = acc + weights_[static_cast<std::size_t>(k)];
     if (trial <= target + noise) {
       acc = trial;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::circuit {
 
@@ -22,8 +23,8 @@ struct SarAdcParams {
   /// Relative 1-sigma mismatch of a *unit* capacitor. Bit k's capacitor is
   /// 2^k units, so its relative error scales as sigma/sqrt(2^k).
   double unit_cap_sigma = 0.002;
-  double comparator_offset_sigma = 1e-3;  // V
-  double comparator_noise_rms = 100e-6;   // V per decision
+  Voltage comparator_offset_sigma = 1.0_mV;
+  Voltage comparator_noise_rms = 100.0_uV;  // per decision
 };
 
 class SarAdc {

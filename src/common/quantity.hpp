@@ -1,0 +1,220 @@
+// Zero-overhead compile-time dimensional analysis.
+//
+// Every physical quantity that crosses a public API or config surface in
+// biosense is a `Quantity<Dim>`: a `double` wrapped in a type that carries
+// an integer exponent vector over an electrical basis (current A, voltage
+// V, time s, length m, amount-concentration M). Arithmetic derives the
+// correct dimensions at compile time, so assigning millivolts to a current
+// field, adding volts to farads, or passing a frequency where a time is
+// expected is a *compile error*, not a silently corrupted figure.
+//
+//     i2f::I2fConfig cfg;
+//     cfg.c_int = 140.0_fF;        // Capacitance — OK
+//     cfg.c_int = 0.7_V;           // error: no conversion V -> F
+//     cfg.delta_v().value()        // explicit escape hatch to raw double
+//
+// Design rules:
+//  * storage is exactly one double (`static_assert`ed below): the wrapper
+//    vanishes at -O1 and the hot loops that unwrap with `.value()` at the
+//    boundary compile to the same code as before;
+//  * construction from and conversion to `double` are explicit — the only
+//    implicit arithmetic is dimension-checked;
+//  * a fully cancelled dimension (`Voltage / Voltage`) decays to plain
+//    `double`, so ratios and gains stay ergonomic;
+//  * everything is constexpr/noexcept so quantities work in constant
+//    expressions, default member initializers and static_asserts.
+//
+// The basis is electrical rather than strict SI (volts instead of kg·m²/
+// (A·s³)) so derived electrical units stay small:
+//     F = A·s/V    Ω = V/A    Hz = 1/s    C (charge) = A·s    J = A·V·s
+#pragma once
+
+namespace biosense {
+
+/// Integer dimension exponents over the {A, V, s, m, M} basis.
+struct Dim {
+  int current = 0;   // ampere exponent
+  int voltage = 0;   // volt exponent
+  int time = 0;      // second exponent
+  int length = 0;    // meter exponent
+  int amount = 0;    // molar-concentration exponent
+
+  friend constexpr bool operator==(const Dim&, const Dim&) = default;
+};
+
+constexpr Dim operator+(Dim a, Dim b) {
+  return {a.current + b.current, a.voltage + b.voltage, a.time + b.time,
+          a.length + b.length, a.amount + b.amount};
+}
+
+constexpr Dim operator-(Dim a, Dim b) {
+  return {a.current - b.current, a.voltage - b.voltage, a.time - b.time,
+          a.length - b.length, a.amount - b.amount};
+}
+
+inline constexpr Dim kDimensionless{};
+
+template <Dim D>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) noexcept : v_(v) {}
+
+  /// Raw SI value — the one escape hatch to untyped arithmetic. Use at the
+  /// boundary of hot inner loops, never to launder a unit mismatch.
+  constexpr double value() const noexcept { return v_; }
+
+  /// Value expressed in `unit` (e.g. `v.in(1.0_mV)` -> millivolts).
+  constexpr double in(Quantity unit) const noexcept { return v_ / unit.v_; }
+
+  static constexpr Dim dim() noexcept { return D; }
+
+  constexpr Quantity operator-() const noexcept { return Quantity(-v_); }
+  constexpr Quantity operator+() const noexcept { return *this; }
+
+  constexpr Quantity& operator+=(Quantity o) noexcept {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) noexcept {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) noexcept {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) noexcept {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr bool operator<(Quantity a, Quantity b) noexcept {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator>(Quantity a, Quantity b) noexcept {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator<=(Quantity a, Quantity b) noexcept {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>=(Quantity a, Quantity b) noexcept {
+    return a.v_ >= b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+namespace detail {
+
+/// Wraps a raw value in Quantity<D>, decaying to plain double when every
+/// exponent cancelled.
+template <Dim D>
+constexpr auto make_quantity(double v) noexcept {
+  if constexpr (D == kDimensionless) {
+    return v;
+  } else {
+    return Quantity<D>(v);
+  }
+}
+
+}  // namespace detail
+
+// --- dimension-deriving arithmetic -----------------------------------------
+
+template <Dim D>
+constexpr Quantity<D> operator+(Quantity<D> a, Quantity<D> b) noexcept {
+  return Quantity<D>(a.value() + b.value());
+}
+
+template <Dim D>
+constexpr Quantity<D> operator-(Quantity<D> a, Quantity<D> b) noexcept {
+  return Quantity<D>(a.value() - b.value());
+}
+
+template <Dim A, Dim B>
+constexpr auto operator*(Quantity<A> a, Quantity<B> b) noexcept {
+  return detail::make_quantity<A + B>(a.value() * b.value());
+}
+
+template <Dim A, Dim B>
+constexpr auto operator/(Quantity<A> a, Quantity<B> b) noexcept {
+  return detail::make_quantity<A - B>(a.value() / b.value());
+}
+
+template <Dim D>
+constexpr Quantity<D> operator*(Quantity<D> a, double s) noexcept {
+  return Quantity<D>(a.value() * s);
+}
+
+template <Dim D>
+constexpr Quantity<D> operator*(double s, Quantity<D> a) noexcept {
+  return Quantity<D>(s * a.value());
+}
+
+template <Dim D>
+constexpr Quantity<D> operator/(Quantity<D> a, double s) noexcept {
+  return Quantity<D>(a.value() / s);
+}
+
+template <Dim D>
+constexpr auto operator/(double s, Quantity<D> a) noexcept {
+  return detail::make_quantity<kDimensionless - D>(s / a.value());
+}
+
+// --- named dimensions -------------------------------------------------------
+
+namespace dim {
+
+inline constexpr Dim kCurrent{1, 0, 0, 0, 0};
+inline constexpr Dim kVoltage{0, 1, 0, 0, 0};
+inline constexpr Dim kTime{0, 0, 1, 0, 0};
+inline constexpr Dim kLength{0, 0, 0, 1, 0};
+inline constexpr Dim kConcentration{0, 0, 0, 0, 1};
+inline constexpr Dim kFrequency{0, 0, -1, 0, 0};
+inline constexpr Dim kCapacitance{1, -1, 1, 0, 0};   // F = A*s/V
+inline constexpr Dim kResistance{-1, 1, 0, 0, 0};    // Ohm = V/A
+inline constexpr Dim kCharge{1, 0, 1, 0, 0};         // C = A*s
+inline constexpr Dim kEnergy{1, 1, 1, 0, 0};         // J = A*V*s
+inline constexpr Dim kPower{1, 1, 0, 0, 0};          // W = A*V
+inline constexpr Dim kArea{0, 0, 0, 2, 0};           // m^2
+inline constexpr Dim kDiffusivity{0, 0, -1, 2, 0};   // m^2/s
+inline constexpr Dim kConductance{1, -1, 0, 0, 0};   // S = A/V (gm)
+inline constexpr Dim kVoltagePsd{0, 2, 1, 0, 0};     // V^2/Hz = V^2*s
+inline constexpr Dim kVoltageSq{0, 2, 0, 0, 0};      // V^2 (flicker kf)
+inline constexpr Dim kCurrentPsd{2, 0, 1, 0, 0};     // A^2/Hz = A^2*s
+inline constexpr Dim kMolarEnergy{1, 1, 1, 0, -1};   // J/mol basis proxy
+
+}  // namespace dim
+
+using Current = Quantity<dim::kCurrent>;
+using Voltage = Quantity<dim::kVoltage>;
+using Time = Quantity<dim::kTime>;
+using Length = Quantity<dim::kLength>;
+using Concentration = Quantity<dim::kConcentration>;
+using Frequency = Quantity<dim::kFrequency>;
+using Capacitance = Quantity<dim::kCapacitance>;
+using Resistance = Quantity<dim::kResistance>;
+using Charge = Quantity<dim::kCharge>;
+using Energy = Quantity<dim::kEnergy>;
+using Power = Quantity<dim::kPower>;
+using Area = Quantity<dim::kArea>;
+using Diffusivity = Quantity<dim::kDiffusivity>;
+using Conductance = Quantity<dim::kConductance>;
+using VoltagePsd = Quantity<dim::kVoltagePsd>;
+using VoltageSq = Quantity<dim::kVoltageSq>;
+using CurrentPsd = Quantity<dim::kCurrentPsd>;
+using MolarEnergy = Quantity<dim::kMolarEnergy>;
+
+// The wrapper must be free: exactly one double, trivially copyable, usable
+// in constant expressions. Violations break the hot-loop parity guarantee.
+static_assert(sizeof(Voltage) == sizeof(double));
+static_assert(sizeof(Quantity<dim::kCapacitance>) == sizeof(double));
+static_assert((1.0 / Time(2.0)).dim() == dim::kFrequency);
+static_assert(Voltage(1.0) / Current(2.0) == Resistance(0.5));
+static_assert(Capacitance(2.0) * Voltage(3.0) == Charge(6.0));
+static_assert(Voltage(3.0) / Voltage(2.0) == 1.5);  // ratios decay to double
+
+}  // namespace biosense

@@ -1,16 +1,17 @@
 // SI unit literals and physical constants.
 //
-// Convention used throughout biosense: every physical quantity is a plain
-// `double` in SI base/derived units (volts, amperes, farads, seconds,
-// hertz, meters, kelvin, moles per liter for concentrations). The literals
-// below make call sites self-documenting without the overhead of a full
-// dimensional-analysis type system:
+// Every literal returns a typed `Quantity` (see common/quantity.hpp), so
+// call sites are self-documenting AND dimension-checked by the compiler:
 //
-//     i2f::Config cfg;
-//     cfg.c_int = 140.0_fF;
-//     cfg.delta_v = 0.7_V;
+//     i2f::I2fConfig cfg;
+//     cfg.c_int = 140.0_fF;     // Capacitance
+//     cfg.delta_v = 0.7_V;      // Voltage — `cfg.c_int = 0.7_V` won't compile
 //
+// Both floating (`140.0_fF`) and integer (`140_fF`) forms exist for every
+// literal. Raw doubles are reached explicitly via `.value()`.
 #pragma once
+
+#include "common/quantity.hpp"
 
 namespace biosense {
 
@@ -34,89 +35,76 @@ inline constexpr double kPi = 3.14159265358979323846;
 
 inline namespace literals {
 
+// Each literal accepts both `long double` (1.5_mV) and `unsigned long long`
+// (10_mV) operands and returns the typed quantity for its unit.
+#define BIOSENSE_UNIT_LITERAL(suffix, Type, scale)                       \
+  constexpr Type operator""_##suffix(long double v) {                    \
+    return Type(static_cast<double>(v) * (scale));                       \
+  }                                                                      \
+  constexpr Type operator""_##suffix(unsigned long long v) {             \
+    return Type(static_cast<double>(v) * (scale));                       \
+  }
+
 // Voltage
-constexpr double operator""_V(long double v) { return static_cast<double>(v); }
-constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
-constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
-constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
-constexpr double operator""_uV(long double v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_uV(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+BIOSENSE_UNIT_LITERAL(V, Voltage, 1.0)
+BIOSENSE_UNIT_LITERAL(mV, Voltage, 1e-3)
+BIOSENSE_UNIT_LITERAL(uV, Voltage, 1e-6)
 
 // Current
-constexpr double operator""_A(long double v) { return static_cast<double>(v); }
-constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
-constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
-constexpr double operator""_nA(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
-constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
-constexpr double operator""_pA(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
-constexpr double operator""_fA(long double v) { return static_cast<double>(v) * 1e-15; }
-constexpr double operator""_fA(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+BIOSENSE_UNIT_LITERAL(A, Current, 1.0)
+BIOSENSE_UNIT_LITERAL(mA, Current, 1e-3)
+BIOSENSE_UNIT_LITERAL(uA, Current, 1e-6)
+BIOSENSE_UNIT_LITERAL(nA, Current, 1e-9)
+BIOSENSE_UNIT_LITERAL(pA, Current, 1e-12)
+BIOSENSE_UNIT_LITERAL(fA, Current, 1e-15)
 
 // Capacitance
-constexpr double operator""_F(long double v) { return static_cast<double>(v); }
-constexpr double operator""_uF(long double v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_nF(long double v) { return static_cast<double>(v) * 1e-9; }
-constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
-constexpr double operator""_pF(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
-constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
-constexpr double operator""_fF(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+BIOSENSE_UNIT_LITERAL(F, Capacitance, 1.0)
+BIOSENSE_UNIT_LITERAL(uF, Capacitance, 1e-6)
+BIOSENSE_UNIT_LITERAL(nF, Capacitance, 1e-9)
+BIOSENSE_UNIT_LITERAL(pF, Capacitance, 1e-12)
+BIOSENSE_UNIT_LITERAL(fF, Capacitance, 1e-15)
 
 // Resistance
-constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
-constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
-constexpr double operator""_kOhm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
-constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
-constexpr double operator""_MOhm(unsigned long long v) { return static_cast<double>(v) * 1e6; }
-constexpr double operator""_GOhm(long double v) { return static_cast<double>(v) * 1e9; }
-constexpr double operator""_GOhm(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+BIOSENSE_UNIT_LITERAL(Ohm, Resistance, 1.0)
+BIOSENSE_UNIT_LITERAL(kOhm, Resistance, 1e3)
+BIOSENSE_UNIT_LITERAL(MOhm, Resistance, 1e6)
+BIOSENSE_UNIT_LITERAL(GOhm, Resistance, 1e9)
 
 // Time
-constexpr double operator""_s(long double v) { return static_cast<double>(v); }
-constexpr double operator""_s(unsigned long long v) { return static_cast<double>(v); }
-constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
-constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
-constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
-constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+BIOSENSE_UNIT_LITERAL(s, Time, 1.0)
+BIOSENSE_UNIT_LITERAL(ms, Time, 1e-3)
+BIOSENSE_UNIT_LITERAL(us, Time, 1e-6)
+BIOSENSE_UNIT_LITERAL(ns, Time, 1e-9)
 
 // Frequency
-constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
-constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
-constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
-constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
-constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
-constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+BIOSENSE_UNIT_LITERAL(Hz, Frequency, 1.0)
+BIOSENSE_UNIT_LITERAL(kHz, Frequency, 1e3)
+BIOSENSE_UNIT_LITERAL(MHz, Frequency, 1e6)
 
 // Length
-constexpr double operator""_m(long double v) { return static_cast<double>(v); }
-constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e-3; }
-constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
-constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+BIOSENSE_UNIT_LITERAL(m, Length, 1.0)
+BIOSENSE_UNIT_LITERAL(mm, Length, 1e-3)
+BIOSENSE_UNIT_LITERAL(um, Length, 1e-6)
+BIOSENSE_UNIT_LITERAL(nm, Length, 1e-9)
 
 // Concentration (molar)
-constexpr double operator""_M(long double v) { return static_cast<double>(v); }
-constexpr double operator""_mM(long double v) { return static_cast<double>(v) * 1e-3; }
-constexpr double operator""_uM(long double v) { return static_cast<double>(v) * 1e-6; }
-constexpr double operator""_nM(long double v) { return static_cast<double>(v) * 1e-9; }
-constexpr double operator""_nM(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
-constexpr double operator""_pM(long double v) { return static_cast<double>(v) * 1e-12; }
-constexpr double operator""_pM(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+BIOSENSE_UNIT_LITERAL(M, Concentration, 1.0)
+BIOSENSE_UNIT_LITERAL(mM, Concentration, 1e-3)
+BIOSENSE_UNIT_LITERAL(uM, Concentration, 1e-6)
+BIOSENSE_UNIT_LITERAL(nM, Concentration, 1e-9)
+BIOSENSE_UNIT_LITERAL(pM, Concentration, 1e-12)
 
 // Energy (for thermodynamics tables quoted in kcal/mol)
-constexpr double operator""_kcal_per_mol(long double v) {
-  return static_cast<double>(v) * 4184.0;  // J/mol
-}
+BIOSENSE_UNIT_LITERAL(kcal_per_mol, MolarEnergy, 4184.0)  // -> J/mol
+
+#undef BIOSENSE_UNIT_LITERAL
 
 }  // namespace literals
 
 /// Thermal voltage kT/q at temperature `temp_k`.
-constexpr double thermal_voltage(double temp_k) {
-  return constants::kBoltzmann * temp_k / constants::kElectronCharge;
+constexpr Voltage thermal_voltage(double temp_k) {
+  return Voltage(constants::kBoltzmann * temp_k / constants::kElectronCharge);
 }
 
 }  // namespace biosense

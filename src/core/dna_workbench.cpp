@@ -24,7 +24,7 @@ DnaWorkbench::DnaWorkbench(DnaWorkbenchConfig config,
   if (plan.link_faults().any()) {
     host_.link().inject_faults(plan.link_faults());
   }
-  host_.set_electrode_potentials(1.2, 0.8);
+  host_.set_electrode_potentials(1.2_V, 0.8_V);
   host_.auto_calibrate();
 }
 
@@ -42,7 +42,7 @@ WorkbenchRun DnaWorkbench::run(const std::vector<dna::TargetSpecies>& sample) {
 
   // Map spot currents onto the array; unused sites carry only background.
   std::vector<double> currents(static_cast<std::size_t>(chip_.sites()),
-                               config_.redox.background);
+                               config_.redox.background.value());
   for (std::size_t i = 0; i < assay_results.size(); ++i) {
     currents[i] = assay_results[i].sensor_current;
   }
@@ -70,7 +70,7 @@ WorkbenchRun DnaWorkbench::run(const std::vector<dna::TargetSpecies>& sample) {
     call.name = assay_results[i].spot_name;
     call.true_current = assay_results[i].sensor_current;
     call.measured_current = i < measured.size() ? measured[i] : 0.0;
-    call.called_match = call.measured_current > config_.detection_threshold;
+    call.called_match = call.measured_current > config_.detection_threshold.value();
     if (!run.defects.empty()) {
       call.masked = !run.defects.good(static_cast<int>(i) / cols,
                                       static_cast<int>(i) % cols);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "dna/assay.hpp"
 #include "dnachip/chip.hpp"
 #include "faults/defect_map.hpp"
@@ -23,8 +24,8 @@ struct DnaWorkbenchConfig {
   dna::AssayProtocol protocol{};
   dna::RedoxParams redox{};
   /// Decision threshold: a spot is called "match" when its reconstructed
-  /// current exceeds this value, A.
-  double detection_threshold = 50e-12;
+  /// current exceeds this value.
+  Current detection_threshold = 50.0_pA;
   double serial_bit_error_rate = 0.0;
   /// Adverse-world description: injected die defects and link faults.
   faults::FaultPlanConfig faults{};

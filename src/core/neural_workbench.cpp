@@ -45,7 +45,7 @@ NeuralRun NeuralWorkbench::run() {
   // Per-pixel traces -> spike detection; only pixels covered by a neuron
   // footprint are scanned (the rest is noise by construction).
   dsp::SpikeDetectorConfig det = config_.detector;
-  det.fs = config_.chip.frame_rate;
+  det.fs = config_.chip.frame_rate.value();
   for (int r = 0; r < chip_.rows(); ++r) {
     for (int c = 0; c < chip_.cols(); ++c) {
       const auto& truth = session.ground_truth(r, c);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "dsp/spikes.hpp"
 #include "faults/defect_map.hpp"
 #include "faults/fault_plan.hpp"
@@ -19,7 +20,7 @@ struct NeuralWorkbenchConfig {
   neuro::CultureConfig culture{};
   neurochip::NeuroChipConfig chip{};
   dsp::SpikeDetectorConfig detector{};
-  double recording_duration = 0.5;  // s
+  Time recording_duration = 0.5_s;
   /// Adverse-world description: injected pixel defects and gain drift.
   faults::FaultPlanConfig faults{};
   /// Run the BIST sweep after calibration and mask flagged pixels out of

@@ -10,36 +10,39 @@ namespace biosense::dna {
 
 RedoxCyclingSensor::RedoxCyclingSensor(RedoxParams params, Rng rng)
     : params_(params), rng_(rng) {
-  require(params.k_cat > 0.0, "Redox: k_cat must be positive");
-  require(params.tau_res > 0.0, "Redox: tau_res must be positive");
-  require(params.diffusion > 0.0 && params.electrode_gap > 0.0,
+  require(params.k_cat > Frequency(0.0), "Redox: k_cat must be positive");
+  require(params.tau_res > Time(0.0), "Redox: tau_res must be positive");
+  require(params.diffusion > Diffusivity(0.0) &&
+              params.electrode_gap > Length(0.0),
           "Redox: diffusion geometry must be positive");
   require(params.collection_eff > 0.0 && params.collection_eff <= 1.0,
           "Redox: collection efficiency must be in (0,1]");
 }
 
 double RedoxCyclingSensor::current_per_molecule() const {
-  const double f_shuttle =
+  // D / gap^2 has dimension 1/s — the diffusion shuttle frequency.
+  const Frequency f_shuttle =
       params_.diffusion / (params_.electrode_gap * params_.electrode_gap);
-  return params_.electrons_per_cycle * constants::kElectronCharge * f_shuttle *
-         params_.collection_eff;
+  return params_.electrons_per_cycle * constants::kElectronCharge *
+         f_shuttle.value() * params_.collection_eff;
 }
 
 double RedoxCyclingSensor::steady_state_population(double n_labels) const {
-  return n_labels * params_.k_cat * params_.tau_res;
+  // k_cat * tau_res is dimensionless (turnovers per residence time).
+  return n_labels * (params_.k_cat * params_.tau_res);
 }
 
 double RedoxCyclingSensor::steady_state_current(double n_labels) const {
   return steady_state_population(n_labels) * current_per_molecule() +
-         params_.background;
+         params_.background.value();
 }
 
 double RedoxCyclingSensor::step(double n_labels, double dt) {
   require(dt > 0.0, "Redox: dt must be positive");
   // Exact exponential update of dN/dt = G - N/tau.
-  const double gen = std::max(0.0, n_labels) * params_.k_cat;
-  const double target = gen * params_.tau_res;
-  const double decay = std::exp(-dt / params_.tau_res);
+  const double gen = std::max(0.0, n_labels) * params_.k_cat.value();
+  const double target = gen * params_.tau_res.value();
+  const double decay = std::exp(-dt / params_.tau_res.value());
   n_product_ = target + (n_product_ - target) * decay;
 
   // Slow multiplicative random-walk drift of the electrode background.
@@ -47,7 +50,7 @@ double RedoxCyclingSensor::step(double n_labels, double dt) {
   drift_state_ = std::clamp(drift_state_, 0.2, 5.0);
 
   return n_product_ * current_per_molecule() +
-         params_.background * drift_state_;
+         params_.background.value() * drift_state_;
 }
 
 void RedoxCyclingSensor::reset() {

@@ -21,17 +21,18 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::dna {
 
 struct RedoxParams {
-  double k_cat = 1000.0;        // enzyme turnovers per second per label
-  double tau_res = 0.05;        // product residence time in sensor volume, s
-  double diffusion = 8e-10;     // product diffusion constant, m^2/s
-  double electrode_gap = 1e-6;  // generator/collector gap, m
+  Frequency k_cat = 1.0_kHz;    // enzyme turnovers per second per label
+  Time tau_res = 50.0_ms;       // product residence time in sensor volume
+  Diffusivity diffusion = Diffusivity(8e-10);  // product diffusion, m^2/s
+  Length electrode_gap = 1.0_um;  // generator/collector gap
   double electrons_per_cycle = 2.0;
   double collection_eff = 0.9;  // fraction of shuttles collected
-  double background = 0.5e-12;  // electrode background current, A
+  Current background = 0.5_pA;  // electrode background current
   double drift_per_s = 0.002;   // relative background drift rate, 1/s
 };
 

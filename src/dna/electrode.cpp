@@ -9,34 +9,37 @@ namespace biosense::dna {
 InterdigitatedElectrode::InterdigitatedElectrode(IdeGeometry geometry)
     : geometry_(geometry) {
   require(geometry.fingers >= 2, "IDE: need at least two fingers");
-  require(geometry.finger_length > 0.0 && geometry.finger_width > 0.0 &&
-              geometry.gap > 0.0,
+  require(geometry.finger_length > Length(0.0) &&
+              geometry.finger_width > Length(0.0) &&
+              geometry.gap > Length(0.0),
           "IDE: geometry must be positive");
-  require(geometry.diffusion > 0.0, "IDE: diffusion must be positive");
+  require(geometry.diffusion > Diffusivity(0.0),
+          "IDE: diffusion must be positive");
 }
 
-double InterdigitatedElectrode::electrode_area() const {
-  return geometry_.fingers * geometry_.finger_length * geometry_.finger_width;
+Area InterdigitatedElectrode::electrode_area() const {
+  return geometry_.fingers * (geometry_.finger_length * geometry_.finger_width);
 }
 
-double InterdigitatedElectrode::site_area() const {
-  const double pitch = geometry_.finger_width + geometry_.gap;
-  return geometry_.fingers * geometry_.finger_length * pitch;
+Area InterdigitatedElectrode::site_area() const {
+  const Length pitch = geometry_.finger_width + geometry_.gap;
+  return geometry_.fingers * (geometry_.finger_length * pitch);
 }
 
-double InterdigitatedElectrode::shuttle_frequency() const {
+Frequency InterdigitatedElectrode::shuttle_frequency() const {
   return geometry_.diffusion / (geometry_.gap * geometry_.gap);
 }
 
 double InterdigitatedElectrode::collection_efficiency() const {
+  // Length/Length cancels to a pure ratio.
   return 1.0 / (1.0 + geometry_.gap / (0.7 * geometry_.finger_width));
 }
 
-double InterdigitatedElectrode::residence_time() const {
-  const double pitch = geometry_.finger_width + geometry_.gap;
+Time InterdigitatedElectrode::residence_time() const {
+  const Length pitch = geometry_.finger_width + geometry_.gap;
   // Molecules are effectively trapped within ~10 pitches of the surface
   // before random-walking away.
-  const double h_eff = 10.0 * pitch;
+  const Length h_eff = 10.0 * pitch;
   return h_eff * h_eff / (2.0 * geometry_.diffusion);
 }
 
@@ -52,15 +55,18 @@ RedoxParams InterdigitatedElectrode::redox_params(const RedoxParams& base) const
 RandlesParams InterdigitatedElectrode::randles_params(
     const RandlesParams& base) const {
   RandlesParams p = base;
-  // Gold/electrolyte double layer: ~0.2 F/m^2.
-  p.c_double_layer = 0.2 * electrode_area();
+  // Gold/electrolyte double layer: ~0.2 F/m^2 (specific capacitance).
+  constexpr double kSpecificCdl = 0.2;  // F per m^2
+  p.c_double_layer = Capacitance(kSpecificCdl * electrode_area().value());
   // Cell constant of closely spaced combs: R_s ~ rho * gap / (overlap
   // area), with physiological-saline rho ~ 0.7 Ohm m and the facing area
   // of adjacent fingers.
-  const double facing_area = (geometry_.fingers - 1) *
-                             geometry_.finger_length *
-                             geometry_.metal_thickness;
-  p.r_solution = 0.7 * geometry_.gap / facing_area;
+  constexpr double kSalineRho = 0.7;  // Ohm m
+  const Area facing_area = (geometry_.fingers - 1) *
+                           (geometry_.finger_length *
+                            geometry_.metal_thickness);
+  p.r_solution =
+      Resistance(kSalineRho * geometry_.gap.value() / facing_area.value());
   return p;
 }
 

@@ -14,26 +14,26 @@
 namespace biosense::dna {
 
 struct IdeGeometry {
-  int fingers = 16;             // total fingers (both combs)
-  double finger_length = 90e-6; // m
-  double finger_width = 1e-6;   // m
-  double gap = 1e-6;            // m between adjacent fingers
-  double metal_thickness = 0.3e-6;  // m (affects edge field / collection)
-  double diffusion = 8e-10;     // product diffusion constant, m^2/s
+  int fingers = 16;                // total fingers (both combs)
+  Length finger_length = 90.0_um;
+  Length finger_width = 1.0_um;
+  Length gap = 1.0_um;             // between adjacent fingers
+  Length metal_thickness = 0.3_um;  // affects edge field / collection
+  Diffusivity diffusion = Diffusivity(8e-10);  // product diffusion, m^2/s
 };
 
 class InterdigitatedElectrode {
  public:
   explicit InterdigitatedElectrode(IdeGeometry geometry);
 
-  /// Total metal area of both combs, m^2.
-  double electrode_area() const;
+  /// Total metal area of both combs.
+  Area electrode_area() const;
 
-  /// Footprint of the whole sensor site (fingers + gaps), m^2.
-  double site_area() const;
+  /// Footprint of the whole sensor site (fingers + gaps).
+  Area site_area() const;
 
   /// Shuttle frequency of a product molecule across the gap: D / gap^2.
-  double shuttle_frequency() const;
+  Frequency shuttle_frequency() const;
 
   /// Redox-cycling collection efficiency: fraction of shuttling molecules
   /// collected rather than lost upward; grows as the gap shrinks relative
@@ -44,7 +44,7 @@ class InterdigitatedElectrode {
   /// Residence time of a product molecule over the site before diffusing
   /// away: tau ~ h_eff^2 / (2 D) with the effective trapping height set by
   /// the finger pitch.
-  double residence_time() const;
+  Time residence_time() const;
 
   /// Fills a RedoxParams with this geometry's transport terms (enzyme
   /// kinetics and background are kept from `base`).

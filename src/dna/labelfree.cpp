@@ -9,8 +9,9 @@ namespace biosense::dna {
 
 ImpedanceSensor::ImpedanceSensor(RandlesParams params, Rng rng)
     : params_(params), rng_(rng) {
-  require(params.r_solution > 0.0 && params.c_double_layer > 0.0 &&
-              params.r_charge_transfer > 0.0,
+  require(params.r_solution > Resistance(0.0) &&
+              params.c_double_layer > Capacitance(0.0) &&
+              params.r_charge_transfer > Resistance(0.0),
           "ImpedanceSensor: network elements must be positive");
   require(params.cap_drop_full >= 0.0 && params.cap_drop_full < 1.0,
           "ImpedanceSensor: capacitance drop must be in [0,1)");
@@ -20,14 +21,15 @@ std::complex<double> ImpedanceSensor::impedance(double f_hz,
                                                 double theta) const {
   require(f_hz > 0.0, "ImpedanceSensor: frequency must be positive");
   const double cdl =
-      params_.c_double_layer * (1.0 - params_.cap_drop_full * theta);
+      (params_.c_double_layer * (1.0 - params_.cap_drop_full * theta)).value();
   const double rct =
-      params_.r_charge_transfer * (1.0 + params_.rct_rise_full * theta);
+      (params_.r_charge_transfer * (1.0 + params_.rct_rise_full * theta))
+          .value();
   const std::complex<double> jw(0.0, 2.0 * constants::kPi * f_hz);
   // Randles: Rs + (Cdl || Rct).
   const std::complex<double> z_c = 1.0 / (jw * cdl);
   const std::complex<double> z_par = z_c * rct / (z_c + rct);
-  return params_.r_solution + z_par;
+  return params_.r_solution.value() + z_par;
 }
 
 double ImpedanceSensor::magnitude_contrast(double f_hz, double theta) const {

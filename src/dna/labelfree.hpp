@@ -23,15 +23,16 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::dna {
 
 // --- impedance (capacitive) sensing ----------------------------------------
 
 struct RandlesParams {
-  double r_solution = 2e3;        // Ohm
-  double c_double_layer = 20e-9;  // F (bare electrode)
-  double r_charge_transfer = 5e6; // Ohm (bare electrode)
+  Resistance r_solution = 2.0_kOhm;
+  Capacitance c_double_layer = 20.0_nF;   // bare electrode
+  Resistance r_charge_transfer = 5.0_MOhm;  // bare electrode
   /// Relative double-layer capacitance drop at full hybridization
   /// coverage (theta = 1). Published values: 5..20 %.
   double cap_drop_full = 0.12;

@@ -17,10 +17,10 @@ void DnaChipConfig::validate() const {
   require(rows > 0 && cols > 0, "DnaChip: array must be non-empty");
   require(counter_bits >= 4 && counter_bits <= 16,
           "DnaChip: counter bits must be in [4,16] (16-bit data words)");
-  require(site_leakage_sigma >= 0.0,
+  require(site_leakage_sigma >= Current(0.0),
           "DnaChip: leakage spread must be non-negative");
   require(temp_k > 0.0, "DnaChip: temperature must be positive");
-  require(vdd > 0.0, "DnaChip: supply voltage must be positive");
+  require(vdd > Voltage(0.0), "DnaChip: supply voltage must be positive");
 }
 
 DnaChip::DnaChip(DnaChipConfig config, Rng rng)
@@ -37,8 +37,10 @@ DnaChip::DnaChip(DnaChipConfig config, Rng rng)
     i2f::I2fConfig site = config.site;
     // Per-site leakage spread (the comparator offset spread is drawn inside
     // the converter itself from the forked generator).
-    site.leakage =
-        std::max(0.0, site.leakage + rng_.normal(0.0, config.site_leakage_sigma));
+    site.leakage = std::max(
+        Current(0.0),
+        site.leakage +
+            Current(rng_.normal(0.0, config.site_leakage_sigma.value())));
     converters_.emplace_back(site, rng_.fork());
   }
   sensor_currents_.assign(static_cast<std::size_t>(sites()), 0.0);
@@ -69,12 +71,12 @@ void DnaChip::inject_faults(const faults::SiteFaultSet& set) {
   }
 }
 
-double DnaChip::bandgap_voltage() const {
-  return bandgap_.settled_voltage(config_.temp_k);
+Voltage DnaChip::bandgap_voltage() const {
+  return Voltage(bandgap_.settled_voltage(config_.temp_k));
 }
 
-double DnaChip::reference_current() const {
-  return iref_.current(config_.temp_k);
+Current DnaChip::reference_current() const {
+  return Current(iref_.current(config_.temp_k));
 }
 
 std::vector<bool> DnaChip::process(const std::vector<bool>& din) {
@@ -258,7 +260,7 @@ std::vector<bool> DnaChip::self_test(std::uint16_t payload) {
 std::vector<bool> DnaChip::status() {
   // Status word: bandgap voltage in mV.
   const auto mv = static_cast<std::uint16_t>(
-      std::lround(bandgap_voltage() * 1e3));
+      std::lround(bandgap_voltage().in(1.0_mV)));
   return encode_data({mv, static_cast<std::uint16_t>(calibrated_ ? 1 : 0)});
 }
 
@@ -395,13 +397,13 @@ HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
   return result;
 }
 
-void HostInterface::set_electrode_potentials(double v_generator,
-                                             double v_collector) {
+void HostInterface::set_electrode_potentials(Voltage v_generator,
+                                             Voltage v_collector) {
   circuit::ResistorStringDac ideal({}, Rng(1));  // ideal transfer for codes
   command({Opcode::kSetDacGenerator,
-           static_cast<std::uint16_t>(ideal.code_for(v_generator))});
+           static_cast<std::uint16_t>(ideal.code_for(v_generator.value()))});
   command({Opcode::kSetDacCollector,
-           static_cast<std::uint16_t>(ideal.code_for(v_collector))});
+           static_cast<std::uint16_t>(ideal.code_for(v_collector.value()))});
 }
 
 bool HostInterface::auto_calibrate(std::uint16_t gate_code) {
@@ -427,10 +429,9 @@ bool HostInterface::auto_calibrate(std::uint16_t gate_code) {
 double HostInterface::current_from_frequency(double freq) const {
   // Inverse of f = I/(C dV) / (1 + t_dead * I/(C dV)):
   // I = C dV * f / (1 - f t_dead), using nominal design values as the host
-  // software would.
-  const double cq = nominal_.c_int * (nominal_.v_threshold - nominal_.v_reset);
-  const double t_dead = nominal_.comparator_delay + nominal_.delay_stage +
-                        nominal_.reset_width;
+  // software would. C*dV carries dimension charge.
+  const double cq = (nominal_.c_int * nominal_.delta_v()).value();
+  const double t_dead = nominal_.dead_time().value();
   const double denom = 1.0 - freq * t_dead;
   if (denom <= 1e-9) return cq * freq / 1e-9;
   return cq * freq / denom;

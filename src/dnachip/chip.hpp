@@ -27,6 +27,7 @@
 #include "circuit/dac.hpp"
 #include "circuit/references.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "dnachip/serial.hpp"
 #include "faults/defect_map.hpp"
 #include "faults/fault_plan.hpp"
@@ -40,12 +41,12 @@ struct DnaChipConfig {
   int cols = 8;
   i2f::I2fConfig site{};         // nominal converter sizing
   int counter_bits = 16;
-  double site_leakage_sigma = 10e-15;  // per-site leakage spread, A
+  Current site_leakage_sigma = 10.0_fA;  // per-site leakage spread
   circuit::DacParams dac{};
   circuit::BandgapParams bandgap{};
   circuit::CurrentReferenceParams iref{};
-  double temp_k = 300.0;
-  double vdd = 5.0;
+  double temp_k = 300.0;         // K (temperature stays raw double)
+  Voltage vdd = 5.0_V;
 
   /// Throws ConfigError when the configuration is inconsistent (empty
   /// array, counter width outside the 16-bit data words, non-physical
@@ -81,10 +82,10 @@ class DnaChip {
   std::vector<bool> process(const std::vector<bool>& din);
 
   // --- observability for tests (not part of the 6-pin interface) ---------
-  double generator_potential() const { return v_generator_; }
-  double collector_potential() const { return v_collector_; }
-  double bandgap_voltage() const;
-  double reference_current() const;
+  Voltage generator_potential() const { return Voltage(v_generator_); }
+  Voltage collector_potential() const { return Voltage(v_collector_); }
+  Voltage bandgap_voltage() const;
+  Current reference_current() const;
   const std::vector<std::uint64_t>& last_counts() const { return counts_; }
 
  private:
@@ -163,7 +164,7 @@ class HostInterface {
                 RetryPolicy retry = {});
 
   /// Sets both electrode potentials (best DAC codes for the targets).
-  void set_electrode_potentials(double v_generator, double v_collector);
+  void set_electrode_potentials(Voltage v_generator, Voltage v_collector);
 
   /// Runs the chip's zero-input auto-calibration; stores per-site baseline
   /// counts host-side as well.

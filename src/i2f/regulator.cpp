@@ -8,22 +8,24 @@ namespace biosense::i2f {
 
 ElectrodeRegulator::ElectrodeRegulator(RegulatorConfig config)
     : config_(config), opamp_(config.opamp), follower_(config.follower) {
-  require(config.electrode_cap > 0.0,
+  require(config.electrode_cap > Capacitance(0.0),
           "ElectrodeRegulator: electrode capacitance must be positive");
-  require(config.vdd > 0.0, "ElectrodeRegulator: VDD must be positive");
+  require(config.vdd > Voltage(0.0),
+          "ElectrodeRegulator: VDD must be positive");
 }
 
 double ElectrodeRegulator::step(double v_target, double i_sensor, double dt) {
   // Op-amp drives the follower gate; follower sources current from VDD
   // into the electrode node; the sensor (electrochemical cell) sinks
   // i_sensor from the node.
+  const double vdd = config_.vdd.value();
   const double v_gate = opamp_.step(v_target, v_electrode_, dt);
   const double i_follower =
-      follower_.drain_current(v_gate, config_.vdd, v_electrode_);
-  const double i_node = i_follower - i_sensor - config_.bias_sink;
-  v_electrode_ += i_node * dt / config_.electrode_cap;
+      follower_.drain_current(v_gate, vdd, v_electrode_);
+  const double i_node = i_follower - i_sensor - config_.bias_sink.value();
+  v_electrode_ += i_node * dt / config_.electrode_cap.value();
   if (v_electrode_ < 0.0) v_electrode_ = 0.0;
-  if (v_electrode_ > config_.vdd) v_electrode_ = config_.vdd;
+  if (v_electrode_ > vdd) v_electrode_ = vdd;
   return v_electrode_;
 }
 

@@ -11,18 +11,19 @@
 #include "circuit/mosfet.hpp"
 #include "circuit/opamp.hpp"
 #include "circuit/trace.hpp"
+#include "common/units.hpp"
 
 namespace biosense::i2f {
 
 struct RegulatorConfig {
   circuit::OpampParams opamp{};
   circuit::MosfetParams follower{};
-  double electrode_cap = 5e-12;  // electrode double-layer capacitance, F
-  double vdd = 5.0;
+  Capacitance electrode_cap = 5.0_pF;  // electrode double-layer capacitance
+  Voltage vdd = 5.0_V;
   /// Constant sink current at the electrode node (bias network). The
   /// follower can only source current, so without a bleed path the loop
   /// could never correct an overshoot when the sensor draws mere pA.
-  double bias_sink = 1e-9;
+  Current bias_sink = 1.0_nA;
 };
 
 class ElectrodeRegulator {

@@ -11,10 +11,10 @@ namespace {
 
 circuit::ComparatorParams comparator_params(const I2fConfig& c) {
   circuit::ComparatorParams p;
-  p.threshold = c.v_threshold;
-  p.prop_delay = c.comparator_delay;
-  p.offset_sigma = c.comparator_offset_sigma;
-  p.noise_rms = c.comparator_noise_rms;
+  p.threshold = c.v_threshold.value();
+  p.prop_delay = c.comparator_delay.value();
+  p.offset_sigma = c.comparator_offset_sigma.value();
+  p.noise_rms = c.comparator_noise_rms.value();
   return p;
 }
 
@@ -24,28 +24,29 @@ SawtoothConverter::SawtoothConverter(I2fConfig config, Rng rng)
     : config_(config),
       rng_(rng),
       comparator_(comparator_params(config), rng_.fork()) {
-  require(config.c_int > 0.0, "I2F: C_int must be positive");
+  require(config.c_int > Capacitance(0.0), "I2F: C_int must be positive");
   require(config.v_threshold > config.v_reset,
           "I2F: threshold must exceed reset level");
-  require(config.comparator_delay >= 0.0 && config.delay_stage >= 0.0 &&
-              config.reset_width >= 0.0,
+  require(config.comparator_delay >= Time(0.0) &&
+              config.delay_stage >= Time(0.0) &&
+              config.reset_width >= Time(0.0),
           "I2F: delays must be non-negative");
 }
 
 double SawtoothConverter::dead_time() const {
-  return config_.comparator_delay + config_.delay_stage + config_.reset_width;
+  return config_.dead_time().value();
 }
 
 double SawtoothConverter::ideal_frequency(double i_sensor) const {
   if (i_sensor <= 0.0) return 0.0;
-  const double dv = config_.v_threshold - config_.v_reset;
-  const double ramp = config_.c_int * dv / i_sensor;
+  const double ramp =
+      (config_.c_int * config_.delta_v()).value() / i_sensor;
   return 1.0 / (ramp + dead_time());
 }
 
 double SawtoothConverter::compression_corner_current() const {
-  const double dv = config_.v_threshold - config_.v_reset;
-  return config_.c_int * dv / dead_time();
+  // C*dV/t_dead has dimension charge/time = current.
+  return (config_.c_int * config_.delta_v() / config_.dead_time()).value();
 }
 
 double SawtoothConverter::comparator_offset() const {
@@ -61,18 +62,24 @@ Conversion SawtoothConverter::measure(double i_sensor, double gate_time) {
   // topology — it adds to the ramp; a sign flip would model it pulling
   // down). Below the leakage floor the converter reads the leakage, which
   // is exactly the low-end error of the real chip.
-  const double i_net = i_sensor + config_.leakage;
+  const double i_net = i_sensor + config_.leakage.value();
   if (i_net <= 0.0) return out;
 
+  // Hot loop: unwrap the typed config once at the boundary.
+  const double c_int = config_.c_int.value();
+  const double v_reset = config_.v_reset.value();
+  const double v_residual = config_.reset_residual_v.value();
+  const double t_dead = dead_time();
+
   double t = 0.0;
-  double v = config_.v_reset;
+  double v = v_reset;
   bool first = true;
   while (true) {
     // Per-cycle effective threshold: static offset + per-decision noise.
     const double vth = comparator_.decision_threshold_up();
     const double dv = std::max(1e-6, vth - v);
-    const double ramp_time = config_.c_int * dv / i_net;
-    const double cycle = ramp_time + dead_time();
+    const double ramp_time = c_int * dv / i_net;
+    const double cycle = ramp_time + t_dead;
     if (t + cycle > gate_time) break;
     t += cycle;
     ++out.count;
@@ -83,7 +90,7 @@ Conversion SawtoothConverter::measure(double i_sensor, double gate_time) {
     // Reset is slightly incomplete: the ramp restarts a little above
     // v_reset, and the sensor keeps integrating during the dead time is
     // already accounted for by restarting from the residual level.
-    v = config_.v_reset + config_.reset_residual_v;
+    v = v_reset + v_residual;
   }
   out.mean_frequency = static_cast<double>(out.count) / gate_time;
   return out;
@@ -96,8 +103,15 @@ circuit::Trace SawtoothConverter::transient_waveform(double i_sensor,
   circuit::Trace trace;
   comparator_.reset();
 
-  const double i_net = i_sensor + config_.leakage;
-  double v = config_.v_reset;
+  // Hot loop: unwrap the typed config once at the boundary.
+  const double i_net = i_sensor + config_.leakage.value();
+  const double c_int = config_.c_int.value();
+  const double v_reset = config_.v_reset.value();
+  const double v_residual = config_.reset_residual_v.value();
+  const double reset_width = config_.reset_width.value();
+  const double delay_stage = config_.delay_stage.value();
+
+  double v = v_reset;
   double reset_left = 0.0;   // remaining reset-device on-time
   double delay_left = -1.0;  // remaining delay-stage time (<0 = idle)
 
@@ -106,20 +120,19 @@ circuit::Trace SawtoothConverter::transient_waveform(double i_sensor,
     if (reset_left > 0.0) {
       // Reset device discharges C_int toward v_reset much faster than the
       // ramp; modeled as an exponential with tau = reset_width/5.
-      const double tau = config_.reset_width / 5.0;
-      v = config_.v_reset + config_.reset_residual_v +
-          (v - config_.v_reset - config_.reset_residual_v) *
-              std::exp(-dt / tau);
+      const double tau = reset_width / 5.0;
+      v = v_reset + v_residual +
+          (v - v_reset - v_residual) * std::exp(-dt / tau);
       reset_left -= dt;
       continue;
     }
-    v += i_net * dt / config_.c_int;
+    v += i_net * dt / c_int;
     if (delay_left >= 0.0) {
       delay_left -= dt;
-      if (delay_left < 0.0) reset_left = config_.reset_width;
+      if (delay_left < 0.0) reset_left = reset_width;
       continue;
     }
-    if (comparator_.step(v, dt)) delay_left = config_.delay_stage;
+    if (comparator_.step(v, dt)) delay_left = delay_stage;
   }
   return trace;
 }

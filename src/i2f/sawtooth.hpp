@@ -24,20 +24,28 @@
 #include "circuit/comparator.hpp"
 #include "circuit/trace.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::i2f {
 
 struct I2fConfig {
-  double c_int = 140e-15;       // integrating capacitance, F
-  double v_reset = 0.3;         // ramp start voltage, V
-  double v_threshold = 1.0;     // comparator switching threshold, V
-  double comparator_delay = 25e-9;   // t_cmp, s
-  double delay_stage = 50e-9;        // t_delay, s
-  double reset_width = 100e-9;       // reset device on-time, s
-  double comparator_noise_rms = 300e-6;  // per-decision threshold noise, V
-  double comparator_offset_sigma = 2e-3; // static offset spread, V
-  double leakage = 20e-15;      // parasitic electrode/reset leakage, A
-  double reset_residual_v = 1e-3;  // incomplete discharge above v_reset, V
+  Capacitance c_int = 140.0_fF;      // integrating capacitance
+  Voltage v_reset = 0.3_V;           // ramp start voltage
+  Voltage v_threshold = 1.0_V;       // comparator switching threshold
+  Time comparator_delay = 25.0_ns;   // t_cmp
+  Time delay_stage = 50.0_ns;        // t_delay
+  Time reset_width = 100.0_ns;       // reset device on-time
+  Voltage comparator_noise_rms = 300.0_uV;   // per-decision threshold noise
+  Voltage comparator_offset_sigma = 2.0_mV;  // static offset spread
+  Current leakage = 20.0_fA;         // parasitic electrode/reset leakage
+  Voltage reset_residual_v = 1.0_mV;  // incomplete discharge above v_reset
+
+  /// Ramp swing per cycle.
+  constexpr Voltage delta_v() const { return v_threshold - v_reset; }
+  /// Dead time per cycle (comparator + delay stage + reset).
+  constexpr Time dead_time() const {
+    return comparator_delay + delay_stage + reset_width;
+  }
 };
 
 /// Result of one gated conversion.

@@ -14,13 +14,15 @@ void NeuroChipConfig::validate() const {
   require(rows > 0 && cols > 0, "NeuroChip: empty array");
   require(mux_factor > 0 && rows % mux_factor == 0,
           "NeuroChip: rows must be a multiple of the mux factor");
-  require(frame_rate > 0.0, "NeuroChip: frame rate must be positive");
-  require(pitch > 0.0, "NeuroChip: pixel pitch must be positive");
+  require(frame_rate > Frequency(0.0),
+          "NeuroChip: frame rate must be positive");
+  require(pitch > Length(0.0), "NeuroChip: pixel pitch must be positive");
   require(adc.bits >= 4 && adc.bits <= 24, "NeuroChip: ADC bits out of range");
-  require(adc.full_scale > 0.0, "NeuroChip: ADC full scale must be positive");
-  require(gain_sigma >= 0.0 && gain_offset_sigma >= 0.0,
+  require(adc.full_scale > Current(0.0),
+          "NeuroChip: ADC full scale must be positive");
+  require(gain_sigma >= 0.0 && gain_offset_sigma >= Current(0.0),
           "NeuroChip: gain spreads must be non-negative");
-  require(recalibration_interval > 0.0,
+  require(recalibration_interval > Time(0.0),
           "NeuroChip: recalibration interval must be positive");
 }
 
@@ -39,7 +41,7 @@ NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
   row_chains_.reserve(static_cast<std::size_t>(config.rows));
   for (int r = 0; r < config.rows; ++r) {
     row_chains_.push_back(circuit::GainChain::on_chip(
-        rng_.fork(), config.gain_sigma, config.gain_offset_sigma));
+        rng_.fork(), config.gain_sigma, config.gain_offset_sigma.value()));
   }
   const int n_channels = config.rows / config.mux_factor;
   channel_chains_.reserve(static_cast<std::size_t>(n_channels));
@@ -47,7 +49,8 @@ NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
     // The off-chip stages see currents already amplified by x700; their
     // offsets scale accordingly.
     channel_chains_.push_back(circuit::GainChain::off_chip(
-        rng_.fork(), config.gain_sigma, config.gain_offset_sigma * 700.0));
+        rng_.fork(), config.gain_sigma,
+        (config.gain_offset_sigma * 700.0).value()));
   }
 
   signal_scratch_.assign(n, 0.0);
@@ -121,14 +124,14 @@ void NeuroChip::mask_frame(NeuroFrame& frame, double adc_lsb,
 
 TimingBudget NeuroChip::timing() const {
   TimingBudget t;
-  t.frame_period = 1.0 / config_.frame_rate;
+  t.frame_period = (1.0 / config_.frame_rate).value();  // 1/Hz -> s
   t.column_dwell = t.frame_period / config_.cols;
   t.mux_slot = t.column_dwell / config_.mux_factor;
   t.pixel_rate_total =
-      config_.frame_rate * config_.rows * config_.cols;
+      config_.frame_rate.value() * config_.rows * config_.cols;
   t.channel_rate = t.pixel_rate_total / channels();
-  const double tau_row = 1.0 / (2.0 * constants::kPi * 4e6);
-  const double tau_drv = 1.0 / (2.0 * constants::kPi * 32e6);
+  const double tau_row = 1.0 / (2.0 * constants::kPi * (4.0_MHz).value());
+  const double tau_drv = 1.0 / (2.0 * constants::kPi * (32.0_MHz).value());
   t.row_amp_settle_taus = t.column_dwell / tau_row;
   t.driver_settle_taus = t.mux_slot / tau_drv;
   return t;
@@ -145,8 +148,9 @@ void NeuroChip::calibrate_pixels() {
 
 void NeuroChip::calibrate_all() {
   calibrate_pixels();
-  // Reference current for gain-stage calibration: a mid-scale pixel signal.
-  const double i_ref = gm_nominal_ * 1e-3;  // 1 mV equivalent
+  // Reference current for gain-stage calibration: a mid-scale pixel signal
+  // (gm * 1 mV has dimension current).
+  const double i_ref = (Conductance(gm_nominal_) * 1.0_mV).value();
   for (auto& ch : row_chains_) ch.calibrate(i_ref);
   for (auto& ch : channel_chains_) ch.calibrate(i_ref * 700.0);
   ever_calibrated_ = true;
@@ -173,8 +177,9 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
   frame.v_in.assign(static_cast<std::size_t>(rows * cols), 0.0);
   frame.codes.assign(static_cast<std::size_t>(rows * cols), 0);
 
+  const double full_scale = config_.adc.full_scale.value();
   const double adc_lsb =
-      2.0 * config_.adc.full_scale / static_cast<double>(1 << config_.adc.bits);
+      2.0 * full_scale / static_cast<double>(1 << config_.adc.bits);
   const double conv_gain = nominal_conversion_gain();
 
   // Phase 1 — batched signal evaluation, one column per work item. The
@@ -215,8 +220,7 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
                              channel_drift_[static_cast<std::size_t>(ch)];
 
         // Off-chip ADC.
-        const double clipped = std::clamp(i_out, -config_.adc.full_scale,
-                                          config_.adc.full_scale);
+        const double clipped = std::clamp(i_out, -full_scale, full_scale);
         auto code = static_cast<std::int32_t>(
             std::lround(clipped / adc_lsb));
         const std::size_t idx = static_cast<std::size_t>(row * cols + col);
@@ -239,8 +243,8 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
       0, static_cast<std::int64_t>(pixels_.size()),
       [pixels, frame_period](std::int64_t i) { pixels[i].elapse(frame_period); },
       1024);
-  if (ever_calibrated_ &&
-      t + frame_period - last_calibration_t_ >= config_.recalibration_interval) {
+  if (ever_calibrated_ && t + frame_period - last_calibration_t_ >=
+                              config_.recalibration_interval.value()) {
     calibrate_pixels();
     last_calibration_t_ = t + frame_period;
   }
@@ -259,10 +263,11 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
           "NeuroChip: pixel out of range");
   require(n_samples > 0, "NeuroChip: need at least one sample");
 
-  const double fs = config_.frame_rate * config_.cols;  // column-scan rate
+  const double fs = config_.frame_rate.value() * config_.cols;  // scan rate
   const double dt = 1.0 / fs;
+  const double full_scale = config_.adc.full_scale.value();
   const double adc_lsb =
-      2.0 * config_.adc.full_scale / static_cast<double>(1 << config_.adc.bits);
+      2.0 * full_scale / static_cast<double>(1 << config_.adc.bits);
   const double conv_gain = nominal_conversion_gain();
 
   auto& px = pixel(row, col);
@@ -280,8 +285,7 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
     const double i_row = rc.step(i_diff, 0.5 * dt);
     cc.step(i_row, 0.5 * dt);
     const double i_out = cc.step(i_row, 0.5 * dt) * channel_drift_[ch];
-    const double clipped =
-        std::clamp(i_out, -config_.adc.full_scale, config_.adc.full_scale);
+    const double clipped = std::clamp(i_out, -full_scale, full_scale);
     auto code = static_cast<std::int32_t>(std::lround(clipped / adc_lsb));
     if (has_pixel_faults_) code = apply_pixel_fault(idx, code);
     out.push_back(static_cast<double>(code) * adc_lsb / conv_gain);
@@ -290,16 +294,17 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
   return out;
 }
 
-std::optional<faults::DefectMap> NeuroChip::self_test(double v_probe) {
+std::optional<faults::DefectMap> NeuroChip::self_test(Voltage v_probe) {
   if (!ever_calibrated_) return std::nullopt;
-  require(v_probe > 0.0, "NeuroChip: self-test probe must be positive");
+  require(v_probe > Voltage(0.0),
+          "NeuroChip: self-test probe must be positive");
 
   // Run the sweep without masking: an installed defect map must not hide
   // the very pixels the sweep is supposed to re-test.
   faults::DefectMap stashed = std::move(defect_map_);
   defect_map_ = faults::DefectMap{};
   const NeuroFrame base = capture_frame(ConstantSource(0.0), 0.0);
-  const NeuroFrame step = capture_frame(ConstantSource(v_probe), 0.0);
+  const NeuroFrame step = capture_frame(ConstantSource(v_probe.value()), 0.0);
   defect_map_ = std::move(stashed);
 
   // The healthy reference is the array's own median |delta|: it folds in
@@ -354,7 +359,7 @@ std::vector<NeuroFrame> NeuroChip::record(const SignalSource& source, double t0,
                                           int n) {
   std::vector<NeuroFrame> frames;
   frames.reserve(static_cast<std::size_t>(n));
-  const double period = 1.0 / config_.frame_rate;
+  const double period = (1.0 / config_.frame_rate).value();
   for (int k = 0; k < n; ++k) {
     frames.push_back(capture_frame(source, t0 + k * period));
   }

@@ -39,25 +39,25 @@ namespace biosense::neurochip {
 
 struct AdcParams {
   int bits = 10;
-  /// Full-scale input current (after the gain chain), A. Signals beyond
+  /// Full-scale input current (after the gain chain). Signals beyond
   /// +/- full scale clip.
-  double full_scale = 2e-3;
+  Current full_scale = 2.0_mA;
 };
 
 struct NeuroChipConfig {
   int rows = 128;
   int cols = 128;
-  double pitch = 7.8e-6;          // m
-  double frame_rate = 2000.0;     // frames/s
+  Length pitch = 7.8_um;
+  Frequency frame_rate = 2.0_kHz;  // frames/s
   int mux_factor = 8;             // rows per output channel
   PixelParams pixel{};
   noise::PelgromCoefficients pelgrom{};
-  double gain_sigma = 0.03;       // per-stage gain spread
-  double gain_offset_sigma = 20e-9;  // stage offset spread (A at stage input)
+  double gain_sigma = 0.03;       // per-stage gain spread (relative)
+  Current gain_offset_sigma = 20.0_nA;  // stage offset spread (at stage input)
   AdcParams adc{};
-  /// Pixels are re-calibrated every this many seconds (droop otherwise
+  /// Pixels are re-calibrated every this interval (droop otherwise
   /// accumulates).
-  double recalibration_interval = 0.25;
+  Time recalibration_interval = 0.25_s;
 
   /// Throws ConfigError when the configuration is inconsistent (empty
   /// array, mux factor not dividing rows, non-positive rates, ...).
@@ -111,7 +111,7 @@ class NeuroChip {
   int rows() const { return config_.rows; }
   int cols() const { return config_.cols; }
   int channels() const { return config_.rows / config_.mux_factor; }
-  double sensor_area_side() const { return config_.rows * config_.pitch; }
+  Length sensor_area_side() const { return config_.rows * config_.pitch; }
 
   TimingBudget timing() const;
 
@@ -140,7 +140,7 @@ class NeuroChip {
   /// pixels sit at an ADC rail in both frames, dead/stuck pixels don't move
   /// by the expected code delta. Requires a calibrated chip; the sweep
   /// bypasses any installed defect map so known defects re-test honestly.
-  std::optional<faults::DefectMap> self_test(double v_probe = 1e-3);
+  std::optional<faults::DefectMap> self_test(Voltage v_probe = 1.0_mV);
 
   /// Captures one frame starting at time `t`, scanning columns in sequence
   /// and reading all rows of a column in parallel through the row

@@ -12,11 +12,14 @@ SensorPixel::SensorPixel(PixelParams params, noise::MismatchSampler& mismatch,
       m1_(params.m1, mismatch.sample(params.m1.w, params.m1.l)),
       m2_(params.m2, mismatch.sample(params.m2.w, params.m2.l)),
       s1_(params.s1, rng.fork()) {
-  require(params.store_cap > 0.0, "SensorPixel: storage cap must be positive");
-  require(params.i_cal > 0.0, "SensorPixel: calibration current must be positive");
-  noise_.add_white(params.noise_white_psd, rng.fork());
-  if (params.noise_flicker_kf > 0.0) {
-    noise_.add_flicker(params.noise_flicker_kf, 1.0, 100e3, rng.fork());
+  require(params.store_cap > Capacitance(0.0),
+          "SensorPixel: storage cap must be positive");
+  require(params.i_cal > Current(0.0),
+          "SensorPixel: calibration current must be positive");
+  noise_.add_white(params.noise_white_psd.value(), rng.fork());
+  if (params.noise_flicker_kf > VoltageSq(0.0)) {
+    noise_.add_flicker(params.noise_flicker_kf.value(), 1.0, 100e3,
+                       rng.fork());
   }
   // M2 is a current source biased to nominally i_cal; its mismatch makes
   // the actual forced current deviate. The shared bias generator puts a
@@ -24,13 +27,14 @@ SensorPixel::SensorPixel(PixelParams params, noise::MismatchSampler& mismatch,
   // the current. All three operating-point solves below are frozen die
   // properties, computed once.
   const circuit::Mosfet nominal_m2(params_.m2);
+  const double v_drain = params_.v_drain.value();
   const double v_bias =
-      nominal_m2.vgs_for_current(params_.i_cal, params_.v_drain, 0.0);
-  i_m2_actual_ = m2_.drain_current(v_bias, params_.v_drain, 0.0);
-  v_balance_ = m1_.vgs_for_current(i_m2_actual_, params_.v_drain, 0.0);
+      nominal_m2.vgs_for_current(params_.i_cal.value(), v_drain, 0.0);
+  i_m2_actual_ = m2_.drain_current(v_bias, v_drain, 0.0);
+  v_balance_ = m1_.vgs_for_current(i_m2_actual_, v_drain, 0.0);
   const circuit::Mosfet nominal_m1(params_.m1);
   v_bias_nominal_m1_ =
-      nominal_m1.vgs_for_current(params_.i_cal, params_.v_drain, 0.0);
+      nominal_m1.vgs_for_current(params_.i_cal.value(), v_drain, 0.0);
   decalibrate();
 }
 
@@ -42,9 +46,10 @@ void SensorPixel::calibrate() {
   // Feedback through S1 stores exactly the gate voltage that balances M1
   // against M2's actual current ...
   v_store_ = gate_voltage_for_balance();
-  // ... then S1 opens and dumps its channel charge onto the storage node.
+  // ... then S1 opens and dumps its channel charge onto the storage node
+  // (charge / capacitance = pedestal voltage).
   s1_.close();
-  v_store_ += s1_.open() / params_.store_cap;
+  v_store_ += (Charge(s1_.open()) / params_.store_cap).value();
   calibrated_ = true;
 }
 
@@ -56,13 +61,15 @@ void SensorPixel::decalibrate() {
 }
 
 void SensorPixel::elapse(double dt) {
-  v_store_ -= params_.droop_leak * dt / params_.store_cap;
+  // I*t/C carries dimension voltage.
+  v_store_ -= (params_.droop_leak * Time(dt) / params_.store_cap).value();
 }
 
 double SensorPixel::read_current(double v_signal, double dt) {
   double v_gate = v_store_ + v_signal;
   if (dt > 0.0) v_gate += noise_.sample(dt);
-  return m1_.drain_current(v_gate, params_.v_drain, 0.0) - i_m2_actual_;
+  return m1_.drain_current(v_gate, params_.v_drain.value(), 0.0) -
+         i_m2_actual_;
 }
 
 double SensorPixel::input_referred_offset() const {
@@ -70,7 +77,7 @@ double SensorPixel::input_referred_offset() const {
 }
 
 double SensorPixel::gm() const {
-  return m1_.gm(gate_voltage_for_balance(), params_.v_drain, 0.0);
+  return m1_.gm(gate_voltage_for_balance(), params_.v_drain.value(), 0.0);
 }
 
 }  // namespace biosense::neurochip

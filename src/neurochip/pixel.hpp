@@ -21,6 +21,7 @@
 #include "circuit/mosfet.hpp"
 #include "circuit/switch.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "noise/mismatch.hpp"
 #include "noise/sources.hpp"
 
@@ -29,18 +30,18 @@ namespace biosense::neurochip {
 struct PixelParams {
   circuit::MosfetParams m1{};       // sensor transistor
   circuit::MosfetParams m2{};       // calibration current source
-  double store_cap = 80e-15;        // gate storage capacitance, F
+  Capacitance store_cap = 80.0_fF;  // gate storage capacitance
   circuit::SwitchParams s1{};       // calibration switch
-  double i_cal = 2e-6;              // nominal calibration current, A
+  Current i_cal = 2.0_uA;           // nominal calibration current
   /// Storage-node leakage. ~10 aA is typical for a reverse-biased junction
   /// at room temperature; it sets how often the array must re-calibrate
   /// (droop = leak/C_store ~ 0.125 mV/s with the defaults, i.e. ~60 uV per
   /// 0.5 s — just inside the 100 uV signal floor).
-  double droop_leak = 10e-18;
-  double v_drain = 2.0;             // M1 drain operating point, V
+  Current droop_leak = Current(10e-18);
+  Voltage v_drain = 2.0_V;          // M1 drain operating point
   /// Input-referred noise of the pixel front-end.
-  double noise_white_psd = 2.5e-15; // V^2/Hz (~50 nV/rtHz)
-  double noise_flicker_kf = 1e-10;  // V^2 (1/f coefficient)
+  VoltagePsd noise_white_psd = VoltagePsd(2.5e-15);  // V^2/Hz (~50 nV/rtHz)
+  VoltageSq noise_flicker_kf = VoltageSq(1e-10);     // V^2 (1/f coefficient)
 };
 
 class SensorPixel {

@@ -67,7 +67,7 @@ std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
 
   const auto& cfg = chip_->config();
   const TimingBudget tb = chip_->timing();
-  const double fs = cfg.frame_rate;
+  const double fs = cfg.frame_rate.value();
 
   // Precompute, per covered pixel, its waveform at the chip's actual
   // sampling instants: pixel (r, c) of frame k is sampled at
@@ -75,8 +75,8 @@ std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
   // spike times so one uniform-rate render per (pixel, neuron) suffices.
   for (int r = 0; r < cfg.rows; ++r) {
     for (int c = 0; c < cfg.cols; ++c) {
-      const double x = (c + 0.5) * cfg.pitch;
-      const double y = (r + 0.5) * cfg.pitch;
+      const double x = ((c + 0.5) * cfg.pitch).value();
+      const double y = ((r + 0.5) * cfg.pitch).value();
       const auto cover = culture_->neurons_at(x, y);
       if (cover.empty()) continue;
 

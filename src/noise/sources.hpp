@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace biosense::noise {
 
@@ -38,13 +39,29 @@ class WhiteNoise {
 /// S_v = 4 k T R  [V^2/Hz].
 double thermal_voltage_psd(double resistance_ohm, double temp_k);
 
+/// Typed overload: dimension-checked resistance in, V^2/Hz quantity out.
+inline VoltagePsd thermal_voltage_psd(Resistance r, double temp_k) {
+  return VoltagePsd(thermal_voltage_psd(r.value(), temp_k));
+}
+
 /// One-sided thermal channel-current PSD of a MOSFET in saturation:
 /// S_i = 4 k T gamma g_m [A^2/Hz], gamma ~ 2/3 long channel.
 double mosfet_thermal_current_psd(double gm, double temp_k,
                                   double gamma = 2.0 / 3.0);
 
+/// Typed overload: transconductance in, A^2/Hz quantity out.
+inline CurrentPsd mosfet_thermal_current_psd(Conductance gm, double temp_k,
+                                             double gamma = 2.0 / 3.0) {
+  return CurrentPsd(mosfet_thermal_current_psd(gm.value(), temp_k, gamma));
+}
+
 /// One-sided shot-noise current PSD of a DC current: S_i = 2 q I [A^2/Hz].
 double shot_current_psd(double dc_current_a);
+
+/// Typed overload: dimension-checked DC current in, A^2/Hz quantity out.
+inline CurrentPsd shot_current_psd(Current i) {
+  return CurrentPsd(shot_current_psd(i.value()));
+}
 
 /// 1/f (flicker) noise synthesized as a sum of Ornstein-Uhlenbeck processes
 /// with log-spaced corner frequencies. The resulting one-sided PSD

@@ -1,0 +1,43 @@
+# Negative-compilation driver, run as a ctest via `cmake -P`.
+#
+# Each case file compiles two ways:
+#   * with -DNEGATIVE_CONTROL: a corrected variant that MUST compile —
+#     proving the harness sees a well-formed translation unit and the
+#     failure below is the dimensional error, not a stale include path;
+#   * unguarded: the dimensional error that MUST NOT compile.
+#
+# Usage:
+#   cmake -DCOMPILER=<c++> -DSRC=<case.cpp> -DINCLUDE_DIR=<repo>/src \
+#         -P check_negative.cmake
+
+foreach(var COMPILER SRC INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_negative.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(flags -std=c++20 -fsyntax-only -Wall -Wextra "-I${INCLUDE_DIR}")
+
+execute_process(
+  COMMAND ${COMPILER} ${flags} -DNEGATIVE_CONTROL ${SRC}
+  RESULT_VARIABLE control_rc
+  OUTPUT_VARIABLE control_out
+  ERROR_VARIABLE control_err)
+if(NOT control_rc EQUAL 0)
+  message(FATAL_ERROR
+      "control variant of ${SRC} failed to compile — the harness is broken, "
+      "not the dimensional check:\n${control_out}\n${control_err}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${flags} ${SRC}
+  RESULT_VARIABLE bad_rc
+  OUTPUT_VARIABLE bad_out
+  ERROR_VARIABLE bad_err)
+if(bad_rc EQUAL 0)
+  message(FATAL_ERROR
+      "${SRC} compiled successfully but contains a dimensional error that "
+      "must be rejected at compile time")
+endif()
+
+message(STATUS "${SRC}: control compiles, dimensional error rejected — OK")

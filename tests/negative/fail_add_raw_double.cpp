@@ -1,0 +1,13 @@
+// A unitless number cannot be added to a quantity — only scaling
+// (multiplication/division by a scalar) is dimensionally sound.
+#include "common/units.hpp"
+
+int main() {
+  using namespace biosense;
+#ifdef NEGATIVE_CONTROL
+  Voltage v = 1.0_V + Voltage(0.2);
+#else
+  Voltage v = 1.0_V + 0.2;  // must not compile: V + dimensionless
+#endif
+  return static_cast<int>(v.value());
+}

@@ -1,0 +1,12 @@
+// Addition is only defined between identical dimensions.
+#include "common/units.hpp"
+
+int main() {
+  using namespace biosense;
+#ifdef NEGATIVE_CONTROL
+  auto sum = 1.0_V + 2.0_mV;
+#else
+  auto sum = 1.0_V + 140.0_fF;  // must not compile: V + F
+#endif
+  return static_cast<int>(sum.value());
+}

@@ -1,0 +1,12 @@
+// Ordering comparisons only exist between identical dimensions.
+#include "common/units.hpp"
+
+int main() {
+  using namespace biosense;
+#ifdef NEGATIVE_CONTROL
+  bool lt = 1.0_mV < 5.0_V;
+#else
+  bool lt = 1.0_mV < 5.0_A;  // must not compile: V compared to A
+#endif
+  return lt ? 0 : 1;
+}

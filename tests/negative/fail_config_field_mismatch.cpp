@@ -1,0 +1,15 @@
+// The real config surface is protected too: the I2F integration capacitor
+// only accepts a capacitance, not a voltage (the motivating example from
+// the design notes).
+#include "i2f/sawtooth.hpp"
+
+int main() {
+  using namespace biosense;
+  i2f::I2fConfig cfg;
+#ifdef NEGATIVE_CONTROL
+  cfg.c_int = 140.0_fF;
+#else
+  cfg.c_int = 0.7_V;  // must not compile: V assigned to F
+#endif
+  return static_cast<int>(cfg.c_int.value());
+}

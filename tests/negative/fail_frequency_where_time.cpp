@@ -1,0 +1,16 @@
+// A frequency (1/s) is not a time (s); inverting it is.
+#include "common/units.hpp"
+
+namespace {
+biosense::Time settle(biosense::Time t) { return t; }
+}  // namespace
+
+int main() {
+  using namespace biosense;
+#ifdef NEGATIVE_CONTROL
+  Time t = settle(1.0 / 2.0_kHz);
+#else
+  Time t = settle(2.0_kHz);  // must not compile: Hz passed where s expected
+#endif
+  return static_cast<int>(t.value());
+}

@@ -1,0 +1,13 @@
+// Construction from a raw double is explicit: a bare number carries no
+// unit, so it cannot silently become one.
+#include "common/units.hpp"
+
+int main() {
+  using namespace biosense;
+#ifdef NEGATIVE_CONTROL
+  Voltage v = Voltage(0.3);
+#else
+  Voltage v = 0.3;  // must not compile: implicit double -> Quantity
+#endif
+  return static_cast<int>(v.value());
+}

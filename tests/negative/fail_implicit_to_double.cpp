@@ -1,0 +1,13 @@
+// A quantity never converts to double implicitly: the only way out is the
+// explicit .value() escape hatch.
+#include "common/units.hpp"
+
+int main() {
+  using namespace biosense;
+#ifdef NEGATIVE_CONTROL
+  double d = (1.0_mV).value();
+#else
+  double d = 1.0_mV;  // must not compile: implicit Quantity -> double
+#endif
+  return static_cast<int>(d);
+}

@@ -1,0 +1,12 @@
+// A voltage literal must not initialize a current variable.
+#include "common/units.hpp"
+
+int main() {
+  using namespace biosense;
+#ifdef NEGATIVE_CONTROL
+  Current i = 100.0_nA;
+#else
+  Current i = 100.0_mV;  // must not compile: V assigned to A
+#endif
+  return static_cast<int>(i.value());
+}

@@ -102,8 +102,8 @@ TEST(SampleHold, HoldAppliesPedestalOnce) {
 
 TEST(SampleHold, DroopsWhileHolding) {
   SampleHoldParams p;
-  p.droop_current = 10e-15;
-  p.hold_cap = 100e-15;
+  p.droop_current = Current(10e-15);
+  p.hold_cap = 100.0_fF;
   SampleHold sh(p, Rng(1));
   for (int i = 0; i < 10000; ++i) sh.track(1.0, 1e-9);
   sh.hold();
@@ -115,7 +115,7 @@ TEST(SampleHold, DroopsWhileHolding) {
 TEST(SampleHold, AcquisitionBandwidthLimited) {
   SampleHoldParams p;
   p.sw.r_on = 100e3;
-  p.hold_cap = 1e-12;  // tau = 100 ns
+  p.hold_cap = 1.0_pF;  // tau = 100 ns
   SampleHold sh(p, Rng(1));
   sh.track(1.0, 100e-9);  // one tau
   EXPECT_NEAR(sh.output(), 1.0 - std::exp(-1.0), 0.01);
@@ -154,20 +154,22 @@ TEST(Trace, MinMaxAndSettling) {
 
 TEST(Bandgap, NominalVoltageAndCurvature) {
   BandgapParams p;
-  p.trim_sigma = 0.0;
-  p.noise_rms = 0.0;
+  p.trim_sigma = 0.0_V;
+  p.noise_rms = 0.0_V;
   BandgapReference bg(p, Rng(1));
-  EXPECT_NEAR(bg.settled_voltage(p.t_nominal_k), p.v_nominal, 1e-9);
+  EXPECT_NEAR(bg.settled_voltage(p.t_nominal_k), p.v_nominal.value(), 1e-9);
   // Parabolic curvature: symmetric droop away from the vertex.
-  const double droop_cold = p.v_nominal - bg.settled_voltage(p.t_nominal_k - 40.0);
-  const double droop_hot = p.v_nominal - bg.settled_voltage(p.t_nominal_k + 40.0);
+  const double droop_cold =
+      p.v_nominal.value() - bg.settled_voltage(p.t_nominal_k - 40.0);
+  const double droop_hot =
+      p.v_nominal.value() - bg.settled_voltage(p.t_nominal_k + 40.0);
   EXPECT_NEAR(droop_cold, droop_hot, 1e-12);
   EXPECT_GT(droop_hot, 0.0);
 }
 
 TEST(Bandgap, TempcoWithinSpec) {
   BandgapParams p;
-  p.trim_sigma = 0.0;
+  p.trim_sigma = 0.0_V;
   BandgapReference bg(p, Rng(1));
   // Good bandgap: < 50 ppm/K over the industrial range.
   EXPECT_LT(bg.tempco_ppm_per_k(273.0, 398.0), 50.0);
@@ -175,9 +177,9 @@ TEST(Bandgap, TempcoWithinSpec) {
 
 TEST(Bandgap, StartupTransient) {
   BandgapParams p;
-  p.trim_sigma = 0.0;
-  p.noise_rms = 0.0;
-  p.startup_tau = 10e-6;
+  p.trim_sigma = 0.0_V;
+  p.noise_rms = 0.0_V;
+  p.startup_tau = 10.0_us;
   BandgapReference bg(p, Rng(1));
   EXPECT_NEAR(bg.voltage(300.0, 0.0), 0.0, 1e-6);
   EXPECT_NEAR(bg.voltage(300.0, 10e-6) / bg.settled_voltage(300.0),
@@ -187,14 +189,15 @@ TEST(Bandgap, StartupTransient) {
 
 TEST(CurrentReference, TracksNominalAndTemperature) {
   BandgapParams bp;
-  bp.trim_sigma = 0.0;
+  bp.trim_sigma = 0.0_V;
   BandgapReference bg(bp, Rng(1));
   CurrentReferenceParams cp;
   cp.spread_sigma = 0.0;
   CurrentReference iref(cp, bg, Rng(2));
-  EXPECT_NEAR(iref.current(cp.t_nominal_k), cp.i_nominal, 1e-3 * cp.i_nominal);
+  EXPECT_NEAR(iref.current(cp.t_nominal_k), cp.i_nominal.value(),
+              1e-3 * cp.i_nominal.value());
   // Resistor tempco reduces the current when hot.
-  EXPECT_LT(iref.current(cp.t_nominal_k + 50.0), cp.i_nominal);
+  EXPECT_LT(iref.current(cp.t_nominal_k + 50.0), cp.i_nominal.value());
 }
 
 }  // namespace

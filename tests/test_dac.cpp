@@ -12,7 +12,7 @@ namespace {
 TEST(Dac, IdealTransferWithoutMismatch) {
   DacParams p;
   p.resistor_sigma = 0.0;
-  p.buffer_offset_sigma = 0.0;
+  p.buffer_offset_sigma = 0.0_V;
   ResistorStringDac dac(p, Rng(1));
   EXPECT_DOUBLE_EQ(dac.output(0), 0.0);
   EXPECT_NEAR(dac.output(dac.max_code()),
@@ -62,7 +62,7 @@ TEST(Dac, InlEndpointsAreZero) {
 TEST(Dac, CodeForInvertsIdealTransfer) {
   DacParams p;
   p.resistor_sigma = 0.0;
-  p.buffer_offset_sigma = 0.0;
+  p.buffer_offset_sigma = 0.0_V;
   ResistorStringDac dac(p, Rng(1));
   for (std::uint32_t code : {0u, 1u, 37u, 128u, 255u}) {
     const double v = 5.0 * static_cast<double>(code) /

@@ -34,15 +34,15 @@ TEST(DnaChip, IgnoresCorruptedCommands) {
   auto bits = encode_command({Opcode::kSetDacGenerator, 100});
   bits[3] = !bits[3];
   EXPECT_TRUE(chip.process(bits).empty());
-  EXPECT_DOUBLE_EQ(chip.generator_potential(), 0.0);  // unchanged
+  EXPECT_DOUBLE_EQ(chip.generator_potential().value(), 0.0);  // unchanged
 }
 
 TEST(DnaChip, DacCommandsSetElectrodePotentials) {
   DnaChip chip(small_chip(), Rng(2));
   chip.process(encode_command({Opcode::kSetDacGenerator, 128}));
   chip.process(encode_command({Opcode::kSetDacCollector, 64}));
-  EXPECT_NEAR(chip.generator_potential(), 5.0 * 128 / 256, 0.05);
-  EXPECT_NEAR(chip.collector_potential(), 5.0 * 64 / 256, 0.05);
+  EXPECT_NEAR(chip.generator_potential().value(), 5.0 * 128 / 256, 0.05);
+  EXPECT_NEAR(chip.collector_potential().value(), 5.0 * 64 / 256, 0.05);
 }
 
 TEST(DnaChip, StatusReportsBandgap) {
@@ -57,7 +57,7 @@ TEST(DnaChip, StatusReportsBandgap) {
 
 TEST(DnaChip, ReferenceCurrentSane) {
   DnaChip chip(small_chip(), Rng(4));
-  EXPECT_NEAR(chip.reference_current(), 1e-6, 0.1e-6);
+  EXPECT_NEAR(chip.reference_current().value(), 1e-6, 0.1e-6);
 }
 
 TEST(HostInterface, AcquireReturnsAppliedCurrents) {
@@ -106,8 +106,8 @@ INSTANTIATE_TEST_SUITE_P(FiveDecades, DnaChipDecades,
 
 TEST(HostInterface, AutoCalibrationRemovesLeakageBias) {
   DnaChipConfig cfg = small_chip();
-  cfg.site.leakage = 200e-15;       // strong common leakage
-  cfg.site_leakage_sigma = 50e-15;  // plus spread
+  cfg.site.leakage = Current(200e-15);       // strong common leakage
+  cfg.site_leakage_sigma = Current(50e-15);  // plus spread
   DnaChip chip(cfg, Rng(9));
 
   HostInterface raw(chip, SerialLink(0.0, Rng(10)), cfg.site);
@@ -140,9 +140,8 @@ TEST(HostInterface, CurrentFromFrequencyInvertsDeadTime) {
   DnaChip chip(small_chip(), Rng(13));
   HostInterface host(chip, SerialLink(0.0, Rng(14)));
   const i2f::I2fConfig site;
-  const double cq = site.c_int * (site.v_threshold - site.v_reset);
-  const double t_dead =
-      site.comparator_delay + site.delay_stage + site.reset_width;
+  const double cq = (site.c_int * (site.v_threshold - site.v_reset)).value();
+  const double t_dead = site.dead_time().value();
   // Forward transfer at 50 nA, then invert.
   const double i = 50e-9;
   const double f = 1.0 / (cq / i + t_dead);

@@ -19,7 +19,8 @@ RedoxParams quiet() {
 TEST(Redox, CurrentPerMoleculeFormula) {
   RedoxCyclingSensor s(quiet(), Rng(1));
   const RedoxParams p = quiet();
-  const double f_shuttle = p.diffusion / (p.electrode_gap * p.electrode_gap);
+  const double f_shuttle =
+      (p.diffusion / (p.electrode_gap * p.electrode_gap)).value();
   const double expected = p.electrons_per_cycle * constants::kElectronCharge *
                           f_shuttle * p.collection_eff;
   EXPECT_NEAR(s.current_per_molecule(), expected, 1e-22);
@@ -28,7 +29,7 @@ TEST(Redox, CurrentPerMoleculeFormula) {
 TEST(Redox, SteadyStatePopulationIsGenerationTimesResidence) {
   RedoxCyclingSensor s(quiet(), Rng(1));
   EXPECT_NEAR(s.steady_state_population(1000.0),
-              1000.0 * quiet().k_cat * quiet().tau_res, 1e-6);
+              1000.0 * (quiet().k_cat * quiet().tau_res), 1e-6);
 }
 
 TEST(Redox, StepConvergesToSteadyState) {
@@ -41,7 +42,7 @@ TEST(Redox, StepConvergesToSteadyState) {
 TEST(Redox, ExponentialApproachTimeConstant) {
   RedoxCyclingSensor s(quiet(), Rng(1));
   // After exactly tau_res the population is 63% of steady state.
-  s.step(1e4, quiet().tau_res);
+  s.step(1e4, quiet().tau_res.value());
   EXPECT_NEAR(s.product_population() / s.steady_state_population(1e4),
               1.0 - std::exp(-1.0), 1e-6);
 }
@@ -50,7 +51,7 @@ TEST(Redox, ZeroLabelsGivesBackgroundOnly) {
   RedoxCyclingSensor s(quiet(), Rng(1));
   double i = 0.0;
   for (int k = 0; k < 100; ++k) i = s.step(0.0, 0.01);
-  EXPECT_NEAR(i, quiet().background, 1e-15);
+  EXPECT_NEAR(i, quiet().background.value(), 1e-15);
 }
 
 class RedoxDynamicRange : public ::testing::TestWithParam<double> {};
@@ -70,7 +71,7 @@ INSTANTIATE_TEST_SUITE_P(Labels, RedoxDynamicRange,
 
 TEST(Redox, CurrentScalesLinearlyWithLabels) {
   RedoxCyclingSensor s(quiet(), Rng(1));
-  const double bg = quiet().background;
+  const double bg = quiet().background.value();
   const double i1 = s.steady_state_current(1e4) - bg;
   const double i2 = s.steady_state_current(2e4) - bg;
   EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
@@ -83,7 +84,7 @@ TEST(Redox, DriftStaysBoundedAndPositive) {
   for (int k = 0; k < 10000; ++k) {
     const double i = s.step(0.0, 0.1);
     EXPECT_GT(i, 0.0);
-    EXPECT_LT(i, p.background * 6.0);  // clamped multiplicative walk
+    EXPECT_LT(i, (p.background * 6.0).value());  // clamped multiplicative walk
   }
 }
 
@@ -97,13 +98,13 @@ TEST(Redox, ResetClearsProduct) {
 
 TEST(Redox, RejectsInvalidConfig) {
   RedoxParams p = quiet();
-  p.k_cat = 0.0;
+  p.k_cat = 0.0_Hz;
   EXPECT_THROW(RedoxCyclingSensor(p, Rng(1)), ConfigError);
   p = quiet();
   p.collection_eff = 1.5;
   EXPECT_THROW(RedoxCyclingSensor(p, Rng(1)), ConfigError);
   p = quiet();
-  p.tau_res = -1.0;
+  p.tau_res = Time(-1.0);
   EXPECT_THROW(RedoxCyclingSensor(p, Rng(1)), ConfigError);
 }
 

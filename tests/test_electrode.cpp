@@ -11,16 +11,16 @@ namespace {
 TEST(Ide, AreasFromGeometry) {
   IdeGeometry g;
   InterdigitatedElectrode ide(g);
-  EXPECT_DOUBLE_EQ(ide.electrode_area(),
-                   g.fingers * g.finger_length * g.finger_width);
+  EXPECT_DOUBLE_EQ(ide.electrode_area().value(),
+                   (g.fingers * (g.finger_length * g.finger_width)).value());
   EXPECT_GT(ide.site_area(), ide.electrode_area());
 }
 
 TEST(Ide, ShuttleFrequencyScalesInverseSquareGap) {
   IdeGeometry g;
-  g.gap = 1e-6;
+  g.gap = 1.0_um;
   InterdigitatedElectrode narrow(g);
-  g.gap = 2e-6;
+  g.gap = 2.0_um;
   InterdigitatedElectrode wide(g);
   EXPECT_NEAR(narrow.shuttle_frequency() / wide.shuttle_frequency(), 4.0,
               1e-9);
@@ -28,9 +28,9 @@ TEST(Ide, ShuttleFrequencyScalesInverseSquareGap) {
 
 TEST(Ide, SmallerGapCollectsBetter) {
   IdeGeometry g;
-  g.gap = 0.5e-6;
+  g.gap = 0.5_um;
   InterdigitatedElectrode tight(g);
-  g.gap = 4e-6;
+  g.gap = 4.0_um;
   InterdigitatedElectrode loose(g);
   EXPECT_GT(tight.collection_efficiency(), loose.collection_efficiency());
   EXPECT_GT(tight.collection_efficiency(), 0.5);
@@ -39,26 +39,26 @@ TEST(Ide, SmallerGapCollectsBetter) {
 
 TEST(Ide, RedoxParamsCarryGeometry) {
   IdeGeometry g;
-  g.gap = 0.8e-6;
+  g.gap = 0.8_um;
   InterdigitatedElectrode ide(g);
   const auto p = ide.redox_params();
-  EXPECT_DOUBLE_EQ(p.electrode_gap, 0.8e-6);
+  EXPECT_DOUBLE_EQ(p.electrode_gap.value(), 0.8e-6);
   EXPECT_DOUBLE_EQ(p.collection_eff, ide.collection_efficiency());
-  EXPECT_DOUBLE_EQ(p.tau_res, ide.residence_time());
+  EXPECT_DOUBLE_EQ(p.tau_res.value(), ide.residence_time().value());
   // Enzyme kinetics untouched.
-  EXPECT_DOUBLE_EQ(p.k_cat, RedoxParams{}.k_cat);
+  EXPECT_DOUBLE_EQ(p.k_cat.value(), RedoxParams{}.k_cat.value());
 }
 
 TEST(Ide, TighterGeometryBoostsSensorCurrent) {
   // The architectural knob: shrinking the IDE gap raises the chemical
   // amplification, visible directly in the per-label current.
   IdeGeometry g;
-  g.gap = 2e-6;
+  g.gap = 2.0_um;
   RedoxCyclingSensor coarse(InterdigitatedElectrode(g).redox_params(),
                             Rng(1));
-  g.gap = 0.5e-6;
+  g.gap = 0.5_um;
   RedoxCyclingSensor fine(InterdigitatedElectrode(g).redox_params(), Rng(2));
-  const double bg = RedoxParams{}.background;
+  const double bg = RedoxParams{}.background.value();
   EXPECT_GT(fine.steady_state_current(1e4) - bg,
             4.0 * (coarse.steady_state_current(1e4) - bg));
 }
@@ -67,19 +67,19 @@ TEST(Ide, RandlesParametersPhysical) {
   InterdigitatedElectrode ide(IdeGeometry{});
   const auto p = ide.randles_params();
   // ~1.4e-9 m^2 of gold at 0.2 F/m^2 -> hundreds of pF.
-  EXPECT_GT(p.c_double_layer, 1e-10);
-  EXPECT_LT(p.c_double_layer, 1e-6);
-  EXPECT_GT(p.r_solution, 10.0);
-  EXPECT_LT(p.r_solution, 1e6);
+  EXPECT_GT(p.c_double_layer.value(), 1e-10);
+  EXPECT_LT(p.c_double_layer.value(), 1e-6);
+  EXPECT_GT(p.r_solution.value(), 10.0);
+  EXPECT_LT(p.r_solution.value(), 1e6);
 }
 
 TEST(Ide, ResidenceTimeScalesWithPitch) {
   IdeGeometry g;
-  g.finger_width = 1e-6;
-  g.gap = 1e-6;
+  g.finger_width = 1.0_um;
+  g.gap = 1.0_um;
   InterdigitatedElectrode fine(g);
-  g.finger_width = 2e-6;
-  g.gap = 2e-6;
+  g.finger_width = 2.0_um;
+  g.gap = 2.0_um;
   InterdigitatedElectrode coarse(g);
   EXPECT_NEAR(coarse.residence_time() / fine.residence_time(), 4.0, 1e-9);
 }
@@ -89,7 +89,7 @@ TEST(Ide, RejectsInvalidGeometry) {
   g.fingers = 1;
   EXPECT_THROW(InterdigitatedElectrode{g}, ConfigError);
   g = IdeGeometry{};
-  g.gap = 0.0;
+  g.gap = 0.0_um;
   EXPECT_THROW(InterdigitatedElectrode{g}, ConfigError);
 }
 

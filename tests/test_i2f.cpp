@@ -12,10 +12,10 @@ namespace {
 
 I2fConfig quiet_config() {
   I2fConfig c;
-  c.comparator_noise_rms = 0.0;
-  c.comparator_offset_sigma = 0.0;
-  c.leakage = 0.0;
-  c.reset_residual_v = 0.0;
+  c.comparator_noise_rms = 0.0_V;
+  c.comparator_offset_sigma = 0.0_V;
+  c.leakage = 0.0_A;
+  c.reset_residual_v = 0.0_V;
   return c;
 }
 
@@ -23,7 +23,7 @@ TEST(I2f, IdealFrequencyFormula) {
   SawtoothConverter conv(quiet_config(), Rng(1));
   const I2fConfig c = quiet_config();
   const double i = 1e-9;
-  const double ramp = c.c_int * (c.v_threshold - c.v_reset) / i;
+  const double ramp = (c.c_int * (c.v_threshold - c.v_reset)).value() / i;
   EXPECT_NEAR(conv.ideal_frequency(i), 1.0 / (ramp + conv.dead_time()), 1e-6);
   EXPECT_DOUBLE_EQ(conv.ideal_frequency(0.0), 0.0);
   EXPECT_DOUBLE_EQ(conv.ideal_frequency(-1e-9), 0.0);
@@ -33,7 +33,7 @@ TEST(I2f, DeadTimeIsSumOfDelays) {
   const I2fConfig c = quiet_config();
   SawtoothConverter conv(c, Rng(1));
   EXPECT_DOUBLE_EQ(conv.dead_time(),
-                   c.comparator_delay + c.delay_stage + c.reset_width);
+                   (c.comparator_delay + c.delay_stage + c.reset_width).value());
 }
 
 class I2fLinearity : public ::testing::TestWithParam<double> {};
@@ -65,27 +65,27 @@ TEST(I2f, HighCurrentCompression) {
   const double f10 = conv.ideal_frequency(10.0 * corner);
   EXPECT_LT(f10, 10.0 * f1 * 0.6);
   // At the corner itself, exactly half the zero-dead-time slope.
-  const double slope_f = corner / (quiet_config().c_int *
-                                   (quiet_config().v_threshold -
-                                    quiet_config().v_reset));
+  const double slope_f =
+      corner / (quiet_config().c_int * quiet_config().delta_v()).value();
   EXPECT_NEAR(f1 / slope_f, 0.5, 1e-9);
 }
 
 TEST(I2f, LeakageSetsLowEndFloor) {
   I2fConfig c = quiet_config();
-  c.leakage = 50e-15;
+  c.leakage = Current(50e-15);
   SawtoothConverter conv(c, Rng(4));
   // Measuring zero input still produces counts from the leakage ramp.
   const auto r = conv.measure(0.0, 100.0);
   EXPECT_GT(r.count, 0u);
   // Reading interprets as ~leakage-equivalent current.
-  const double apparent = r.mean_frequency * c.c_int * (c.v_threshold - c.v_reset);
+  const double apparent =
+      r.mean_frequency * (c.c_int * (c.v_threshold - c.v_reset)).value();
   EXPECT_NEAR(apparent, 50e-15, 10e-15);
 }
 
 TEST(I2f, ComparatorNoiseCreatesCycleJitter) {
   I2fConfig noisy = quiet_config();
-  noisy.comparator_noise_rms = 5e-3;
+  noisy.comparator_noise_rms = 5.0_mV;
   SawtoothConverter a(noisy, Rng(5));
   SawtoothConverter b(quiet_config(), Rng(5));
   // Per-cycle threshold noise shows up as period jitter: the first period
@@ -97,13 +97,13 @@ TEST(I2f, ComparatorNoiseCreatesCycleJitter) {
     pb.add(b.measure(1e-9, 200e-6).first_period);
   }
   EXPECT_GT(pa.stddev(), 10.0 * pb.stddev());
-  const double dv = quiet_config().v_threshold - quiet_config().v_reset;
+  const double dv = quiet_config().delta_v().value();
   EXPECT_NEAR(pa.stddev() / pa.mean(), 5e-3 / dv, 2e-3);
 }
 
 TEST(I2f, OffsetSpreadAcrossDies) {
   I2fConfig c = quiet_config();
-  c.comparator_offset_sigma = 5e-3;
+  c.comparator_offset_sigma = 5.0_mV;
   RunningStats s;
   for (int k = 0; k < 2000; ++k) {
     s.add(SawtoothConverter(c, Rng(100 + k)).comparator_offset());
@@ -119,7 +119,7 @@ TEST(I2f, TransientWaveformMatchesEventSimulation) {
   const double i = 10e-9;
   const double expected_period = 1.0 / conv.ideal_frequency(i);
   const auto trace = conv.transient_waveform(i, 6.0 * expected_period, 1e-8);
-  const auto crossings = trace.up_crossings(0.9 * c.v_threshold);
+  const auto crossings = trace.up_crossings((0.9 * c.v_threshold).value());
   ASSERT_GE(crossings.size(), 3u);
   RunningStats periods;
   for (std::size_t k = 1; k < crossings.size(); ++k) {
@@ -132,9 +132,9 @@ TEST(I2f, TransientWaveformStaysInRange) {
   const I2fConfig c = quiet_config();
   SawtoothConverter conv(c, Rng(7));
   const auto trace = conv.transient_waveform(50e-9, 100e-6, 1e-8);
-  EXPECT_GE(trace.min_value(), c.v_reset - 0.05);
+  EXPECT_GE(trace.min_value(), c.v_reset.value() - 0.05);
   // The ramp overshoots the threshold by at most the dead-time ramp-on.
-  EXPECT_LT(trace.max_value(), c.v_threshold + 0.2);
+  EXPECT_LT(trace.max_value(), c.v_threshold.value() + 0.2);
 }
 
 TEST(I2f, CountScalesWithGateTime) {
@@ -158,7 +158,7 @@ TEST(I2f, PicoampMeasurementIsCheap) {
 
 TEST(I2f, RejectsInvalidConfig) {
   I2fConfig c = quiet_config();
-  c.c_int = 0.0;
+  c.c_int = 0.0_fF;
   EXPECT_THROW(SawtoothConverter(c, Rng(1)), ConfigError);
   c = quiet_config();
   c.v_threshold = c.v_reset;

@@ -17,7 +17,7 @@ NeuralWorkbenchConfig small_config() {
   cfg.culture.area_size = 32 * 7.8e-6;
   cfg.culture.n_neurons = 8;
   cfg.culture.duration = 0.4;
-  cfg.recording_duration = 0.4;
+  cfg.recording_duration = Time(0.4);
   return cfg;
 }
 

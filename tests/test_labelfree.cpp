@@ -15,15 +15,16 @@ TEST(Impedance, LowFrequencyDominatedByChargeTransfer) {
   const auto z = s.impedance(0.01, 0.0);
   // At very low f the capacitor is open: |Z| ~ Rs + Rct.
   EXPECT_NEAR(std::abs(z),
-              RandlesParams{}.r_solution + RandlesParams{}.r_charge_transfer,
-              0.05 * RandlesParams{}.r_charge_transfer);
+              (RandlesParams{}.r_solution +
+               RandlesParams{}.r_charge_transfer).value(),
+              (0.05 * RandlesParams{}.r_charge_transfer).value());
 }
 
 TEST(Impedance, HighFrequencyDominatedBySolution) {
   ImpedanceSensor s(RandlesParams{}, Rng(1));
   const auto z = s.impedance(10e6, 0.0);
-  EXPECT_NEAR(std::abs(z), RandlesParams{}.r_solution,
-              0.05 * RandlesParams{}.r_solution);
+  EXPECT_NEAR(std::abs(z), RandlesParams{}.r_solution.value(),
+              (0.05 * RandlesParams{}.r_solution).value());
 }
 
 TEST(Impedance, HybridizationRaisesMidbandMagnitude) {
@@ -61,7 +62,7 @@ TEST(Impedance, MeasurementNoiseScales) {
 
 TEST(Impedance, RejectsInvalidConfig) {
   RandlesParams p;
-  p.c_double_layer = 0.0;
+  p.c_double_layer = 0.0_nF;
   EXPECT_THROW(ImpedanceSensor(p, Rng(1)), ConfigError);
   p = RandlesParams{};
   p.cap_drop_full = 1.0;

@@ -31,7 +31,7 @@ TEST(Mosfet, SubthresholdSlopeIsExponential) {
   Mosfet m(nmos());
   // One subthreshold decade per n*VT*ln(10) ~ 80 mV at n=1.35, 300 K.
   const double i1 = m.drain_current(0.30, 2.0, 0.0);
-  const double dv = m.params().n * thermal_voltage(300.0) * std::log(10.0);
+  const double dv = m.params().n * thermal_voltage(300.0).value() * std::log(10.0);
   const double i2 = m.drain_current(0.30 + dv, 2.0, 0.0);
   EXPECT_NEAR(i2 / i1, 10.0, 0.5);
 }
@@ -122,7 +122,7 @@ TEST(Mosfet, ThresholdMismatchShiftsTransfer) {
   const double ratio = nominal.drain_current(0.4, 2.0, 0.0) /
                        shifted.drain_current(0.4, 2.0, 0.0);
   const double expected =
-      std::exp(20e-3 / (nominal.params().n * thermal_voltage(300.0)));
+      std::exp(20e-3 / (nominal.params().n * thermal_voltage(300.0).value()));
   EXPECT_NEAR(ratio, expected, 0.05 * expected);
 }
 

@@ -56,7 +56,7 @@ TEST(MosfetTemp, ZeroTempcoDisablesShift) {
 }
 
 TEST(MosfetTemp, ThermalVoltageTracksTemperature) {
-  EXPECT_NEAR(thermal_voltage(300.0), 25.85e-3, 0.05e-3);
+  EXPECT_NEAR(thermal_voltage(300.0).value(), 25.85e-3, 0.05e-3);
   EXPECT_NEAR(thermal_voltage(310.15) / thermal_voltage(300.0),
               310.15 / 300.0, 1e-9);
 }

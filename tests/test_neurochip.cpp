@@ -15,8 +15,8 @@ NeuroChipConfig tiny_chip(int n = 16) {
   NeuroChipConfig c;
   c.rows = n;
   c.cols = n;
-  c.pixel.noise_white_psd = 0.0;
-  c.pixel.noise_flicker_kf = 0.0;
+  c.pixel.noise_white_psd = VoltagePsd(0.0);
+  c.pixel.noise_flicker_kf = VoltageSq(0.0);
   return c;
 }
 
@@ -38,7 +38,7 @@ TEST(NeuroChip, PaperTimingBudget) {
 TEST(NeuroChip, SensorAreaMatchesPaper) {
   NeuroChip chip(NeuroChipConfig{}, Rng(1));
   // 128 * 7.8 um ~ 1 mm.
-  EXPECT_NEAR(chip.sensor_area_side(), 1e-3, 0.01e-3);
+  EXPECT_NEAR(chip.sensor_area_side().value(), 1e-3, 0.01e-3);
 }
 
 TEST(NeuroChip, CalibrationImprovesOffsetsByOrderOfMagnitude) {
@@ -101,7 +101,8 @@ TEST(NeuroChip, AdcQuantizesToLsb) {
   chip.calibrate_all();
   const auto f = chip.capture_frame([](int, int, double) { return 0.5e-3; }, 0.0);
   // Reconstruction uses code * lsb / conv_gain: verify consistency.
-  const double lsb = 2.0 * cfg.adc.full_scale / (1 << cfg.adc.bits);
+  const double lsb =
+      (2.0 * cfg.adc.full_scale).value() / (1 << cfg.adc.bits);
   for (std::size_t i = 0; i < f.codes.size(); ++i) {
     EXPECT_NEAR(f.v_in[i],
                 f.codes[i] * lsb / chip.nominal_conversion_gain(), 1e-12);
@@ -121,8 +122,8 @@ TEST(NeuroChip, RecordProducesRequestedFrames) {
 
 TEST(NeuroChip, PeriodicRecalibrationCountersDroop) {
   NeuroChipConfig cfg = tiny_chip(8);
-  cfg.pixel.droop_leak = 50e-15;  // aggressive droop
-  cfg.recalibration_interval = 0.01;
+  cfg.pixel.droop_leak = Current(50e-15);  // aggressive droop
+  cfg.recalibration_interval = 10.0_ms;
   NeuroChip chip(cfg, Rng(8));
   chip.calibrate_all();
   // Run 100 frames = 50 ms; recalibration every 10 ms bounds the offset.
@@ -130,8 +131,10 @@ TEST(NeuroChip, PeriodicRecalibrationCountersDroop) {
     chip.capture_frame([](int, int, double) { return 0.0; }, k * 500e-6);
   }
   const auto [mean_off, max_off] = chip.offset_stats();
-  const double droop_rate = cfg.pixel.droop_leak / cfg.pixel.store_cap;
-  EXPECT_LT(mean_off, droop_rate * 3.0 * cfg.recalibration_interval + 2e-3);
+  const double droop_rate =
+      (cfg.pixel.droop_leak / cfg.pixel.store_cap).value();
+  EXPECT_LT(mean_off,
+            droop_rate * 3.0 * cfg.recalibration_interval.value() + 2e-3);
   (void)max_off;
 }
 
@@ -160,7 +163,7 @@ TEST(NeuroChip, RejectsInvalidConfig) {
   c.rows = 12;  // not a multiple of mux factor 8
   EXPECT_THROW(NeuroChip(c, Rng(1)), ConfigError);
   c = tiny_chip();
-  c.frame_rate = 0.0;
+  c.frame_rate = 0.0_Hz;
   EXPECT_THROW(NeuroChip(c, Rng(1)), ConfigError);
   c = tiny_chip();
   c.adc.bits = 2;
@@ -172,7 +175,8 @@ TEST(NeuroChip, HighRateSinglePixelMode) {
   // full chip): verify rate, gain and localization.
   NeuroChip chip(tiny_chip(16), Rng(10));
   chip.calibrate_all();
-  const double fs = chip.config().frame_rate * chip.config().cols;
+  const double fs =
+      (chip.config().frame_rate * chip.config().cols).value();
   // 1 kHz sine, 1 mV amplitude on the target pixel.
   auto field = [fs](int r, int c, double t) {
     return (r == 5 && c == 7)
@@ -219,7 +223,7 @@ TEST(RecordingSession, GroundTruthAlignsWithRecordedSpikes) {
   neuro::NeuronCulture culture(culture_cfg, Rng(21));
 
   NeuroChipConfig chip_cfg = tiny_chip(16);
-  chip_cfg.pitch = 7.8e-6;
+  chip_cfg.pitch = 7.8_um;
   NeuroChip chip(chip_cfg, Rng(22));
   chip.calibrate_all();
 

@@ -12,8 +12,8 @@ namespace {
 
 PixelParams quiet_pixel() {
   PixelParams p;
-  p.noise_white_psd = 0.0;
-  p.noise_flicker_kf = 0.0;
+  p.noise_white_psd = VoltagePsd(0.0);
+  p.noise_flicker_kf = VoltageSq(0.0);
   return p;
 }
 
@@ -102,8 +102,8 @@ TEST(Pixel, SmallSignalResponseIsGmLinear) {
 
 TEST(Pixel, DroopAccumulatesBetweenCalibrations) {
   PixelParams p = quiet_pixel();
-  p.droop_leak = 5e-15;
-  p.store_cap = 80e-15;
+  p.droop_leak = Current(5e-15);
+  p.store_cap = Capacitance(80e-15);
   auto ms = sampler(46);
   SensorPixel px(p, ms, Rng(11));
   px.calibrate();
@@ -119,7 +119,7 @@ TEST(Pixel, RecalibrationIntervalFromDroopBudget) {
   // Design check the paper implies: periodic calibration must run often
   // enough that droop stays below the minimum signal (100 uV).
   const PixelParams p = quiet_pixel();
-  const double droop_rate = p.droop_leak / p.store_cap;  // V/s
+  const double droop_rate = (p.droop_leak / p.store_cap).value();  // V/s
   const double t_max = 100e-6 / droop_rate;
   // With the default sizing the chip has ~ seconds of margin — consistent
   // with "periodically performed" row-parallel calibration.
@@ -134,7 +134,8 @@ TEST(Pixel, M2CurrentCarriesItsOwnMismatch) {
     SensorPixel px(quiet_pixel(), ms, rng.fork());
     i2.add(px.m2_current());
   }
-  EXPECT_NEAR(i2.mean(), quiet_pixel().i_cal, 0.1 * quiet_pixel().i_cal);
+  EXPECT_NEAR(i2.mean(), quiet_pixel().i_cal.value(),
+              0.1 * quiet_pixel().i_cal.value());
   EXPECT_GT(i2.stddev(), 0.0);
 }
 
@@ -150,7 +151,7 @@ TEST(Pixel, DecalibrateRestoresPowerUpState) {
 
 TEST(Pixel, NoiseDrawRequiresPositiveDt) {
   PixelParams p = quiet_pixel();
-  p.noise_white_psd = 1e-15;
+  p.noise_white_psd = VoltagePsd(1e-15);
   auto ms = sampler(49);
   SensorPixel px(p, ms, Rng(15));
   px.calibrate();
@@ -165,10 +166,10 @@ TEST(Pixel, NoiseDrawRequiresPositiveDt) {
 TEST(Pixel, RejectsInvalidConfig) {
   auto ms = sampler(50);
   PixelParams p = quiet_pixel();
-  p.store_cap = 0.0;
+  p.store_cap = 0.0_fF;
   EXPECT_THROW(SensorPixel(p, ms, Rng(1)), ConfigError);
   p = quiet_pixel();
-  p.i_cal = 0.0;
+  p.i_cal = 0.0_uA;
   EXPECT_THROW(SensorPixel(p, ms, Rng(1)), ConfigError);
 }
 

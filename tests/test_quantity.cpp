@@ -1,0 +1,138 @@
+#include "common/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/units.hpp"
+
+namespace biosense {
+namespace {
+
+// --- compile-time guarantees (fail the build, not the test run) -------------
+
+// Zero overhead: the wrapper is exactly one double and trivially copyable,
+// so vectors of quantities and unwrapped hot loops cost nothing.
+static_assert(sizeof(Quantity<dim::kVoltage>) == sizeof(double));
+static_assert(sizeof(Current) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Voltage>);
+static_assert(std::is_trivially_destructible_v<Resistance>);
+
+// No implicit conversions in either direction.
+static_assert(!std::is_convertible_v<double, Voltage>);
+static_assert(!std::is_convertible_v<Voltage, double>);
+static_assert(!std::is_convertible_v<Voltage, Current>);
+
+// Constexpr arithmetic with derived dimensions.
+static_assert(Voltage(1.0) / Current(2.0) == Resistance(0.5));
+static_assert(Capacitance(2.0) * Voltage(3.0) == Charge(6.0));
+static_assert((Charge(6.0) / Time(2.0)).dim() == dim::kCurrent);
+static_assert((1.0 / Time(0.5)).dim() == dim::kFrequency);
+static_assert(Current(2.0) * Voltage(3.0) == Power(6.0));
+static_assert(Power(6.0) * Time(2.0) == Energy(12.0));
+static_assert(Length(3.0) * Length(2.0) == Area(6.0));
+static_assert((Area(4.0) / Time(2.0)).dim() == dim::kDiffusivity);
+static_assert(Current(1.0) / Voltage(2.0) == Conductance(0.5));
+
+// Fully cancelled dimensions decay to plain double.
+static_assert(std::is_same_v<decltype(Voltage(3.0) / Voltage(2.0)), double>);
+static_assert(std::is_same_v<decltype(Time(1.0) * Frequency(2.0)), double>);
+static_assert(Voltage(3.0) / Voltage(2.0) == 1.5);
+
+// Literals are constexpr and usable in constant expressions.
+static_assert(1.0_V == Voltage(1.0));
+static_assert(100_nA == 100.0_nA);  // both literal forms, bit-identical
+static_assert((140.0_fF * 0.7_V).dim() == dim::kCharge);
+
+TEST(Quantity, ArithmeticSameDimension) {
+  const Voltage a(1.5);
+  const Voltage b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -1.5);
+  EXPECT_DOUBLE_EQ((+a).value(), 1.5);
+}
+
+TEST(Quantity, CompoundAssignment) {
+  Voltage v(1.0);
+  v += Voltage(0.5);
+  EXPECT_DOUBLE_EQ(v.value(), 1.5);
+  v -= Voltage(1.0);
+  EXPECT_DOUBLE_EQ(v.value(), 0.5);
+  v *= 4.0;
+  EXPECT_DOUBLE_EQ(v.value(), 2.0);
+  v /= 8.0;
+  EXPECT_DOUBLE_EQ(v.value(), 0.25);
+}
+
+TEST(Quantity, ScalarMultiplication) {
+  const Current i(2e-9);
+  EXPECT_DOUBLE_EQ((3.0 * i).value(), 6e-9);
+  EXPECT_DOUBLE_EQ((i * 3.0).value(), 6e-9);
+  EXPECT_DOUBLE_EQ((i / 2.0).value(), 1e-9);
+}
+
+TEST(Quantity, DerivedDimensionsMatchPhysics) {
+  // Ohm's law, Q=CV, I=Q/t: the compiler already checked the dimensions;
+  // here we check the arithmetic.
+  const Resistance r = 5.0_V / Current(1e-3);
+  EXPECT_DOUBLE_EQ(r.value(), 5000.0);
+  const Charge q = 140.0_fF * 0.7_V;
+  EXPECT_DOUBLE_EQ(q.value(), 140e-15 * 0.7);
+  const Current i = q / 1.0_ms;
+  EXPECT_DOUBLE_EQ(i.value(), 140e-15 * 0.7 / 1e-3);
+}
+
+TEST(Quantity, InversionFlipsDimension) {
+  const Frequency f = 1.0 / 0.5_ms;
+  EXPECT_DOUBLE_EQ(f.value(), 2000.0);
+  const auto t = 1.0 / f;
+  static_assert(decltype(t)::dim() == dim::kTime);
+  EXPECT_DOUBLE_EQ(t.value(), 0.5e-3);
+}
+
+TEST(Quantity, Comparisons) {
+  EXPECT_TRUE(1.0_mV < 2.0_mV);
+  EXPECT_TRUE(2.0_kHz > 1.9_kHz);
+  EXPECT_TRUE(1.0_pA <= 1.0_pA);
+  EXPECT_TRUE(1.0_pA >= 1.0_pA);
+  EXPECT_TRUE(1.0_uA == Current(1e-6));
+  EXPECT_TRUE(1.0_uA != Current(2e-6));
+}
+
+TEST(Quantity, InExpressesValueInAnotherUnit) {
+  EXPECT_DOUBLE_EQ((1.234_V).in(1.0_mV), 1234.0);
+  EXPECT_DOUBLE_EQ((50.0_nA).in(1.0_pA), 50e3);
+  EXPECT_DOUBLE_EQ((0.25_s).in(1.0_ms), 250.0);
+}
+
+TEST(Quantity, BothLiteralFormsAgree) {
+  // Every literal must accept floating ("1.0_pA") and integer ("1_pA")
+  // forms; spot-check one per family.
+  EXPECT_EQ(1_A, 1.0_A);
+  EXPECT_EQ(5_V, 5.0_V);
+  EXPECT_EQ(140_fF, 140.0_fF);
+  EXPECT_EQ(2_kHz, 2.0_kHz);
+  EXPECT_EQ(25_ns, 25.0_ns);
+  EXPECT_EQ(3_um, 3.0_um);
+  EXPECT_EQ(1_MOhm, 1.0_MOhm);
+  EXPECT_EQ(1_nM, 1.0_nM);
+  EXPECT_EQ(1_kcal_per_mol, 1.0_kcal_per_mol);
+}
+
+TEST(Quantity, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Voltage{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Capacitance{}.value(), 0.0);
+}
+
+TEST(Quantity, DimAccessorReportsExponents) {
+  constexpr Dim d = Capacitance::dim();
+  EXPECT_EQ(d.current, 1);
+  EXPECT_EQ(d.voltage, -1);
+  EXPECT_EQ(d.time, 1);
+  EXPECT_EQ(d.length, 0);
+  EXPECT_EQ(d.amount, 0);
+}
+
+}  // namespace
+}  // namespace biosense

@@ -59,15 +59,15 @@ TEST(Regulator, ElectrodeStaysWithinRails) {
   ElectrodeRegulator reg(wide_follower());
   const auto trace = reg.settle(4.9, 1e-6, 2e-3, 10e-9);
   EXPECT_GE(trace.min_value(), 0.0);
-  EXPECT_LE(trace.max_value(), wide_follower().vdd);
+  EXPECT_LE(trace.max_value(), wide_follower().vdd.value());
 }
 
 TEST(Regulator, RejectsInvalidConfig) {
   RegulatorConfig c = wide_follower();
-  c.electrode_cap = 0.0;
+  c.electrode_cap = 0.0_pF;
   EXPECT_THROW(ElectrodeRegulator{c}, ConfigError);
   c = wide_follower();
-  c.vdd = 0.0;
+  c.vdd = 0.0_V;
   EXPECT_THROW(ElectrodeRegulator{c}, ConfigError);
 }
 

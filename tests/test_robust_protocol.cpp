@@ -127,7 +127,7 @@ TEST(RobustProtocol, ChipNacksInvalidPayloads) {
   ASSERT_TRUE(nack.has_value());
   EXPECT_EQ((*nack)[0], dnachip::kNackMagic);
   EXPECT_EQ((*nack)[1], static_cast<std::uint16_t>(ChipError::kBadDacCode));
-  EXPECT_DOUBLE_EQ(chip.generator_potential(), 0.0);  // rejected = no effect
+  EXPECT_DOUBLE_EQ(chip.generator_potential().value(), 0.0);  // rejected = no effect
 
   // Valid payloads draw ACKs.
   const auto ack = reply_of(Opcode::kSelectSite, (2u << 8) | 2u);
@@ -231,8 +231,8 @@ neurochip::NeuroChipConfig tiny_neuro(int n = 16) {
   neurochip::NeuroChipConfig c;
   c.rows = n;
   c.cols = n;
-  c.pixel.noise_white_psd = 0.0;
-  c.pixel.noise_flicker_kf = 0.0;
+  c.pixel.noise_white_psd = VoltagePsd(0.0);
+  c.pixel.noise_flicker_kf = VoltageSq(0.0);
   return c;
 }
 

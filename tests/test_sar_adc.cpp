@@ -13,8 +13,8 @@ namespace {
 SarAdcParams ideal() {
   SarAdcParams p;
   p.unit_cap_sigma = 0.0;
-  p.comparator_offset_sigma = 0.0;
-  p.comparator_noise_rms = 0.0;
+  p.comparator_offset_sigma = 0.0_V;
+  p.comparator_noise_rms = 0.0_V;
   return p;
 }
 
@@ -86,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(Sigmas, SarAdcMismatch,
 
 TEST(SarAdc, ComparatorOffsetShiftsWholeTransfer) {
   SarAdcParams p = ideal();
-  p.comparator_offset_sigma = 20e-3;
+  p.comparator_offset_sigma = 20.0_mV;
   SarAdc adc(p, Rng(7));
   SarAdc ref(ideal(), Rng(8));
   // The offset shifts all codes by the same amount: difference between the
@@ -98,7 +98,7 @@ TEST(SarAdc, ComparatorOffsetShiftsWholeTransfer) {
 
 TEST(SarAdc, NoiseMakesLsbDither) {
   SarAdcParams p = ideal();
-  p.comparator_noise_rms = 2e-3;  // ~1 LSB of a 10-bit 2 V converter
+  p.comparator_noise_rms = 2.0_mV;  // ~1 LSB of a 10-bit 2 V converter
   SarAdc adc(p, Rng(9));
   RunningStats codes;
   for (int i = 0; i < 2000; ++i) {

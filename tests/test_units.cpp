@@ -6,36 +6,36 @@ namespace biosense {
 namespace {
 
 TEST(Units, CurrentLiterals) {
-  EXPECT_DOUBLE_EQ(1.0_A, 1.0);
-  EXPECT_DOUBLE_EQ(1.0_mA, 1e-3);
-  EXPECT_DOUBLE_EQ(1.0_uA, 1e-6);
-  EXPECT_DOUBLE_EQ(1.0_nA, 1e-9);
-  EXPECT_DOUBLE_EQ(1.0_pA, 1e-12);
-  EXPECT_DOUBLE_EQ(1.0_fA, 1e-15);
-  EXPECT_DOUBLE_EQ(100_nA, 100e-9);  // integer literal form
+  EXPECT_DOUBLE_EQ((1.0_A).value(), 1.0);
+  EXPECT_DOUBLE_EQ((1.0_mA).value(), 1e-3);
+  EXPECT_DOUBLE_EQ((1.0_uA).value(), 1e-6);
+  EXPECT_DOUBLE_EQ((1.0_nA).value(), 1e-9);
+  EXPECT_DOUBLE_EQ((1.0_pA).value(), 1e-12);
+  EXPECT_DOUBLE_EQ((1.0_fA).value(), 1e-15);
+  EXPECT_DOUBLE_EQ((100_nA).value(), 100e-9);  // integer literal form
 }
 
 TEST(Units, VoltageAndCapacitance) {
-  EXPECT_DOUBLE_EQ(5.0_V, 5.0);
-  EXPECT_DOUBLE_EQ(100_uV, 100e-6);
-  EXPECT_DOUBLE_EQ(5.0_mV, 5e-3);
-  EXPECT_DOUBLE_EQ(140.0_fF, 140e-15);
-  EXPECT_DOUBLE_EQ(1.0_pF, 1e-12);
+  EXPECT_DOUBLE_EQ((5.0_V).value(), 5.0);
+  EXPECT_DOUBLE_EQ((100_uV).value(), 100e-6);
+  EXPECT_DOUBLE_EQ((5.0_mV).value(), 5e-3);
+  EXPECT_DOUBLE_EQ((140.0_fF).value(), 140e-15);
+  EXPECT_DOUBLE_EQ((1.0_pF).value(), 1e-12);
 }
 
 TEST(Units, TimeFrequencyLength) {
-  EXPECT_DOUBLE_EQ(2.0_kHz, 2000.0);
-  EXPECT_DOUBLE_EQ(4.0_MHz, 4e6);
-  EXPECT_DOUBLE_EQ(488.0_ns, 488e-9);
-  EXPECT_DOUBLE_EQ(7.8_um, 7.8e-6);
-  EXPECT_DOUBLE_EQ(60_nm, 60e-9);
-  EXPECT_DOUBLE_EQ(1.0_MOhm, 1e6);
+  EXPECT_DOUBLE_EQ((2.0_kHz).value(), 2000.0);
+  EXPECT_DOUBLE_EQ((4.0_MHz).value(), 4e6);
+  EXPECT_DOUBLE_EQ((488.0_ns).value(), 488e-9);
+  EXPECT_DOUBLE_EQ((7.8_um).value(), 7.8e-6);
+  EXPECT_DOUBLE_EQ((60_nm).value(), 60e-9);
+  EXPECT_DOUBLE_EQ((1.0_MOhm).value(), 1e6);
 }
 
 TEST(Units, ConcentrationAndEnergy) {
-  EXPECT_DOUBLE_EQ(1.0_nM, 1e-9);
-  EXPECT_DOUBLE_EQ(1.0_pM, 1e-12);
-  EXPECT_DOUBLE_EQ(1.0_kcal_per_mol, 4184.0);
+  EXPECT_DOUBLE_EQ((1.0_nM).value(), 1e-9);
+  EXPECT_DOUBLE_EQ((1.0_pM).value(), 1e-12);
+  EXPECT_DOUBLE_EQ((1.0_kcal_per_mol).value(), 4184.0);
 }
 
 TEST(Units, PaperParameterSanity) {
@@ -46,8 +46,8 @@ TEST(Units, PaperParameterSanity) {
 }
 
 TEST(Units, ThermalVoltage) {
-  EXPECT_NEAR(thermal_voltage(constants::kRoomTempK), 25.85e-3, 0.05e-3);
-  EXPECT_NEAR(thermal_voltage(constants::kBodyTempK), 26.73e-3, 0.05e-3);
+  EXPECT_NEAR(thermal_voltage(constants::kRoomTempK).value(), 25.85e-3, 0.05e-3);
+  EXPECT_NEAR(thermal_voltage(constants::kBodyTempK).value(), 26.73e-3, 0.05e-3);
 }
 
 TEST(Units, PhysicalConstants) {

@@ -40,7 +40,7 @@ TEST(Voltammetry, ButlerVolmerSignsAndExponentialGrowth) {
   const double anodic2 =
       butler_volmer_current_density(couple(), electrode(), 0.16, 1.0, 1.0);
   EXPECT_NEAR(anodic2 / anodic, std::exp((1.0 - 0.5) * 2.0 * 0.06 /
-                                          thermal_voltage(298.15)),
+                                          thermal_voltage(298.15).value()),
               1.0);
 }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Repo-invariant linter, wired as a tier-1 ctest (see tests/CMakeLists.txt)
+# and as a ci.sh gate. Every rule greps for a pattern that has bitten a
+# simulation codebase before:
+#
+#  1. C rand()/srand(): not reproducible across libcs, poor statistics.
+#     All randomness must flow through common/rng.hpp (PCG, forkable).
+#  2. Wall-clock seeding (time(NULL)/time(nullptr)): makes runs
+#     unreproducible; seeds are explicit everywhere in this repo.
+#  3. std::random_device / unseeded std::mt19937: nondeterministic or
+#     default-seeded standard-library engines bypass the Rng discipline.
+#  4. Raw unit-suffixed magic numbers in typed config headers: once a
+#     module's config surface uses Quantity types, a nonzero double member
+#     initializer annotated with a bare electrical unit (e.g. `= 1e-3;
+#     // V`) is a regression — it belongs in a typed literal (1.0_mV).
+#     Modules not yet migrated (neuro/, dsp/, most of dna/) are out of
+#     scope until their surfaces are typed.
+#
+# A line can opt out of rule 4 with a `lint:allow-raw-unit` comment when a
+# raw double is deliberate (e.g. a hot-loop-internal cache).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+fail() {
+  echo "lint: $1"
+  echo "$2" | sed 's/^/    /'
+  echo
+  status=1
+}
+
+# All first-party sources; build trees excluded.
+mapfile -t all_sources < <(find src tests bench examples tools \
+    -name '*.cpp' -o -name '*.hpp' -o -name '*.sh' | sort)
+
+# --- rule 1: C rand()/srand() -----------------------------------------------
+hits=$(grep -nE '(std::rand|std::srand|[^_[:alnum:]]srand *\(|[^_[:alnum:]]rand *\( *\))' \
+    "${all_sources[@]}" /dev/null | grep -v 'lint\.sh' || true)
+if [[ -n "${hits}" ]]; then
+  fail "C rand()/srand() is banned; use common/rng.hpp (Rng)" "${hits}"
+fi
+
+# --- rule 2: wall-clock seeding ---------------------------------------------
+hits=$(grep -nE 'time *\( *(NULL|nullptr|0) *\)' \
+    "${all_sources[@]}" /dev/null | grep -v 'lint\.sh' || true)
+if [[ -n "${hits}" ]]; then
+  fail "wall-clock seeding (time(NULL)) is banned; seeds are explicit" \
+       "${hits}"
+fi
+
+# --- rule 3: nondeterministic / default-seeded std engines -------------------
+hits=$(grep -nE 'std::random_device|mt19937(_64)? +[_[:alnum:]]+ *;|mt19937(_64)? *\( *\)' \
+    "${all_sources[@]}" /dev/null | grep -v 'lint\.sh' || true)
+if [[ -n "${hits}" ]]; then
+  fail "std::random_device / unseeded mt19937 bypass the Rng discipline" \
+       "${hits}"
+fi
+
+# --- rule 4: raw unit-suffixed initializers in typed config headers ----------
+typed_headers=$(find src/i2f src/dnachip src/neurochip src/circuit src/noise \
+    -name '*.hpp' | sort)
+typed_headers+=" src/dna/electrochemistry.hpp src/dna/electrode.hpp"
+typed_headers+=" src/dna/labelfree.hpp src/core/dna_workbench.hpp"
+typed_headers+=" src/core/neural_workbench.hpp"
+units='V|mV|uV|A|mA|uA|nA|pA|fA|F|uF|nF|pF|fF|s|ms|us|ns|Hz|kHz|MHz'
+units+='|Ohm|kOhm|MOhm|m|um|nm|M|mM|uM|nM|pM'
+# shellcheck disable=SC2086
+hits=$(grep -nE "double [_[:alnum:]]+ = [0-9][0-9.e+-]*; *// *\(?(${units})([ ,).]|\$)" \
+    ${typed_headers} /dev/null |
+    grep -vE '= *0(\.0*)? *;' | grep -v 'lint:allow-raw-unit' || true)
+if [[ -n "${hits}" ]]; then
+  fail "raw unit-suffixed magic number in a typed config header; use a \
+Quantity literal (e.g. 1.0_mV) or annotate lint:allow-raw-unit" "${hits}"
+fi
+
+if [[ ${status} -eq 0 ]]; then
+  echo "lint: all invariants hold"
+fi
+exit ${status}
