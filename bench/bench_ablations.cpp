@@ -22,6 +22,7 @@
 #include "dna/sequence.hpp"
 #include "i2f/sawtooth.hpp"
 #include "neurochip/array.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -196,11 +197,16 @@ BENCHMARK(BM_AblationFramePerMux)->Arg(2)->Arg(8)->Arg(32)
 }  // namespace
 
 int main(int argc, char** argv) {
-  ablation_i2f_sizing();
-  ablation_pixel_calibration();
-  ablation_multiplexing();
-  ablation_redox_cycling();
-  ablation_stringency();
+  biosense::obs::BenchRun bench_run("bench_ablations");
+  {
+    biosense::obs::PhaseTimer phase("ablations.figures");
+    ablation_i2f_sizing();
+    ablation_pixel_calibration();
+    ablation_multiplexing();
+    ablation_redox_cycling();
+    ablation_stringency();
+  }
+  biosense::obs::PhaseTimer phase("ablations.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

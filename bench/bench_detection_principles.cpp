@@ -19,6 +19,7 @@
 #include "dna/labelfree.hpp"
 #include "dna/optical.hpp"
 #include "dna/voltammetry.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -138,8 +139,13 @@ BENCHMARK(BM_ImpedanceSpectrum)->Name("impedance_spectrum_30pts");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_voltammetry();
-  print_comparison();
+  biosense::obs::BenchRun bench_run("bench_detection_principles");
+  {
+    biosense::obs::PhaseTimer phase("detection.figures");
+    print_voltammetry();
+    print_comparison();
+  }
+  biosense::obs::PhaseTimer phase("detection.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

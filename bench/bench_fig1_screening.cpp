@@ -14,6 +14,7 @@
 #include "core/artifacts.hpp"
 #include "core/dna_workbench.hpp"
 #include "screening/funnel.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -95,9 +96,14 @@ BENCHMARK(BM_FunnelMillionCompounds)->Name("funnel_1M_compounds");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_gradients();
-  print_funnel_run();
-  print_assay_quality_sweep();
+  biosense::obs::BenchRun bench_run("bench_fig1_screening");
+  {
+    biosense::obs::PhaseTimer phase("fig1.figures");
+    print_gradients();
+    print_funnel_run();
+    print_assay_quality_sweep();
+  }
+  biosense::obs::PhaseTimer phase("fig1.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

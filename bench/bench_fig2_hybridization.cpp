@@ -15,6 +15,7 @@
 #include "core/experiment.hpp"
 #include "dna/assay.hpp"
 #include "dna/thermodynamics.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -139,9 +140,14 @@ BENCHMARK(BM_DuplexThermo)->Name("santalucia_kd_20mer");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_thermodynamics();
-  print_protocol_series();
-  print_assay_currents();
+  biosense::obs::BenchRun bench_run("bench_fig2_hybridization");
+  {
+    biosense::obs::PhaseTimer phase("fig2.figures");
+    print_thermodynamics();
+    print_protocol_series();
+    print_assay_currents();
+  }
+  biosense::obs::PhaseTimer phase("fig2.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,6 +18,7 @@
 #include "core/artifacts.hpp"
 #include "core/experiment.hpp"
 #include "i2f/sawtooth.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -124,9 +125,14 @@ BENCHMARK(BM_TransientWaveform)->Name("i2f_transient_50us_at_10ns");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_waveform();
-  print_transfer();
-  print_noise_floor();
+  biosense::obs::BenchRun bench_run("bench_fig3_i2f");
+  {
+    biosense::obs::PhaseTimer phase("fig3.figures");
+    print_waveform();
+    print_transfer();
+    print_noise_floor();
+  }
+  biosense::obs::PhaseTimer phase("fig3.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

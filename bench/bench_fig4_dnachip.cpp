@@ -14,6 +14,7 @@
 #include "core/dna_workbench.hpp"
 #include "core/artifacts.hpp"
 #include "core/experiment.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -152,10 +153,15 @@ BENCHMARK(BM_ChipConstruction)->Name("dnachip_die_instantiation");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fullchip_assay();
-  print_serial_budget();
-  print_periphery();
-  print_autorange();
+  biosense::obs::BenchRun bench_run("bench_fig4_dnachip");
+  {
+    biosense::obs::PhaseTimer phase("fig4.figures");
+    print_fullchip_assay();
+    print_serial_budget();
+    print_periphery();
+    print_autorange();
+  }
+  biosense::obs::PhaseTimer phase("fig4.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -17,6 +17,7 @@
 #include "core/experiment.hpp"
 #include "neuro/culture.hpp"
 #include "neuro/junction.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -131,9 +132,14 @@ BENCHMARK(BM_HhStep)->Name("hodgkin_huxley_step_10us");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_junction_parameters();
-  print_template();
-  print_amplitude_population();
+  biosense::obs::BenchRun bench_run("bench_fig5_cleft");
+  {
+    biosense::obs::PhaseTimer phase("fig5.figures");
+    print_junction_parameters();
+    print_template();
+    print_amplitude_population();
+  }
+  biosense::obs::PhaseTimer phase("fig5.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -22,6 +22,7 @@
 #include "neuro/network_model.hpp"
 #include "neurochip/recording.hpp"
 #include "neurochip/array.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -255,11 +256,16 @@ BENCHMARK(BM_PixelCalibration)->Name("neurochip_calibrate_32x32");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_calibration();
-  print_gain_chain();
-  print_timing_budget();
-  print_recording();
-  print_tissue_recording();
+  biosense::obs::BenchRun bench_run("bench_fig6_neurochip");
+  {
+    biosense::obs::PhaseTimer phase("fig6.figures");
+    print_calibration();
+    print_gain_chain();
+    print_timing_budget();
+    print_recording();
+    print_tissue_recording();
+  }
+  biosense::obs::PhaseTimer phase("fig6.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -22,6 +22,7 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "neurochip/array.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -76,6 +77,7 @@ struct ScalingPoint {
 }  // namespace
 
 int main(int argc, char** argv) {
+  biosense::obs::BenchRun bench_run("bench_parallel_scaling");
   int frames = 256;
   int rows = 128;
   int cols = 128;
@@ -91,6 +93,8 @@ int main(int argc, char** argv) {
   std::vector<ScalingPoint> points;
 
   for (int threads : thread_counts) {
+    biosense::obs::PhaseTimer phase("scaling.capture_t" +
+                                    std::to_string(threads));
     set_max_threads(threads);
     // Fresh chip per run, same seed: any cross-thread-count deviation is an
     // engine bug, not noise.
@@ -136,9 +140,11 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  const std::string out_dir = biosense::obs::results_dir();
   std::error_code ec;
-  std::filesystem::create_directories("results", ec);
-  std::ofstream json("results/bench_parallel_scaling.json");
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string json_path = out_dir + "/bench_parallel_scaling.json";
+  std::ofstream json(json_path);
   if (json) {
     json << "{\"bench\": \"parallel_scaling\", \"rows\": " << rows
          << ", \"cols\": " << cols << ", \"frames\": " << frames
@@ -154,7 +160,7 @@ int main(int argc, char** argv) {
            << ", \"identical\": " << (p.identical ? "true" : "false") << "}";
     }
     json << "]}\n";
-    std::cout << "\nwrote results/bench_parallel_scaling.json\n";
+    std::cout << "\nartifact: " << json_path << "\n";
   }
   return all_identical ? 0 : 1;
 }

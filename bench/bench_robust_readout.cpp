@@ -20,6 +20,7 @@
 #include "dnachip/chip.hpp"
 #include "faults/defect_map.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -174,7 +175,12 @@ BENCHMARK(BM_DnaBistSweep)->Name("robust_dna_bist_128_sites");
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_robust_sweep();
+  biosense::obs::BenchRun bench_run("bench_robust_readout");
+  {
+    biosense::obs::PhaseTimer phase("robust.figures");
+    print_robust_sweep();
+  }
+  biosense::obs::PhaseTimer phase("robust.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

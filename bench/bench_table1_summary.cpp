@@ -15,6 +15,7 @@
 #include "i2f/sawtooth.hpp"
 #include "neuro/culture.hpp"
 #include "neurochip/array.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
@@ -125,10 +126,15 @@ BENCHMARK(BM_SummaryChipBuild)->Name("neurochip_16x16_instantiation");
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<core::ClaimReport> reports;
-  dna_chip_summary(reports);
-  neuro_chip_summary(reports);
-  core::write_claims_json(reports, "bench_table1_summary");
+  biosense::obs::BenchRun bench_run("bench_table1_summary");
+  {
+    biosense::obs::PhaseTimer phase("table1.figures");
+    std::vector<core::ClaimReport> reports;
+    dna_chip_summary(reports);
+    neuro_chip_summary(reports);
+    core::write_claims_json(reports, "bench_table1_summary");
+  }
+  biosense::obs::PhaseTimer phase("table1.microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,9 +6,11 @@
 # -fno-sanitize-recover=all so any report is a hard test failure).
 #
 # All configurations build with BIOSENSE_WERROR=ON: a warning anywhere in
-# the tree fails CI. After the sanitizer matrix, two static gates run:
-# clang-tidy (if installed — skipped with a note otherwise) and the
-# repo-invariant linter tools/lint.sh.
+# the tree fails CI. After the sanitizer matrix three gates run: the
+# bench-regression gate (reruns the key benches and diffs their JSON
+# artifacts against bench/baselines/ via tools/bench_check.py), clang-tidy
+# (if installed — skipped with a note otherwise) and the repo-invariant
+# linter tools/lint.sh.
 #
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
@@ -17,22 +19,45 @@ cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 run_config() {
-  local name="$1" sanitize="$2"
-  shift 2
+  local name="$1" sanitize="$2" obs="$3"
+  shift 3
   local dir="build-ci-${name}"
-  echo "=== [${name}] configure (BIOSENSE_SANITIZE='${sanitize}') ==="
+  echo "=== [${name}] configure (BIOSENSE_SANITIZE='${sanitize}'" \
+       "BIOSENSE_OBS=${obs}) ==="
   cmake -B "${dir}" -S . -DBIOSENSE_SANITIZE="${sanitize}" \
-        -DBIOSENSE_WERROR=ON >/dev/null
+        -DBIOSENSE_OBS="${obs}" -DBIOSENSE_WERROR=ON >/dev/null
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${name}] ctest ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "$@"
 }
 
-run_config default "" "$@"
-run_config asan address "$@"
-run_config tsan thread "$@"
-run_config ubsan undefined "$@"
+# The asan and tsan passes build with the observability instrumentation
+# compiled in: the TSan pass then races the lock-free metrics and per-thread
+# trace buffers against the parallel capture engine, which is exactly where
+# an instrumentation bug would hide. The default and ubsan passes keep
+# OBS=OFF so the shipped (instrumentation-free) configuration is what the
+# bench gate below times.
+run_config default "" OFF "$@"
+run_config asan address ON "$@"
+run_config tsan thread ON "$@"
+run_config ubsan undefined OFF "$@"
+
+echo "=== [bench-gate] bench artifacts vs committed baselines ==="
+if command -v python3 >/dev/null 2>&1; then
+  BENCH_SCRATCH="$(mktemp -d)"
+  trap 'rm -rf "${BENCH_SCRATCH}"' EXIT
+  for bench in bench_fig3_i2f bench_fig6_neurochip bench_robust_readout; do
+    BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
+      "build-ci-default/bench/${bench}" --benchmark_filter='^$' >/dev/null
+  done
+  BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
+    build-ci-default/bench/bench_parallel_scaling \
+    --frames 32 --rows 32 --cols 32 >/dev/null
+  python3 tools/bench_check.py --results-dir "${BENCH_SCRATCH}"
+else
+  echo "python3 not installed; skipping bench gate (tools/bench_check.py)"
+fi
 
 echo "=== [clang-tidy] static analysis ==="
 if command -v clang-tidy >/dev/null 2>&1; then

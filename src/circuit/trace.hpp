@@ -1,6 +1,12 @@
 // Time-series recorder for transient simulations: collects (t, value)
 // samples and offers simple measurements (final value, settling time,
 // min/max, crossing detection). Used by tests and by the waveform benches.
+//
+// Naming note: `circuit::Trace` is a *waveform* recorder (simulated
+// voltages over simulated time). The similarly named `obs::TraceEvent` in
+// obs/trace.hpp is an *execution* trace record for the observability
+// subsystem (which code ran, when, on which thread) — the two share
+// nothing but the word.
 #pragma once
 
 #include <cstddef>

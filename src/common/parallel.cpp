@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace biosense {
 
 namespace {
@@ -57,6 +60,7 @@ void ThreadPool::run_chunks(const Job& job) {
   for (;;) {
     const std::int64_t chunk_begin = next_.fetch_add(job.grain);
     if (chunk_begin >= job.end) break;
+    BIOSENSE_COUNT("parallel.chunks", 1);
     const std::int64_t chunk_end = std::min(job.end, chunk_begin + job.grain);
     try {
       for (std::int64_t i = chunk_begin; i < chunk_end; ++i) (*job.body)(i);
@@ -83,7 +87,10 @@ void ThreadPool::worker_loop() {
       seen_generation = generation_;
       job = job_;
     }
-    run_chunks(job);
+    {
+      BIOSENSE_SPAN("parallel.worker_job");
+      run_chunks(job);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--active_workers_ == 0) done_cv_.notify_all();
@@ -100,9 +107,15 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
   // Serial fast paths: one thread, one chunk, or a nested call from inside
   // a job (re-entrant use of the shared pool would deadlock).
   if (n_threads_ == 1 || n <= grain || t_inside_job) {
+    BIOSENSE_COUNT("parallel.serial_runs", 1);
     for (std::int64_t i = begin; i < end; ++i) body(i);
     return;
   }
+
+  BIOSENSE_SPAN("parallel.for");
+  BIOSENSE_COUNT("parallel.jobs", 1);
+  BIOSENSE_OBSERVE("parallel.items_per_job",
+                   ::biosense::obs::decade_buckets(10.0, 6), n);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -2,29 +2,47 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <system_error>
+
+#include "obs/manifest.hpp"
 
 namespace biosense::core {
 
+namespace {
+
+std::string resolve_dir(const std::string& dir) {
+  return dir.empty() ? obs::results_dir() : dir;
+}
+
+std::string announce(const std::string& path) {
+  if (!path.empty()) std::cout << "artifact: " << path << "\n";
+  return path;
+}
+
+}  // namespace
+
 std::string write_table_csv(const Table& table, const std::string& name,
                             const std::string& dir) {
+  const std::string out_dir = resolve_dir(dir);
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+  std::filesystem::create_directories(out_dir, ec);
   if (ec) return {};
-  const std::string path = dir + "/" + name + ".csv";
+  const std::string path = out_dir + "/" + name + ".csv";
   std::ofstream out(path);
   if (!out) return {};
   table.write_csv(out);
-  return out.good() ? path : std::string{};
+  return announce(out.good() ? path : std::string{});
 }
 
 std::string write_claims_json(const std::vector<ClaimReport>& reports,
                               const std::string& name,
                               const std::string& dir) {
+  const std::string out_dir = resolve_dir(dir);
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+  std::filesystem::create_directories(out_dir, ec);
   if (ec) return {};
-  const std::string path = dir + "/" + name + ".json";
+  const std::string path = out_dir + "/" + name + ".json";
   std::ofstream out(path);
   if (!out) return {};
   out << "[";
@@ -33,7 +51,7 @@ std::string write_claims_json(const std::vector<ClaimReport>& reports,
     reports[i].to_json(out);
   }
   out << "]\n";
-  return out.good() ? path : std::string{};
+  return announce(out.good() ? path : std::string{});
 }
 
 }  // namespace biosense::core

@@ -1,6 +1,11 @@
 // Result artifacts: benches persist their tables as CSV next to the
 // binary output so downstream analysis (plots, regressions) never has to
 // scrape stdout.
+//
+// The destination directory defaults to obs::results_dir(), i.e. the
+// BIOSENSE_RESULTS_DIR environment variable when set, else "results".
+// Every successful write prints one `artifact: <path>` line to stdout so
+// a bench run always lists the files it produced.
 #pragma once
 
 #include <string>
@@ -12,17 +17,18 @@
 namespace biosense::core {
 
 /// Writes `table` as CSV to `<dir>/<name>.csv`, creating the directory if
-/// needed. Returns the path written, or an empty string on filesystem
-/// errors (benches treat persistence as best-effort).
+/// needed. An empty `dir` means obs::results_dir(). Returns the path
+/// written, or an empty string on filesystem errors (benches treat
+/// persistence as best-effort).
 std::string write_table_csv(const Table& table, const std::string& name,
-                            const std::string& dir = "results");
+                            const std::string& dir = "");
 
 /// Writes the claim reports of one bench as a JSON array of report objects
 /// to `<dir>/<name>.json` (one file per bench, machine-readable twin of
-/// the stdout tables). Returns the path written, or an empty string on
-/// filesystem errors.
+/// the stdout tables). An empty `dir` means obs::results_dir(). Returns
+/// the path written, or an empty string on filesystem errors.
 std::string write_claims_json(const std::vector<ClaimReport>& reports,
                               const std::string& name,
-                              const std::string& dir = "results");
+                              const std::string& dir = "");
 
 }  // namespace biosense::core

@@ -1,6 +1,8 @@
 #include "core/dna_workbench.hpp"
 
 #include "common/error.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 
 namespace biosense::core {
 
@@ -29,10 +31,16 @@ DnaWorkbench::DnaWorkbench(DnaWorkbenchConfig config,
 }
 
 WorkbenchRun DnaWorkbench::run(const std::vector<dna::TargetSpecies>& sample) {
-  const auto assay_results = assay_.run(sample);
+  BIOSENSE_SPAN("dna.run");
+  std::vector<dna::SpotResult> assay_results;
+  {
+    obs::PhaseTimer phase("dna.assay");
+    assay_results = assay_.run(sample);
+  }
 
   WorkbenchRun run;
   if (config_.run_bist) {
+    obs::PhaseTimer phase("dna.bist");
     if (auto map = host_.self_test()) {
       run.defects = std::move(*map);
     } else {
@@ -48,13 +56,18 @@ WorkbenchRun DnaWorkbench::run(const std::vector<dna::TargetSpecies>& sample) {
   }
   chip_.apply_sensor_currents(currents);
 
-  const auto frame = host_.acquire_autorange();
+  dnachip::HostInterface::Frame frame;
+  {
+    obs::PhaseTimer phase("dna.acquire");
+    frame = host_.acquire_autorange();
+  }
 
   run.gate_time = frame.gate_time;
   run.serial_bits = frame.serial_bits;
   run.crc_ok = frame.crc_ok;
   run.status = frame.status;
 
+  obs::PhaseTimer calls_phase("dna.calls");
   // Graceful degradation: BIST-flagged sites are masked and replaced by
   // their good neighbours' mean so one dead spot can't poison a call.
   std::vector<double> measured = frame.currents;

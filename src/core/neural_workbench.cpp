@@ -5,6 +5,8 @@
 #include <span>
 
 #include "common/stats.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 
 namespace biosense::core {
 
@@ -21,13 +23,18 @@ NeuralWorkbench::NeuralWorkbench(NeuralWorkbenchConfig config, Rng rng)
 }
 
 NeuralRun NeuralWorkbench::run() {
+  BIOSENSE_SPAN("neural.run");
   NeuralRun out;
-  chip_.calibrate_all();
+  {
+    obs::PhaseTimer phase("neural.calibrate");
+    chip_.calibrate_all();
+  }
   const auto [mean_off, max_off] = chip_.offset_stats();
   out.mean_abs_offset_v = mean_off;
   out.max_abs_offset_v = max_off;
 
   if (config_.run_bist) {
+    obs::PhaseTimer phase("neural.bist");
     if (auto map = chip_.self_test()) {
       out.defects = *map;
       chip_.set_defect_map(std::move(*map));
@@ -39,9 +46,13 @@ NeuralRun NeuralWorkbench::run() {
   neurochip::RecordingSession session(culture_, chip_);
   const int n_frames = static_cast<int>(config_.recording_duration *
                                         config_.chip.frame_rate);
-  out.frames = session.record(0.0, n_frames);
+  {
+    obs::PhaseTimer phase("neural.record");
+    out.frames = session.record(0.0, n_frames);
+  }
   out.active_pixels = session.active_pixels();
 
+  obs::PhaseTimer detect_phase("neural.detect");
   // Per-pixel traces -> spike detection; only pixels covered by a neuron
   // footprint are scanned (the rest is noise by construction).
   dsp::SpikeDetectorConfig det = config_.detector;

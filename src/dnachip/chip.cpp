@@ -1,5 +1,8 @@
 #include "dnachip/chip.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -128,6 +131,7 @@ std::vector<bool> DnaChip::process(const std::vector<bool>& din) {
 
 void DnaChip::apply_count_faults(std::vector<std::uint64_t>& counts) const {
   if (!has_site_faults_) return;
+  BIOSENSE_COUNT("faults.dna_count_overrides", site_faults_.total());
   const std::uint64_t max_count = (1ULL << config_.counter_bits) - 1;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     switch (site_faults_.type[i]) {
@@ -280,6 +284,7 @@ std::uint16_t HostInterface::next_seq() {
 
 void HostInterface::note_failed_attempt(int attempt) {
   ++stats_.retries;
+  BIOSENSE_COUNT("host.retries", 1);
   double backoff = retry_.backoff_base_s;
   for (int i = 1; i < attempt; ++i) backoff *= retry_.backoff_multiplier;
   stats_.backoff_s += backoff;
@@ -287,35 +292,49 @@ void HostInterface::note_failed_attempt(int attempt) {
 
 HostInterface::TxResult HostInterface::command(const CommandFrame& cmd) {
   ++stats_.transactions;
+  BIOSENSE_COUNT("host.transactions", 1);
   TxResult result;
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++stats_.attempts;
+    BIOSENSE_COUNT("host.attempts", 1);
     const bool retry_left = attempt < retry_.max_attempts;
     const auto wire_in = link_.transfer(encode_command(cmd));
-    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    if (link_.last_event() == LinkEvent::kTimeout) {
+      ++stats_.timeouts;
+      BIOSENSE_COUNT("host.timeouts", 1);
+    }
     const auto dout = chip_->process(wire_in);
     if (dout.empty()) {
       // The chip stayed silent: the command was lost or arrived corrupt.
-      if (link_.last_event() != LinkEvent::kTimeout) ++stats_.crc_failures;
+      if (link_.last_event() != LinkEvent::kTimeout) {
+        ++stats_.crc_failures;
+        BIOSENSE_COUNT("host.crc_failures", 1);
+      }
       if (retry_left) note_failed_attempt(attempt);
       continue;
     }
     const auto wire_out = link_.transfer(dout);
-    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    if (link_.last_event() == LinkEvent::kTimeout) {
+      ++stats_.timeouts;
+      BIOSENSE_COUNT("host.timeouts", 1);
+    }
     if (wire_out.empty()) {
       ++stats_.short_replies;
+      BIOSENSE_COUNT("host.short_replies", 1);
       if (retry_left) note_failed_attempt(attempt);
       continue;
     }
     const auto words = decode_data(wire_out);
     if (!words || words->size() != 2) {
       ++stats_.crc_failures;
+      BIOSENSE_COUNT("host.crc_failures", 1);
       if (retry_left) note_failed_attempt(attempt);
       continue;
     }
     if ((*words)[0] == kNackMagic) {
       // Deterministic rejection — retrying the same payload cannot help.
       ++stats_.nacks;
+      BIOSENSE_COUNT("host.nacks", 1);
       result.status = TxStatus::kNack;
       result.error = static_cast<ChipError>((*words)[1]);
       return result;
@@ -325,6 +344,7 @@ HostInterface::TxResult HostInterface::command(const CommandFrame& cmd) {
       return result;
     }
     ++stats_.crc_failures;  // decoded, but not an ACK/NACK shape
+    BIOSENSE_COUNT("host.crc_failures", 1);
     if (retry_left) note_failed_attempt(attempt);
   }
   result.status = TxStatus::kRetriesExhausted;
@@ -334,6 +354,7 @@ HostInterface::TxResult HostInterface::command(const CommandFrame& cmd) {
 HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
                                              std::size_t reply_words) {
   ++stats_.transactions;
+  BIOSENSE_COUNT("host.transactions", 1);
   TxResult result;
   // Words recovered so far across attempts: at a high bit-error rate each
   // readback corrupts a few different 24-bit frames, so the union of a few
@@ -342,19 +363,30 @@ HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
   std::size_t filled = 0;
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++stats_.attempts;
+    BIOSENSE_COUNT("host.attempts", 1);
     const bool retry_left = attempt < retry_.max_attempts;
     const auto wire_in = link_.transfer(encode_command(cmd));
-    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    if (link_.last_event() == LinkEvent::kTimeout) {
+      ++stats_.timeouts;
+      BIOSENSE_COUNT("host.timeouts", 1);
+    }
     const auto dout = chip_->process(wire_in);
     if (dout.empty()) {
-      if (link_.last_event() != LinkEvent::kTimeout) ++stats_.crc_failures;
+      if (link_.last_event() != LinkEvent::kTimeout) {
+        ++stats_.crc_failures;
+        BIOSENSE_COUNT("host.crc_failures", 1);
+      }
       if (retry_left) note_failed_attempt(attempt);
       continue;
     }
     const auto wire_out = link_.transfer(dout);
-    if (link_.last_event() == LinkEvent::kTimeout) ++stats_.timeouts;
+    if (link_.last_event() == LinkEvent::kTimeout) {
+      ++stats_.timeouts;
+      BIOSENSE_COUNT("host.timeouts", 1);
+    }
     if (wire_out.empty()) {
       ++stats_.short_replies;
+      BIOSENSE_COUNT("host.short_replies", 1);
       if (retry_left) note_failed_attempt(attempt);
       continue;
     }
@@ -363,6 +395,7 @@ HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
       const auto nack = decode_data(wire_out);
       if (nack && nack->size() == 2 && (*nack)[0] == kNackMagic) {
         ++stats_.nacks;
+        BIOSENSE_COUNT("host.nacks", 1);
         result.status = TxStatus::kNack;
         result.error = static_cast<ChipError>((*nack)[1]);
         return result;
@@ -382,6 +415,7 @@ HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
       }
       if (reply_words == 2 && result.words[0] == kNackMagic) {
         ++stats_.nacks;
+        BIOSENSE_COUNT("host.nacks", 1);
         result.status = TxStatus::kNack;
         result.error = static_cast<ChipError>(result.words[1]);
         result.words.clear();
@@ -391,6 +425,7 @@ HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
       return result;
     }
     ++stats_.crc_failures;  // frame still incomplete — merge another pass
+    BIOSENSE_COUNT("host.crc_failures", 1);
     if (retry_left) note_failed_attempt(attempt);
   }
   result.status = TxStatus::kRetriesExhausted;
@@ -407,6 +442,7 @@ void HostInterface::set_electrode_potentials(Voltage v_generator,
 }
 
 bool HostInterface::auto_calibrate(std::uint16_t gate_code) {
+  BIOSENSE_SPAN("host.auto_calibrate");
   const std::uint16_t conv_seq = next_seq();
   const auto conv = command(
       {Opcode::kStartConversion,
@@ -438,6 +474,7 @@ double HostInterface::current_from_frequency(double freq) const {
 }
 
 HostInterface::Frame HostInterface::acquire(std::uint16_t gate_code) {
+  BIOSENSE_SPAN("host.acquire");
   Frame frame;
   frame.gate_time = gate_time_from_code(gate_code);
   const std::uint64_t bits_before = link_.bits_transferred();
@@ -499,6 +536,7 @@ std::optional<double> HostInterface::acquire_site(int row, int col,
 }
 
 HostInterface::Frame HostInterface::acquire_autorange() {
+  BIOSENSE_SPAN("host.acquire_autorange");
   // Gate ladder: 2 ms, 128 ms, 8.192 s. Keep the longest non-saturated
   // measurement per site (saturation = counter near full scale).
   const std::uint16_t codes[] = {1, 7, 13};
@@ -533,6 +571,7 @@ HostInterface::Frame HostInterface::acquire_autorange() {
 
 std::optional<faults::DefectMap> HostInterface::self_test(
     std::uint16_t gate_lo, std::uint16_t gate_hi, std::uint16_t leak_gate) {
+  BIOSENSE_SPAN("host.self_test");
   const auto n = static_cast<std::size_t>(chip_->sites());
   auto sweep = [&](bool stimulus,
                    std::uint16_t gate) -> std::optional<std::vector<std::uint16_t>> {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace biosense::dnachip {
 
@@ -129,7 +131,9 @@ void SerialLink::inject_faults(const faults::LinkFaultModel& model) {
 }
 
 std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
+  BIOSENSE_SPAN("serial.transfer");
   ++stats_.frames;
+  BIOSENSE_COUNT("serial.frames", 1);
   last_event_ = LinkEvent::kOk;
   std::vector<bool> out = bits;
   if (has_frame_faults_ && !out.empty()) {
@@ -138,17 +142,20 @@ std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
     if (faults_.timeout_prob > 0.0 && rng_.bernoulli(faults_.timeout_prob)) {
       last_event_ = LinkEvent::kTimeout;
       ++stats_.timeouts;
+      BIOSENSE_COUNT("serial.timeouts", 1);
       return {};
     }
     if (faults_.drop_prob > 0.0 && rng_.bernoulli(faults_.drop_prob)) {
       last_event_ = LinkEvent::kDropped;
       ++stats_.drops;
+      BIOSENSE_COUNT("serial.drops", 1);
       return {};
     }
     if (faults_.truncate_prob > 0.0 && out.size() > 1 &&
         rng_.bernoulli(faults_.truncate_prob)) {
       last_event_ = LinkEvent::kTruncated;
       ++stats_.truncations;
+      BIOSENSE_COUNT("serial.truncations", 1);
       const auto keep = static_cast<std::size_t>(rng_.uniform_int(
           1, static_cast<std::int64_t>(out.size()) - 1));
       out.resize(keep);
@@ -157,6 +164,7 @@ std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
         !out.empty()) {
       if (last_event_ == LinkEvent::kOk) last_event_ = LinkEvent::kBurst;
       ++stats_.bursts;
+      BIOSENSE_COUNT("serial.bursts", 1);
       const auto start = static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(out.size()) - 1));
       const auto end =
@@ -164,6 +172,7 @@ std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
                                            faults_.burst_length));
       for (std::size_t i = start; i < end; ++i) out[i] = !out[i];
       stats_.bit_flips += end - start;
+      BIOSENSE_COUNT("serial.bit_flips", end - start);
     }
   }
   if (ber_ > 0.0) {
@@ -171,6 +180,7 @@ std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
       if (rng_.bernoulli(ber_)) {
         out[i] = !out[i];
         ++stats_.bit_flips;
+        BIOSENSE_COUNT("serial.bit_flips", 1);
       }
     }
   }

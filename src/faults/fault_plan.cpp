@@ -1,5 +1,7 @@
 #include "faults/fault_plan.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <cctype>
 #include <cstdlib>
 #include <sstream>
@@ -118,6 +120,7 @@ SiteFaultSet FaultPlan::dna_site_faults(int rows, int cols) const {
       set.value[i] = config_.dna_leakage_outlier_amp * rng.uniform(0.5, 2.0);
     }
   }
+  BIOSENSE_COUNT("faults.dna_sites_materialized", set.total());
   return set;
 }
 
@@ -143,6 +146,7 @@ SiteFaultSet FaultPlan::neuro_pixel_faults(int rows, int cols) const {
                                        : SiteFaultType::kRailedLow;
     }
   }
+  BIOSENSE_COUNT("faults.neuro_pixels_materialized", set.total());
   return set;
 }
 

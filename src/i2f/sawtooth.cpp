@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace biosense::i2f {
 
@@ -54,6 +56,7 @@ double SawtoothConverter::comparator_offset() const {
 }
 
 Conversion SawtoothConverter::measure(double i_sensor, double gate_time) {
+  BIOSENSE_SPAN("i2f.measure");
   require(gate_time > 0.0, "I2F: gate time must be positive");
   Conversion out;
   out.gate_time = gate_time;
@@ -93,6 +96,13 @@ Conversion SawtoothConverter::measure(double i_sensor, double gate_time) {
     v = v_reset + v_residual;
   }
   out.mean_frequency = static_cast<double>(out.count) / gate_time;
+  // Conversion effort telemetry: reset cycles per gated conversion span the
+  // converter's five decades, so decade buckets mirror Fig. 3's axis.
+  BIOSENSE_COUNT("i2f.conversions", 1);
+  BIOSENSE_COUNT("i2f.cycles", out.count);
+  BIOSENSE_OBSERVE("i2f.cycles_per_conversion",
+                   ::biosense::obs::decade_buckets(1.0, 7),
+                   static_cast<double>(out.count));
   return out;
 }
 

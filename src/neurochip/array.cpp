@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace biosense::neurochip {
 
@@ -79,13 +81,17 @@ std::int32_t NeuroChip::apply_pixel_fault(std::size_t idx,
   const auto full_code = static_cast<std::int32_t>(1 << (config_.adc.bits - 1));
   switch (pixel_faults_.type[idx]) {
     case faults::SiteFaultType::kDead:
+      BIOSENSE_COUNT("faults.neuro_pixel_overrides", 1);
       return 0;
     case faults::SiteFaultType::kStuck:
+      BIOSENSE_COUNT("faults.neuro_pixel_overrides", 1);
       return static_cast<std::int32_t>(
           std::lround(pixel_faults_.value[idx] * full_code));
     case faults::SiteFaultType::kRailedHigh:
+      BIOSENSE_COUNT("faults.neuro_pixel_overrides", 1);
       return full_code;
     case faults::SiteFaultType::kRailedLow:
+      BIOSENSE_COUNT("faults.neuro_pixel_overrides", 1);
       return -full_code;
     default:
       return code;
@@ -147,6 +153,8 @@ void NeuroChip::calibrate_pixels() {
 }
 
 void NeuroChip::calibrate_all() {
+  BIOSENSE_SPAN("neurochip.calibrate_all");
+  BIOSENSE_COUNT("neurochip.calibrations", 1);
   calibrate_pixels();
   // Reference current for gain-stage calibration: a mid-scale pixel signal
   // (gm * 1 mV has dimension current).
@@ -166,6 +174,7 @@ double NeuroChip::nominal_conversion_gain() const {
 }
 
 NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
+  BIOSENSE_SPAN("neurochip.capture_frame");
   const TimingBudget tb = timing();
   const int rows = config_.rows;
   const int cols = config_.cols;
@@ -245,9 +254,12 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
       1024);
   if (ever_calibrated_ && t + frame_period - last_calibration_t_ >=
                               config_.recalibration_interval.value()) {
+    BIOSENSE_COUNT("neurochip.recalibrations", 1);
     calibrate_pixels();
     last_calibration_t_ = t + frame_period;
   }
+  BIOSENSE_COUNT("neurochip.frames", 1);
+  BIOSENSE_COUNT("neurochip.masked_pixels", frame.masked);
   return frame;
 }
 
@@ -295,6 +307,7 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
 }
 
 std::optional<faults::DefectMap> NeuroChip::self_test(Voltage v_probe) {
+  BIOSENSE_SPAN("neurochip.self_test");
   if (!ever_calibrated_) return std::nullopt;
   require(v_probe > Voltage(0.0),
           "NeuroChip: self-test probe must be positive");

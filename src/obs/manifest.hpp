@@ -1,0 +1,100 @@
+// Run manifest: coarse per-phase wall time and memory bookkeeping that a
+// bench persists next to its result artifacts as
+// `<results>/<bench>.manifest.json`.
+//
+// Unlike spans and metrics (compile-gated, hot-path), the manifest is
+// always compiled: it records a handful of phases per run — one clock read
+// and one /proc sample at each phase boundary — so leaving it on costs
+// nothing measurable and every build produces the same artifact shape for
+// `tools/bench_check.py` to diff.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace biosense::obs {
+
+/// Directory result artifacts are written to: the BIOSENSE_RESULTS_DIR
+/// environment variable when set and non-empty, else "results".
+std::string results_dir();
+
+/// Current resident-set size in kB (0 where /proc is unavailable).
+std::uint64_t current_rss_kb();
+
+/// Peak resident-set size in kB (0 where /proc is unavailable).
+std::uint64_t peak_rss_kb();
+
+/// True when the tree was compiled with -DBIOSENSE_OBS=ON (spans and
+/// metric macros active).
+bool compiled_with_obs();
+
+struct PhaseRecord {
+  std::string name;
+  double wall_s = 0.0;
+  std::uint64_t rss_kb = 0;  // RSS sampled at phase end
+};
+
+/// Process-wide phase collector. Phases are appended in completion order;
+/// nothing is written until `write()`.
+class RunManifest {
+ public:
+  static RunManifest& global();
+
+  void add_phase(std::string name, double wall_s, std::uint64_t rss_kb);
+
+  std::vector<PhaseRecord> phases() const;
+  void clear();
+
+  /// The manifest as one JSON object: bench name, obs build flag, phases,
+  /// peak RSS, and the full metrics-registry snapshot.
+  std::string to_json(const std::string& bench_name) const;
+
+  /// Writes `to_json` to `<results_dir()>/<bench_name>.manifest.json`,
+  /// creating the directory if needed. Returns the path written, or an
+  /// empty string on filesystem errors.
+  std::string write(const std::string& bench_name) const;
+
+ private:
+  RunManifest() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<PhaseRecord> phases_;
+};
+
+/// RAII phase timer: stamps the wall clock on construction and appends a
+/// PhaseRecord to the global manifest on destruction. Use around each
+/// top-level phase of a bench or workbench run.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string name);
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t begin_ns_ = 0;
+};
+
+/// Bench bookkeeping bundle. Construct at the top of a bench `main`:
+/// enables span tracing when the BIOSENSE_TRACE environment variable names
+/// an output path; on destruction writes the Chrome trace there (if
+/// enabled), writes the run manifest, and prints the path of every artifact
+/// it produced.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string bench_name);
+  ~BenchRun();
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+ private:
+  std::string bench_name_;
+  std::string trace_path_;  // empty = tracing not requested
+};
+
+}  // namespace biosense::obs

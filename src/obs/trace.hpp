@@ -1,0 +1,123 @@
+// Scoped span tracing: `BIOSENSE_SPAN("name")` records a begin/end/thread
+// event into a per-thread buffer; the collected events export as Chrome
+// trace-event JSON, loadable directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Naming note: `obs::TraceEvent` is an *execution* trace record (who ran
+// what, when, on which thread). The similarly named `circuit::Trace` is a
+// *waveform* recorder for transient circuit simulations — the two share
+// nothing but the word.
+//
+// Recording is double-gated: the macro is compiled out entirely unless the
+// tree is built with -DBIOSENSE_OBS=ON, and even then spans are dropped
+// (one relaxed atomic load, no clock read, no allocation) until
+// `Tracer::global().enable()` — benches enable it from the BIOSENSE_TRACE
+// environment variable. Buffers are owned per thread; the only shared state
+// is the registration list, so tracing cannot reorder or perturb the
+// deterministic parallel capture paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace biosense::obs {
+
+/// One completed span. `name` must point at storage that outlives the
+/// tracer — in practice a string literal from BIOSENSE_SPAN.
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t begin_ns = 0;  // steady-clock timestamp
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;       // small per-thread id assigned at first span
+};
+
+/// Monotonic timestamp in nanoseconds (steady clock).
+std::uint64_t now_ns();
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span to the calling thread's buffer (no-op when
+  /// disabled). Called by SpanGuard; usable directly for irregular spans.
+  void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+
+  /// Snapshot of every buffered event across all threads, ordered by begin
+  /// time.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Total buffered events across all threads.
+  std::size_t event_count() const;
+
+  /// Writes the snapshot in Chrome trace-event format:
+  ///   {"traceEvents": [{"name": ..., "ph": "X", "ts": <us>, "dur": <us>,
+  ///                     "pid": 1, "tid": ...}, ...]}
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Drops every buffered event (buffers stay registered).
+  void clear();
+
+ private:
+  struct Buffer {
+    mutable std::mutex mutex;  // uncontended except against snapshots
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  Tracer() = default;
+  Buffer& local_buffer();
+
+  mutable std::mutex mutex_;  // guards the buffer list
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: stamps begin on construction, records on destruction. When
+/// tracing is disabled the constructor is a single relaxed load.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (Tracer::global().enabled()) {
+      name_ = name;
+      begin_ns_ = now_ns();
+    }
+  }
+  ~SpanGuard() {
+    if (name_ != nullptr) Tracer::global().record(name_, begin_ns_, now_ns());
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = tracing was off at entry
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace biosense::obs
+
+// --- span macro -------------------------------------------------------------
+//
+// Compiled out entirely (no clock read, no atomic, no object) unless the
+// build defines BIOSENSE_OBS_ENABLED (cmake -DBIOSENSE_OBS=ON).
+#if defined(BIOSENSE_OBS_ENABLED)
+
+#define BIOSENSE_OBS_CONCAT_INNER(a, b) a##b
+#define BIOSENSE_OBS_CONCAT(a, b) BIOSENSE_OBS_CONCAT_INNER(a, b)
+#define BIOSENSE_SPAN(name) \
+  ::biosense::obs::SpanGuard BIOSENSE_OBS_CONCAT(biosense_span_, __LINE__)(name)
+
+#else
+
+#define BIOSENSE_SPAN(name) ((void)0)
+
+#endif  // BIOSENSE_OBS_ENABLED

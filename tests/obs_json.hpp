@@ -1,0 +1,122 @@
+// Minimal recursive-descent JSON validator for obs tests: checks that a
+// string is one well-formed JSON value (objects, arrays, strings, numbers,
+// booleans, null). No DOM — tests that need a value reach for targeted
+// string checks after validation. Header-only, tests/ only.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace biosense::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  /// True when the whole input is exactly one JSON value (plus whitespace).
+  bool valid() {
+    pos_ = 0;
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_token();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string_token()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string_token() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start + (s_[start] == '-' ? 1u : 0u);
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool json_well_formed(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace biosense::testing

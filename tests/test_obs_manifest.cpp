@@ -1,0 +1,89 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs_json.hpp"
+
+namespace biosense::obs {
+namespace {
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RunManifest::global().clear(); }
+  void TearDown() override {
+    RunManifest::global().clear();
+    ::unsetenv("BIOSENSE_RESULTS_DIR");
+  }
+};
+
+TEST_F(ManifestTest, ResultsDirDefaultsAndOverrides) {
+  ::unsetenv("BIOSENSE_RESULTS_DIR");
+  EXPECT_EQ(results_dir(), "results");
+  ::setenv("BIOSENSE_RESULTS_DIR", "/tmp/biosense_obs_test_dir", 1);
+  EXPECT_EQ(results_dir(), "/tmp/biosense_obs_test_dir");
+  // Empty value falls back to the default rather than writing into "".
+  ::setenv("BIOSENSE_RESULTS_DIR", "", 1);
+  EXPECT_EQ(results_dir(), "results");
+}
+
+TEST_F(ManifestTest, PhaseTimerAppendsPhase) {
+  {
+    PhaseTimer phase("test.phase");
+  }
+  const auto phases = RunManifest::global().phases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].name, "test.phase");
+  EXPECT_GE(phases[0].wall_s, 0.0);
+}
+
+TEST_F(ManifestTest, RssSamplingWorksOnProc) {
+  // /proc is available on the CI hosts; both readings are positive and the
+  // peak can never be below the current residency.
+  EXPECT_GT(current_rss_kb(), 0u);
+  EXPECT_GE(peak_rss_kb(), current_rss_kb());
+}
+
+TEST_F(ManifestTest, ToJsonIsWellFormed) {
+  RunManifest::global().add_phase("alpha", 0.25, 1024);
+  RunManifest::global().add_phase("beta", 1.5, 2048);
+  const std::string json = RunManifest::global().to_json("test_bench");
+  EXPECT_TRUE(biosense::testing::json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"bench\": \"test_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_enabled\""), std::string::npos);
+}
+
+TEST_F(ManifestTest, WriteHonoursResultsDirOverride) {
+  const std::string dir = "obs_manifest_test_tmp";
+  ::setenv("BIOSENSE_RESULTS_DIR", dir.c_str(), 1);
+  RunManifest::global().add_phase("gamma", 0.125, 512);
+  const std::string path = RunManifest::global().write("test_bench");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, dir + "/test_bench.manifest.json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_TRUE(biosense::testing::json_well_formed(content.str()));
+  in.close();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ManifestTest, CompiledWithObsMatchesBuildFlag) {
+#if defined(BIOSENSE_OBS_ENABLED)
+  EXPECT_TRUE(compiled_with_obs());
+#else
+  EXPECT_FALSE(compiled_with_obs());
+#endif
+}
+
+}  // namespace
+}  // namespace biosense::obs

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh bench artifacts against committed
+baselines.
+
+Baselines live in bench/baselines/ and are committed copies of the JSON
+artifacts the benches write into results/ (claim reports, run manifests,
+and the parallel-scaling summary). CI reruns the benches into a scratch
+directory and calls this script; any regression fails the build.
+
+Comparison rules, per artifact kind:
+
+  * Claim reports (``bench_*.json``, a JSON array of report objects):
+      - every baseline report/check must still exist (matched by title and
+        quantity);
+      - a check that passed in the baseline must still pass;
+      - numeric measured values must agree within --tol relative tolerance
+        (the leading number is compared; the non-numeric remainder, e.g.
+        an SI unit, must match exactly so a silent 1000x scale change
+        cannot hide inside the tolerance).
+  * Run manifests (``*.manifest.json``):
+      - every baseline phase name must still be present, in order;
+      - wall times are machine-dependent and only checked with
+        --check-time, which enforces ``wall_s <= baseline * (1 + tol)``.
+  * Scaling summaries (objects with an ``all_identical`` key):
+      - ``all_identical`` must be true (the determinism contract);
+      - the thread counts covered must not shrink.
+
+Usage:
+  tools/bench_check.py [--baseline-dir DIR] [--results-dir DIR]
+                       [--tol REL] [--check-time] [names...]
+
+With no names, every ``*.json`` in the baseline dir is checked. Exit code
+0 = no regressions, 1 = regression or missing artifact, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+_NUM = re.compile(r"[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?")
+
+
+def split_measured(text):
+    """'560 nA' -> (560.0, 'nA'); 'OK' -> (None, 'OK')."""
+    text = str(text).strip()
+    m = _NUM.search(text)
+    if not m:
+        return None, text
+    rest = (text[: m.start()] + text[m.end():]).strip()
+    return float(m.group(0)), rest
+
+
+def rel_diff(a, b):
+    scale = max(abs(a), abs(b))
+    return 0.0 if scale == 0.0 else abs(a - b) / scale
+
+
+class Gate:
+    def __init__(self, tol, check_time):
+        self.tol = tol
+        self.check_time = check_time
+        self.failures = []
+
+    def fail(self, artifact, message):
+        self.failures.append(f"{artifact}: {message}")
+
+    # -- claim reports -------------------------------------------------------
+
+    def check_claims(self, name, baseline, current):
+        current_by_title = {r["title"]: r for r in current}
+        for base_report in baseline:
+            title = base_report["title"]
+            cur_report = current_by_title.get(title)
+            if cur_report is None:
+                self.fail(name, f"report '{title}' disappeared")
+                continue
+            cur_checks = {c["quantity"]: c for c in cur_report["checks"]}
+            for base_check in base_report["checks"]:
+                quantity = base_check["quantity"]
+                cur = cur_checks.get(quantity)
+                where = f"'{title}' / '{quantity}'"
+                if cur is None:
+                    self.fail(name, f"check {where} disappeared")
+                    continue
+                if base_check["pass"] and not cur["pass"]:
+                    self.fail(
+                        name,
+                        f"{where} regressed: was OK, now DEVIATES "
+                        f"(measured {cur['measured']!r}, "
+                        f"paper {cur['paper']!r})",
+                    )
+                base_num, base_rest = split_measured(base_check["measured"])
+                cur_num, cur_rest = split_measured(cur["measured"])
+                if base_num is None or cur_num is None:
+                    continue  # non-numeric measured values: pass flag rules
+                if base_rest != cur_rest:
+                    self.fail(
+                        name,
+                        f"{where} changed scale/unit: "
+                        f"{base_check['measured']!r} -> {cur['measured']!r}",
+                    )
+                elif rel_diff(base_num, cur_num) > self.tol:
+                    self.fail(
+                        name,
+                        f"{where} moved beyond tol={self.tol:g}: "
+                        f"{base_check['measured']!r} -> {cur['measured']!r}",
+                    )
+
+    # -- run manifests -------------------------------------------------------
+
+    def check_manifest(self, name, baseline, current):
+        base_phases = [p["name"] for p in baseline.get("phases", [])]
+        cur_phases = [p["name"] for p in current.get("phases", [])]
+        missing = [p for p in base_phases if p not in cur_phases]
+        if missing:
+            self.fail(name, f"manifest lost phases: {', '.join(missing)}")
+        # Order of the surviving baseline phases must be preserved.
+        survivors = [p for p in base_phases if p in cur_phases]
+        positions = [cur_phases.index(p) for p in survivors]
+        if positions != sorted(positions):
+            self.fail(name, "manifest phase order changed")
+        if self.check_time:
+            cur_wall = {p["name"]: p["wall_s"] for p in current.get("phases", [])}
+            for p in baseline.get("phases", []):
+                limit = p["wall_s"] * (1.0 + self.tol)
+                actual = cur_wall.get(p["name"])
+                if actual is not None and actual > limit and actual > 0.01:
+                    self.fail(
+                        name,
+                        f"phase '{p['name']}' slowed: {p['wall_s']:.4f}s -> "
+                        f"{actual:.4f}s (limit {limit:.4f}s)",
+                    )
+
+    # -- scaling summaries ---------------------------------------------------
+
+    def check_scaling(self, name, baseline, current):
+        if not current.get("all_identical", False):
+            self.fail(name, "parallel capture is no longer bitwise identical")
+        base_threads = {r["threads"] for r in baseline.get("results", [])}
+        cur_threads = {r["threads"] for r in current.get("results", [])}
+        lost = sorted(base_threads - cur_threads)
+        if lost:
+            self.fail(name, f"thread counts no longer covered: {lost}")
+
+    # -- dispatch ------------------------------------------------------------
+
+    def check_artifact(self, name, baseline_path, results_dir):
+        current_path = os.path.join(results_dir, name)
+        if not os.path.exists(current_path):
+            self.fail(name, f"artifact missing from {results_dir}/ "
+                            "(bench not run or write failed)")
+            return
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        try:
+            with open(current_path) as f:
+                current = json.load(f)
+        except json.JSONDecodeError as err:
+            self.fail(name, f"artifact is not valid JSON: {err}")
+            return
+        if isinstance(baseline, list):
+            self.check_claims(name, baseline, current)
+        elif "all_identical" in baseline:
+            self.check_scaling(name, baseline, current)
+        elif "phases" in baseline:
+            self.check_manifest(name, baseline, current)
+        else:
+            self.fail(name, "unrecognised baseline shape")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff bench artifacts against committed baselines")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--results-dir", default="results")
+    parser.add_argument("--tol", type=float, default=0.05,
+                        help="relative tolerance for numeric drift "
+                             "(default 0.05)")
+    parser.add_argument("--check-time", action="store_true",
+                        help="also gate manifest phase wall times")
+    parser.add_argument("names", nargs="*",
+                        help="baseline file names to check "
+                             "(default: all *.json in the baseline dir)")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.baseline_dir):
+        print(f"bench_check: baseline dir {args.baseline_dir}/ not found",
+              file=sys.stderr)
+        return 2
+    names = args.names or sorted(
+        f for f in os.listdir(args.baseline_dir) if f.endswith(".json"))
+    if not names:
+        print("bench_check: no baselines to check", file=sys.stderr)
+        return 2
+
+    gate = Gate(args.tol, args.check_time)
+    for name in names:
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            gate.fail(name, "no such baseline")
+            continue
+        gate.check_artifact(name, baseline_path, args.results_dir)
+
+    if gate.failures:
+        print(f"bench_check: {len(gate.failures)} regression(s):")
+        for f in gate.failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(f"bench_check: {len(names)} artifact(s) match baselines "
+          f"(tol={args.tol:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,12 @@
 #     // V`) is a regression — it belongs in a typed literal (1.0_mV).
 #     Modules not yet migrated (neuro/, dsp/, most of dna/) are out of
 #     scope until their surfaces are typed.
+#  5. Ad-hoc wall-clock timing in library code: std::chrono clocks in src/
+#     bypass the observability subsystem (obs::now_ns, BIOSENSE_SPAN,
+#     obs::PhaseTimer), which is the one place timing is allowed to touch
+#     the clock — it keeps instrumentation centrally gated and the
+#     simulation paths free of hidden time dependence. Benches and tests
+#     may time things directly.
 #
 # A line can opt out of rule 4 with a `lint:allow-raw-unit` comment when a
 # raw double is deliberate (e.g. a hot-loop-internal cache).
@@ -72,6 +78,16 @@ hits=$(grep -nE "double [_[:alnum:]]+ = [0-9][0-9.e+-]*; *// *\(?(${units})([ ,)
 if [[ -n "${hits}" ]]; then
   fail "raw unit-suffixed magic number in a typed config header; use a \
 Quantity literal (e.g. 1.0_mV) or annotate lint:allow-raw-unit" "${hits}"
+fi
+
+# --- rule 5: ad-hoc std::chrono clocks in library code -----------------------
+mapfile -t lib_sources < <(find src -name '*.cpp' -o -name '*.hpp' |
+    grep -v '^src/obs/' | sort)
+hits=$(grep -nE 'std::chrono::(steady_clock|system_clock|high_resolution_clock)' \
+    "${lib_sources[@]}" /dev/null || true)
+if [[ -n "${hits}" ]]; then
+  fail "std::chrono clocks in src/ are banned outside src/obs/; use \
+obs::now_ns / BIOSENSE_SPAN / obs::PhaseTimer" "${hits}"
 fi
 
 if [[ ${status} -eq 0 ]]; then
