@@ -54,6 +54,9 @@ if command -v python3 >/dev/null 2>&1; then
   BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
     build-ci-default/bench/bench_parallel_scaling \
     --frames 32 --rows 32 --cols 32 >/dev/null
+  BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
+    build-ci-default/bench/bench_streaming_pipeline \
+    --frames 48 --rows 32 --cols 32 >/dev/null
   python3 tools/bench_check.py --results-dir "${BENCH_SCRATCH}"
 else
   echo "python3 not installed; skipping bench gate (tools/bench_check.py)"

@@ -22,6 +22,11 @@ int main() {
   cfg.culture.n_neurons = 14;
   cfg.culture.duration = 0.5;
   cfg.recording_duration = Time(0.5);
+  // Streaming mode: the workbench consumes each frame as it leaves the
+  // host decoder (per-pixel traces accumulate incrementally), so nothing
+  // forces the full frame stack to be retained — drop it and memory is
+  // bounded by the pool budget no matter how long the recording runs.
+  cfg.keep_frames = false;
 
   std::printf("Neural recording demo: %dx%d pixels, %.1f um pitch, "
               "%.0f frames/s\n",
@@ -36,6 +41,11 @@ int main() {
   std::printf("\ncalibration: mean |offset| %.0f uV (max %.0f uV); "
               "uncalibrated pixels sit at tens of mV\n",
               run.mean_abs_offset_v * 1e6, run.max_abs_offset_v * 1e6);
+  std::printf("pipeline: %d frames through %d stage thread(s), "
+              "%zu pooled buffers, %llu wire words\n",
+              run.session.frames, run.session.stage_threads,
+              static_cast<std::size_t>(run.session.pool.allocations),
+              static_cast<unsigned long long>(run.session.wire.words));
   std::printf("culture: %d neurons, %zu pixels covered, %zu pixels with "
               "detections\n",
               cfg.culture.n_neurons, run.active_pixels, run.detections.size());

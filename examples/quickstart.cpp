@@ -36,7 +36,11 @@ int main() {
   // 3. The sample contains only three of the eight genes.
   std::vector<dna::TargetSpecies> sample{panel[1], panel[4], panel[6]};
 
-  // 4. Run the assay and read the chip.
+  // 4. Run the assay and read the chip. This deliberately uses the batch
+  //    compat wrapper rather than the streaming sink overload: a quickstart
+  //    wants the shortest possible path from sample to calls, and at 128
+  //    sites the collected result is tiny — streaming pays off on the
+  //    128x128 neural chip's frame stream, not here.
   const auto run = workbench.run(sample);
 
   std::printf("DNA microarray quickstart (8x16 CMOS chip, 6-pin serial)\n");

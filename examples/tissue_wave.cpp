@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/chip_session.hpp"
 #include "dsp/movie.hpp"
 #include "dsp/network.hpp"
 #include "dsp/spikes.hpp"
@@ -41,9 +42,19 @@ int main() {
               "%.0f frames/s\n",
               wave.velocity * 1e3, n, n, chip_cfg.frame_rate.value());
 
+  // Streaming acquisition: the culture session prepares the signal source,
+  // the ChipSession pipelines capture -> serialize -> host decode through
+  // pooled frame buffers, and the FrameStack consumes each decoded frame
+  // as it arrives (it is itself a StreamSink).
   neurochip::RecordingSession session(culture, chip);
-  const auto frames = session.record(0.0, 2000);
-  dsp::FrameStack stack(frames);
+  core::ChipSession pipeline(chip, {}, Rng(80));
+  dsp::FrameStack stack;
+  const auto report = pipeline.run(session.prepare(0.0, 2000), 0.0, 2000, stack);
+  std::printf("streamed %d frames through %d stage thread(s); "
+              "%llu wire words, %zu pooled buffers\n",
+              report.frames, report.stage_threads,
+              static_cast<unsigned long long>(report.wire.words),
+              static_cast<std::size_t>(report.pool.allocations));
 
   // Detect spikes on the most active pixels; keep each site's first
   // strong detection inside the first wave window as its arrival time.

@@ -1,0 +1,179 @@
+// Bounded blocking channel for the streaming pipeline.
+//
+// A mutex/condvar MPMC queue with a fixed capacity — the backpressure
+// element of the stage graph (see DESIGN.md §11). Producers block (or fail
+// fast with `try_push`) when the consumer falls behind, so a pipeline's
+// memory footprint is set by its pool and queue capacities, never by run
+// length. Storage is a ring buffer preallocated at construction (T must be
+// default-constructible and movable): a push/pop cycle moves the item and
+// touches no allocator, which the streaming pipeline's zero-steady-state-
+// allocation budget depends on. Explicit accounting: every blocking episode
+// is counted per side, and a channel constructed with a name registers a
+// queue-depth gauge and stall counters with the observability registry
+// (always-on registry access — a depth update is one relaxed store,
+// negligible next to the queue's own mutex, and metrics never feed back
+// into what is computed, so the determinism contract is untouched).
+//
+// Shutdown: `close()` wakes every blocked producer and consumer. Blocked
+// or subsequent pushes return false; pops drain the remaining items and
+// then return nullopt. Determinism note: a channel orders *when* frames
+// move, never their contents — values are owned by exactly one stage at a
+// time, so capacities affect blocking, not results.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace biosense {
+
+/// Snapshot of one channel's traffic and backpressure accounting.
+struct ChannelStats {
+  std::uint64_t pushes = 0;       // items accepted
+  std::uint64_t pops = 0;         // items delivered
+  std::uint64_t push_stalls = 0;  // blocking episodes with the queue full
+  std::uint64_t pop_stalls = 0;   // blocking episodes with the queue empty
+  std::size_t max_depth = 0;      // high-water mark
+};
+
+template <typename T>
+class Channel {
+ public:
+  /// A zero capacity is clamped to 1 (a rendezvous of depth 0 cannot make
+  /// progress with blocking semantics). `name`, when non-empty, registers
+  /// `<name>.depth` (gauge), `<name>.push_stalls` and `<name>.pop_stalls`
+  /// (counters) with the global registry.
+  explicit Channel(std::size_t capacity, const std::string& name = {})
+      : capacity_(capacity == 0 ? 1 : capacity), ring_(capacity_) {
+    if (!name.empty()) {
+      auto& registry = obs::Registry::global();
+      depth_gauge_ = &registry.gauge(name + ".depth");
+      push_stall_counter_ = &registry.counter(name + ".push_stalls");
+      pop_stall_counter_ = &registry.counter(name + ".pop_stalls");
+    }
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Blocks while the channel is full. Returns false — and leaves `item`
+  /// unconsumed on the channel — once the channel is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (count_ >= capacity_ && !closed_) {
+      ++stats_.push_stalls;
+      if (push_stall_counter_ != nullptr) push_stall_counter_->add(1);
+      not_full_.wait(lock, [this] { return count_ < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    ring_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
+    note_push();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_ || count_ >= capacity_) return false;
+    ring_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
+    note_push();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the channel is empty. Returns nullopt once the channel
+  /// is closed *and* drained — a close never loses queued items.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (count_ == 0 && !closed_) {
+      ++stats_.pop_stalls;
+      if (pop_stall_counter_ != nullptr) pop_stall_counter_->add(1);
+      not_empty_.wait(lock, [this] { return count_ > 0 || closed_; });
+    }
+    if (count_ == 0) return std::nullopt;
+    return take(lock);
+  }
+
+  /// Non-blocking pop; nullopt when empty (closed or not).
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (count_ == 0) return std::nullopt;
+    return take(lock);
+  }
+
+  /// Wakes every blocked producer and consumer. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  ChannelStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  void note_push() {
+    ++stats_.pushes;
+    stats_.max_depth = std::max(stats_.max_depth, count_);
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(count_));
+    }
+  }
+
+  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
+    std::optional<T> item(std::move(ring_[head_]));
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    ++stats_.pops;
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(count_));
+    }
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;       // fixed ring; moved-from slots stay constructed
+  std::size_t head_ = 0;      // index of the oldest queued item
+  std::size_t count_ = 0;     // queued items
+  bool closed_ = false;
+  ChannelStats stats_{};
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* push_stall_counter_ = nullptr;
+  obs::Counter* pop_stall_counter_ = nullptr;
+};
+
+}  // namespace biosense

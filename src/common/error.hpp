@@ -14,10 +14,20 @@ namespace biosense {
 class ConfigError : public std::runtime_error {
  public:
   explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+  explicit ConfigError(const char* what) : std::runtime_error(what) {}
 };
 
 /// Throws ConfigError with `msg` when `cond` is false. Used to validate
 /// user-supplied configuration structs in constructors.
+///
+/// The literal overload keeps `require` safe in steady-state hot paths:
+/// a `const std::string&` parameter would heap-allocate the message on
+/// every call, passing or not (one allocation per pixel in the capture
+/// loop), so the string is only materialized when the check fails.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw ConfigError(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw ConfigError(msg);
 }

@@ -148,6 +148,8 @@ int max_threads() {
   return g_requested_threads;
 }
 
+bool inside_parallel_job() { return t_inside_job; }
+
 void set_max_threads(int n) {
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   g_requested_threads = std::max(1, n);

@@ -88,6 +88,13 @@ class ThreadPool {
 /// Threads used by the global pool (>= 1).
 int max_threads();
 
+/// True when the calling thread is executing inside a pool job — a nested
+/// `parallel_for` would run serially. Long-lived stage loops (the streaming
+/// pipeline) must check this and fall back to their stepwise serial path:
+/// scheduling blocking stages through a serialized parallel_for would
+/// deadlock, since no second stage ever starts.
+bool inside_parallel_job();
+
 /// Resizes the global pool to `n` threads (clamped to >= 1). Takes effect
 /// immediately; intended for benches and determinism tests. Not safe to
 /// call concurrently with a running `parallel_for`.

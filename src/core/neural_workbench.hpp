@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "core/chip_session.hpp"
 #include "dsp/spikes.hpp"
 #include "faults/defect_map.hpp"
 #include "faults/fault_plan.hpp"
@@ -26,6 +27,14 @@ struct NeuralWorkbenchConfig {
   /// Run the BIST sweep after calibration and mask flagged pixels out of
   /// every recorded frame.
   bool run_bist = false;
+  /// Streaming acquisition pipeline configuration (pool/queue budget, host
+  /// link imperfections). The workbench consumes frames incrementally —
+  /// per-pixel traces accumulate as each frame arrives — so memory stays
+  /// bounded by the pool budget plus the active-pixel traces.
+  SessionConfig session{};
+  /// Also retain every decoded frame in `NeuralRun::frames`. Switch off
+  /// for long recordings where only detections matter.
+  bool keep_frames = true;
 };
 
 struct PixelDetection {
@@ -40,7 +49,10 @@ struct PixelDetection {
 };
 
 struct NeuralRun {
+  /// Decoded frames (empty when `keep_frames` is off).
   std::vector<neurochip::NeuroFrame> frames;
+  /// Streaming pipeline accounting for the record phase.
+  SessionReport session;
   std::vector<PixelDetection> detections;  // pixels with >= 1 detection
   std::size_t active_pixels = 0;
   double mean_abs_offset_v = 0.0;  // pixel calibration quality
@@ -65,6 +77,7 @@ class NeuralWorkbench {
   NeuralWorkbenchConfig config_;
   neuro::NeuronCulture culture_;
   neurochip::NeuroChip chip_;
+  Rng session_rng_;  // per-run link streams (forked after culture + chip)
 };
 
 }  // namespace biosense::core

@@ -1,0 +1,130 @@
+#include "core/wire.hpp"
+
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace biosense::core {
+
+WireStats& WireStats::operator+=(const WireStats& o) {
+  frames += o.frames;
+  words += o.words;
+  bits += o.bits;
+  attempts += o.attempts;
+  retries += o.retries;
+  recovered_words += o.recovered_words;
+  lost_words += o.lost_words;
+  incomplete_frames += o.incomplete_frames;
+  backoff_s += o.backoff_s;
+  return *this;
+}
+
+void FrameCodec::encode(const neurochip::NeuroFrame& frame, std::uint16_t seq,
+                        std::vector<std::uint16_t>& words) const {
+  words.clear();
+  words.reserve(words_for(frame.rows, frame.cols));
+  words.push_back(seq);
+  words.push_back(static_cast<std::uint16_t>(frame.rows));
+  words.push_back(static_cast<std::uint16_t>(frame.cols));
+  words.push_back(static_cast<std::uint16_t>(frame.masked));
+  std::uint64_t t_bits = 0;
+  std::memcpy(&t_bits, &frame.t, sizeof(t_bits));
+  for (int k = 3; k >= 0; --k) {
+    words.push_back(static_cast<std::uint16_t>((t_bits >> (16 * k)) & 0xffff));
+  }
+  for (std::int32_t code : frame.codes) {
+    const auto u = static_cast<std::uint32_t>(code);
+    words.push_back(static_cast<std::uint16_t>(u >> 16));
+    words.push_back(static_cast<std::uint16_t>(u & 0xffff));
+  }
+}
+
+std::size_t FrameCodec::decode(
+    const std::vector<std::optional<std::uint16_t>>& words, std::uint16_t seq,
+    neurochip::NeuroFrame& frame) const {
+  std::size_t lost = 0;
+  const auto word = [&words](std::size_t i) -> std::optional<std::uint16_t> {
+    return i < words.size() ? words[i] : std::nullopt;
+  };
+  // Header. Geometry and the sequence tag are host-side knowledge (the
+  // host configured the chip and chose the tag), so a missing or
+  // mismatched word falls back to the expected value and is counted lost;
+  // `masked` and the timestamp are chip-side facts taken from the wire
+  // when they arrived intact.
+  const std::uint16_t expected_header[3] = {
+      seq, static_cast<std::uint16_t>(frame.rows),
+      static_cast<std::uint16_t>(frame.cols)};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto w = word(i);
+    if (!w || *w != expected_header[i]) ++lost;
+  }
+  if (const auto w = word(3)) {
+    frame.masked = static_cast<int>(*w);
+  } else {
+    ++lost;
+  }
+  std::uint64_t t_bits = 0;
+  bool t_complete = true;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto w = word(4 + k);
+    if (!w) {
+      t_complete = false;
+      ++lost;
+      continue;
+    }
+    t_bits = (t_bits << 16) | *w;
+  }
+  if (t_complete) std::memcpy(&frame.t, &t_bits, sizeof(frame.t));
+
+  // Codes: two words per pixel; a pixel missing either half decodes to
+  // zero (the host genuinely does not have that sample).
+  const std::size_t n = frame.codes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto hi = word(8 + 2 * i);
+    const auto lo = word(9 + 2 * i);
+    std::int32_t code = 0;
+    if (hi && lo) {
+      code = static_cast<std::int32_t>((static_cast<std::uint32_t>(*hi) << 16) |
+                                       *lo);
+    } else {
+      lost += (hi ? 0u : 1u) + (lo ? 0u : 1u);
+    }
+    frame.codes[i] = code;
+    frame.v_in[i] = static_cast<double>(code) * adc_lsb_ / conv_gain_;
+  }
+  return lost;
+}
+
+WireStats FrameWire::process(neurochip::NeuroFrame& frame, std::uint16_t seq,
+                             Rng rng) {
+  BIOSENSE_SPAN("wire.frame");
+  WireStats s;
+  s.frames = 1;
+  codec_.encode(frame, seq, words_);
+  s.words = words_.size();
+  dnachip::encode_data_into(words_, bits_);
+  dnachip::SerialLink link(ber_, rng);
+  if (link_faults_) link.inject_faults(*link_faults_);
+  merger_.reset(words_.size());
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    ++s.attempts;
+    link.transfer_into(bits_, rx_);
+    dnachip::decode_data_lenient_into(rx_, lenient_);
+    const std::size_t fresh = merger_.absorb(lenient_);
+    if (attempt > 1) s.recovered_words += fresh;
+    if (merger_.complete()) break;
+    if (attempt < retry_.max_attempts) {
+      ++s.retries;
+      s.backoff_s += dnachip::retry_backoff(retry_, attempt);
+      BIOSENSE_COUNT("wire.retries", 1);
+    }
+  }
+  s.bits = link.bits_transferred();
+  s.lost_words = codec_.decode(merger_.words(), seq, frame);
+  s.incomplete_frames = s.lost_words > 0 ? 1 : 0;
+  BIOSENSE_COUNT("wire.frames", 1);
+  return s;
+}
+
+}  // namespace biosense::core

@@ -285,9 +285,7 @@ std::uint16_t HostInterface::next_seq() {
 void HostInterface::note_failed_attempt(int attempt) {
   ++stats_.retries;
   BIOSENSE_COUNT("host.retries", 1);
-  double backoff = retry_.backoff_base_s;
-  for (int i = 1; i < attempt; ++i) backoff *= retry_.backoff_multiplier;
-  stats_.backoff_s += backoff;
+  stats_.backoff_s += retry_backoff(retry_, attempt);
 }
 
 HostInterface::TxResult HostInterface::command(const CommandFrame& cmd) {
@@ -356,11 +354,10 @@ HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
   ++stats_.transactions;
   BIOSENSE_COUNT("host.transactions", 1);
   TxResult result;
-  // Words recovered so far across attempts: at a high bit-error rate each
-  // readback corrupts a few different 24-bit frames, so the union of a few
-  // attempts completes the frame long before a fully clean pass shows up.
-  std::vector<std::optional<std::uint16_t>> merged(reply_words);
-  std::size_t filled = 0;
+  // Words recovered so far across attempts (see WordMerger): the union of a
+  // few partially-corrupt readbacks completes the frame long before a fully
+  // clean pass shows up.
+  WordMerger merger(reply_words);
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++stats_.attempts;
     BIOSENSE_COUNT("host.attempts", 1);
@@ -401,18 +398,9 @@ HostInterface::TxResult HostInterface::query(const CommandFrame& cmd,
         return result;
       }
     }
-    const auto words = decode_data_lenient(wire_out);
-    for (std::size_t i = 0; i < words.size() && i < reply_words; ++i) {
-      if (words[i] && !merged[i]) {
-        merged[i] = words[i];
-        ++filled;
-      }
-    }
-    if (filled == reply_words) {
-      result.words.resize(reply_words);
-      for (std::size_t i = 0; i < reply_words; ++i) {
-        result.words[i] = *merged[i];
-      }
+    merger.absorb(decode_data_lenient(wire_out));
+    if (merger.complete()) {
+      merger.extract(result.words);
       if (reply_words == 2 && result.words[0] == kNackMagic) {
         ++stats_.nacks;
         BIOSENSE_COUNT("host.nacks", 1);
@@ -536,6 +524,16 @@ std::optional<double> HostInterface::acquire_site(int row, int col,
 }
 
 HostInterface::Frame HostInterface::acquire_autorange() {
+  return acquire_autorange_impl(nullptr);
+}
+
+HostInterface::Frame HostInterface::acquire_autorange(
+    StreamSink<SiteReading>& sink) {
+  return acquire_autorange_impl(&sink);
+}
+
+HostInterface::Frame HostInterface::acquire_autorange_impl(
+    StreamSink<SiteReading>* sink) {
   BIOSENSE_SPAN("host.acquire_autorange");
   // Gate ladder: 2 ms, 128 ms, 8.192 s. Keep the longest non-saturated
   // measurement per site (saturation = counter near full scale).
@@ -566,6 +564,22 @@ HostInterface::Frame HostInterface::acquire_autorange() {
   }
   combined.serial_bits = bits;
   combined.retries = retries;
+  if (sink != nullptr) {
+    // Each site's range choice is final once the whole ladder has been read
+    // back; emit the finalized readings in row-major order and return only
+    // the run summary.
+    SiteReading reading;
+    for (std::size_t i = 0; i < combined.raw_counts.size(); ++i) {
+      reading.index = static_cast<int>(i);
+      reading.raw_count = combined.raw_counts[i];
+      reading.current = combined.currents[i];
+      reading.gate_time = best_gate[i];
+      sink->on_item(reading);
+    }
+    sink->on_end();
+    combined.raw_counts.clear();
+    combined.currents.clear();
+  }
   return combined;
 }
 

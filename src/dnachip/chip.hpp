@@ -27,6 +27,7 @@
 #include "circuit/dac.hpp"
 #include "circuit/references.hpp"
 #include "common/rng.hpp"
+#include "common/stream.hpp"
 #include "common/units.hpp"
 #include "dnachip/serial.hpp"
 #include "faults/defect_map.hpp"
@@ -132,14 +133,8 @@ enum class TxStatus : std::uint8_t {
   kRetriesExhausted,  // no valid reply within the retry budget
 };
 
-/// Host retry discipline: bounded attempts with exponential backoff.
-/// Backoff is simulated (accumulated arithmetically, never slept) so runs
-/// stay fast and deterministic.
-struct RetryPolicy {
-  int max_attempts = 8;
-  double backoff_base_s = 100e-6;
-  double backoff_multiplier = 2.0;
-};
+// RetryPolicy moved to dnachip/serial.hpp — it is transport-layer policy
+// shared with the neural chip's host runtime (core/wire.hpp).
 
 /// Cumulative transport-layer bookkeeping for one host interface.
 struct ProtocolStats {
@@ -194,6 +189,23 @@ class HostInterface {
   /// counter did not overflow.
   Frame acquire_autorange();
 
+  /// One finalized site of an autorange sweep, emitted in row-major order.
+  struct SiteReading {
+    int index = 0;                 // row * cols + col
+    std::uint64_t raw_count = 0;   // at the kept gate
+    double current = 0.0;          // reconstructed, A
+    double gate_time = 0.0;        // the kept (longest non-saturated) gate, s
+  };
+
+  /// Streaming autorange: identical wire traffic and per-site values as
+  /// `acquire_autorange()`, but site readings are emitted to `sink` in
+  /// row-major order as they finalize instead of materializing a Frame.
+  /// The gate ladder itself is a physical barrier — a site's range choice
+  /// is only final once the longest gate has been read back — so emission
+  /// happens per site after the ladder, not per gate. Returns the run
+  /// summary with `raw_counts`/`currents` left empty.
+  Frame acquire_autorange(StreamSink<SiteReading>& sink);
+
   /// BIST sweep: converts the internal ~1 nA test current at a short and a
   /// long gate (dead sites answer zero, stuck sites don't scale with gate
   /// time) plus a leakage-only long-gate pass (leakage outliers stand out
@@ -233,6 +245,7 @@ class HostInterface {
 
   std::uint16_t next_seq();
   void note_failed_attempt(int attempt);
+  Frame acquire_autorange_impl(StreamSink<SiteReading>* sink);
 
   DnaChip* chip_;
   SerialLink link_;

@@ -24,16 +24,20 @@ std::uint8_t read_byte(const std::vector<bool>& bits, std::size_t offset) {
 
 }  // namespace
 
-std::uint8_t crc8(const std::vector<std::uint8_t>& bytes) {
+std::uint8_t crc8(const std::uint8_t* bytes, std::size_t n) {
   std::uint8_t crc = 0x00;
-  for (std::uint8_t byte : bytes) {
-    crc ^= byte;
+  for (std::size_t j = 0; j < n; ++j) {
+    crc ^= bytes[j];
     for (int i = 0; i < 8; ++i) {
       crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
                          : static_cast<std::uint8_t>(crc << 1);
     }
   }
   return crc;
+}
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& bytes) {
+  return crc8(bytes.data(), bytes.size());
 }
 
 std::vector<bool> encode_command(const CommandFrame& cmd) {
@@ -66,15 +70,21 @@ std::optional<CommandFrame> decode_command(const std::vector<bool>& bits) {
 
 std::vector<bool> encode_data(const std::vector<std::uint16_t>& words) {
   std::vector<bool> bits;
+  encode_data_into(words, bits);
+  return bits;
+}
+
+void encode_data_into(const std::vector<std::uint16_t>& words,
+                      std::vector<bool>& bits) {
+  bits.clear();
   bits.reserve(words.size() * 24);
   for (std::uint16_t w : words) {
-    const std::uint8_t hi = static_cast<std::uint8_t>(w >> 8);
-    const std::uint8_t lo = static_cast<std::uint8_t>(w & 0xff);
-    append_byte(bits, hi);
-    append_byte(bits, lo);
-    append_byte(bits, crc8({hi, lo}));
+    const std::uint8_t pair[2] = {static_cast<std::uint8_t>(w >> 8),
+                                  static_cast<std::uint8_t>(w & 0xff)};
+    append_byte(bits, pair[0]);
+    append_byte(bits, pair[1]);
+    append_byte(bits, crc8(pair, 2));
   }
-  return bits;
 }
 
 std::optional<std::vector<std::uint16_t>> decode_data(
@@ -83,11 +93,10 @@ std::optional<std::vector<std::uint16_t>> decode_data(
   std::vector<std::uint16_t> words;
   words.reserve(bits.size() / 24);
   for (std::size_t i = 0; i < bits.size(); i += 24) {
-    const std::uint8_t hi = read_byte(bits, i);
-    const std::uint8_t lo = read_byte(bits, i + 8);
+    const std::uint8_t pair[2] = {read_byte(bits, i), read_byte(bits, i + 8)};
     const std::uint8_t crc = read_byte(bits, i + 16);
-    if (crc8({hi, lo}) != crc) return std::nullopt;
-    words.push_back(static_cast<std::uint16_t>((hi << 8) | lo));
+    if (crc8(pair, 2) != crc) return std::nullopt;
+    words.push_back(static_cast<std::uint16_t>((pair[0] << 8) | pair[1]));
   }
   return words;
 }
@@ -95,18 +104,58 @@ std::optional<std::vector<std::uint16_t>> decode_data(
 std::vector<std::optional<std::uint16_t>> decode_data_lenient(
     const std::vector<bool>& bits) {
   std::vector<std::optional<std::uint16_t>> words;
+  decode_data_lenient_into(bits, words);
+  return words;
+}
+
+void decode_data_lenient_into(
+    const std::vector<bool>& bits,
+    std::vector<std::optional<std::uint16_t>>& words) {
+  words.clear();
   words.reserve(bits.size() / 24);
   for (std::size_t i = 0; i + 24 <= bits.size(); i += 24) {
-    const std::uint8_t hi = read_byte(bits, i);
-    const std::uint8_t lo = read_byte(bits, i + 8);
+    const std::uint8_t pair[2] = {read_byte(bits, i), read_byte(bits, i + 8)};
     const std::uint8_t crc = read_byte(bits, i + 16);
-    if (crc8({hi, lo}) == crc) {
-      words.emplace_back(static_cast<std::uint16_t>((hi << 8) | lo));
+    if (crc8(pair, 2) == crc) {
+      words.emplace_back(static_cast<std::uint16_t>((pair[0] << 8) | pair[1]));
     } else {
       words.emplace_back(std::nullopt);
     }
   }
-  return words;
+}
+
+void WordMerger::reset(std::size_t expected) {
+  expected_ = expected;
+  filled_ = 0;
+  merged_.clear();
+  merged_.resize(expected);
+}
+
+std::size_t WordMerger::absorb(
+    const std::vector<std::optional<std::uint16_t>>& words) {
+  std::size_t fresh = 0;
+  const std::size_t n = std::min(words.size(), expected_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words[i] && !merged_[i]) {
+      merged_[i] = words[i];
+      ++fresh;
+    }
+  }
+  filled_ += fresh;
+  return fresh;
+}
+
+void WordMerger::extract(std::vector<std::uint16_t>& out) const {
+  require(complete(), "WordMerger: extract before the frame completed");
+  out.clear();
+  out.reserve(expected_);
+  for (const auto& w : merged_) out.push_back(*w);
+}
+
+double retry_backoff(const RetryPolicy& policy, int attempt) {
+  double backoff = policy.backoff_base_s;
+  for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+  return backoff;
 }
 
 std::vector<bool> encode_ack(Opcode op) {
@@ -131,11 +180,18 @@ void SerialLink::inject_faults(const faults::LinkFaultModel& model) {
 }
 
 std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
+  std::vector<bool> out;
+  transfer_into(bits, out);
+  return out;
+}
+
+void SerialLink::transfer_into(const std::vector<bool>& bits,
+                               std::vector<bool>& out) {
   BIOSENSE_SPAN("serial.transfer");
   ++stats_.frames;
   BIOSENSE_COUNT("serial.frames", 1);
   last_event_ = LinkEvent::kOk;
-  std::vector<bool> out = bits;
+  out.assign(bits.begin(), bits.end());
   if (has_frame_faults_ && !out.empty()) {
     // One frame-level fate per transfer, drawn in a fixed order so a given
     // seed always produces the same fault sequence.
@@ -143,13 +199,15 @@ std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
       last_event_ = LinkEvent::kTimeout;
       ++stats_.timeouts;
       BIOSENSE_COUNT("serial.timeouts", 1);
-      return {};
+      out.clear();
+      return;
     }
     if (faults_.drop_prob > 0.0 && rng_.bernoulli(faults_.drop_prob)) {
       last_event_ = LinkEvent::kDropped;
       ++stats_.drops;
       BIOSENSE_COUNT("serial.drops", 1);
-      return {};
+      out.clear();
+      return;
     }
     if (faults_.truncate_prob > 0.0 && out.size() > 1 &&
         rng_.bernoulli(faults_.truncate_prob)) {
@@ -185,7 +243,6 @@ std::vector<bool> SerialLink::transfer(const std::vector<bool>& bits) {
     }
   }
   bits_transferred_ += out.size();
-  return out;
 }
 
 }  // namespace biosense::dnachip

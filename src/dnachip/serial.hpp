@@ -65,6 +65,11 @@ enum class ChipError : std::uint16_t {
 /// CRC-8 (polynomial 0x07, init 0x00) over a byte sequence.
 std::uint8_t crc8(const std::vector<std::uint8_t>& bytes);
 
+/// Allocation-free CRC-8 over a raw byte range — the hot-path variant the
+/// per-word framing uses (an initializer-list call heap-allocates a
+/// temporary vector per word, which the streaming pipeline cannot afford).
+std::uint8_t crc8(const std::uint8_t* bytes, std::size_t n);
+
 /// Encodes a command frame into its 32-bit wire representation
 /// (opcode | payload | crc), MSB first.
 std::vector<bool> encode_command(const CommandFrame& cmd);
@@ -76,6 +81,11 @@ std::optional<CommandFrame> decode_command(const std::vector<bool>& bits);
 /// a 16-bit word + 8-bit CRC.
 std::vector<bool> encode_data(const std::vector<std::uint16_t>& words);
 
+/// In-place variant reusing the caller's bit buffer (cleared, capacity
+/// retained) — the streaming pipeline's zero-steady-state-allocation path.
+void encode_data_into(const std::vector<std::uint16_t>& words,
+                      std::vector<bool>& bits);
+
 /// Decodes data frames; nullopt if any frame's CRC fails.
 std::optional<std::vector<std::uint16_t>> decode_data(
     const std::vector<bool>& bits);
@@ -86,6 +96,60 @@ std::optional<std::vector<std::uint16_t>> decode_data(
 /// words as invalid.
 std::vector<std::optional<std::uint16_t>> decode_data_lenient(
     const std::vector<bool>& bits);
+
+/// In-place lenient decode reusing the caller's word buffer (cleared,
+/// capacity retained).
+void decode_data_lenient_into(const std::vector<bool>& bits,
+                              std::vector<std::optional<std::uint16_t>>& words);
+
+/// Merges lenient decodes across retry attempts: each readback corrupts a
+/// few different 24-bit frames, so the union of a few partially-corrupt
+/// attempts completes a frame long before a fully clean pass shows up.
+/// This is the host-side recovery core shared by every chip's readout path
+/// (`HostInterface::query` for the DNA chip, `core::FrameWire` for the
+/// neural chip). First valid value wins per word; merge order is the
+/// attempt order, so recovery is deterministic.
+class WordMerger {
+ public:
+  explicit WordMerger(std::size_t expected) { reset(expected); }
+
+  /// Clears state for a new transaction expecting `expected` words.
+  void reset(std::size_t expected);
+
+  /// Absorbs one attempt's lenient decode; returns how many words this
+  /// attempt newly recovered. Words beyond `expected` are ignored.
+  std::size_t absorb(const std::vector<std::optional<std::uint16_t>>& words);
+
+  bool complete() const { return filled_ == expected_; }
+  std::size_t filled() const { return filled_; }
+  std::size_t expected() const { return expected_; }
+  const std::vector<std::optional<std::uint16_t>>& words() const {
+    return merged_;
+  }
+
+  /// Copies the merged words out (requires `complete()`); reuses `out`'s
+  /// capacity.
+  void extract(std::vector<std::uint16_t>& out) const;
+
+ private:
+  std::vector<std::optional<std::uint16_t>> merged_;
+  std::size_t expected_ = 0;
+  std::size_t filled_ = 0;
+};
+
+/// Host retry discipline: bounded attempts with exponential backoff.
+/// Backoff is simulated (accumulated arithmetically, never slept) so runs
+/// stay fast and deterministic. Transport-layer policy shared by both
+/// chips' host runtimes.
+struct RetryPolicy {
+  int max_attempts = 8;
+  double backoff_base_s = 100e-6;
+  double backoff_multiplier = 2.0;
+};
+
+/// Simulated backoff charged after failed attempt number `attempt`
+/// (1-based): base * multiplier^(attempt - 1).
+double retry_backoff(const RetryPolicy& policy, int attempt);
 
 /// The chip's positive acknowledge for `op`.
 std::vector<bool> encode_ack(Opcode op);
@@ -126,6 +190,10 @@ class SerialLink {
   /// per-bit errors flip individual bits. `last_event()` reports what
   /// happened.
   std::vector<bool> transfer(const std::vector<bool>& bits);
+
+  /// In-place variant writing into the caller's buffer (cleared, capacity
+  /// retained). Identical fault draws and stats as `transfer`.
+  void transfer_into(const std::vector<bool>& bits, std::vector<bool>& out);
 
   LinkEvent last_event() const { return last_event_; }
   const LinkStats& stats() const { return stats_; }

@@ -19,6 +19,16 @@ FrameStack::FrameStack(std::vector<neurochip::NeuroFrame> frames)
   }
 }
 
+void FrameStack::on_item(const neurochip::NeuroFrame& frame) {
+  if (frames_.empty()) {
+    rows_ = frame.rows;
+    cols_ = frame.cols;
+  }
+  require(frame.rows == rows_ && frame.cols == cols_,
+          "FrameStack: inconsistent frame geometry");
+  frames_.push_back(frame);
+}
+
 double FrameStack::frame_rate() const {
   if (frames_.size() < 2) return 0.0;
   const double dt = frames_[1].t - frames_[0].t;
@@ -35,6 +45,7 @@ std::vector<double> FrameStack::pixel_trace(int r, int c) const {
 }
 
 std::vector<double> FrameStack::temporal_mean() const {
+  require(!frames_.empty(), "FrameStack: need at least one frame");
   const std::size_t n = static_cast<std::size_t>(rows_ * cols_);
   std::vector<double> mean(n, 0.0);
   for (const auto& f : frames_) {

@@ -6,13 +6,23 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/stream.hpp"
 #include "neurochip/array.hpp"
 
 namespace biosense::dsp {
 
-class FrameStack {
+class FrameStack final : public StreamSink<neurochip::NeuroFrame> {
  public:
+  /// Empty stack to be filled as a `StreamSink` — hand it to
+  /// `ChipSession::run` / `record_stream` and query once the run returns.
+  FrameStack() = default;
   explicit FrameStack(std::vector<neurochip::NeuroFrame> frames);
+
+  /// StreamSink: copies the streamed frame into the stack (the referenced
+  /// frame is pooled and recycled after this returns). Geometry is checked
+  /// against the first frame seen.
+  void on_item(const neurochip::NeuroFrame& frame) override;
+  void on_end() override {}
 
   std::size_t size() const { return frames_.size(); }
   int rows() const { return rows_; }

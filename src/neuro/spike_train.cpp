@@ -81,9 +81,19 @@ std::vector<double> render_spike_waveform(const std::vector<double>& spikes,
                                           const std::vector<double>& templ,
                                           double templ_fs, double fs,
                                           std::size_t n_samples) {
+  std::vector<double> out;
+  render_spike_waveform_into(spikes, templ, templ_fs, fs, n_samples, out);
+  return out;
+}
+
+void render_spike_waveform_into(const std::vector<double>& spikes,
+                                const std::vector<double>& templ,
+                                double templ_fs, double fs,
+                                std::size_t n_samples,
+                                std::vector<double>& out) {
   require(templ_fs > 0.0 && fs > 0.0, "render_spike_waveform: invalid rates");
-  std::vector<double> out(n_samples, 0.0);
-  if (templ.empty()) return out;
+  out.assign(n_samples, 0.0);
+  if (templ.empty()) return;
   const double templ_duration = static_cast<double>(templ.size()) / templ_fs;
   for (double ts : spikes) {
     const auto first = static_cast<std::size_t>(
@@ -99,7 +109,6 @@ std::vector<double> render_spike_waveform(const std::vector<double>& spikes,
       out[i] += templ[lo] * (1.0 - frac) + templ[hi] * frac;
     }
   }
-  return out;
 }
 
 }  // namespace biosense::neuro

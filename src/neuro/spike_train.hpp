@@ -40,4 +40,12 @@ std::vector<double> render_spike_waveform(const std::vector<double>& spikes,
                                           double templ_fs, double fs,
                                           std::size_t n_samples);
 
+/// In-place variant writing into `out` (resized to `n_samples`, capacity
+/// retained) — for callers rendering many waveforms in a loop.
+void render_spike_waveform_into(const std::vector<double>& spikes,
+                                const std::vector<double>& templ,
+                                double templ_fs, double fs,
+                                std::size_t n_samples,
+                                std::vector<double>& out);
+
 }  // namespace biosense::neuro

@@ -173,16 +173,17 @@ double NeuroChip::nominal_conversion_gain() const {
   return gm_nominal_ * 100.0 * 7.0 * 4.0 * 2.0;
 }
 
-NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
+void NeuroChip::capture_frame_into(const SignalSource& source, double t,
+                                   NeuroFrame& frame) {
   BIOSENSE_SPAN("neurochip.capture_frame");
   const TimingBudget tb = timing();
   const int rows = config_.rows;
   const int cols = config_.cols;
   const int mux = config_.mux_factor;
-  NeuroFrame frame;
   frame.rows = rows;
   frame.cols = cols;
   frame.t = t;
+  frame.masked = 0;
   frame.v_in.assign(static_cast<std::size_t>(rows * cols), 0.0);
   frame.codes.assign(static_cast<std::size_t>(rows * cols), 0);
 
@@ -193,11 +194,22 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
 
   // Phase 1 — batched signal evaluation, one column per work item. The
   // scratch buffer is column-major so each call fills a contiguous span.
+  // Both phase lambdas capture a single pointer to a stack context so the
+  // std::function parallel_for builds stays inside its small-buffer
+  // optimization — a wider capture heap-allocates once per frame.
   double* scratch = signal_scratch_.data();
-  parallel_for(0, cols, [&source, scratch, rows, t, &tb](std::int64_t col) {
-    source.eval_column(static_cast<int>(col), t + col * tb.column_dwell,
-                       std::span<double>(scratch + col * rows,
-                                         static_cast<std::size_t>(rows)));
+  struct ColumnCtx {
+    const SignalSource& source;
+    double* scratch;
+    int rows;
+    double t;
+    double column_dwell;
+  } col_ctx{source, scratch, rows, t, tb.column_dwell};
+  parallel_for(0, cols, [&col_ctx](std::int64_t col) {
+    col_ctx.source.eval_column(
+        static_cast<int>(col), col_ctx.t + col * col_ctx.column_dwell,
+        std::span<double>(col_ctx.scratch + col * col_ctx.rows,
+                          static_cast<std::size_t>(col_ctx.rows)));
   });
 
   // Phase 2 — the analog signal path, one output channel per work item.
@@ -207,35 +219,53 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
   // settling state carries from column to column; every state object sees
   // the exact operation sequence of the serial scan, so frames are
   // bitwise-identical for any thread count.
-  parallel_for(0, channels(), [&](std::int64_t ch) {
-    const int row_begin = static_cast<int>(ch) * mux;
-    auto& cc = channel_chains_[static_cast<std::size_t>(ch)];
-    for (int col = 0; col < cols; ++col) {
-      for (int row = row_begin; row < row_begin + mux; ++row) {
-        auto& px = pixel(row, col);
-        const double v_sig = scratch[col * rows + row];
-        const double i_diff = px.read_current(v_sig, tb.column_dwell);
+  struct ChannelCtx {
+    NeuroChip& chip;
+    NeuroFrame& frame;
+    double* scratch;
+    int rows;
+    int cols;
+    int mux;
+    double column_dwell;
+    double mux_slot;
+    double full_scale;
+    double adc_lsb;
+    double conv_gain;
+  } ch_ctx{*this,       frame,       scratch,  rows,    cols,     mux,
+           tb.column_dwell, tb.mux_slot, full_scale, adc_lsb, conv_gain};
+  parallel_for(0, channels(), [&ch_ctx](std::int64_t ch) {
+    NeuroChip& chip = ch_ctx.chip;
+    const int row_begin = static_cast<int>(ch) * ch_ctx.mux;
+    auto& cc = chip.channel_chains_[static_cast<std::size_t>(ch)];
+    for (int col = 0; col < ch_ctx.cols; ++col) {
+      for (int row = row_begin; row < row_begin + ch_ctx.mux; ++row) {
+        auto& px = chip.pixel(row, col);
+        const double v_sig = ch_ctx.scratch[col * ch_ctx.rows + row];
+        const double i_diff = px.read_current(v_sig, ch_ctx.column_dwell);
         // Row amplifier settles within the column dwell; two half-dwell
         // steps capture the residual first-order settling.
-        auto& rc = row_chains_[static_cast<std::size_t>(row)];
-        rc.step(i_diff, 0.5 * tb.column_dwell);
-        const double i_row = rc.step(i_diff, 0.5 * tb.column_dwell);
+        auto& rc = chip.row_chains_[static_cast<std::size_t>(row)];
+        rc.step(i_diff, 0.5 * ch_ctx.column_dwell);
+        const double i_row = rc.step(i_diff, 0.5 * ch_ctx.column_dwell);
 
         // The channel chain serves mux_factor rows in sequence within the
         // column dwell (one mux slot each). Gain-chain drift scales the
         // delivered current.
-        cc.step(i_row, 0.5 * tb.mux_slot);
-        const double i_out = cc.step(i_row, 0.5 * tb.mux_slot) *
-                             channel_drift_[static_cast<std::size_t>(ch)];
+        cc.step(i_row, 0.5 * ch_ctx.mux_slot);
+        const double i_out = cc.step(i_row, 0.5 * ch_ctx.mux_slot) *
+                             chip.channel_drift_[static_cast<std::size_t>(ch)];
 
         // Off-chip ADC.
-        const double clipped = std::clamp(i_out, -full_scale, full_scale);
+        const double clipped =
+            std::clamp(i_out, -ch_ctx.full_scale, ch_ctx.full_scale);
         auto code = static_cast<std::int32_t>(
-            std::lround(clipped / adc_lsb));
-        const std::size_t idx = static_cast<std::size_t>(row * cols + col);
-        if (has_pixel_faults_) code = apply_pixel_fault(idx, code);
-        frame.codes[idx] = code;
-        frame.v_in[idx] = static_cast<double>(code) * adc_lsb / conv_gain;
+            std::lround(clipped / ch_ctx.adc_lsb));
+        const std::size_t idx =
+            static_cast<std::size_t>(row * ch_ctx.cols + col);
+        if (chip.has_pixel_faults_) code = chip.apply_pixel_fault(idx, code);
+        ch_ctx.frame.codes[idx] = code;
+        ch_ctx.frame.v_in[idx] =
+            static_cast<double>(code) * ch_ctx.adc_lsb / ch_ctx.conv_gain;
       }
     }
   });
@@ -260,6 +290,11 @@ NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
   }
   BIOSENSE_COUNT("neurochip.frames", 1);
   BIOSENSE_COUNT("neurochip.masked_pixels", frame.masked);
+}
+
+NeuroFrame NeuroChip::capture_frame(const SignalSource& source, double t) {
+  NeuroFrame frame;
+  capture_frame_into(source, t, frame);
   return frame;
 }
 
@@ -328,6 +363,8 @@ std::optional<faults::DefectMap> NeuroChip::self_test(Voltage v_probe) {
   // the median (floored at 2 codes) separates them cleanly even from
   // healthy pixels deep in the gain-mismatch tail.
   const std::size_t n = base.codes.size();
+  // Per-call allocations below are intentional (lint: cold diagnostic path,
+  // not a per-frame loop) — self_test runs once per session.
   std::vector<double> deltas(n);
   for (std::size_t i = 0; i < n; ++i) {
     deltas[i] = std::abs(static_cast<double>(step.codes[i]) -
@@ -368,14 +405,30 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
   return capture_pixel_highrate(row, col, FieldSource(field), t0, n_samples);
 }
 
-std::vector<NeuroFrame> NeuroChip::record(const SignalSource& source, double t0,
-                                          int n) {
-  std::vector<NeuroFrame> frames;
-  frames.reserve(static_cast<std::size_t>(n));
+void NeuroChip::record_stream(const SignalSource& source, double t0, int n,
+                              StreamSink<NeuroFrame>& sink) {
+  NeuroFrame scratch;
   const double period = (1.0 / config_.frame_rate).value();
   for (int k = 0; k < n; ++k) {
-    frames.push_back(capture_frame(source, t0 + k * period));
+    capture_frame_into(source, t0 + k * period, scratch);
+    sink.on_item(scratch);
   }
+  sink.on_end();
+}
+
+void NeuroChip::record_stream(const SignalField& field, double t0, int n,
+                              StreamSink<NeuroFrame>& sink) {
+  record_stream(FieldSource(field), t0, n, sink);
+}
+
+std::vector<NeuroFrame> NeuroChip::record(const SignalSource& source, double t0,
+                                          int n) {
+  // Batch compat wrapper: collect-all sink over the streaming impl.
+  std::vector<NeuroFrame> frames;
+  frames.reserve(static_cast<std::size_t>(n));
+  FunctionSink<NeuroFrame> collect(
+      [&frames](const NeuroFrame& f) { frames.push_back(f); });
+  record_stream(source, t0, n, collect);
   return frames;
 }
 

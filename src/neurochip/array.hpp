@@ -29,6 +29,7 @@
 #include "circuit/gain_stage.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/stream.hpp"
 #include "faults/defect_map.hpp"
 #include "faults/fault_plan.hpp"
 #include "neurochip/pixel.hpp"
@@ -142,19 +143,37 @@ class NeuroChip {
   /// bypasses any installed defect map so known defects re-test honestly.
   std::optional<faults::DefectMap> self_test(Voltage v_probe = 1.0_mV);
 
-  /// Captures one frame starting at time `t`, scanning columns in sequence
-  /// and reading all rows of a column in parallel through the row
-  /// amplifiers and 8:1 output multiplexers. Advances droop by one frame
-  /// period and re-calibrates when the recalibration interval elapses.
+  /// Captures one frame into `frame`, reusing its buffers (capacity
+  /// retained — with a pooled frame the steady state allocates nothing).
+  /// This is the single capture implementation: every other capture/record
+  /// entry point routes through it. Scans columns in sequence and reads all
+  /// rows of a column in parallel through the row amplifiers and 8:1 output
+  /// multiplexers; advances droop by one frame period and re-calibrates
+  /// when the recalibration interval elapses.
+  void capture_frame_into(const SignalSource& source, double t,
+                          NeuroFrame& frame);
+
+  /// Convenience wrapper returning a freshly allocated frame.
   NeuroFrame capture_frame(const SignalSource& source, double t);
 
   /// Legacy per-pixel callback overload; wraps `field` in a FieldSource
   /// adapter and produces bitwise-identical frames.
   NeuroFrame capture_frame(const SignalField& field, double t);
 
-  /// Captures `n` consecutive frames starting at t0.
-  std::vector<NeuroFrame> record(const SignalSource& source, double t0, int n);
-  std::vector<NeuroFrame> record(const SignalField& field, double t0, int n);
+  /// Streams `n` consecutive frames starting at t0 into `sink`, one
+  /// internal scratch frame reused throughout. The sink sees each frame in
+  /// capture order; the referenced frame is invalid after `on_item`
+  /// returns.
+  void record_stream(const SignalSource& source, double t0, int n,
+                     StreamSink<NeuroFrame>& sink);
+  void record_stream(const SignalField& field, double t0, int n,
+                     StreamSink<NeuroFrame>& sink);
+
+  /// Batch compat wrappers: collect-all sinks over `record_stream`.
+  std::vector<NeuroFrame> record(  // lint:allow-batch-return
+      const SignalSource& source, double t0, int n);
+  std::vector<NeuroFrame> record(  // lint:allow-batch-return
+      const SignalField& field, double t0, int n);
 
   /// High-rate single-pixel mode: the sequencer parks on one pixel and
   /// streams it at the column-scan rate (frame_rate * cols samples/s,

@@ -1,5 +1,6 @@
 #include "neurochip/recording.hpp"
 
+#include <algorithm>
 #include <span>
 
 #include "common/error.hpp"
@@ -59,11 +60,14 @@ RecordingSession::RecordingSession(const neuro::NeuronCulture& culture,
                                    NeuroChip& chip)
     : culture_(&culture), chip_(&chip) {}
 
-std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
+RecordingSession::~RecordingSession() = default;
+
+const SignalSource& RecordingSession::prepare(double t0, int n_frames) {
   require(n_frames > 0, "RecordingSession: need at least one frame");
   t0_ = t0;
   n_frames_ = n_frames;
   active_.clear();
+  active_keys_.clear();
 
   const auto& cfg = chip_->config();
   const TimingBudget tb = chip_->timing();
@@ -73,6 +77,9 @@ std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
   // sampling instants: pixel (r, c) of frame k is sampled at
   // t0 + k/fs + c*column_dwell. We fold the per-column phase into the
   // spike times so one uniform-rate render per (pixel, neuron) suffices.
+  // `shifted_scratch_` / `contrib_scratch_` are hoisted members: this
+  // double loop runs per (covered pixel, covering neuron) and must not
+  // allocate per iteration.
   for (int r = 0; r < cfg.rows; ++r) {
     for (int c = 0; c < cfg.cols; ++c) {
       const double x = ((c + 0.5) * cfg.pitch).value();
@@ -85,32 +92,48 @@ std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
       const double phase = t0 + c * tb.column_dwell;
       for (const auto* n : cover) {
         const double w = culture_->footprint_weight(*n, x, y);
-        std::vector<double> shifted;
-        shifted.reserve(n->spike_times.size());
-        for (double ts : n->spike_times) shifted.push_back(ts - phase);
-        const auto contrib = neuro::render_spike_waveform(
-            shifted, n->templ, culture_->config().template_fs, fs,
-            static_cast<std::size_t>(n_frames));
-        for (std::size_t i = 0; i < contrib.size(); ++i) {
-          sig.samples[i] += w * contrib[i];
+        shifted_scratch_.clear();
+        shifted_scratch_.reserve(n->spike_times.size());
+        for (double ts : n->spike_times) shifted_scratch_.push_back(ts - phase);
+        neuro::render_spike_waveform_into(
+            shifted_scratch_, n->templ, culture_->config().template_fs, fs,
+            static_cast<std::size_t>(n_frames), contrib_scratch_);
+        for (std::size_t i = 0; i < contrib_scratch_.size(); ++i) {
+          sig.samples[i] += w * contrib_scratch_[i];
         }
       }
       active_.emplace(r * cfg.cols + c, std::move(sig));
+      active_keys_.push_back(r * cfg.cols + c);
     }
   }
 
   // Dense pointer grid for the batched capture path (the map's node
   // storage stays stable while the source reads it).
-  std::vector<const double*> grid(
+  grid_.assign(
       static_cast<std::size_t>(cfg.rows) * static_cast<std::size_t>(cfg.cols),
       nullptr);
   for (const auto& [key, sig] : active_) {
-    grid[static_cast<std::size_t>(key)] = sig.samples.data();
+    grid_[static_cast<std::size_t>(key)] = sig.samples.data();
   }
 
-  const CultureSource source(grid, cfg.cols, t0, fs,
-                             static_cast<std::size_t>(n_frames));
-  return chip_->record(source, t0, n_frames);
+  source_ = std::make_unique<CultureSource>(
+      grid_, cfg.cols, t0, fs, static_cast<std::size_t>(n_frames));
+  return *source_;
+}
+
+void RecordingSession::record_stream(double t0, int n_frames,
+                                     StreamSink<NeuroFrame>& sink) {
+  const SignalSource& source = prepare(t0, n_frames);
+  chip_->record_stream(source, t0, n_frames, sink);
+}
+
+std::vector<NeuroFrame> RecordingSession::record(double t0, int n_frames) {
+  std::vector<NeuroFrame> frames;
+  frames.reserve(static_cast<std::size_t>(n_frames));
+  FunctionSink<NeuroFrame> collect(
+      [&frames](const NeuroFrame& f) { frames.push_back(f); });
+  record_stream(t0, n_frames, collect);
+  return frames;
 }
 
 const std::vector<double>& RecordingSession::ground_truth(int r, int c) const {

@@ -91,7 +91,8 @@ TEST(FrameStack, MostActiveOrdersAndClamps) {
 }
 
 TEST(FrameStack, Validation) {
-  EXPECT_THROW(FrameStack({}), ConfigError);
+  EXPECT_THROW(FrameStack(std::vector<neurochip::NeuroFrame>{}),
+               ConfigError);
   FrameStack stack(synthetic_movie(2, 2, 4, 0, 0));
   EXPECT_THROW(stack.pixel_trace(5, 0), ConfigError);
 }

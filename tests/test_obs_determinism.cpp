@@ -10,6 +10,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/chip_session.hpp"
 #include "neurochip/array.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -66,6 +67,42 @@ TEST(ObsDeterminism, CaptureIsBitwiseIdenticalAcrossThreadCounts) {
 
   EXPECT_EQ(h1, h2) << "2-thread capture diverged from serial";
   EXPECT_EQ(h1, h8) << "8-thread capture diverged from serial";
+}
+
+TEST(ObsDeterminism, StreamingSessionIsBitwiseIdenticalAcrossThreadCounts) {
+  // Same contract for the staged streaming pipeline: with tracing on (one
+  // span per frame) and the session's queue/pool instruments live, the
+  // decoded stream is bitwise identical at 1, 2 and 8 threads.
+  obs::Tracer::global().enable();
+
+  auto session_hash = [](int threads) {
+    set_max_threads(threads);
+    neurochip::NeuroChipConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    neurochip::NeuroChip chip(cfg, Rng(777));
+    chip.calibrate_all();
+    core::SessionConfig session_cfg;
+    session_cfg.bit_error_rate = 1e-4;  // exercise the retry path too
+    core::ChipSession session(chip, session_cfg, Rng(99));
+    const auto frames = session.record(
+        neurochip::SignalField([](int r, int c, double t) {
+          return 1e-3 * std::sin(6283.0 * t + 0.13 * c + 0.07 * r);
+        }),
+        0.0, 6);
+    return hash_frames(frames);
+  };
+
+  const std::uint64_t h1 = session_hash(1);
+  const std::uint64_t h2 = session_hash(2);
+  const std::uint64_t h8 = session_hash(8);
+
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+  set_max_threads(1);
+
+  EXPECT_EQ(h1, h2) << "2-thread streaming session diverged from serial";
+  EXPECT_EQ(h1, h8) << "8-thread streaming session diverged from serial";
 }
 
 TEST(ObsDeterminism, MetricTotalsMatchAcrossThreadCounts) {

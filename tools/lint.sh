@@ -21,9 +21,16 @@
 #     the clock — it keeps instrumentation centrally gated and the
 #     simulation paths free of hidden time dependence. Benches and tests
 #     may time things directly.
+#  6. Collect-all frame APIs in src/ headers: a function returning
+#     `std::vector<NeuroFrame>` buffers an unbounded recording in memory,
+#     which the streaming pipeline (StreamSink + FramePool) exists to
+#     avoid. New acquisition APIs must take a StreamSink; only the
+#     explicitly tagged batch compat wrappers may return the full vector.
 #
 # A line can opt out of rule 4 with a `lint:allow-raw-unit` comment when a
-# raw double is deliberate (e.g. a hot-loop-internal cache).
+# raw double is deliberate (e.g. a hot-loop-internal cache), and of rule 6
+# with `lint:allow-batch-return` on the declaration line (reserved for the
+# documented compat wrappers).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -88,6 +95,16 @@ hits=$(grep -nE 'std::chrono::(steady_clock|system_clock|high_resolution_clock)'
 if [[ -n "${hits}" ]]; then
   fail "std::chrono clocks in src/ are banned outside src/obs/; use \
 obs::now_ns / BIOSENSE_SPAN / obs::PhaseTimer" "${hits}"
+fi
+
+# --- rule 6: collect-all frame returns in src/ headers -----------------------
+mapfile -t src_headers < <(find src -name '*.hpp' | sort)
+hits=$(grep -nE 'std::vector<(neurochip::)?NeuroFrame> +[_[:alnum:]]+\(' \
+    "${src_headers[@]}" /dev/null | grep -v 'lint:allow-batch-return' || true)
+if [[ -n "${hits}" ]]; then
+  fail "APIs returning std::vector<NeuroFrame> are banned in src/ headers; \
+take a StreamSink<NeuroFrame>& (see common/stream.hpp) or tag a documented \
+compat wrapper with lint:allow-batch-return" "${hits}"
 fi
 
 if [[ ${status} -eq 0 ]]; then
