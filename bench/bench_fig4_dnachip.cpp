@@ -106,7 +106,7 @@ void print_autorange() {
   dnachip::DnaChipConfig cfg;  // full 16x8
   dnachip::DnaChip chip(cfg, Rng(25));
   dnachip::HostInterface host(chip, dnachip::SerialLink(0.0, Rng(26)));
-  host.auto_calibrate();
+  (void)host.auto_calibrate();
 
   Table t("Fig. 4 (dynamic range): autorange acquisition across five decades");
   t.set_columns({"applied [A]", "measured [A]", "error [%]"});

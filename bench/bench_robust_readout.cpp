@@ -71,8 +71,8 @@ void print_robust_sweep() {
     dnachip::HostInterface ref_host(ref_chip,
                                     dnachip::SerialLink(0.0, Rng(32)),
                                     cfg.site);
-    ref_host.auto_calibrate();
-    ref_host.self_test();  // same command sequence as the cells below
+    (void)ref_host.auto_calibrate();
+    (void)ref_host.self_test();  // same command sequence as the cells below
     ref_chip.apply_sensor_currents(currents);
     const auto ref = ref_host.acquire_autorange();
 
@@ -81,7 +81,7 @@ void print_robust_sweep() {
       if (!fault_set.empty()) chip.inject_faults(fault_set);
       dnachip::HostInterface host(chip, dnachip::SerialLink(ber, Rng(33)),
                                   cfg.site);
-      host.auto_calibrate();
+      (void)host.auto_calibrate();
 
       const auto map = host.self_test();
       const std::size_t bist_miss =
@@ -144,7 +144,7 @@ void print_robust_sweep() {
 void BM_AcquireCleanLink(benchmark::State& state) {
   dnachip::DnaChip chip(dnachip::DnaChipConfig{}, Rng(41));
   dnachip::HostInterface host(chip, dnachip::SerialLink(0.0, Rng(42)));
-  host.auto_calibrate();
+  (void)host.auto_calibrate();
   chip.apply_sensor_currents(test_currents(128));
   for (auto _ : state) {
     benchmark::DoNotOptimize(host.acquire(7));
@@ -155,7 +155,7 @@ BENCHMARK(BM_AcquireCleanLink)->Name("robust_acquire_ber0");
 void BM_AcquireNoisyLink(benchmark::State& state) {
   dnachip::DnaChip chip(dnachip::DnaChipConfig{}, Rng(43));
   dnachip::HostInterface host(chip, dnachip::SerialLink(1e-3, Rng(44)));
-  host.auto_calibrate();
+  (void)host.auto_calibrate();
   chip.apply_sensor_currents(test_currents(128));
   for (auto _ : state) {
     benchmark::DoNotOptimize(host.acquire(7));

@@ -57,6 +57,12 @@ if command -v python3 >/dev/null 2>&1; then
   BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
     build-ci-default/bench/bench_streaming_pipeline \
     --frames 48 --rows 32 --cols 32 >/dev/null
+  # Full-scale fleet load: >=1M commands over 256 mixed sessions at 1/2/8
+  # workers, with the bitwise-determinism and zero-steady-alloc contracts
+  # checked both in-process (the bench exits nonzero itself) and again by
+  # bench_check.py against the committed baseline.
+  BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
+    build-ci-default/bench/bench_fleet_server >/dev/null
   python3 tools/bench_check.py --results-dir "${BENCH_SCRATCH}"
 else
   echo "python3 not installed; skipping bench gate (tools/bench_check.py)"

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/chip_session.hpp"
+#include "core/session_options.hpp"
 #include "dsp/movie.hpp"
 #include "dsp/network.hpp"
 #include "dsp/spikes.hpp"
@@ -32,11 +32,18 @@ int main() {
   Rng wave_rng(78);
   neuro::apply_wave_activity(culture, wave, wave_rng);
 
-  neurochip::NeuroChipConfig chip_cfg;
-  chip_cfg.rows = n;
-  chip_cfg.cols = n;
-  neurochip::NeuroChip chip(chip_cfg, Rng(79));
-  chip.calibrate_all();
+  // One builder call sets up chip, calibration and the streaming session
+  // (SessionOptions is the same construction surface the fleet server
+  // uses for every remote session).
+  auto lab = core::SessionOptions()
+                 .kind(core::ChipKind::kNeuro)
+                 .rows(n)
+                 .cols(n)
+                 .chip_seed(79)
+                 .link_seed(80)
+                 .build_neuro();
+  neurochip::NeuroChip& chip = *lab.chip;
+  const auto& chip_cfg = chip.config();
 
   std::printf("tissue wave demo: %.0f mm/s wave over %dx%d pixels, "
               "%.0f frames/s\n",
@@ -47,9 +54,9 @@ int main() {
   // pooled frame buffers, and the FrameStack consumes each decoded frame
   // as it arrives (it is itself a StreamSink).
   neurochip::RecordingSession session(culture, chip);
-  core::ChipSession pipeline(chip, {}, Rng(80));
   dsp::FrameStack stack;
-  const auto report = pipeline.run(session.prepare(0.0, 2000), 0.0, 2000, stack);
+  const auto report =
+      lab.session->run(session.prepare(0.0, 2000), 0.0, 2000, stack);
   std::printf("streamed %d frames through %d stage thread(s); "
               "%llu wire words, %zu pooled buffers\n",
               report.frames, report.stage_threads,

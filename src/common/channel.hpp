@@ -49,14 +49,19 @@ class Channel {
   /// A zero capacity is clamped to 1 (a rendezvous of depth 0 cannot make
   /// progress with blocking semantics). `name`, when non-empty, registers
   /// `<name>.depth` (gauge), `<name>.push_stalls` and `<name>.pop_stalls`
-  /// (counters) with the global registry.
+  /// (counters) with the global registry. The name is claimed through
+  /// `Registry::claim_prefix`, so two channels constructed with the same
+  /// name get distinct instruments (`name.*`, `name#2.*`, ...) instead of
+  /// silently aliasing each other — with hundreds of fleet sessions each
+  /// owning a ring, aliased stall counters would be unattributable.
   explicit Channel(std::size_t capacity, const std::string& name = {})
       : capacity_(capacity == 0 ? 1 : capacity), ring_(capacity_) {
     if (!name.empty()) {
       auto& registry = obs::Registry::global();
-      depth_gauge_ = &registry.gauge(name + ".depth");
-      push_stall_counter_ = &registry.counter(name + ".push_stalls");
-      pop_stall_counter_ = &registry.counter(name + ".pop_stalls");
+      const std::string prefix = registry.claim_prefix(name);
+      depth_gauge_ = &registry.gauge(prefix + ".depth");
+      push_stall_counter_ = &registry.counter(prefix + ".push_stalls");
+      pop_stall_counter_ = &registry.counter(prefix + ".pop_stalls");
     }
   }
 

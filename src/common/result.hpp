@@ -1,0 +1,105 @@
+// Expected-style result type: the uniform error-signaling convention for
+// fallible host/readout APIs.
+//
+// Before this type the host stack mixed three conventions — `bool` returns
+// (auto_calibrate), `std::optional` (acquire_site, decode_*) and out-params
+// with status structs — so callers could not tell *why* a transaction
+// failed without consulting a side channel. `Result<T, E>` carries either
+// the value or a typed error, costs one discriminant next to the larger of
+// the two payloads, and deliberately mimics the `std::optional` access
+// surface (`operator bool`, `has_value`, `*`, `->`) so migrating an
+// optional-returning API is a signature change, not a call-site rewrite.
+//
+// Conventions (documented in DESIGN.md §12 and README "API style"):
+//  * New fallible APIs in src/host/ must return Result — `bool` returns
+//    are banned there by lint rule 7.
+//  * E is a cheap enum (`dnachip::ChipError`, `host::HostStatus`); the
+//    error accessor is always valid to call and returns the success
+//    sentinel (typically `E{}`) when the result holds a value.
+//  * Steady-state paths stay exception-free: `value()` on an error is a
+//    programming bug and throws ConfigError like any violated precondition.
+#pragma once
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace biosense {
+
+/// Tag type for constructing an error-holding Result when T and E would
+/// otherwise be ambiguous (e.g. Result<int, int> in tests).
+struct ErrTag {};
+inline constexpr ErrTag kErr{};
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  /// Success. Implicit on purpose: `return 3.2;` reads like the optional
+  /// code it replaces.
+  Result(T value) : value_(std::move(value)), ok_(true) {}  // NOLINT
+
+  /// Failure carrying a typed error.
+  Result(ErrTag, E error) : error_(std::move(error)), ok_(false) {}
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result err(E error) { return Result(kErr, std::move(error)); }
+
+  bool has_value() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  T& operator*() & { return value_; }
+  const T& operator*() const& { return value_; }
+  T&& operator*() && { return std::move(value_); }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+  /// Checked access: a violated precondition, not a recoverable path.
+  T& value() & {
+    require(ok_, "Result::value() called on an error");
+    return value_;
+  }
+  const T& value() const& {
+    require(ok_, "Result::value() called on an error");
+    return value_;
+  }
+
+  T value_or(T fallback) const {
+    return ok_ ? value_ : std::move(fallback);
+  }
+
+  /// The error, or the success sentinel `E{}` when a value is held.
+  E error() const { return ok_ ? E{} : error_; }
+
+ private:
+  // One of the two is active; both are cheap in this codebase (doubles,
+  // small structs, enums), so a plain pair beats a union's complexity.
+  T value_{};
+  E error_{};
+  bool ok_ = false;
+};
+
+/// Result<void, E>: success/failure with a typed reason but no payload —
+/// the replacement for `bool` returns.
+template <typename E>
+class [[nodiscard]] Result<void, E> {
+ public:
+  Result() : ok_(true) {}
+  Result(ErrTag, E error) : error_(std::move(error)), ok_(false) {}
+
+  static Result ok() { return Result(); }
+  static Result err(E error) { return Result(kErr, std::move(error)); }
+
+  bool has_value() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  /// Checked no-op: throws on an error, like the primary template.
+  void value() const { require(ok_, "Result::value() called on an error"); }
+
+  E error() const { return ok_ ? E{} : error_; }
+
+ private:
+  E error_{};
+  bool ok_ = false;
+};
+
+}  // namespace biosense

@@ -41,7 +41,11 @@ ChipSession::ChipSession(neurochip::NeuroChip& chip, SessionConfig config,
     : chip_(&chip),
       config_(std::move(config)),
       rng_(rng),
-      pool_(config_.pool_frames, config_.name + ".pool") {
+      obs_name_(config_.name.empty()
+                    ? std::string{}
+                    : obs::Registry::global().claim_prefix(config_.name)),
+      pool_(config_.pool_frames,
+            obs_name_.empty() ? std::string{} : obs_name_ + ".pool") {
   config_.validate();
 }
 
@@ -137,10 +141,12 @@ SessionReport ChipSession::run_staged(const neurochip::SignalSource& source,
   std::exception_ptr first_error;
 
   {
-    Channel<FrameTask> to_wire(config_.queue_depth,
-                               config_.name + ".capture_q");
-    Channel<FrameTask> to_sink(config_.queue_depth,
-                               config_.name + ".decode_q");
+    Channel<FrameTask> to_wire(
+        config_.queue_depth,
+        obs_name_.empty() ? std::string{} : obs_name_ + ".capture_q");
+    Channel<FrameTask> to_sink(
+        config_.queue_depth,
+        obs_name_.empty() ? std::string{} : obs_name_ + ".decode_q");
     std::atomic<int> wire_alive{wire_workers};
 
     // First failure wins; closing everything unblocks the other stages

@@ -52,6 +52,11 @@ struct SessionConfig {
   std::optional<faults::LinkFaultModel> link_faults{};
   dnachip::RetryPolicy retry{};
   /// Metric prefix: `<name>.capture_q.depth`, `<name>.pool.available`, ...
+  /// The session claims a collision-free variant via
+  /// `obs::Registry::claim_prefix` ("session", "session#2", ...), so many
+  /// sessions sharing a base name keep distinct instruments. Empty
+  /// disables instrument registration entirely (throughput-critical
+  /// fleets).
   std::string name = "session";
 
   /// Throws ConfigError on a non-positive pool, BER outside [0,1), or an
@@ -114,6 +119,11 @@ class ChipSession {
   neurochip::NeuroChip* chip_;
   SessionConfig config_;
   Rng rng_;
+  /// Collision-free instrument prefix claimed from the obs registry: the
+  /// first session named "session" keeps it, later ones get "session#2",
+  /// ... so a fleet of same-named sessions never aliases gauges. Ordered
+  /// before pool_, which derives its instrument names from it.
+  std::string obs_name_;
   FramePool<neurochip::NeuroFrame> pool_;
 };
 

@@ -429,25 +429,45 @@ void HostInterface::set_electrode_potentials(Voltage v_generator,
            static_cast<std::uint16_t>(ideal.code_for(v_collector.value()))});
 }
 
-bool HostInterface::auto_calibrate(std::uint16_t gate_code) {
+ChipError chip_error_from(TxStatus status, ChipError nack_detail) {
+  switch (status) {
+    case TxStatus::kOk:
+      return ChipError::kNone;
+    case TxStatus::kNack:
+      // A NACK always carries a detail word; a zero detail means the chip
+      // model produced an undiagnosed rejection — surface it as malformed.
+      return nack_detail == ChipError::kNone ? ChipError::kMalformed
+                                             : nack_detail;
+    case TxStatus::kRetriesExhausted:
+      return ChipError::kRetriesExhausted;
+  }
+  return ChipError::kRetriesExhausted;
+}
+
+Result<void, ChipError> HostInterface::auto_calibrate(std::uint16_t gate_code) {
+  using R = Result<void, ChipError>;
   BIOSENSE_SPAN("host.auto_calibrate");
   const std::uint16_t conv_seq = next_seq();
   const auto conv = command(
       {Opcode::kStartConversion,
        static_cast<std::uint16_t>((conv_seq << 8) | (gate_code & 0xff))});
-  if (conv.status != TxStatus::kOk) return false;
+  if (conv.status != TxStatus::kOk) {
+    return R::err(chip_error_from(conv.status, conv.error));
+  }
   const std::uint16_t cal_seq = next_seq();
   const auto cal = query(
       {Opcode::kAutoCalibrate,
        static_cast<std::uint16_t>((cal_seq << 8) | (gate_code & 0xff))},
       static_cast<std::size_t>(chip_->sites()));
-  if (cal.status != TxStatus::kOk) return false;
+  if (cal.status != TxStatus::kOk) {
+    return R::err(chip_error_from(cal.status, cal.error));
+  }
   const double gate = gate_time_from_code(gate_code);
   cal_baseline_hz_.assign(cal.words.size(), 0.0);
   for (std::size_t i = 0; i < cal.words.size(); ++i) {
     cal_baseline_hz_[i] = static_cast<double>(cal.words[i]) / gate;
   }
-  return true;
+  return {};
 }
 
 double HostInterface::current_from_frequency(double freq) const {
@@ -500,20 +520,28 @@ HostInterface::Frame HostInterface::acquire(std::uint16_t gate_code) {
   return frame;
 }
 
-std::optional<double> HostInterface::acquire_site(int row, int col,
-                                                  std::uint16_t gate_code) {
-  if (row < 0 || row > 0xff || col < 0 || col > 0xff) return std::nullopt;
+Result<double, ChipError> HostInterface::acquire_site(int row, int col,
+                                                      std::uint16_t gate_code) {
+  using R = Result<double, ChipError>;
+  if (row < 0 || row > 0xff || col < 0 || col > 0xff) {
+    return R::err(ChipError::kBadArgument);
+  }
   const auto payload = static_cast<std::uint16_t>((row << 8) | col);
-  if (command({Opcode::kSelectSite, payload}).status != TxStatus::kOk) {
-    return std::nullopt;
+  const auto sel = command({Opcode::kSelectSite, payload});
+  if (sel.status != TxStatus::kOk) {
+    return R::err(chip_error_from(sel.status, sel.error));
   }
   const std::uint16_t seq = next_seq();
   const auto conv = command(
       {Opcode::kStartConversion,
        static_cast<std::uint16_t>((seq << 8) | (gate_code & 0xff))});
-  if (conv.status != TxStatus::kOk) return std::nullopt;
+  if (conv.status != TxStatus::kOk) {
+    return R::err(chip_error_from(conv.status, conv.error));
+  }
   const auto rd = query({Opcode::kReadSite, 0}, 1);
-  if (rd.status != TxStatus::kOk) return std::nullopt;
+  if (rd.status != TxStatus::kOk) {
+    return R::err(chip_error_from(rd.status, rd.error));
+  }
   const double gate = gate_time_from_code(gate_code);
   double hz = static_cast<double>(rd.words[0]) / gate;
   const auto idx = static_cast<std::size_t>(row * chip_->cols() + col);
@@ -583,24 +611,31 @@ HostInterface::Frame HostInterface::acquire_autorange_impl(
   return combined;
 }
 
-std::optional<faults::DefectMap> HostInterface::self_test(
+Result<faults::DefectMap, ChipError> HostInterface::self_test(
     std::uint16_t gate_lo, std::uint16_t gate_hi, std::uint16_t leak_gate) {
+  using R = Result<faults::DefectMap, ChipError>;
   BIOSENSE_SPAN("host.self_test");
   const auto n = static_cast<std::size_t>(chip_->sites());
   auto sweep = [&](bool stimulus,
-                   std::uint16_t gate) -> std::optional<std::vector<std::uint16_t>> {
+                   std::uint16_t gate) -> Result<std::vector<std::uint16_t>,
+                                                 ChipError> {
+    using Sweep = Result<std::vector<std::uint16_t>, ChipError>;
     const std::uint16_t seq = next_seq();
     const auto payload = static_cast<std::uint16_t>(
         (seq << 8) | (stimulus ? kSelfTestStimulus : 0) | (gate & 0x0f));
     const auto r = query({Opcode::kSelfTest, payload}, n);
-    if (r.status != TxStatus::kOk) return std::nullopt;
+    if (r.status != TxStatus::kOk) {
+      return Sweep::err(chip_error_from(r.status, r.error));
+    }
     return r.words;
   };
 
   const auto lo = sweep(true, gate_lo);
+  if (!lo) return R::err(lo.error());
   const auto hi = sweep(true, gate_hi);
+  if (!hi) return R::err(hi.error());
   const auto leak = sweep(false, leak_gate);
-  if (!lo || !hi || !leak) return std::nullopt;
+  if (!leak) return R::err(leak.error());
 
   // Leakage outliers stand out against the population: at a long gate a
   // healthy site integrates a few counts of residual leakage, an outlier

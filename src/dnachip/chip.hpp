@@ -26,6 +26,7 @@
 
 #include "circuit/dac.hpp"
 #include "circuit/references.hpp"
+#include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/stream.hpp"
 #include "common/units.hpp"
@@ -133,6 +134,11 @@ enum class TxStatus : std::uint8_t {
   kRetriesExhausted,  // no valid reply within the retry budget
 };
 
+/// Collapses a transaction outcome into the uniform error domain: a NACK
+/// carries the chip's detail word through, exhausted retries map to the
+/// host-side kRetriesExhausted code.
+ChipError chip_error_from(TxStatus status, ChipError nack_detail);
+
 // RetryPolicy moved to dnachip/serial.hpp — it is transport-layer policy
 // shared with the neural chip's host runtime (core/wire.hpp).
 
@@ -162,8 +168,9 @@ class HostInterface {
   void set_electrode_potentials(Voltage v_generator, Voltage v_collector);
 
   /// Runs the chip's zero-input auto-calibration; stores per-site baseline
-  /// counts host-side as well.
-  bool auto_calibrate(std::uint16_t gate_code = 7);
+  /// counts host-side as well. The error says which transaction failed how
+  /// (NACK detail or kRetriesExhausted).
+  Result<void, ChipError> auto_calibrate(std::uint16_t gate_code = 7);
 
   struct Frame {
     std::vector<std::uint64_t> raw_counts;     // per site, row-major
@@ -179,10 +186,11 @@ class HostInterface {
   Frame acquire(std::uint16_t gate_code);
 
   /// Debug path: converts and reads a single site (row, col); returns the
-  /// reconstructed current, or nullopt when the chip rejects the site or
-  /// the transaction exhausts its retries.
-  std::optional<double> acquire_site(int row, int col,
-                                     std::uint16_t gate_code);
+  /// reconstructed current, or a typed error — kBadArgument for host-side
+  /// range violations, the NACK detail when the chip rejects the site, and
+  /// kRetriesExhausted when the link defeats the retry budget.
+  Result<double, ChipError> acquire_site(int row, int col,
+                                         std::uint16_t gate_code);
 
   /// Multi-gate acquisition covering the full 1 pA .. 100 nA dynamic range:
   /// runs short and long gates and keeps, per site, the longest gate whose
@@ -210,10 +218,10 @@ class HostInterface {
   /// long gate (dead sites answer zero, stuck sites don't scale with gate
   /// time) plus a leakage-only long-gate pass (leakage outliers stand out
   /// against the population median). Returns the measured defect map, or
-  /// nullopt when any sweep transaction fails outright.
-  std::optional<faults::DefectMap> self_test(std::uint16_t gate_lo = 3,
-                                             std::uint16_t gate_hi = 7,
-                                             std::uint16_t leak_gate = 13);
+  /// the first failing sweep transaction's typed error.
+  Result<faults::DefectMap, ChipError> self_test(std::uint16_t gate_lo = 3,
+                                                 std::uint16_t gate_hi = 7,
+                                                 std::uint16_t leak_gate = 13);
 
   /// Inverse of the nominal converter transfer: frequency -> current.
   double current_from_frequency(double freq) const;

@@ -24,6 +24,22 @@ std::uint8_t read_byte(const std::vector<bool>& bits, std::size_t offset) {
 
 }  // namespace
 
+const char* chip_error_name(ChipError err) {
+  switch (err) {
+    case ChipError::kNone: return "none";
+    case ChipError::kBadSite: return "bad_site";
+    case ChipError::kBadGate: return "bad_gate";
+    case ChipError::kBadDacCode: return "bad_dac_code";
+    case ChipError::kCrcFailure: return "crc_failure";
+    case ChipError::kRetriesExhausted: return "retries_exhausted";
+    case ChipError::kTimeout: return "timeout";
+    case ChipError::kMalformed: return "malformed";
+    case ChipError::kNotCalibrated: return "not_calibrated";
+    case ChipError::kBadArgument: return "bad_argument";
+  }
+  return "unknown";
+}
+
 std::uint8_t crc8(const std::uint8_t* bytes, std::size_t n) {
   std::uint8_t crc = 0x00;
   for (std::size_t j = 0; j < n; ++j) {
@@ -54,14 +70,17 @@ std::vector<bool> encode_command(const CommandFrame& cmd) {
   return bits;
 }
 
-std::optional<CommandFrame> decode_command(const std::vector<bool>& bits) {
-  if (bits.size() != 32) return std::nullopt;
+Result<CommandFrame, ChipError> decode_command(const std::vector<bool>& bits) {
+  using R = Result<CommandFrame, ChipError>;
+  if (bits.size() != 32) return R::err(ChipError::kMalformed);
   const std::uint8_t op = read_byte(bits, 0);
   const std::uint8_t hi = read_byte(bits, 8);
   const std::uint8_t lo = read_byte(bits, 16);
   const std::uint8_t crc = read_byte(bits, 24);
-  if (crc8({op, hi, lo}) != crc) return std::nullopt;
-  if (op > static_cast<std::uint8_t>(Opcode::kSelfTest)) return std::nullopt;
+  if (crc8({op, hi, lo}) != crc) return R::err(ChipError::kCrcFailure);
+  if (op > static_cast<std::uint8_t>(Opcode::kSelfTest)) {
+    return R::err(ChipError::kMalformed);
+  }
   CommandFrame cmd;
   cmd.opcode = static_cast<Opcode>(op);
   cmd.payload = static_cast<std::uint16_t>((hi << 8) | lo);
@@ -87,15 +106,16 @@ void encode_data_into(const std::vector<std::uint16_t>& words,
   }
 }
 
-std::optional<std::vector<std::uint16_t>> decode_data(
+Result<std::vector<std::uint16_t>, ChipError> decode_data(
     const std::vector<bool>& bits) {
-  if (bits.size() % 24 != 0) return std::nullopt;
+  using R = Result<std::vector<std::uint16_t>, ChipError>;
+  if (bits.size() % 24 != 0) return R::err(ChipError::kMalformed);
   std::vector<std::uint16_t> words;
   words.reserve(bits.size() / 24);
   for (std::size_t i = 0; i < bits.size(); i += 24) {
     const std::uint8_t pair[2] = {read_byte(bits, i), read_byte(bits, i + 8)};
     const std::uint8_t crc = read_byte(bits, i + 16);
-    if (crc8(pair, 2) != crc) return std::nullopt;
+    if (crc8(pair, 2) != crc) return R::err(ChipError::kCrcFailure);
     words.push_back(static_cast<std::uint16_t>((pair[0] << 8) | pair[1]));
   }
   return words;

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
 
@@ -54,13 +55,28 @@ struct CommandFrame {
 inline constexpr std::uint16_t kAckMagic = 0xA55A;
 inline constexpr std::uint16_t kNackMagic = 0xE77E;
 
-/// Chip-side command rejection reasons (NACK detail word).
+/// Typed error domain of the host/chip stack. Values below 0x10 are
+/// chip-side command rejection reasons and travel in a NACK detail word;
+/// values from 0x10 up are host-side transport/protocol failures the chip
+/// never emits — they exist so `Result<T, ChipError>` can carry *why* a
+/// transaction failed instead of collapsing every failure into
+/// nullopt/false (the pre-Result mixed conventions).
 enum class ChipError : std::uint16_t {
   kNone = 0,
   kBadSite = 1,     // kSelectSite row/col outside the array
   kBadGate = 2,     // gate-time code outside [0,15]
   kBadDacCode = 3,  // DAC code beyond the converter's resolution
+  // --- host-side (never a NACK detail word) ------------------------------
+  kCrcFailure = 0x10,        // reply rejected by CRC / framing
+  kRetriesExhausted = 0x11,  // no valid reply within the retry budget
+  kTimeout = 0x12,           // the transaction hung on the link
+  kMalformed = 0x13,         // frame too short / wrong shape to decode
+  kNotCalibrated = 0x14,     // operation requires a calibrated chip
+  kBadArgument = 0x15,       // host-side argument validation failed
 };
+
+/// Stable diagnostic name for an error code (e.g. "bad_site").
+const char* chip_error_name(ChipError err);
 
 /// CRC-8 (polynomial 0x07, init 0x00) over a byte sequence.
 std::uint8_t crc8(const std::vector<std::uint8_t>& bytes);
@@ -74,8 +90,9 @@ std::uint8_t crc8(const std::uint8_t* bytes, std::size_t n);
 /// (opcode | payload | crc), MSB first.
 std::vector<bool> encode_command(const CommandFrame& cmd);
 
-/// Decodes a 32-bit command off the wire; nullopt if the CRC fails.
-std::optional<CommandFrame> decode_command(const std::vector<bool>& bits);
+/// Decodes a 32-bit command off the wire; kMalformed when the frame is not
+/// 32 bits, kCrcFailure when the checksum rejects it.
+Result<CommandFrame, ChipError> decode_command(const std::vector<bool>& bits);
 
 /// Encodes a data word stream into CRC-protected data frames: each frame is
 /// a 16-bit word + 8-bit CRC.
@@ -86,8 +103,9 @@ std::vector<bool> encode_data(const std::vector<std::uint16_t>& words);
 void encode_data_into(const std::vector<std::uint16_t>& words,
                       std::vector<bool>& bits);
 
-/// Decodes data frames; nullopt if any frame's CRC fails.
-std::optional<std::vector<std::uint16_t>> decode_data(
+/// Decodes data frames; kMalformed on a ragged bit count, kCrcFailure when
+/// any frame's checksum rejects it.
+Result<std::vector<std::uint16_t>, ChipError> decode_data(
     const std::vector<bool>& bits);
 
 /// Lenient decode for retry merging: one entry per complete 24-bit frame,

@@ -1,0 +1,288 @@
+#include "host/client.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace biosense::host {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const std::uint8_t* data,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Wire-level statuses the client treats as transient: the *request* was
+/// damaged in flight, so a retry of the same bytes can succeed. All other
+/// statuses are deterministic answers and retrying would not change them.
+bool transient_status(HostStatus status) {
+  return status == HostStatus::kBadCrc || status == HostStatus::kTruncated ||
+         status == HostStatus::kBadMagic;
+}
+
+}  // namespace
+
+bool LossyLink::roundtrip(const std::vector<std::uint8_t>& request,
+                          std::vector<std::uint8_t>& response) {
+  if (rng_.uniform() < drop_request_) {
+    ++drops_;
+    return false;
+  }
+  if (corrupt_ > 0.0 && rng_.uniform() < corrupt_ && !request.empty()) {
+    ++corruptions_;
+    scratch_ = request;
+    const auto byte = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(scratch_.size()) - 1));
+    const auto bit = static_cast<unsigned>(rng_.uniform_int(0, 7));
+    scratch_[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    if (!inner_->roundtrip(scratch_, response)) return false;
+  } else if (!inner_->roundtrip(request, response)) {
+    return false;
+  }
+  if (rng_.uniform() < drop_response_) {
+    ++drops_;
+    return false;
+  }
+  return true;
+}
+
+FleetClient::FleetClient(ByteLink& link, std::uint8_t version,
+                         dnachip::RetryPolicy retry)
+    : link_(&link),
+      version_(version),
+      retry_(retry),
+      response_digest_(kFnvOffset) {
+  request_.reserve(kHeaderSize + kMaxPayload);
+  response_.reserve(kHeaderSize + kMaxPayload);
+}
+
+PayloadWriter FleetClient::begin_request() {
+  request_.clear();
+  request_.resize(kHeaderSize);
+  return PayloadWriter(request_);
+}
+
+HostStatus FleetClient::transact(HostCommand command) {
+  ++stats_.commands;
+  const std::uint16_t seq = seq_++;
+  bool downgraded = false;
+
+  for (int attempt = 1;; ++attempt) {
+    FrameHeader header;
+    header.version = version_;
+    header.command = command;
+    header.seq = seq;
+    finalize_frame(header, request_);
+    ++stats_.attempts;
+    if (attempt > 1) ++stats_.retries;
+
+    HostStatus status = HostStatus::kTruncated;  // placeholder: "no reply"
+    bool delivered = link_->roundtrip(request_, response_);
+    if (delivered) {
+      const auto decoded = decode_frame(response_.data(), response_.size());
+      if (decoded && decoded->header.seq == seq) {
+        status = decoded->header.status;
+        if (status == HostStatus::kBadVersion && !downgraded &&
+            decoded->payload_len == 2) {
+          // Server told us its window: adopt the highest version both
+          // sides speak and re-issue once. Not a wire retry — the seq is
+          // kept, the attempt counter is not charged backoff.
+          version_ = std::min<std::uint8_t>(version_, decoded->payload[1]);
+          downgraded = true;
+          ++stats_.downgrades;
+          continue;
+        }
+        if (!transient_status(status)) {
+          // A deterministic answer (kOk or a typed error). Fold the
+          // accepted response into the determinism digest and finish.
+          response_digest_ =
+              fnv_bytes(response_digest_, response_.data(), response_.size());
+          reply_payload_ = decoded->payload;
+          reply_len_ = decoded->payload_len;
+          return status;
+        }
+      }
+      // Undecodable reply, foreign seq, or the server saw a damaged
+      // request: treat as a lost exchange and retry.
+    }
+    if (attempt >= retry_.max_attempts) {
+      reply_payload_ = nullptr;
+      reply_len_ = 0;
+      return delivered ? HostStatus::kBadCrc : HostStatus::kTruncated;
+    }
+    stats_.backoff_s += dnachip::retry_backoff(retry_, attempt);
+  }
+}
+
+Result<FleetClient::ProtocolInfo, HostStatus> FleetClient::protocol_info() {
+  using R = Result<ProtocolInfo, HostStatus>;
+  begin_request();
+  const auto status = transact(HostCommand::kGetProtocolInfo);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  ProtocolInfo info;
+  info.min_version = reader.u8();
+  info.current_version = reader.u8();
+  info.header_size = reader.u8();
+  info.max_payload = reader.u16();
+  info.commands = reader.u16();
+  if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  return info;
+}
+
+Result<std::uint32_t, HostStatus> FleetClient::capabilities() {
+  using R = Result<std::uint32_t, HostStatus>;
+  begin_request();
+  const auto status = transact(HostCommand::kGetCapabilities);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  const auto caps = reader.u32();
+  if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  return caps;
+}
+
+Result<void, HostStatus> FleetClient::ping(const std::uint8_t* payload,
+                                           std::size_t n) {
+  using R = Result<void, HostStatus>;
+  auto writer = begin_request();
+  if (n > 0) writer.bytes(payload, n);
+  const auto status = transact(HostCommand::kPing);
+  if (status != HostStatus::kOk) return R::err(status);
+  if (reply_len_ != n ||
+      (n > 0 && std::memcmp(reply_payload_, payload, n) != 0)) {
+    return R::err(HostStatus::kInternal);
+  }
+  return {};
+}
+
+Result<void, HostStatus> FleetClient::create(const SessionSpec& spec) {
+  using R = Result<void, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(spec.id);
+  writer.u8(static_cast<std::uint8_t>(spec.kind));
+  writer.u16(spec.rows);
+  writer.u16(spec.cols);
+  writer.u64(spec.seed);
+  writer.u16(spec.pool_frames);
+  writer.u16(spec.ring_depth);
+  if (version_ >= 2) {
+    writer.u8(spec.fault_preset);
+  } else {
+    require(spec.fault_preset == 0,
+            "FleetClient: fault presets need protocol v2");
+  }
+  const auto status = transact(HostCommand::kCreateSession);
+  if (status != HostStatus::kOk) return R::err(status);
+  return {};
+}
+
+Result<void, HostStatus> FleetClient::configure(std::uint32_t id,
+                                                std::uint8_t param,
+                                                std::uint64_t value) {
+  using R = Result<void, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  writer.u8(param);
+  writer.u64(value);
+  const auto status = transact(HostCommand::kConfigureSession);
+  if (status != HostStatus::kOk) return R::err(status);
+  return {};
+}
+
+Result<std::uint32_t, HostStatus> FleetClient::start(std::uint32_t id,
+                                                     std::uint32_t frames) {
+  using R = Result<std::uint32_t, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  writer.u32(frames);
+  const auto status = transact(HostCommand::kStartAcquisition);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  const auto pending = reader.u32();
+  if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  return pending;
+}
+
+Result<FleetClient::PollResult, HostStatus> FleetClient::poll(
+    std::uint32_t id, std::uint16_t max_records, std::vector<Record>& out) {
+  using R = Result<PollResult, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  writer.u16(max_records);
+  const auto status = transact(HostCommand::kPollFrames);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  PollResult result;
+  result.returned = reader.u16();
+  result.backpressure = reader.u8() != 0;
+  for (std::uint16_t i = 0; i < result.returned && reader.ok(); ++i) {
+    Record record;
+    record.index = reader.u32();
+    record.payload = reader.u64();
+    out.push_back(record);
+  }
+  if (!reader.exhausted()) return R::err(HostStatus::kBadPayload);
+  return result;
+}
+
+Result<FleetClient::DrainSummary, HostStatus> FleetClient::drain(
+    std::uint32_t id) {
+  using R = Result<DrainSummary, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  const auto status = transact(HostCommand::kDrainSession);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  DrainSummary summary;
+  summary.frames = reader.u32();
+  summary.digest = reader.u64();
+  summary.lost_words = reader.u64();
+  summary.retries = reader.u64();
+  const auto backoff_bits = reader.u64();
+  if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  std::memcpy(&summary.backoff_s, &backoff_bits, sizeof(summary.backoff_s));
+  return summary;
+}
+
+Result<FleetClient::SessionInfo, HostStatus> FleetClient::query(
+    std::uint32_t id) {
+  using R = Result<SessionInfo, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  const auto status = transact(HostCommand::kQuerySession);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  SessionInfo info;
+  info.kind = reader.u8() == 0 ? core::ChipKind::kNeuro : core::ChipKind::kDna;
+  info.pending = reader.u32();
+  info.frames_produced = reader.u32();
+  info.records_polled = reader.u64();
+  info.ring_depth = reader.u16();
+  info.ring_pushes = reader.u64();
+  info.ring_pops = reader.u64();
+  info.ring_push_stalls = reader.u64();
+  info.lost_words = reader.u64();
+  info.retries = reader.u64();
+  info.wire_errors = reader.u64();
+  if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  return info;
+}
+
+Result<void, HostStatus> FleetClient::destroy(std::uint32_t id) {
+  using R = Result<void, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  const auto status = transact(HostCommand::kDestroySession);
+  if (status != HostStatus::kOk) return R::err(status);
+  return {};
+}
+
+}  // namespace biosense::host

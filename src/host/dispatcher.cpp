@@ -1,0 +1,108 @@
+#include "host/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace biosense::host {
+
+namespace {
+
+std::uint16_t get_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+}  // namespace
+
+void Dispatcher::register_command(CommandSpec spec) {
+  require(static_cast<bool>(spec.handler),
+          "Dispatcher: command registered without a handler");
+  const auto pos = std::lower_bound(
+      specs_.begin(), specs_.end(), spec.id,
+      [](const CommandSpec& s, HostCommand id) { return s.id < id; });
+  require(pos == specs_.end() || pos->id != spec.id,
+          "Dispatcher: duplicate command id");
+  specs_.insert(pos, std::move(spec));
+}
+
+const CommandSpec* Dispatcher::find(HostCommand id) const {
+  const auto pos = std::lower_bound(
+      specs_.begin(), specs_.end(), id,
+      [](const CommandSpec& s, HostCommand want) { return s.id < want; });
+  if (pos == specs_.end() || pos->id != id) return nullptr;
+  return &*pos;
+}
+
+HostStatus Dispatcher::dispatch(const std::uint8_t* bytes, std::size_t n,
+                                std::vector<std::uint8_t>& response) const {
+  BIOSENSE_SPAN("host.dispatch");
+  const auto decoded = decode_frame(bytes, n);
+
+  FrameHeader reply;
+  // Echo what the raw bytes make legible so even a reject response
+  // correlates with the request the client sent.
+  if (n >= kHeaderSize) {
+    reply.version = std::min(bytes[1], kProtocolVersionCurrent);
+    reply.command = static_cast<HostCommand>(get_le16(bytes + 2));
+    reply.seq = get_le16(bytes + 4);
+  }
+  if (reply.version < kProtocolVersionMin) reply.version = kProtocolVersionMin;
+
+  // The response payload builds directly behind a header placeholder in
+  // the caller's buffer — no dispatcher-owned scratch, so concurrent
+  // dispatches never share mutable state.
+  response.clear();
+  response.resize(kHeaderSize);
+  PayloadWriter writer(response);
+
+  if (!decoded) {
+    reply.status = decoded.error();
+  } else {
+    const FrameHeader& req = decoded->header;
+    reply.version = std::min(req.version, kProtocolVersionCurrent);
+    reply.command = req.command;
+    reply.seq = req.seq;
+    if (req.version < kProtocolVersionMin ||
+        req.version > kProtocolVersionCurrent) {
+      // Version negotiation: tell the client the window we speak.
+      reply.status = HostStatus::kBadVersion;
+      writer.u8(kProtocolVersionMin);
+      writer.u8(kProtocolVersionCurrent);
+    } else {
+      reply.status = route(*decoded, writer);
+      if (reply.status != HostStatus::kOk) {
+        // Typed-error responses carry no partial payload: a handler may
+        // have written some bytes before failing.
+        writer.rewind();
+      }
+    }
+  }
+
+  BIOSENSE_COUNT("host.commands", 1);
+  if (reply.status != HostStatus::kOk) BIOSENSE_COUNT("host.rejects", 1);
+  finalize_frame(reply, response);
+  return reply.status;
+}
+
+HostStatus Dispatcher::route(const DecodedFrame& frame,
+                             PayloadWriter& writer) const {
+  const CommandSpec* spec = find(frame.header.command);
+  if (spec == nullptr) return HostStatus::kUnknownCommand;
+  // A command introduced at v(N) is "unknown" to an older conversation —
+  // exactly what a v(N-1) server would have answered.
+  if (frame.header.version < spec->min_version) {
+    return HostStatus::kUnknownCommand;
+  }
+  if (frame.payload_len < spec->min_payload ||
+      frame.payload_len > spec->max_payload) {
+    return HostStatus::kBadPayload;
+  }
+  CommandContext ctx;
+  ctx.request = &frame;
+  ctx.response = &writer;
+  return spec->handler(ctx);
+}
+
+}  // namespace biosense::host

@@ -1,0 +1,599 @@
+#include "host/fleet_server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace biosense::host {
+
+namespace {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Error-sentinel records: high bit set, low bits the ChipError code — a
+/// real current/hash never collides because currents are IEEE doubles with
+/// structure in the low mantissa and hashes are full-width.
+inline constexpr std::uint64_t kRecordErrorBit = 0x8000000000000000ULL;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// The fault worlds a create command can ask for (v2 adds the byte; v1
+/// sessions always run preset 0). Deterministic per session: the plan seed
+/// derives from the session seed at build time.
+faults::FaultPlanConfig fault_preset(std::uint8_t preset,
+                                     std::uint64_t seed) {
+  faults::FaultPlanConfig plan;
+  plan.seed = seed;
+  switch (preset) {
+    case 1:  // mildly lossy lab cable
+      plan.link.bit_error_rate = 1e-4;
+      plan.link.drop_prob = 0.005;
+      plan.link.truncate_prob = 0.005;
+      break;
+    case 2:  // severe link trouble — the graceful-degradation regime
+      plan.link.bit_error_rate = 1e-3;
+      plan.link.drop_prob = 0.05;
+      plan.link.truncate_prob = 0.05;
+      plan.link.timeout_prob = 0.01;
+      plan.link.burst_prob = 0.02;
+      break;
+    case 3:  // defective die + mild link
+      plan.dna_dead_fraction = 0.05;
+      plan.dna_stuck_fraction = 0.02;
+      plan.neuro_dead_fraction = 0.05;
+      plan.neuro_railed_fraction = 0.01;
+      plan.link.bit_error_rate = 1e-4;
+      break;
+    default:
+      break;
+  }
+  return plan;
+}
+
+}  // namespace
+
+/// One live session. Guarded by `mutex`; everything below it is owned by
+/// the session outright (chips, links, RNG streams, scratch buffers), so
+/// sessions never contend with each other.
+struct FleetServer::Session {
+  std::mutex mutex;
+
+  std::uint32_t id = 0;
+  core::ChipKind kind = core::ChipKind::kNeuro;
+  std::size_t pool_frames = 0;  // committed against the fleet budget
+
+  // Replay cache: the last successfully applied mutating command. A retry
+  // (same seq + command id) returns the cached response instead of
+  // re-executing, which makes session mutations idempotent under lossy
+  // request/response transports.
+  bool has_replay = false;
+  std::uint16_t replay_seq = 0;
+  HostCommand replay_command = HostCommand::kPing;
+  HostStatus replay_status = HostStatus::kOk;
+  std::vector<std::uint8_t> replay_payload;
+
+  // Acquisition state.
+  std::uint32_t pending = 0;           // queued, not yet produced
+  std::uint32_t frames_produced = 0;   // next record index
+  std::uint64_t records_polled = 0;
+  std::uint64_t digest = kFnvOffset;   // folds every produced record
+  std::uint64_t wire_errors = 0;       // error-sentinel records
+  std::unique_ptr<Channel<Record>> ring;
+
+  // Configure knobs.
+  std::uint16_t gate_code = 7;         // DNA conversion gate
+  double stimulus_v = 0.0;             // neuro probe amplitude, V
+
+  // Neuro data path: persistent wire lane + scratch frame, so a poll's
+  // capture->serialize->link->decode->hash cycle allocates nothing in
+  // steady state.
+  core::NeuroSession neuro{};
+  std::unique_ptr<core::FrameWire> wire;
+  neurochip::NeuroFrame scratch{};
+  Rng link_rng{0};
+  std::uint16_t wire_seq = 0;
+  double t = 0.0;
+  double period = 0.0;
+  core::WireStats wire_totals{};
+
+  // DNA data path.
+  core::DnaSession dna{};
+  int site_index = 0;
+};
+
+FleetServer::FleetServer(FleetLimits limits) : limits_(std::move(limits)) {
+  require(limits_.max_sessions >= 1, "FleetServer: max_sessions must be >= 1");
+  require(limits_.max_poll_records >= 1,
+          "FleetServer: max_poll_records must be >= 1");
+  register_handlers();
+}
+
+FleetServer::~FleetServer() = default;
+
+void FleetServer::register_handlers() {
+  auto add = [this](HostCommand id, std::uint8_t min_version,
+                    std::uint16_t min_payload, std::uint16_t max_payload,
+                    bool mutating,
+                    HostStatus (FleetServer::*fn)(const CommandContext&)) {
+    CommandSpec spec;
+    spec.id = id;
+    spec.name = host_command_name(id);
+    spec.min_version = min_version;
+    spec.min_payload = min_payload;
+    spec.max_payload = max_payload;
+    spec.mutating = mutating;
+    spec.handler = [this, fn](const CommandContext& ctx) {
+      return (this->*fn)(ctx);
+    };
+    dispatcher_.register_command(std::move(spec));
+  };
+
+  add(HostCommand::kGetProtocolInfo, 1, 0, 0, false,
+      &FleetServer::cmd_protocol_info);
+  add(HostCommand::kGetCapabilities, 1, 0, 0, false,
+      &FleetServer::cmd_capabilities);
+  add(HostCommand::kPing, 1, 0, 64, false, &FleetServer::cmd_ping);
+  add(HostCommand::kCreateSession, 1, 21, 22, true, &FleetServer::cmd_create);
+  add(HostCommand::kConfigureSession, 1, 13, 13, true,
+      &FleetServer::cmd_configure);
+  add(HostCommand::kStartAcquisition, 1, 8, 8, true, &FleetServer::cmd_start);
+  add(HostCommand::kPollFrames, 1, 6, 6, false, &FleetServer::cmd_poll);
+  add(HostCommand::kDrainSession, 1, 4, 4, true, &FleetServer::cmd_drain);
+  add(HostCommand::kDestroySession, 1, 4, 4, true, &FleetServer::cmd_destroy);
+  add(HostCommand::kQuerySession, 1, 4, 4, false, &FleetServer::cmd_query);
+  add(HostCommand::kServerStats, 2, 0, 0, false,
+      &FleetServer::cmd_server_stats);
+}
+
+HostStatus FleetServer::handle(const std::uint8_t* request, std::size_t n,
+                               std::vector<std::uint8_t>& response) {
+  return dispatcher_.dispatch(request, n, response);
+}
+
+std::size_t FleetServer::live_sessions() const {
+  std::shared_lock lock(registry_mutex_);
+  return sessions_.size();
+}
+
+std::size_t FleetServer::committed_frames() const {
+  std::shared_lock lock(registry_mutex_);
+  return committed_frames_;
+}
+
+std::shared_ptr<FleetServer::Session> FleetServer::find_session(
+    std::uint32_t id) const {
+  std::shared_lock lock(registry_mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+// --- discovery / liveness ---------------------------------------------------
+
+HostStatus FleetServer::cmd_protocol_info(const CommandContext& ctx) {
+  auto& w = *ctx.response;
+  w.u8(kProtocolVersionMin);
+  w.u8(kProtocolVersionCurrent);
+  w.u8(static_cast<std::uint8_t>(kHeaderSize));
+  w.u16(static_cast<std::uint16_t>(kMaxPayload));
+  w.u16(static_cast<std::uint16_t>(dispatcher_.commands().size()));
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_capabilities(const CommandContext& ctx) {
+  ctx.response->u32(kCapDnaSessions | kCapNeuroSessions | kCapFaultInjection |
+                    kCapReplayCache);
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_ping(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  if (req.payload_len > 0) {
+    ctx.response->bytes(req.payload, req.payload_len);
+  }
+  return HostStatus::kOk;
+}
+
+// --- session lifecycle ------------------------------------------------------
+
+HostStatus FleetServer::cmd_create(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  const std::uint8_t kind_raw = r.u8();
+  const std::uint16_t rows = r.u16();
+  const std::uint16_t cols = r.u16();
+  const std::uint64_t seed = r.u64();
+  const std::uint16_t pool_frames = r.u16();
+  const std::uint16_t ring_depth = r.u16();
+  std::uint8_t preset = 0;
+  if (req.header.version >= 2 && r.remaining() == 1) preset = r.u8();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  if (kind_raw > 1 || preset > 3) return HostStatus::kBadPayload;
+  if (rows < 1 || rows > 512 || cols < 1 || cols > 512 ||
+      static_cast<std::uint32_t>(rows) * cols > 16384) {
+    return HostStatus::kBadPayload;
+  }
+  if (pool_frames < 1 || pool_frames > 64 || ring_depth < 1 ||
+      ring_depth > 1024) {
+    return HostStatus::kBadPayload;
+  }
+  const auto kind =
+      kind_raw == 0 ? core::ChipKind::kNeuro : core::ChipKind::kDna;
+  // The neural chip's 8:1 output multiplexers need whole mux groups.
+  if (kind == core::ChipKind::kNeuro && rows % 8 != 0) {
+    return HostStatus::kBadPayload;
+  }
+
+  std::unique_lock lock(registry_mutex_);
+  if (const auto it = sessions_.find(id); it != sessions_.end()) {
+    Session& s = *it->second;
+    std::lock_guard session_lock(s.mutex);
+    if (s.has_replay && s.replay_seq == req.header.seq &&
+        s.replay_command == HostCommand::kCreateSession) {
+      // Retried create whose first response was lost: echo it.
+      ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
+      return s.replay_status;
+    }
+    return HostStatus::kDuplicateSession;
+  }
+  if (sessions_.size() >= limits_.max_sessions) {
+    return HostStatus::kSessionLimit;
+  }
+  if (committed_frames_ + pool_frames > limits_.frame_budget) {
+    return HostStatus::kSessionLimit;
+  }
+
+  // Build through the audited construction surface. Create is control
+  // plane: allocations and calibration sweeps are expected here, never in
+  // the poll path.
+  auto session = std::make_shared<Session>();
+  session->id = id;
+  session->kind = kind;
+  session->pool_frames = pool_frames;
+  const std::string label =
+      limits_.obs_prefix.empty()
+          ? std::string{}
+          : limits_.obs_prefix + ".s" + std::to_string(id);
+  core::SessionOptions opts;
+  opts.kind(kind)
+      .rows(rows)
+      .cols(cols)
+      .chip_seed(seed)
+      .link_seed(seed ^ 0x5eedULL)
+      .pool_frames(pool_frames)
+      .queue_depth(ring_depth)
+      .label(label);
+  if (preset != 0) opts.fault_plan(fault_preset(preset, seed));
+
+  try {
+    if (kind == core::ChipKind::kNeuro) {
+      session->neuro = opts.build_neuro();
+      auto& chip = *session->neuro.chip;
+      const auto& adc = chip.config().adc;
+      const double adc_lsb = 2.0 * adc.full_scale.value() /
+                             static_cast<double>(1 << adc.bits);
+      const core::FrameCodec codec(adc_lsb, chip.nominal_conversion_gain());
+      std::optional<faults::LinkFaultModel> link{};
+      if (preset != 0) {
+        const faults::FaultPlan plan(fault_preset(preset, seed));
+        if (plan.link_faults().any()) link = plan.link_faults();
+      }
+      session->wire = std::make_unique<core::FrameWire>(
+          codec, 0.0, link, dnachip::RetryPolicy{});
+      session->link_rng = Rng(seed ^ 0x11aabbULL);
+      session->period = (1.0 / chip.config().frame_rate).value();
+      session->stimulus_v = 1e-4 * static_cast<double>(id % 7 + 1);
+      session->scratch.v_in.reserve(static_cast<std::size_t>(rows) * cols);
+      session->scratch.codes.reserve(static_cast<std::size_t>(rows) * cols);
+    } else {
+      session->dna = opts.build_dna();
+    }
+  } catch (const ConfigError&) {
+    // A config the chip models reject (geometry, sizing) is the client's
+    // problem, reported in kind — the server never dies for it.
+    return HostStatus::kBadPayload;
+  }
+  session->ring = std::make_unique<Channel<Record>>(
+      ring_depth, label.empty() ? std::string{} : label + ".ring");
+
+  committed_frames_ += pool_frames;
+  tombstones_.erase(id);
+  sessions_.emplace(id, session);
+  BIOSENSE_COUNT("fleet.sessions_created", 1);
+  BIOSENSE_GAUGE("fleet.live_sessions", sessions_.size());
+  BIOSENSE_GAUGE("fleet.committed_frames", committed_frames_);
+
+  ctx.response->u32(id);
+  std::lock_guard session_lock(session->mutex);
+  session->has_replay = true;
+  session->replay_seq = ctx.request->header.seq;
+  session->replay_command = HostCommand::kCreateSession;
+  session->replay_status = HostStatus::kOk;
+  session->replay_payload.assign(ctx.response->data(),
+                                 ctx.response->data() + ctx.response->size());
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_configure(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  const std::uint8_t param = r.u8();
+  const std::uint64_t value = r.u64();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+  if (s.has_replay && s.replay_seq == req.header.seq &&
+      s.replay_command == HostCommand::kConfigureSession) {
+    ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
+    return s.replay_status;
+  }
+
+  switch (param) {
+    case 0:  // DNA conversion gate code
+      if (s.kind != core::ChipKind::kDna) return HostStatus::kBadState;
+      if (value > 15) return HostStatus::kBadPayload;
+      s.gate_code = static_cast<std::uint16_t>(value);
+      break;
+    case 1:  // neuro probe amplitude, microvolts
+      if (s.kind != core::ChipKind::kNeuro) return HostStatus::kBadState;
+      if (value > 1000000) return HostStatus::kBadPayload;
+      s.stimulus_v = 1e-6 * static_cast<double>(value);
+      break;
+    default:
+      return HostStatus::kBadPayload;
+  }
+
+  s.has_replay = true;
+  s.replay_seq = req.header.seq;
+  s.replay_command = HostCommand::kConfigureSession;
+  s.replay_status = HostStatus::kOk;
+  s.replay_payload.clear();
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_start(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  const std::uint32_t frames = r.u32();
+  if (!r.exhausted() || frames == 0) return HostStatus::kBadPayload;
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+  if (s.has_replay && s.replay_seq == req.header.seq &&
+      s.replay_command == HostCommand::kStartAcquisition) {
+    ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
+    return s.replay_status;
+  }
+
+  if (frames > limits_.max_pending ||
+      s.pending > limits_.max_pending - frames) {
+    // Explicit backpressure: the client drains before queueing more.
+    return HostStatus::kBackpressure;
+  }
+  s.pending += frames;
+
+  ctx.response->u32(s.pending);
+  s.has_replay = true;
+  s.replay_seq = req.header.seq;
+  s.replay_command = HostCommand::kStartAcquisition;
+  s.replay_status = HostStatus::kOk;
+  s.replay_payload.assign(ctx.response->data(),
+                          ctx.response->data() + ctx.response->size());
+  return HostStatus::kOk;
+}
+
+FleetServer::Record FleetServer::produce_record(Session& s) {
+  Record record;
+  record.index = s.frames_produced++;
+  if (s.kind == core::ChipKind::kNeuro) {
+    const neurochip::ConstantSource source(s.stimulus_v);
+    s.neuro.chip->capture_frame_into(source, s.t, s.scratch);
+    s.t += s.period;
+    const auto stats =
+        s.wire->process(s.scratch, s.wire_seq++, s.link_rng.fork());
+    s.wire_totals += stats;
+    std::uint64_t h = kFnvOffset;
+    h = fnv_bytes(h, s.scratch.codes.data(),
+                  s.scratch.codes.size() * sizeof(std::int32_t));
+    h = fnv_bytes(h, &s.scratch.masked, sizeof(s.scratch.masked));
+    record.payload = h;
+  } else {
+    const int cols = s.dna.chip->cols();
+    const int row = s.site_index / cols;
+    const int col = s.site_index % cols;
+    s.site_index = (s.site_index + 1) % s.dna.chip->sites();
+    const auto current = s.dna.host->acquire_site(row, col, s.gate_code);
+    if (current) {
+      std::memcpy(&record.payload, &*current, sizeof(record.payload));
+    } else {
+      // Typed degradation, not a crash: the record says which error the
+      // active fault plan produced.
+      record.payload =
+          kRecordErrorBit | static_cast<std::uint64_t>(current.error());
+      ++s.wire_errors;
+    }
+  }
+  s.digest = fnv_bytes(s.digest, &record.payload, sizeof(record.payload));
+  return record;
+}
+
+HostStatus FleetServer::cmd_poll(const CommandContext& ctx) {
+  BIOSENSE_SPAN("fleet.poll");
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  std::uint16_t max_records = r.u16();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+  max_records = std::min(max_records, limits_.max_poll_records);
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+
+  // Top the bounded ring up from the backlog, then serve from the ring.
+  // The ring is the explicit flow-control point: when it cannot absorb the
+  // backlog the response says so instead of silently doing more work.
+  while (s.pending > 0 && s.ring->size() < s.ring->capacity()) {
+    if (!s.ring->try_push(produce_record(s))) return HostStatus::kInternal;
+    --s.pending;
+  }
+
+  Record out[256];
+  std::uint16_t count = 0;
+  const std::uint16_t want = std::min<std::uint16_t>(
+      max_records, static_cast<std::uint16_t>(std::size(out)));
+  while (count < want) {
+    auto record = s.ring->try_pop();
+    if (!record) break;
+    out[count++] = *record;
+  }
+  s.records_polled += count;
+
+  // pending > 0 here means the top-up loop stopped on a full ring, not an
+  // empty backlog: the bounded ring could not absorb the queued work, so
+  // the response tells the client to keep polling before starting more.
+  const std::uint8_t backpressure = s.pending > 0 ? 1 : 0;
+
+  auto& w = *ctx.response;
+  w.u16(count);
+  w.u8(backpressure);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    w.u32(out[i].index);
+    w.u64(out[i].payload);
+  }
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_drain(const CommandContext& ctx) {
+  BIOSENSE_SPAN("fleet.drain");
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+  if (s.has_replay && s.replay_seq == req.header.seq &&
+      s.replay_command == HostCommand::kDrainSession) {
+    ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
+    return s.replay_status;
+  }
+
+  // Finish the backlog (records fold into the digest at production) and
+  // discard undelivered ring records — drain is the end-of-run barrier,
+  // the digest already covers everything produced.
+  while (s.pending > 0) {
+    (void)produce_record(s);
+    --s.pending;
+  }
+  while (s.ring->try_pop()) {
+  }
+
+  auto& w = *ctx.response;
+  w.u32(s.frames_produced);
+  w.u64(s.digest);
+  w.u64(s.wire_totals.lost_words);
+  w.u64(s.kind == core::ChipKind::kNeuro ? s.wire_totals.retries
+                                         : s.dna.host->stats().retries);
+  const double backoff = s.kind == core::ChipKind::kNeuro
+                             ? s.wire_totals.backoff_s
+                             : s.dna.host->stats().backoff_s;
+  std::uint64_t backoff_bits = 0;
+  std::memcpy(&backoff_bits, &backoff, sizeof(backoff_bits));
+  w.u64(backoff_bits);
+
+  s.has_replay = true;
+  s.replay_seq = req.header.seq;
+  s.replay_command = HostCommand::kDrainSession;
+  s.replay_status = HostStatus::kOk;
+  s.replay_payload.assign(ctx.response->data(),
+                          ctx.response->data() + ctx.response->size());
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_destroy(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  std::unique_lock lock(registry_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    // Destroy is idempotent: a retry after the session is gone succeeds,
+    // an id that never existed does not.
+    return tombstones_.count(id) ? HostStatus::kOk
+                                 : HostStatus::kNoSuchSession;
+  }
+  committed_frames_ -= it->second->pool_frames;
+  sessions_.erase(it);
+  tombstones_.emplace(id, true);
+  BIOSENSE_COUNT("fleet.sessions_destroyed", 1);
+  BIOSENSE_GAUGE("fleet.live_sessions", sessions_.size());
+  BIOSENSE_GAUGE("fleet.committed_frames", committed_frames_);
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_query(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+
+  const auto ring_stats = s.ring->stats();
+  auto& w = *ctx.response;
+  w.u8(static_cast<std::uint8_t>(s.kind));
+  w.u32(s.pending);
+  w.u32(s.frames_produced);
+  w.u64(s.records_polled);
+  w.u16(static_cast<std::uint16_t>(s.ring->size()));
+  w.u64(ring_stats.pushes);
+  w.u64(ring_stats.pops);
+  w.u64(ring_stats.push_stalls);
+  w.u64(s.wire_totals.lost_words);
+  w.u64(s.kind == core::ChipKind::kNeuro ? s.wire_totals.retries
+                                         : s.dna.host->stats().retries);
+  w.u64(s.wire_errors);
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_server_stats(const CommandContext& ctx) {
+  std::shared_lock lock(registry_mutex_);
+  auto& w = *ctx.response;
+  w.u32(static_cast<std::uint32_t>(sessions_.size()));
+  w.u32(static_cast<std::uint32_t>(committed_frames_));
+  w.u32(static_cast<std::uint32_t>(limits_.frame_budget));
+  w.u32(static_cast<std::uint32_t>(limits_.max_sessions));
+  w.u32(static_cast<std::uint32_t>(tombstones_.size()));
+  return HostStatus::kOk;
+}
+
+}  // namespace biosense::host

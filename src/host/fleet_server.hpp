@@ -1,0 +1,139 @@
+// FleetServer: one process serving a fleet of virtual chips (DESIGN.md §12).
+//
+// The server multiplexes hundreds-to-thousands of concurrent chip sessions
+// — mixed DNA microarray readout and neural streaming — behind the
+// versioned host-command protocol. Every session is built through the
+// audited `core::SessionOptions` surface, owns its chips/links/RNGs
+// outright and is guarded by its own mutex, so commands for different
+// sessions execute fully in parallel while commands for one session
+// serialize. All per-session randomness is seeded from the client-chosen
+// session id, which makes each session's response stream a pure function
+// of its own command sequence: per-session outputs are bitwise identical
+// no matter how many server worker threads interleave the fleet.
+//
+// Flow control is explicit, not implicit: admission control bounds the
+// fleet's pooled-frame budget at create time (kSessionLimit), per-session
+// acquisition backlogs are bounded (kBackpressure), and poll responses
+// carry a backpressure flag whenever the session's bounded record ring
+// could not absorb the remaining backlog. Under an active fault plan the
+// transport degrades exactly like the lab: records carry typed error
+// sentinels, responses turn into NACK-style typed statuses — the server
+// never throws for wire- or fault-level trouble.
+//
+// Threading note: `handle` is safe to call from many threads. The chips'
+// capture path uses the global deterministic parallel engine; when driving
+// the server from several external worker threads, run that engine at one
+// thread (`set_max_threads(1)`) so captures stay inline on the calling
+// worker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/channel.hpp"
+#include "core/session_options.hpp"
+#include "core/wire.hpp"
+#include "host/dispatcher.hpp"
+#include "host/protocol.hpp"
+#include "neurochip/signal_source.hpp"
+
+namespace biosense::host {
+
+/// Server-wide resource policy.
+struct FleetLimits {
+  /// Hard cap on live sessions (admission control).
+  std::size_t max_sessions = 1024;
+  /// Fleet-wide pooled-frame budget: the sum of every live session's
+  /// `pool_frames` may not exceed this (admission control).
+  std::size_t frame_budget = 4096;
+  /// Per-session backlog cap for queued acquisition work (backpressure).
+  std::uint32_t max_pending = 1u << 16;
+  /// Records returned per poll at most (bounds the response payload).
+  std::uint16_t max_poll_records = 64;
+  /// Obs prefix for per-session instruments ("fleet" -> "fleet.s42.ring.*").
+  /// Empty disables per-session instruments — the configuration for
+  /// throughput-critical fleets of hundreds of sessions.
+  std::string obs_prefix{};
+};
+
+/// Per-session counters surfaced by kQuerySession.
+struct SessionStats {
+  std::uint32_t frames_produced = 0;
+  std::uint32_t pending = 0;
+  std::uint32_t ring_depth = 0;
+  std::uint64_t records_polled = 0;
+  std::uint64_t lost_words = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t wire_errors = 0;
+  double backoff_s = 0.0;
+};
+
+class FleetServer {
+ public:
+  explicit FleetServer(FleetLimits limits = {});
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// One request/response cycle. `request` is the raw frame, the response
+  /// frame is built into `response` (cleared, capacity retained — reuse
+  /// the buffer across calls for the allocation-free steady state).
+  /// Thread-safe; never throws for protocol-, session- or fault-level
+  /// failures (typed statuses instead).
+  HostStatus handle(const std::uint8_t* request, std::size_t n,
+                    std::vector<std::uint8_t>& response);
+
+  std::size_t live_sessions() const;
+  /// Pooled frames committed across live sessions (admission bookkeeping).
+  std::size_t committed_frames() const;
+
+  const Dispatcher& dispatcher() const { return dispatcher_; }
+
+ private:
+  /// One produced acquisition record: a frame (neuro) or site conversion
+  /// (dna) reduced to an order-stamped 64-bit digest/value.
+  struct Record {
+    std::uint32_t index = 0;
+    std::uint64_t payload = 0;
+  };
+
+  struct Session;
+
+  void register_handlers();
+
+  HostStatus cmd_protocol_info(const CommandContext& ctx);
+  HostStatus cmd_capabilities(const CommandContext& ctx);
+  HostStatus cmd_ping(const CommandContext& ctx);
+  HostStatus cmd_create(const CommandContext& ctx);
+  HostStatus cmd_configure(const CommandContext& ctx);
+  HostStatus cmd_start(const CommandContext& ctx);
+  HostStatus cmd_poll(const CommandContext& ctx);
+  HostStatus cmd_drain(const CommandContext& ctx);
+  HostStatus cmd_destroy(const CommandContext& ctx);
+  HostStatus cmd_query(const CommandContext& ctx);
+  HostStatus cmd_server_stats(const CommandContext& ctx);
+
+  /// Produces the session's next record (advances chip/link state).
+  Record produce_record(Session& s);
+
+  /// Shared-lock session lookup; nullptr when absent.
+  std::shared_ptr<Session> find_session(std::uint32_t id) const;
+
+  FleetLimits limits_;
+  Dispatcher dispatcher_;
+
+  mutable std::shared_mutex registry_mutex_;
+  std::map<std::uint32_t, std::shared_ptr<Session>> sessions_;
+  /// Destroyed ids: a destroy retry must stay idempotent (kOk) after the
+  /// session is gone.
+  std::map<std::uint32_t, bool> tombstones_;
+  std::size_t committed_frames_ = 0;
+};
+
+}  // namespace biosense::host

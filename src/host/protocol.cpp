@@ -1,0 +1,155 @@
+#include "host/protocol.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace biosense::host {
+
+const char* host_status_name(HostStatus status) {
+  switch (status) {
+    case HostStatus::kOk: return "ok";
+    case HostStatus::kBadMagic: return "bad_magic";
+    case HostStatus::kBadVersion: return "bad_version";
+    case HostStatus::kBadCrc: return "bad_crc";
+    case HostStatus::kTruncated: return "truncated";
+    case HostStatus::kOversized: return "oversized";
+    case HostStatus::kUnknownCommand: return "unknown_command";
+    case HostStatus::kBadPayload: return "bad_payload";
+    case HostStatus::kNoSuchSession: return "no_such_session";
+    case HostStatus::kDuplicateSession: return "duplicate_session";
+    case HostStatus::kBadState: return "bad_state";
+    case HostStatus::kSessionLimit: return "session_limit";
+    case HostStatus::kBackpressure: return "backpressure";
+    case HostStatus::kFault: return "fault";
+    case HostStatus::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+const char* host_command_name(HostCommand command) {
+  switch (command) {
+    case HostCommand::kGetProtocolInfo: return "get_protocol_info";
+    case HostCommand::kGetCapabilities: return "get_capabilities";
+    case HostCommand::kPing: return "ping";
+    case HostCommand::kCreateSession: return "create_session";
+    case HostCommand::kConfigureSession: return "configure_session";
+    case HostCommand::kStartAcquisition: return "start_acquisition";
+    case HostCommand::kPollFrames: return "poll_frames";
+    case HostCommand::kDrainSession: return "drain_session";
+    case HostCommand::kDestroySession: return "destroy_session";
+    case HostCommand::kQuerySession: return "query_session";
+    case HostCommand::kServerStats: return "server_stats";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void put_le16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+std::uint16_t get_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+}  // namespace
+
+void finalize_frame(const FrameHeader& header,
+                    std::vector<std::uint8_t>& frame) {
+  require(frame.size() >= kHeaderSize,
+          "finalize_frame: missing header placeholder");
+  const std::size_t payload_len = frame.size() - kHeaderSize;
+  require(payload_len <= kMaxPayload, "finalize_frame: payload too large");
+  frame[0] = kFrameMagic;
+  frame[1] = header.version;
+  put_le16(&frame[2], static_cast<std::uint16_t>(header.command));
+  put_le16(&frame[4], header.seq);
+  put_le16(&frame[6], static_cast<std::uint16_t>(header.status));
+  put_le16(&frame[8], static_cast<std::uint16_t>(payload_len));
+  frame[10] = 0;  // reserved
+  frame[11] = 0;  // crc placeholder — computed over the zeroed slot
+  frame[11] = dnachip::crc8(frame.data(), frame.size());
+}
+
+void encode_frame(const FrameHeader& header, const std::uint8_t* payload,
+                  std::size_t payload_len, std::vector<std::uint8_t>& out) {
+  require(payload_len <= kMaxPayload, "encode_frame: payload too large");
+  out.clear();
+  out.resize(kHeaderSize);
+  if (payload_len > 0) {
+    out.insert(out.end(), payload, payload + payload_len);
+  }
+  finalize_frame(header, out);
+}
+
+Result<DecodedFrame, HostStatus> decode_frame(const std::uint8_t* bytes,
+                                              std::size_t n) {
+  using R = Result<DecodedFrame, HostStatus>;
+  if (n < kHeaderSize) return R::err(HostStatus::kTruncated);
+  if (bytes[0] != kFrameMagic) return R::err(HostStatus::kBadMagic);
+  const std::uint16_t payload_len = get_le16(bytes + 8);
+  if (payload_len > kMaxPayload) return R::err(HostStatus::kOversized);
+  if (n != kHeaderSize + payload_len) return R::err(HostStatus::kTruncated);
+  // CRC over the frame with the crc byte zeroed. Run it on a stack copy of
+  // the header (so the caller's buffer stays const), continued over the
+  // payload in place — the CRC register simply carries across the two
+  // ranges because the polynomial division is a running state.
+  std::uint8_t head[kHeaderSize];
+  std::copy(bytes, bytes + kHeaderSize, head);
+  const std::uint8_t expected = head[11];
+  head[11] = 0;
+  std::uint8_t acc = 0;
+  auto step = [&acc](std::uint8_t byte) {
+    acc = static_cast<std::uint8_t>(acc ^ byte);
+    for (int i = 0; i < 8; ++i) {
+      acc = (acc & 0x80) ? static_cast<std::uint8_t>((acc << 1) ^ 0x07)
+                         : static_cast<std::uint8_t>(acc << 1);
+    }
+  };
+  for (std::size_t i = 0; i < kHeaderSize; ++i) step(head[i]);
+  for (std::size_t i = 0; i < payload_len; ++i) step(bytes[kHeaderSize + i]);
+  if (acc != expected) return R::err(HostStatus::kBadCrc);
+
+  DecodedFrame frame;
+  frame.header.version = bytes[1];
+  frame.header.command = static_cast<HostCommand>(get_le16(bytes + 2));
+  frame.header.seq = get_le16(bytes + 4);
+  frame.header.status = static_cast<HostStatus>(get_le16(bytes + 6));
+  frame.header.payload_len = payload_len;
+  frame.payload = payload_len > 0 ? bytes + kHeaderSize : nullptr;
+  frame.payload_len = payload_len;
+  return frame;
+}
+
+std::uint64_t PayloadReader::take(std::size_t width) {
+  if (pos_ + width > n_) {
+    ok_ = false;
+    pos_ = n_;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += width;
+  return v;
+}
+
+void PayloadWriter::put(std::uint64_t v, std::size_t width) {
+  require(out_->size() + width <= kMaxPayload,
+          "PayloadWriter: response payload exceeds kMaxPayload");
+  for (std::size_t i = 0; i < width; ++i) {
+    out_->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PayloadWriter::bytes(const std::uint8_t* p, std::size_t n) {
+  require(out_->size() + n <= kMaxPayload,
+          "PayloadWriter: response payload exceeds kMaxPayload");
+  out_->insert(out_->end(), p, p + n);
+}
+
+}  // namespace biosense::host

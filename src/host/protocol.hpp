@@ -1,0 +1,188 @@
+// Versioned host-command wire protocol (DESIGN.md §12).
+//
+// The fleet server speaks a compact binary request/response protocol
+// modeled on embedded-controller host-command interfaces: every frame is a
+// fixed 12-byte little-endian header followed by a bounded payload, CRC-8
+// protected end to end with the same polynomial the dnachip serial link
+// uses (crc8, poly 0x07). Requests and responses share the frame shape —
+// a response echoes the request's command id and sequence number and
+// carries the outcome in the `status` field.
+//
+//   offset  size  field
+//        0     1  magic        0xB5
+//        1     1  version      protocol version of this frame
+//        2     2  command      command id (HostCommand)
+//        4     2  seq          client-chosen sequence number, echoed back
+//        6     2  status       HostStatus (0 in requests)
+//        8     2  payload_len  bytes following the header (<= kMaxPayload)
+//       10     1  reserved     0
+//       11     1  crc          CRC-8 over header (crc byte zeroed) + payload
+//
+// Versioning rules: the server accepts any version in
+// [kProtocolVersionMin, kProtocolVersionCurrent] and answers in the
+// request's version. A frame with a newer version than the server speaks
+// is answered with kBadVersion and a 2-byte payload [min, current] so the
+// client can downgrade — version negotiation costs one round trip, total.
+// Adding a command or appending payload fields bumps the minor behavior
+// under the same version only when old clients are unaffected; anything a
+// v(N) client would misparse bumps the version and declares the new
+// surface via per-command `min_version`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "dnachip/serial.hpp"
+
+namespace biosense::host {
+
+inline constexpr std::uint8_t kFrameMagic = 0xB5;
+inline constexpr std::uint8_t kProtocolVersionMin = 1;
+inline constexpr std::uint8_t kProtocolVersionCurrent = 2;
+inline constexpr std::size_t kHeaderSize = 12;
+inline constexpr std::size_t kMaxPayload = 1024;
+
+/// Command ids. 0x0x = discovery/liveness, 0x1x = session lifecycle,
+/// 0x2x = server-wide (v2+).
+enum class HostCommand : std::uint16_t {
+  kGetProtocolInfo = 0x01,   // -> [min u8, current u8, header u8, max_payload u16]
+  kGetCapabilities = 0x02,   // -> [capability bits u32]
+  kPing = 0x03,              // echoes payload (<= 64 bytes)
+  kCreateSession = 0x10,     // mutating; payload: CreateSessionRequest
+  kConfigureSession = 0x11,  // mutating; [session u32, param u8, value u64]
+  kStartAcquisition = 0x12,  // mutating; [session u32, frames u32]
+  kPollFrames = 0x13,        // [session u32, max_records u16]
+  kDrainSession = 0x14,      // mutating; [session u32]
+  kDestroySession = 0x15,    // mutating; [session u32]
+  kQuerySession = 0x16,      // [session u32]
+  kServerStats = 0x20,       // v2+; server-wide occupancy counters
+};
+
+/// Typed outcome of a command, carried in every response header.
+enum class HostStatus : std::uint16_t {
+  kOk = 0,
+  kBadMagic = 1,         // not a protocol frame at all
+  kBadVersion = 2,       // version outside [min, current]
+  kBadCrc = 3,           // checksum rejected the frame
+  kTruncated = 4,        // fewer bytes than the header promises
+  kOversized = 5,        // payload_len > kMaxPayload
+  kUnknownCommand = 6,   // command id not in the registry (at this version)
+  kBadPayload = 7,       // payload shape violates the command's schema
+  kNoSuchSession = 8,    // session id not found (or already destroyed)
+  kDuplicateSession = 9, // create with an id that is already live
+  kBadState = 10,        // command illegal in the session's current state
+  kSessionLimit = 11,    // admission control rejected the session
+  kBackpressure = 12,    // resources exhausted right now; retry after drain
+  kFault = 13,           // active fault plan defeated the operation
+  kInternal = 14,        // server-side invariant failure (never expected)
+};
+
+/// Stable diagnostic names ("ok", "bad_crc", ...) / ("ping", ...).
+const char* host_status_name(HostStatus status);
+const char* host_command_name(HostCommand command);
+
+/// Capability bits reported by kGetCapabilities.
+inline constexpr std::uint32_t kCapDnaSessions = 1u << 0;
+inline constexpr std::uint32_t kCapNeuroSessions = 1u << 1;
+inline constexpr std::uint32_t kCapFaultInjection = 1u << 2;
+inline constexpr std::uint32_t kCapReplayCache = 1u << 3;
+
+/// Parsed frame header (byte-order already folded out).
+struct FrameHeader {
+  std::uint8_t version = kProtocolVersionCurrent;
+  HostCommand command = HostCommand::kPing;
+  std::uint16_t seq = 0;
+  HostStatus status = HostStatus::kOk;
+  std::uint16_t payload_len = 0;
+};
+
+/// A decoded frame: header plus a view into the payload bytes of the
+/// buffer handed to `decode_frame` (valid only while that buffer lives).
+struct DecodedFrame {
+  FrameHeader header{};
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_len = 0;
+};
+
+/// Serializes header + payload into `out` (cleared, capacity retained) and
+/// stamps the CRC. Payload may be empty. Throws ConfigError when the
+/// payload exceeds kMaxPayload — producing an unsendable frame is a bug.
+void encode_frame(const FrameHeader& header, const std::uint8_t* payload,
+                  std::size_t payload_len, std::vector<std::uint8_t>& out);
+
+/// In-place finalizer for the allocation-free dispatch path: `frame` holds
+/// a kHeaderSize placeholder followed by the already-built payload (the
+/// PayloadWriter pattern). Stamps the header fields, payload length and
+/// CRC. Throws ConfigError when the payload exceeds kMaxPayload.
+void finalize_frame(const FrameHeader& header, std::vector<std::uint8_t>& frame);
+
+/// Validates magic, size, length and CRC. The error is precisely the
+/// status a server should answer with (kBadMagic/kTruncated/kOversized/
+/// kBadCrc). Version acceptance is left to the dispatcher — the frame of
+/// a too-new client still decodes (the header layout is frozen across
+/// versions by design) so the server can answer kBadVersion in kind.
+Result<DecodedFrame, HostStatus> decode_frame(const std::uint8_t* bytes,
+                                              std::size_t n);
+
+/// Bounds-checked little-endian payload cursor. Reads past the end set the
+/// failure flag and return zeros — handlers check `ok()` once at the end
+/// of parsing instead of after every field.
+class PayloadReader {
+ public:
+  PayloadReader(const std::uint8_t* bytes, std::size_t n)
+      : bytes_(bytes), n_(n) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+
+  bool ok() const { return ok_; }
+  /// True when every byte has been consumed — schemas are exact-length.
+  bool exhausted() const { return ok_ && pos_ == n_; }
+  std::size_t remaining() const { return n_ - pos_; }
+
+ private:
+  std::uint64_t take(std::size_t width);
+
+  const std::uint8_t* bytes_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Little-endian payload builder appending to a caller-owned byte vector.
+/// Bytes already in the vector at construction (e.g. a frame-header
+/// placeholder) are treated as a fixed base — `size()` and the kMaxPayload
+/// bound count only bytes this writer appended. Exceeding kMaxPayload
+/// throws ConfigError — a handler building an oversized response is a
+/// bug, not a runtime condition.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<std::uint8_t>& out)
+      : out_(&out), base_(out.size()) {}
+
+  void u8(std::uint8_t v) { put(v, 1); }
+  void u16(std::uint16_t v) { put(v, 2); }
+  void u32(std::uint32_t v) { put(v, 4); }
+  void u64(std::uint64_t v) { put(v, 8); }
+  void bytes(const std::uint8_t* p, std::size_t n);
+
+  std::size_t size() const { return out_->size() - base_; }
+  /// The bytes this writer appended (valid until the next append).
+  const std::uint8_t* data() const { return out_->data() + base_; }
+  /// Drops everything this writer appended (failed handlers must not leak
+  /// partial payloads into a typed-error response).
+  void rewind() { out_->resize(base_); }
+
+ private:
+  void put(std::uint64_t v, std::size_t width);
+
+  std::vector<std::uint8_t>* out_;
+  std::size_t base_;
+};
+
+}  // namespace biosense::host

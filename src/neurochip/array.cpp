@@ -341,9 +341,11 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
   return out;
 }
 
-std::optional<faults::DefectMap> NeuroChip::self_test(Voltage v_probe) {
+Result<faults::DefectMap, dnachip::ChipError> NeuroChip::self_test(
+    Voltage v_probe) {
+  using R = Result<faults::DefectMap, dnachip::ChipError>;
   BIOSENSE_SPAN("neurochip.self_test");
-  if (!ever_calibrated_) return std::nullopt;
+  if (!ever_calibrated_) return R::err(dnachip::ChipError::kNotCalibrated);
   require(v_probe > Voltage(0.0),
           "NeuroChip: self-test probe must be positive");
 

@@ -28,8 +28,10 @@
 
 #include "circuit/gain_stage.hpp"
 #include "common/error.hpp"
+#include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/stream.hpp"
+#include "dnachip/serial.hpp"
 #include "faults/defect_map.hpp"
 #include "faults/fault_plan.hpp"
 #include "neurochip/pixel.hpp"
@@ -141,7 +143,10 @@ class NeuroChip {
   /// pixels sit at an ADC rail in both frames, dead/stuck pixels don't move
   /// by the expected code delta. Requires a calibrated chip; the sweep
   /// bypasses any installed defect map so known defects re-test honestly.
-  std::optional<faults::DefectMap> self_test(Voltage v_probe = 1.0_mV);
+  /// Errors with kNotCalibrated when the chip has never been calibrated
+  /// (the sweep needs a settled signal path to classify against).
+  Result<faults::DefectMap, dnachip::ChipError> self_test(
+      Voltage v_probe = 1.0_mV);
 
   /// Captures one frame into `frame`, reusing its buffers (capacity
   /// retained — with a pooled frame the steady state allocates nothing).

@@ -87,6 +87,13 @@ Histogram& Registry::histogram(const std::string& name,
   return histograms_.try_emplace(name, bounds).first->second;
 }
 
+std::string Registry::claim_prefix(const std::string& base) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto n = ++prefix_claims_[base];
+  if (n == 1) return base;
+  return base + "#" + std::to_string(n);
+}
+
 std::string Registry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;

@@ -100,6 +100,13 @@ class Registry {
   Histogram& histogram(const std::string& name,
                        const std::vector<double>& bounds);
 
+  /// Reserves a unique instrument-name prefix: the first claimant of `base`
+  /// gets `base` back, later claimants get `base#2`, `base#3`, ... Owners
+  /// of per-instance instruments (sessions, channels, pools) claim once and
+  /// derive all instrument names from the returned prefix, so hundreds of
+  /// same-named instances never alias each other's gauges/counters.
+  std::string claim_prefix(const std::string& base);
+
   /// One JSON object with every instrument, keys sorted by name:
   ///   {"counters": {...}, "gauges": {...},
   ///    "histograms": {"name": {"buckets": [{"le": b, "count": n}, ...],
@@ -117,6 +124,7 @@ class Registry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::uint64_t> prefix_claims_;
 };
 
 }  // namespace biosense::obs

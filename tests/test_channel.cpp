@@ -157,5 +157,28 @@ TEST(Channel, NamedChannelRegistersDepthGauge) {
   EXPECT_EQ(obs::Registry::global().gauge("test_ch.depth").value(), 1.0);
 }
 
+TEST(Channel, SameNamedChannelsGetCollisionFreeInstruments) {
+  // Regression: two channels constructed with the same name used to share
+  // one depth gauge and one stall-counter pair, so a fleet of hundreds of
+  // per-session rings reported unattributable stats. claim_prefix suffixes
+  // every claimant after the first.
+  Channel<int> a(2, "collide_ch");
+  Channel<int> b(2, "collide_ch");
+  a.push(1);
+  a.push(2);
+  b.push(7);
+  auto& registry = obs::Registry::global();
+  EXPECT_EQ(registry.gauge("collide_ch.depth").value(), 2.0);
+  EXPECT_EQ(registry.gauge("collide_ch#2.depth").value(), 1.0);
+
+  // Stall accounting stays per-instance too.
+  EXPECT_FALSE(a.try_push(3));  // full: non-blocking, no stall counted
+  a.pop();
+  a.pop();
+  b.pop();
+  EXPECT_EQ(registry.gauge("collide_ch.depth").value(), 0.0);
+  EXPECT_EQ(registry.gauge("collide_ch#2.depth").value(), 0.0);
+}
+
 }  // namespace
 }  // namespace biosense

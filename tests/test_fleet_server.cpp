@@ -1,0 +1,363 @@
+// FleetServer: session lifecycle over the typed client, admission control
+// and explicit backpressure, mixed DNA+neuro determinism across worker
+// threads, graceful degradation under fault presets, and idempotent retry
+// of mutating commands over an injected lossy link (replay cache).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "host/client.hpp"
+#include "host/fleet_server.hpp"
+#include "obs/metrics.hpp"
+
+namespace biosense::host {
+namespace {
+
+FleetClient::SessionSpec neuro_spec(std::uint32_t id) {
+  FleetClient::SessionSpec spec;
+  spec.id = id;
+  spec.kind = core::ChipKind::kNeuro;
+  spec.rows = 8;
+  spec.cols = 8;
+  spec.seed = 10 + id;
+  return spec;
+}
+
+FleetClient::SessionSpec dna_spec(std::uint32_t id) {
+  FleetClient::SessionSpec spec;
+  spec.id = id;
+  spec.kind = core::ChipKind::kDna;
+  spec.rows = 4;
+  spec.cols = 4;
+  spec.seed = 20 + id;
+  return spec;
+}
+
+TEST(FleetServer, SessionLifecycle) {
+  FleetServer server;
+  ServerLink link(server);
+  FleetClient client(link);
+
+  ASSERT_TRUE(client.create(neuro_spec(1)));
+  EXPECT_EQ(server.live_sessions(), 1u);
+  ASSERT_TRUE(client.configure(1, 1, 250));  // 250 uV probe
+  ASSERT_TRUE(client.start(1, 8));
+
+  std::vector<FleetClient::Record> records;
+  while (records.size() < 8) {
+    const auto polled = client.poll(1, 4, records);
+    ASSERT_TRUE(polled);
+    if (polled->returned == 0) break;
+  }
+  EXPECT_EQ(records.size(), 8u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].index, i);  // in-order delivery
+  }
+
+  const auto info = client.query(1);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->kind, core::ChipKind::kNeuro);
+  EXPECT_EQ(info->frames_produced, 8u);
+  EXPECT_EQ(info->records_polled, 8u);
+  EXPECT_EQ(info->pending, 0u);
+
+  const auto drained = client.drain(1);
+  ASSERT_TRUE(drained);
+  EXPECT_EQ(drained->frames, 8u);
+  EXPECT_NE(drained->digest, 0u);
+
+  ASSERT_TRUE(client.destroy(1));
+  EXPECT_EQ(server.live_sessions(), 0u);
+  EXPECT_EQ(server.committed_frames(), 0u);
+  // The session is gone: further commands answer kNoSuchSession.
+  const auto gone = client.query(1);
+  EXPECT_FALSE(gone);
+  EXPECT_EQ(gone.error(), HostStatus::kNoSuchSession);
+}
+
+TEST(FleetServer, DnaSessionDeliversSiteCurrents) {
+  FleetServer server;
+  ServerLink link(server);
+  FleetClient client(link);
+  ASSERT_TRUE(client.create(dna_spec(7)));
+  ASSERT_TRUE(client.configure(7, 0, 7));  // gate code
+  ASSERT_TRUE(client.start(7, 4));
+  std::vector<FleetClient::Record> records;
+  ASSERT_TRUE(client.poll(7, 16, records));
+  ASSERT_EQ(records.size(), 4u);
+  for (const auto& r : records) {
+    // Lossless link: payloads are IEEE bit patterns of positive currents,
+    // never error sentinels.
+    EXPECT_EQ(r.payload >> 63, 0u);
+    double current = 0.0;
+    static_assert(sizeof(current) == sizeof(r.payload));
+    std::memcpy(&current, &r.payload, sizeof(current));
+    EXPECT_GT(current, 0.0);
+  }
+}
+
+TEST(FleetServer, DuplicateCreateRejected) {
+  FleetServer server;
+  ServerLink link(server);
+  FleetClient client(link);
+  ASSERT_TRUE(client.create(neuro_spec(3)));
+  const auto dup = client.create(neuro_spec(3));
+  EXPECT_FALSE(dup);
+  EXPECT_EQ(dup.error(), HostStatus::kDuplicateSession);
+}
+
+TEST(FleetServer, AdmissionControlBySessionCountAndFrameBudget) {
+  FleetLimits limits;
+  limits.max_sessions = 2;
+  limits.frame_budget = 8;
+  FleetServer server(limits);
+  ServerLink link(server);
+  FleetClient client(link);
+
+  auto spec = dna_spec(1);
+  spec.pool_frames = 4;
+  ASSERT_TRUE(client.create(spec));
+
+  // Frame budget: a second session asking for more than the remaining 4
+  // pooled frames is refused even though a session slot is free.
+  auto greedy = dna_spec(2);
+  greedy.pool_frames = 5;
+  const auto refused = client.create(greedy);
+  EXPECT_FALSE(refused);
+  EXPECT_EQ(refused.error(), HostStatus::kSessionLimit);
+
+  auto modest = dna_spec(2);
+  modest.pool_frames = 4;
+  ASSERT_TRUE(client.create(modest));
+
+  // Session cap: slot-limited now.
+  auto third = dna_spec(3);
+  third.pool_frames = 1;
+  const auto full = client.create(third);
+  EXPECT_FALSE(full);
+  EXPECT_EQ(full.error(), HostStatus::kSessionLimit);
+
+  // Destroy releases budget and slots.
+  ASSERT_TRUE(client.destroy(1));
+  EXPECT_EQ(server.committed_frames(), 4u);
+  ASSERT_TRUE(client.create(third));
+}
+
+TEST(FleetServer, ExplicitBackpressure) {
+  FleetLimits limits;
+  limits.max_pending = 16;
+  FleetServer server(limits);
+  ServerLink link(server);
+  FleetClient client(link);
+  auto spec = neuro_spec(1);
+  spec.ring_depth = 4;
+  ASSERT_TRUE(client.create(spec));
+
+  // Backlog cap: a start beyond max_pending is refused with kBackpressure.
+  const auto refused = client.start(1, 17);
+  EXPECT_FALSE(refused);
+  EXPECT_EQ(refused.error(), HostStatus::kBackpressure);
+  ASSERT_TRUE(client.start(1, 12));
+  const auto more = client.start(1, 5);  // 12 + 5 > 16
+  EXPECT_FALSE(more);
+  EXPECT_EQ(more.error(), HostStatus::kBackpressure);
+
+  // Ring cap: a poll that cannot absorb the backlog reports backpressure
+  // in-band (ring depth 4 versus 12 pending).
+  std::vector<FleetClient::Record> records;
+  const auto polled = client.poll(1, 2, records);
+  ASSERT_TRUE(polled);
+  EXPECT_EQ(polled->returned, 2u);
+  EXPECT_TRUE(polled->backpressure);
+
+  // Draining the backlog clears the flag.
+  while (true) {
+    const auto p = client.poll(1, 8, records);
+    ASSERT_TRUE(p);
+    if (p->returned == 0 && !p->backpressure) break;
+  }
+  EXPECT_EQ(records.size(), 12u);
+}
+
+TEST(FleetServer, FaultPresetDegradesGracefully) {
+  FleetServer server;
+  ServerLink link(server);
+  FleetClient client(link);
+
+  // Severe link faults on a DNA session: transactions may exhaust their
+  // retries, but every outcome is a typed record or status — never a
+  // crash, and the session stays serviceable.
+  auto spec = dna_spec(5);
+  spec.fault_preset = 2;
+  ASSERT_TRUE(client.create(spec));
+  ASSERT_TRUE(client.start(5, 32));
+  std::vector<FleetClient::Record> records;
+  while (true) {
+    const auto polled = client.poll(5, 8, records);
+    ASSERT_TRUE(polled);
+    if (polled->returned == 0) break;
+  }
+  EXPECT_EQ(records.size(), 32u);
+
+  std::uint64_t error_records = 0;
+  for (const auto& r : records) {
+    if (r.payload >> 63) ++error_records;
+  }
+  const auto info = client.query(5);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->wire_errors, error_records);
+  // The drain summary still arrives with link accounting.
+  const auto drained = client.drain(5);
+  ASSERT_TRUE(drained);
+  EXPECT_EQ(drained->frames, 32u);
+  EXPECT_GT(drained->retries, 0u);
+  ASSERT_TRUE(client.destroy(5));
+}
+
+TEST(FleetServer, NeuroFaultPresetMasksSitesWithoutCrashing) {
+  FleetServer server;
+  ServerLink link(server);
+  FleetClient client(link);
+  auto spec = neuro_spec(2);
+  spec.fault_preset = 3;  // defect preset: dead/railed pixels
+  ASSERT_TRUE(client.create(spec));
+  ASSERT_TRUE(client.start(2, 8));
+  std::vector<FleetClient::Record> records;
+  ASSERT_TRUE(client.poll(2, 64, records));
+  EXPECT_EQ(records.size(), 8u);
+  const auto drained = client.drain(2);
+  ASSERT_TRUE(drained);
+  EXPECT_EQ(drained->frames, 8u);
+}
+
+TEST(FleetServer, IdempotentRetryUnderLossyLink) {
+  // Both runs execute the same mutating script; one over a heavily lossy
+  // link (dropped requests, dropped responses, corrupted bytes). Retries
+  // + the server-side replay cache must converge to the identical
+  // outcome: same drain digest, same frame count.
+  const auto run_script = [](ByteLink& link) {
+    dnachip::RetryPolicy retry;
+    retry.max_attempts = 64;  // the lossy leg needs headroom
+    FleetClient client(link, kProtocolVersionCurrent, retry);
+    EXPECT_TRUE(client.create(neuro_spec(9)));
+    EXPECT_TRUE(client.configure(9, 1, 300));
+    std::vector<FleetClient::Record> records;
+    for (int round = 0; round < 4; ++round) {
+      EXPECT_TRUE(client.start(9, 4));
+      while (true) {
+        const auto polled = client.poll(9, 4, records);
+        EXPECT_TRUE(polled);
+        if (!polled || polled->returned == 0) break;
+      }
+    }
+    const auto drained = client.drain(9);
+    EXPECT_TRUE(drained);
+    EXPECT_TRUE(client.destroy(9));
+    struct Outcome {
+      std::uint32_t frames;
+      std::uint64_t digest;
+      std::size_t records;
+      std::uint64_t retries;
+    };
+    return Outcome{drained ? drained->frames : 0,
+                   drained ? drained->digest : 0, records.size(),
+                   0};
+  };
+
+  FleetServer clean_server;
+  ServerLink clean_link(clean_server);
+  const auto clean = run_script(clean_link);
+
+  FleetServer lossy_server;
+  ServerLink inner(lossy_server);
+  LossyLink lossy(inner, Rng(404), 0.15, 0.15, 0.1);
+  const auto stressed = run_script(lossy);
+
+  EXPECT_GT(lossy.drops() + lossy.corruptions(), 0u);
+  EXPECT_EQ(stressed.frames, clean.frames);
+  EXPECT_EQ(stressed.digest, clean.digest);
+  EXPECT_EQ(stressed.records, clean.records);
+  // Idempotency held: the lossy run destroyed the session exactly once
+  // and left the server empty.
+  EXPECT_EQ(lossy_server.live_sessions(), 0u);
+}
+
+TEST(FleetServer, MixedFleetDeterministicAcrossWorkerThreads) {
+  // The bench-scale determinism claim in miniature: 8 mixed sessions, the
+  // same per-session scripts, run under 1, 2 and 4 external worker
+  // threads with static partitioning — every session's response digest
+  // must be bitwise identical.
+  set_max_threads(1);  // captures stay inline on the calling worker
+  const int kSessions = 8;
+  const auto run_fleet = [&](int workers) {
+    FleetServer server;
+    ServerLink link(server);
+    std::vector<std::map<std::uint32_t, std::uint64_t>> digests(
+        static_cast<std::size_t>(workers));
+    const auto worker_fn = [&](int w) {
+      std::vector<FleetClient::Record> records;
+      for (int s = w; s < kSessions; s += workers) {
+        const auto id = static_cast<std::uint32_t>(s + 1);
+        FleetClient client(link);
+        const auto spec = (s % 2 == 0) ? neuro_spec(id) : dna_spec(id);
+        EXPECT_TRUE(client.create(spec));
+        EXPECT_TRUE(client.configure(id, s % 2 == 0 ? 1 : 0,
+                                     s % 2 == 0 ? 150 : 6));
+        EXPECT_TRUE(client.start(id, 6));
+        records.clear();
+        while (true) {
+          const auto polled = client.poll(id, 3, records);
+          EXPECT_TRUE(polled);
+          if (!polled || polled->returned == 0) break;
+        }
+        EXPECT_TRUE(client.drain(id));
+        EXPECT_TRUE(client.destroy(id));
+        digests[static_cast<std::size_t>(w)][id] = client.response_digest();
+      }
+    };
+    if (workers == 1) {
+      worker_fn(0);
+    } else {
+      std::vector<std::thread> pool;
+      for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
+      for (auto& t : pool) t.join();
+    }
+    std::map<std::uint32_t, std::uint64_t> merged;
+    for (const auto& d : digests) merged.insert(d.begin(), d.end());
+    EXPECT_EQ(merged.size(), static_cast<std::size_t>(kSessions));
+    return merged;
+  };
+
+  const auto one = run_fleet(1);
+  const auto two = run_fleet(2);
+  const auto four = run_fleet(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(FleetServer, PerSessionInstrumentsAreCollisionFree) {
+  // With an obs prefix configured, two servers' sessions (and repeated
+  // same-id sessions) never alias instruments: claim_prefix suffixes them.
+  FleetLimits limits;
+  limits.obs_prefix = "fleettest";
+  FleetServer server(limits);
+  ServerLink link(server);
+  FleetClient client(link);
+  ASSERT_TRUE(client.create(neuro_spec(1)));
+  ASSERT_TRUE(client.destroy(1));
+  // Re-creating the same id claims a fresh prefix rather than clobbering
+  // the destroyed session's instruments.
+  ASSERT_TRUE(client.create(neuro_spec(1)));
+  ASSERT_TRUE(client.destroy(1));
+  const auto json = obs::Registry::global().to_json();
+  EXPECT_NE(json.find("fleettest.s1.ring.depth"), std::string::npos);
+  EXPECT_NE(json.find("fleettest.s1.ring#2.depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace biosense::host

@@ -24,6 +24,16 @@ Comparison rules, per artifact kind:
   * Scaling summaries (objects with an ``all_identical`` key):
       - ``all_identical`` must be true (the determinism contract);
       - the thread counts covered must not shrink.
+  * Fleet-server load reports (objects with a ``latency`` key):
+      - ``deterministic`` and ``pass`` must be true, ``errors`` and
+        ``steady_allocs_per_command`` must be zero in the fresh run
+        (the hard contracts — these are absolute, not diffed);
+      - per worker entry the closed- and open-loop percentiles must be
+        ordered (p50 <= p95 <= p99);
+      - the worker counts covered must not shrink, and the fresh run must
+        not cover fewer sessions or commands than the baseline did.
+      Raw latency magnitudes are machine-dependent and deliberately not
+      gated here; ordering + scale + determinism are the invariants.
 
 Usage:
   tools/bench_check.py [--baseline-dir DIR] [--results-dir DIR]
@@ -144,6 +154,48 @@ class Gate:
         if lost:
             self.fail(name, f"thread counts no longer covered: {lost}")
 
+    # -- fleet-server load reports -------------------------------------------
+
+    def check_fleet(self, name, baseline, current):
+        if not current.get("deterministic", False):
+            self.fail(name, "per-session output is no longer bitwise "
+                            "deterministic across worker counts")
+        if not current.get("pass", False):
+            self.fail(name, "bench self-check failed (pass=false)")
+        if current.get("errors", 1) != 0:
+            self.fail(name, f"command errors in fresh run: "
+                            f"{current.get('errors')}")
+        allocs = current.get("steady_allocs_per_command", None)
+        if allocs != 0:
+            self.fail(name, f"steady-state dispatch allocations crept in: "
+                            f"{allocs} per command (contract is 0)")
+        for entry in current.get("latency", []):
+            workers = entry.get("workers", "?")
+            for loop in ("closed", "open"):
+                pcts = entry.get(loop, {})
+                p50 = pcts.get("p50_us")
+                p95 = pcts.get("p95_us")
+                p99 = pcts.get("p99_us")
+                if p50 is None or p95 is None or p99 is None:
+                    self.fail(name, f"workers={workers} {loop}-loop entry "
+                                    "is missing a percentile")
+                elif not p50 <= p95 <= p99:
+                    self.fail(
+                        name,
+                        f"workers={workers} {loop}-loop percentiles are "
+                        f"unordered: p50={p50} p95={p95} p99={p99}",
+                    )
+        for scale_key in ("sessions", "commands_total"):
+            base_n = baseline.get(scale_key, 0)
+            cur_n = current.get(scale_key, 0)
+            if cur_n < base_n:
+                self.fail(name, f"{scale_key} shrank: {base_n} -> {cur_n}")
+        base_workers = {e["workers"] for e in baseline.get("latency", [])}
+        cur_workers = {e["workers"] for e in current.get("latency", [])}
+        lost = sorted(base_workers - cur_workers)
+        if lost:
+            self.fail(name, f"worker counts no longer covered: {lost}")
+
     # -- dispatch ------------------------------------------------------------
 
     def check_artifact(self, name, baseline_path, results_dir):
@@ -164,6 +216,8 @@ class Gate:
             self.check_claims(name, baseline, current)
         elif "all_identical" in baseline:
             self.check_scaling(name, baseline, current)
+        elif "latency" in baseline:
+            self.check_fleet(name, baseline, current)
         elif "phases" in baseline:
             self.check_manifest(name, baseline, current)
         else:

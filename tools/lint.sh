@@ -26,11 +26,19 @@
 #     which the streaming pipeline (StreamSink + FramePool) exists to
 #     avoid. New acquisition APIs must take a StreamSink; only the
 #     explicitly tagged batch compat wrappers may return the full vector.
+#  7. Bool-returning fallible APIs in src/host/ headers: the host layer's
+#     error convention is Result<T, HostStatus> / typed statuses (see
+#     DESIGN.md §12); a `bool do_thing(...)` collapses every failure mode
+#     into one bit and invites silently-ignored errors. Pure predicates
+#     (is_*/has_*, ok/exhausted/empty/closed/any/decoded) are fine — they
+#     report state, not success of an attempted operation.
 #
 # A line can opt out of rule 4 with a `lint:allow-raw-unit` comment when a
-# raw double is deliberate (e.g. a hot-loop-internal cache), and of rule 6
+# raw double is deliberate (e.g. a hot-loop-internal cache), of rule 6
 # with `lint:allow-batch-return` on the declaration line (reserved for the
-# documented compat wrappers).
+# documented compat wrappers), and of rule 7 with `lint:allow-bool` when
+# the bool genuinely is a single-bit fact (e.g. ByteLink::roundtrip's
+# delivered-or-lost transport signal).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,6 +113,21 @@ if [[ -n "${hits}" ]]; then
   fail "APIs returning std::vector<NeuroFrame> are banned in src/ headers; \
 take a StreamSink<NeuroFrame>& (see common/stream.hpp) or tag a documented \
 compat wrapper with lint:allow-batch-return" "${hits}"
+fi
+
+# --- rule 7: bool-returning fallible APIs in src/host/ headers ---------------
+mapfile -t host_headers < <(find src/host -name '*.hpp' | sort)
+if [[ ${#host_headers[@]} -gt 0 ]]; then
+  hits=$(grep -nE '(virtual +)?bool +[_[:alnum:]]+ *\(' \
+      "${host_headers[@]}" /dev/null |
+      grep -vE 'bool +(is_|has_)[_[:alnum:]]+ *\(' |
+      grep -vE 'bool +(ok|exhausted|empty|closed|any|decoded) *\(' |
+      grep -v 'lint:allow-bool' || true)
+  if [[ -n "${hits}" ]]; then
+    fail "bool-returning fallible API in a src/host/ header; return \
+Result<T, HostStatus> (common/result.hpp, DESIGN.md §12) or, for a genuine \
+single-bit fact, annotate lint:allow-bool" "${hits}"
+  fi
 fi
 
 if [[ ${status} -eq 0 ]]; then
