@@ -1,0 +1,455 @@
+// Sharded soak replay: the checkpoint/resume contract (DESIGN.md §13) at
+// soak scale. One long lossy-link acquisition is split into frame-range
+// shards; every shard boundary is checkpointed through the crash-safe
+// CheckpointStore (atomic write + rotation), and every shard then replays
+// *independently* — fresh process-state session, restore from disk, run
+// only its frame range. Three hard gates:
+//
+//   1. Resume identity — each replayed shard's FNV-1a digest equals the
+//      digest of the same frame range inside the continuous producer run.
+//   2. Shard-merge identity — the in-order merge of the replayed shard
+//      digests equals the merge of the unsharded reference's per-range
+//      digests (and the segmented producer run itself matches a one-shot
+//      run bit for bit, so segmentation is not doing the work).
+//   3. Zero steady-state heap allocation on a *resumed* session — after
+//      restore + warm-up, growing the run by 9x the frames adds zero
+//      allocations; resuming must not cost the pooled pipeline its
+//      alloc-free steady state.
+//
+//   ./bench_soak_replay [--frames N] [--shards N] [--rows N] [--cols N]
+//
+// Emits the stdout table plus machine-readable JSON at
+// results/bench_soak_replay.json.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "core/session_options.hpp"
+#include "core/session_snapshot.hpp"
+#include "neurochip/signal_source.hpp"
+#include "obs/manifest.hpp"
+#include "snapshot/atomic_file.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same instrument as bench_streaming_pipeline):
+// every operator-new increments, so a delta across a region counts heap
+// allocations exactly.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               size == 0 ? static_cast<std::size_t>(align)
+                                         : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using namespace biosense;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// In-order merge of shard digests: the cross-shard soak invariant is on
+/// this value, so a reordered or dropped shard cannot cancel out.
+std::uint64_t merge_digests(const std::vector<std::uint64_t>& digests) {
+  std::uint64_t h = kFnvOffset;
+  for (const std::uint64_t d : digests) h = fnv_mix(h, &d, sizeof(d));
+  return h;
+}
+
+/// Travelling-wave electrode field — a spatially structured soak signal.
+class WaveSource final : public neurochip::SignalSource {
+ public:
+  double eval(int row, int col, double t) const override {
+    return kAmp * std::sin(kOmega * t + 0.13 * col + 0.07 * row);
+  }
+  void eval_column(int col, double t, std::span<double> out) const override {
+    const double phase = kOmega * t + 0.13 * col;
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      out[r] = kAmp * std::sin(phase + 0.07 * static_cast<double>(r));
+    }
+  }
+
+ private:
+  static constexpr double kAmp = 1e-3;  // 1 mV
+  static constexpr double kOmega = 2.0 * 3.14159265358979 * 1e3;
+};
+
+/// Dual-accumulator hash sink: `total` runs across the whole session,
+/// `shard` resets at each shard boundary — one pass yields both the
+/// continuous digest and the per-range digests, and never allocates.
+class SoakHashSink final : public StreamSink<neurochip::NeuroFrame> {
+ public:
+  void on_item(const neurochip::NeuroFrame& f) override {
+    mix(&f.t, sizeof(f.t));
+    mix(&f.masked, sizeof(f.masked));
+    mix(f.v_in.data(), f.v_in.size() * sizeof(double));
+    mix(f.codes.data(), f.codes.size() * sizeof(std::int32_t));
+  }
+  void on_end() override {}
+  std::uint64_t total() const { return total_; }
+  std::uint64_t shard() const { return shard_; }
+  void begin_shard() { shard_ = kFnvOffset; }
+  void reset() {
+    total_ = kFnvOffset;
+    shard_ = kFnvOffset;
+  }
+
+ private:
+  void mix(const void* data, std::size_t bytes) {
+    total_ = fnv_mix(total_, data, bytes);
+    shard_ = fnv_mix(shard_, data, bytes);
+  }
+  std::uint64_t total_ = kFnvOffset;
+  std::uint64_t shard_ = kFnvOffset;
+};
+
+/// The soak session: lossy link so resume has to carry the fault-plan and
+/// link-RNG state, not just the chip. The frame rate is dyadic (2048 Hz =
+/// 2^-11 s period) so every frame timestamp `start * period + k * period`
+/// is an exact double and a shard resuming at frame N reproduces the
+/// uninterrupted run's timestamps bit for bit — with a non-dyadic period
+/// the two sums can differ by 1 ulp, which feeds the signal source and
+/// breaks the digest for a reason that has nothing to do with resume.
+core::SessionOptions soak_options(int rows, int cols) {
+  neurochip::NeuroChipConfig chip_cfg;
+  chip_cfg.frame_rate = 2048.0_Hz;
+  core::SessionOptions opts;
+  opts.kind(core::ChipKind::kNeuro)
+      .neuro_config(chip_cfg)
+      .rows(rows)
+      .cols(cols)
+      .chip_seed(20260809)
+      .link_seed(4242)
+      .pool_frames(4)
+      .queue_depth(4)
+      .label("");
+  faults::FaultPlanConfig plan;
+  plan.seed = 1312;
+  plan.link.bit_error_rate = 1e-4;
+  plan.link.drop_prob = 0.01;
+  plan.link.truncate_prob = 0.01;
+  opts.fault_plan(plan);
+  return opts;
+}
+
+double frame_period(const core::NeuroSession& s) {
+  return (1.0 / s.chip->config().frame_rate).value();
+}
+
+std::string shard_store_name(int shard) {
+  return "shard" + std::to_string(shard);
+}
+
+struct ShardResult {
+  int shard = 0;
+  int frames = 0;
+  std::uint64_t reference_digest = 0;
+  std::uint64_t replay_digest = 0;
+  std::size_t checkpoint_bytes = 0;
+  bool identical = false;
+};
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  biosense::obs::BenchRun bench_run("bench_soak_replay");
+  int frames = 64;
+  int shards = 4;
+  int rows = 16;
+  int cols = 16;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0) frames = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--shards") == 0) shards = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--rows") == 0) rows = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--cols") == 0) cols = std::atoi(argv[++i]);
+  }
+  if (shards < 1 || frames < shards) {
+    std::fprintf(stderr, "bench_soak_replay: need 1 <= shards <= frames\n");
+    return 2;
+  }
+  set_max_threads(2);
+
+  const auto opts = soak_options(rows, cols);
+  const WaveSource source;
+  const std::string ckpt_dir =
+      biosense::obs::results_dir() + "/soak_replay_ckpt";
+
+  // Frame ranges: frames/shards each, remainder folded into the last.
+  std::vector<int> shard_len(static_cast<std::size_t>(shards),
+                             frames / shards);
+  shard_len.back() += frames % shards;
+
+  // Phase 1 — unsharded reference: one session, one run() call.
+  std::uint64_t unsharded_digest = 0;
+  {
+    biosense::obs::PhaseTimer phase("soak.reference");
+    auto bundle = opts.build_neuro();
+    SoakHashSink sink;
+    bundle.session->run(source, 0.0, frames, sink);
+    unsharded_digest = sink.total();
+  }
+
+  // Phase 2 — producer: the same session segmented at shard boundaries,
+  // checkpointing through the crash-safe store before each shard. The
+  // continuous digest must equal the one-shot reference (segmentation
+  // alone changes nothing), and the per-range digests become the per-shard
+  // reference.
+  std::vector<ShardResult> results(static_cast<std::size_t>(shards));
+  std::uint64_t producer_digest = 0;
+  {
+    biosense::obs::PhaseTimer phase("soak.producer_checkpoints");
+    auto bundle = opts.build_neuro();
+    const double period = frame_period(bundle);
+    SoakHashSink sink;
+    double t = 0.0;
+    int done = 0;
+    for (int k = 0; k < shards; ++k) {
+      core::SessionCheckpointMeta meta;
+      meta.kind = core::ChipKind::kNeuro;
+      meta.frames_done = static_cast<std::uint64_t>(done);
+      meta.t = t;
+      const auto bytes = core::checkpoint_neuro(bundle, meta);
+      snapshot::CheckpointStore store(ckpt_dir, shard_store_name(k));
+      if (!store.save(bytes)) {
+        std::fprintf(stderr, "FAIL: checkpoint write for shard %d\n", k);
+        return 1;
+      }
+      results[static_cast<std::size_t>(k)].shard = k;
+      results[static_cast<std::size_t>(k)].frames =
+          shard_len[static_cast<std::size_t>(k)];
+      results[static_cast<std::size_t>(k)].checkpoint_bytes = bytes.size();
+
+      sink.begin_shard();
+      bundle.session->run(source, t,
+                          shard_len[static_cast<std::size_t>(k)], sink);
+      results[static_cast<std::size_t>(k)].reference_digest = sink.shard();
+      done += shard_len[static_cast<std::size_t>(k)];
+      t = done * period;
+    }
+    producer_digest = sink.total();
+  }
+  const bool segmented_identical = producer_digest == unsharded_digest;
+
+  // Phase 3 — independent shard replay: each shard restores from its disk
+  // checkpoint into a freshly built session and runs only its range.
+  bool resume_identical = segmented_identical;
+  {
+    biosense::obs::PhaseTimer phase("soak.shard_replay");
+    for (int k = 0; k < shards; ++k) {
+      auto& r = results[static_cast<std::size_t>(k)];
+      snapshot::CheckpointStore store(ckpt_dir, shard_store_name(k));
+      const auto bytes = store.load();
+      if (!bytes) {
+        std::fprintf(stderr, "FAIL: shard %d checkpoint load: %s\n", k,
+                     snapshot::snapshot_error_name(bytes.error()));
+        return 1;
+      }
+      auto bundle = opts.build_neuro();
+      const auto restored = core::restore_neuro(bundle, *bytes);
+      if (!restored) {
+        std::fprintf(stderr, "FAIL: shard %d restore: %s\n", k,
+                     snapshot::snapshot_error_name(restored.error()));
+        return 1;
+      }
+      SoakHashSink sink;
+      sink.begin_shard();
+      bundle.session->run(source, restored->t, r.frames, sink);
+      r.replay_digest = sink.shard();
+      r.identical = r.replay_digest == r.reference_digest;
+      resume_identical = resume_identical && r.identical;
+    }
+  }
+
+  std::vector<std::uint64_t> reference_digests;
+  std::vector<std::uint64_t> replay_digests;
+  for (const auto& r : results) {
+    reference_digests.push_back(r.reference_digest);
+    replay_digests.push_back(r.replay_digest);
+  }
+  const std::uint64_t merged_reference = merge_digests(reference_digests);
+  const std::uint64_t merged_replay = merge_digests(replay_digests);
+  const bool shard_merge_identical = merged_replay == merged_reference;
+
+  // Phase 4 — zero steady-state allocation on a resumed session: restore
+  // from the mid-run checkpoint, warm up, then grow the run 10x; the delta
+  // over the extra frames must be exactly zero allocations.
+  std::uint64_t steady_allocs = 0;
+  {
+    biosense::obs::PhaseTimer phase("soak.alloc_gate");
+    snapshot::CheckpointStore store(ckpt_dir, shard_store_name(shards / 2));
+    const auto bytes = store.load();
+    if (!bytes) {
+      std::fprintf(stderr, "FAIL: alloc-gate checkpoint load\n");
+      return 1;
+    }
+    auto bundle = opts.build_neuro();
+    const auto restored = core::restore_neuro(bundle, *bytes);
+    if (!restored) {
+      std::fprintf(stderr, "FAIL: alloc-gate restore\n");
+      return 1;
+    }
+    SoakHashSink sink;
+    bundle.session->run(source, restored->t, frames, sink);  // warm-up
+    const std::uint64_t before_short = g_alloc_count.load();
+    bundle.session->run(source, restored->t, frames, sink);
+    const std::uint64_t short_allocs = g_alloc_count.load() - before_short;
+    const std::uint64_t before_long = g_alloc_count.load();
+    bundle.session->run(source, restored->t, 10 * frames, sink);
+    const std::uint64_t long_allocs = g_alloc_count.load() - before_long;
+    steady_allocs = long_allocs > short_allocs ? long_allocs - short_allocs : 0;
+  }
+  const double allocs_per_frame =
+      static_cast<double>(steady_allocs) / static_cast<double>(9 * frames);
+  set_max_threads(1);
+  // The zero-alloc gate is a claim about the shipped (instrumentation-free)
+  // configuration — the one ci.sh times. With -DBIOSENSE_OBS=ON the metrics
+  // and trace machinery legitimately allocates a handful of times, so the
+  // gate reports instead of failing there.
+  const bool allocs_gated = !biosense::obs::compiled_with_obs();
+
+  Table t("Sharded soak replay: " + std::to_string(rows) + "x" +
+          std::to_string(cols) + ", " + std::to_string(frames) + " frames in " +
+          std::to_string(shards) + " shards, lossy link, checkpoint/resume "
+          "per shard");
+  t.set_columns({"shard", "frames", "ckpt [B]", "reference", "replayed",
+                 "bitwise"});
+  for (const auto& r : results) {
+    t.add_row({static_cast<long long>(r.shard),
+               static_cast<long long>(r.frames),
+               static_cast<long long>(r.checkpoint_bytes),
+               hex64(r.reference_digest), hex64(r.replay_digest),
+               std::string(r.identical ? "identical" : "DIVERGES")});
+  }
+  t.add_note("segmented producer vs one-shot reference: " +
+             std::string(segmented_identical ? "identical" : "DIVERGES"));
+  t.add_note("merged shard digest " + hex64(merged_replay) + " vs reference " +
+             hex64(merged_reference) +
+             (shard_merge_identical ? " (identical)" : " (DIVERGES)"));
+  t.add_note("steady-state heap allocations per resumed frame: " +
+             std::to_string(allocs_per_frame) + " (gate: exactly 0)");
+  t.print(std::cout);
+
+  const std::string out_dir = biosense::obs::results_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string json_path = out_dir + "/bench_soak_replay.json";
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\"bench\": \"soak_replay\", \"rows\": " << rows
+         << ", \"cols\": " << cols << ", \"frames\": " << frames
+         << ", \"shards\": " << shards
+         << ", \"segmented_identical\": "
+         << (segmented_identical ? "true" : "false")
+         << ", \"resume_identical\": " << (resume_identical ? "true" : "false")
+         << ", \"shard_merge_identical\": "
+         << (shard_merge_identical ? "true" : "false")
+         << ", \"steady_allocs_per_frame\": " << allocs_per_frame
+         << ", \"unsharded_digest\": \"" << hex64(unsharded_digest) << "\""
+         << ", \"merged_digest\": \"" << hex64(merged_replay) << "\""
+         << ", \"shard_results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      if (i > 0) json << ", ";
+      json << "{\"shard\": " << r.shard << ", \"frames\": " << r.frames
+           << ", \"checkpoint_bytes\": " << r.checkpoint_bytes
+           << ", \"reference_digest\": \"" << hex64(r.reference_digest) << "\""
+           << ", \"replay_digest\": \"" << hex64(r.replay_digest) << "\""
+           << ", \"identical\": " << (r.identical ? "true" : "false") << "}";
+    }
+    json << "]}\n";
+    std::cout << "\nartifact: " << json_path << "\n";
+  }
+
+  if (!segmented_identical) {
+    std::fprintf(stderr,
+                 "FAIL: segmented producer run diverged from the one-shot "
+                 "reference\n");
+    return 1;
+  }
+  if (!resume_identical) {
+    std::fprintf(stderr, "FAIL: a replayed shard diverged from its range in "
+                         "the reference run\n");
+    return 1;
+  }
+  if (!shard_merge_identical) {
+    std::fprintf(stderr, "FAIL: merged shard digest != unsharded reference\n");
+    return 1;
+  }
+  if (steady_allocs != 0 && allocs_gated) {
+    std::fprintf(stderr,
+                 "FAIL: %llu steady-state allocations across the resumed 10x "
+                 "run (gate: 0 per frame)\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    return 1;
+  }
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "note: %llu steady-state allocations under the instrumented "
+                 "build; the zero-alloc gate applies to the OBS=OFF config\n",
+                 static_cast<unsigned long long>(steady_allocs));
+  }
+  return 0;
+}

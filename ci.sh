@@ -63,6 +63,12 @@ if command -v python3 >/dev/null 2>&1; then
   # bench_check.py against the committed baseline.
   BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
     build-ci-default/bench/bench_fleet_server >/dev/null
+  # Sharded soak replay: every shard checkpoints through the crash-safe
+  # store and resumes independently; the merged digest must equal the
+  # unsharded reference and a resumed session must stay alloc-free —
+  # enforced in-process (nonzero exit) and re-checked by bench_check.py.
+  BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
+    build-ci-default/bench/bench_soak_replay >/dev/null
   python3 tools/bench_check.py --results-dir "${BENCH_SCRATCH}"
 else
   echo "python3 not installed; skipping bench gate (tools/bench_check.py)"

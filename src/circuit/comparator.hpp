@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/rng.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::circuit {
 
@@ -36,6 +37,22 @@ class Comparator {
   double static_offset() const { return offset_; }
   double prop_delay() const { return params_.prop_delay; }
   void reset();
+
+  /// Noise stream + propagation-delay latch (the static offset is frozen
+  /// die state). The per-decision RNG advance is data-dependent, so the
+  /// stream position is essential for bit-exact resume.
+  void save_state(snapshot::StateWriter& w) const {
+    w.rng(rng_);
+    w.b(out_);
+    w.b(pending_);
+    w.f64(pending_elapsed_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    r.rng(rng_);
+    out_ = r.b();
+    pending_ = r.b();
+    pending_elapsed_ = r.f64();
+  }
 
  private:
   ComparatorParams params_;

@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "noise/mismatch.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::circuit {
 
@@ -52,6 +53,21 @@ class GainStage {
   double offset() const { return offset_; }
   double output() const { return i_out_; }
   void reset_state() { i_out_ = 0.0; }
+
+  /// Calibration corrections + the single-pole filter memory (`i_out_` is
+  /// per-sample state — dropping it would bend the first resumed sample).
+  void save_state(snapshot::StateWriter& w) const {
+    w.f64(corr_gain_);
+    w.f64(corr_offset_);
+    w.b(calibrated_);
+    w.f64(i_out_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    corr_gain_ = r.f64();
+    corr_offset_ = r.f64();
+    calibrated_ = r.b();
+    i_out_ = r.f64();
+  }
 
  private:
   GainStageParams params_;
@@ -98,6 +114,18 @@ struct GainChain {
 
   double total_nominal_gain() const;  // = 100*7*4*2 = 5600
   double total_actual_gain() const;
+
+  void save_state(snapshot::StateWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(stages.size()));
+    for (const GainStage& s : stages) s.save_state(w);
+  }
+  void load_state(snapshot::StateReader& r) {
+    if (r.u32() != stages.size()) {
+      r.fail();
+      return;
+    }
+    for (GainStage& s : stages) s.load_state(r);
+  }
 
   std::vector<GainStage> stages;
 };

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::circuit {
 
@@ -33,6 +34,11 @@ class BandgapReference {
 
   /// Temperature coefficient in ppm/K measured between two temperatures.
   double tempco_ppm_per_k(double t_lo_k, double t_hi_k) const;
+
+  /// Output-noise draw stream (`voltage()` draws per call); the trim error
+  /// is frozen die state.
+  void save_state(snapshot::StateWriter& w) const { w.rng(rng_); }
+  void load_state(snapshot::StateReader& r) { r.rng(rng_); }
 
  private:
   BandgapParams params_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::circuit {
 
@@ -36,6 +37,16 @@ class AnalogSwitch {
   bool closed() const { return closed_; }
   double r_on() const { return params_.r_on; }
   double leak_off() const { return params_.leak_off; }
+
+  /// Injection-spread draw stream + switch position.
+  void save_state(snapshot::StateWriter& w) const {
+    w.rng(rng_);
+    w.b(closed_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    r.rng(rng_);
+    closed_ = r.b();
+  }
 
  private:
   SwitchParams params_;

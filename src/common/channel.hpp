@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense {
 
@@ -143,6 +144,54 @@ class Channel {
   ChannelStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+  }
+
+  /// Serializes queued items (oldest first) + accounting. `save_item` is
+  /// invoked as `save_item(writer, item)` per queued element — the channel
+  /// is a template, so element encoding belongs to the owner.
+  template <typename SaveItem>
+  void save_state(snapshot::StateWriter& w, SaveItem&& save_item) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    w.u64(capacity_);
+    w.b(closed_);
+    w.u32(static_cast<std::uint32_t>(count_));
+    for (std::size_t i = 0; i < count_; ++i) {
+      save_item(w, ring_[(head_ + i) % capacity_]);
+    }
+    w.u64(stats_.pushes);
+    w.u64(stats_.pops);
+    w.u64(stats_.push_stalls);
+    w.u64(stats_.pop_stalls);
+    w.u64(stats_.max_depth);
+  }
+
+  /// Restores queued items into an *empty* channel of the same capacity;
+  /// `load_item` is invoked as `T load_item(reader)` per element. Capacity
+  /// mismatch, a non-empty target or an element count beyond the capacity
+  /// mark the reader failed.
+  template <typename LoadItem>
+  void load_state(snapshot::StateReader& r, LoadItem&& load_item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t capacity = r.u64();
+    const bool was_closed = r.b();
+    const std::uint32_t queued = r.u32();
+    if (!r.ok() || capacity != capacity_ || count_ != 0 ||
+        queued > capacity_) {
+      r.fail();
+      return;
+    }
+    for (std::uint32_t i = 0; i < queued; ++i) {
+      ring_[(head_ + count_) % capacity_] = load_item(r);
+      if (!r.ok()) return;
+      ++count_;
+    }
+    closed_ = was_closed;
+    stats_.pushes = r.u64();
+    stats_.pops = r.u64();
+    stats_.push_stalls = r.u64();
+    stats_.pop_stalls = r.u64();
+    stats_.max_depth = static_cast<std::size_t>(r.u64());
+    if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(count_));
   }
 
  private:

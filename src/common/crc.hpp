@@ -1,0 +1,43 @@
+// CRC-8 (polynomial 0x07, init 0x00) — the one checksum of the codebase.
+//
+// Introduced for the DNA chip's 6-pin serial frames, later reused by the
+// fleet host-command protocol and the snapshot container. All three wire
+// formats deliberately share this polynomial so a single implementation is
+// the only code that ever touches a checksum; `dnachip::crc8` and
+// `host::crc8` are aliases of these functions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace biosense {
+
+inline constexpr std::uint8_t kCrc8Poly = 0x07;
+
+/// Streaming form: folds `n` more bytes into a running CRC, so callers can
+/// checksum non-contiguous ranges (e.g. a section header with its CRC byte
+/// zeroed, followed by the payload) without concatenating them.
+constexpr std::uint8_t crc8_update(std::uint8_t crc, const std::uint8_t* bytes,
+                                   std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    crc ^= bytes[j];
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ kCrc8Poly)
+                         : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+/// Allocation-free CRC-8 over a raw byte range (the hot-path variant).
+constexpr std::uint8_t crc8(const std::uint8_t* bytes, std::size_t n) {
+  return crc8_update(0x00, bytes, n);
+}
+
+/// Convenience overload for buffered callers.
+inline std::uint8_t crc8(const std::vector<std::uint8_t>& bytes) {
+  return crc8(bytes.data(), bytes.size());
+}
+
+}  // namespace biosense

@@ -28,6 +28,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense {
 
@@ -150,6 +151,36 @@ class FramePool {
   FramePoolStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+  }
+
+  /// Serializes the pool's accounting. Only legal on a quiesced pool
+  /// (every handle returned) — frame *contents* are stage scratch, so a
+  /// quiesced pool's state is exactly its capacity and stats.
+  void save_state(snapshot::StateWriter& w) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    w.u64(capacity_);
+    w.b(free_.size() == created_);  // quiesced marker, checked on load
+    w.u64(stats_.acquires);
+    w.u64(stats_.allocations);
+    w.u64(stats_.hits);
+    w.u64(stats_.exhaustion_stalls);
+  }
+
+  /// Restores accounting into a pool of the same capacity. A capacity
+  /// mismatch or a snapshot taken mid-flight marks the reader failed.
+  void load_state(snapshot::StateReader& r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t capacity = r.u64();
+    const bool quiesced = r.b();
+    if (!r.ok() || capacity != capacity_ || !quiesced ||
+        free_.size() != created_) {
+      r.fail();
+      return;
+    }
+    stats_.acquires = r.u64();
+    stats_.allocations = r.u64();
+    stats_.hits = r.u64();
+    stats_.exhaustion_stalls = r.u64();
   }
 
  private:

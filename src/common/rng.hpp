@@ -14,6 +14,16 @@
 
 namespace biosense {
 
+/// Complete serialized state of an `Rng` — the four xoshiro256++ words plus
+/// the Box-Muller cache. `restore()`-ing this state reproduces the exact
+/// draw sequence of the saved generator; every snapshot/resume guarantee in
+/// the codebase bottoms out on this round trip (see test_rng_roundtrip).
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// xoshiro256++ pseudo-random generator with deterministic seeding.
 class Rng {
  public:
@@ -65,6 +75,17 @@ class Rng {
   /// from the parent by hashing a fresh draw, so per-pixel generators can be
   /// derived from one master seed.
   Rng fork();
+
+  /// Captures the full generator state (engine words + normal cache).
+  RngState state() const { return {state_, cached_normal_, has_cached_normal_}; }
+
+  /// Restores a state captured by `state()`; subsequent draws continue the
+  /// saved sequence exactly, including a pending cached Box-Muller value.
+  void restore(const RngState& st) {
+    state_ = st.s;
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
 
   /// In-place Fisher-Yates shuffle.
   template <typename T>

@@ -288,4 +288,14 @@ SessionReport ChipSession::run_staged(const neurochip::SignalSource& source,
   return report;
 }
 
+void ChipSession::save_state(snapshot::StateWriter& w) const {
+  w.rng(rng_);
+  pool_.save_state(w);
+}
+
+void ChipSession::load_state(snapshot::StateReader& r) {
+  r.rng(rng_);
+  pool_.load_state(r);
+}
+
 }  // namespace biosense::core

@@ -100,6 +100,13 @@ class ChipSession {
 
   const SessionConfig& config() const { return config_; }
 
+  /// Stage-graph position between runs: the per-frame link-RNG master
+  /// stream (forked once per frame in capture order) and the quiesced
+  /// pool's accounting. Only legal between `run` calls — mid-run the
+  /// stage graph owns frames in flight.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
  private:
   struct FrameTask {
     FramePool<neurochip::NeuroFrame>::Handle frame;

@@ -666,4 +666,52 @@ Result<faults::DefectMap, ChipError> HostInterface::self_test(
   return map;
 }
 
+void DnaChip::save_state(snapshot::StateWriter& w) const {
+  w.rng(rng_);
+  w.u16(selected_site_);
+  w.u32(static_cast<std::uint32_t>(converters_.size()));
+  for (const i2f::SawtoothConverter& c : converters_) c.save_state(w);
+  w.vec_f64(sensor_currents_);
+  w.vec_f64(extra_leakage_);
+  w.vec_u64(counts_);
+  w.vec_u64(cal_counts_);
+  w.vec_u64(test_counts_);
+  w.i32(last_conv_seq_);
+  w.i32(last_cal_seq_);
+  w.i32(last_test_seq_);
+  bandgap_.save_state(w);
+  w.f64(v_generator_);
+  w.f64(v_collector_);
+  w.f64(last_gate_time_);
+  w.b(calibrated_);
+}
+
+void DnaChip::load_state(snapshot::StateReader& r) {
+  r.rng(rng_);
+  selected_site_ = r.u16();
+  if (r.u32() != converters_.size()) {
+    r.fail();
+    return;
+  }
+  for (i2f::SawtoothConverter& c : converters_) c.load_state(r);
+  const std::int64_t n_sites = sites();
+  r.vec_f64(sensor_currents_, n_sites);
+  r.vec_f64(extra_leakage_, n_sites);
+  // Count caches are empty until the first conversion, then site-sized.
+  r.vec_u64(counts_);
+  r.vec_u64(cal_counts_);
+  r.vec_u64(test_counts_);
+  if (!counts_.empty() && counts_.size() != static_cast<std::size_t>(n_sites)) r.fail();
+  if (!cal_counts_.empty() && cal_counts_.size() != static_cast<std::size_t>(n_sites)) r.fail();
+  if (!test_counts_.empty() && test_counts_.size() != static_cast<std::size_t>(n_sites)) r.fail();
+  last_conv_seq_ = r.i32();
+  last_cal_seq_ = r.i32();
+  last_test_seq_ = r.i32();
+  bandgap_.load_state(r);
+  v_generator_ = r.f64();
+  v_collector_ = r.f64();
+  last_gate_time_ = r.f64();
+  calibrated_ = r.b();
+}
+
 }  // namespace biosense::dnachip

@@ -90,6 +90,14 @@ class DnaChip {
   Current reference_current() const;
   const std::vector<std::uint64_t>& last_counts() const { return counts_; }
 
+  /// Serializes every evolving piece of die state: the master RNG, each
+  /// converter's comparator stream, applied sensor currents, retry caches
+  /// + sequence tags, electrode potentials and the calibration flag.
+  /// Frozen properties (offsets, leakage spread, DAC INL) are reproduced
+  /// by reconstructing the chip from the same config + seed first.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
  private:
   std::vector<bool> run_conversion(std::uint16_t payload);
   std::vector<bool> read_frame();
@@ -234,6 +242,35 @@ class HostInterface {
 
   /// The underlying transport — exposed so callers can inject link faults.
   SerialLink& link() { return link_; }
+
+  /// Host-side evolving state: transport stats, the idempotency sequence
+  /// counter, the stored calibration baseline and the link's fault stream.
+  void save_state(snapshot::StateWriter& w) const {
+    w.u64(stats_.transactions);
+    w.u64(stats_.attempts);
+    w.u64(stats_.retries);
+    w.u64(stats_.crc_failures);
+    w.u64(stats_.timeouts);
+    w.u64(stats_.short_replies);
+    w.u64(stats_.nacks);
+    w.f64(stats_.backoff_s);
+    w.u8(seq_);
+    w.vec_f64(cal_baseline_hz_);
+    link_.save_state(w);
+  }
+  void load_state(snapshot::StateReader& r) {
+    stats_.transactions = r.u64();
+    stats_.attempts = r.u64();
+    stats_.retries = r.u64();
+    stats_.crc_failures = r.u64();
+    stats_.timeouts = r.u64();
+    stats_.short_replies = r.u64();
+    stats_.nacks = r.u64();
+    stats_.backoff_s = r.f64();
+    seq_ = r.u8();
+    r.vec_f64(cal_baseline_hz_);
+    link_.load_state(r);
+  }
 
  private:
   struct TxResult {

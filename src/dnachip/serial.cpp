@@ -40,22 +40,6 @@ const char* chip_error_name(ChipError err) {
   return "unknown";
 }
 
-std::uint8_t crc8(const std::uint8_t* bytes, std::size_t n) {
-  std::uint8_t crc = 0x00;
-  for (std::size_t j = 0; j < n; ++j) {
-    crc ^= bytes[j];
-    for (int i = 0; i < 8; ++i) {
-      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
-                         : static_cast<std::uint8_t>(crc << 1);
-    }
-  }
-  return crc;
-}
-
-std::uint8_t crc8(const std::vector<std::uint8_t>& bytes) {
-  return crc8(bytes.data(), bytes.size());
-}
-
 std::vector<bool> encode_command(const CommandFrame& cmd) {
   const std::uint8_t op = static_cast<std::uint8_t>(cmd.opcode);
   const std::uint8_t hi = static_cast<std::uint8_t>(cmd.payload >> 8);

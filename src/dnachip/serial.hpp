@@ -20,9 +20,11 @@
 #include <optional>
 #include <vector>
 
+#include "common/crc.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::dnachip {
 
@@ -78,13 +80,10 @@ enum class ChipError : std::uint16_t {
 /// Stable diagnostic name for an error code (e.g. "bad_site").
 const char* chip_error_name(ChipError err);
 
-/// CRC-8 (polynomial 0x07, init 0x00) over a byte sequence.
-std::uint8_t crc8(const std::vector<std::uint8_t>& bytes);
-
-/// Allocation-free CRC-8 over a raw byte range — the hot-path variant the
-/// per-word framing uses (an initializer-list call heap-allocates a
-/// temporary vector per word, which the streaming pipeline cannot afford).
-std::uint8_t crc8(const std::uint8_t* bytes, std::size_t n);
+// CRC-8 (polynomial 0x07) lives in common/crc.hpp — shared verbatim with
+// the fleet host-command protocol and the snapshot container. Re-exported
+// here so existing `dnachip::crc8` call sites keep working.
+using biosense::crc8;
 
 /// Encodes a command frame into its 32-bit wire representation
 /// (opcode | payload | crc), MSB first.
@@ -215,6 +214,36 @@ class SerialLink {
 
   LinkEvent last_event() const { return last_event_; }
   const LinkStats& stats() const { return stats_; }
+
+  /// Fault-draw stream + transfer accounting. The BER and fault model are
+  /// injected configuration, reproduced by reconstruction.
+  void save_state(snapshot::StateWriter& w) const {
+    w.rng(rng_);
+    w.u8(static_cast<std::uint8_t>(last_event_));
+    w.u64(stats_.frames);
+    w.u64(stats_.bursts);
+    w.u64(stats_.drops);
+    w.u64(stats_.truncations);
+    w.u64(stats_.timeouts);
+    w.u64(stats_.bit_flips);
+    w.u64(bits_transferred_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    r.rng(rng_);
+    const std::uint8_t event = r.u8();
+    if (event > static_cast<std::uint8_t>(LinkEvent::kTimeout)) {
+      r.fail();
+      return;
+    }
+    last_event_ = static_cast<LinkEvent>(event);
+    stats_.frames = r.u64();
+    stats_.bursts = r.u64();
+    stats_.drops = r.u64();
+    stats_.truncations = r.u64();
+    stats_.timeouts = r.u64();
+    stats_.bit_flips = r.u64();
+    bits_transferred_ = r.u64();
+  }
 
   /// Bits transferred so far (both directions) — used by the timing budget
   /// bench to compute readout time at a given SCLK.

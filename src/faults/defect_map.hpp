@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::faults {
 
@@ -60,6 +61,41 @@ class DefectMap {
   /// {"rows": ..., "cols": ..., "yield": ..., "defects": [{"row": ...,
   ///  "col": ..., "type": "dead"}, ...]}
   void to_json(std::ostream& os) const;
+
+  /// A defect map is host-measured state (BIST output), so it travels in
+  /// snapshots rather than being re-derived on restore.
+  void save_state(snapshot::StateWriter& w) const {
+    w.i32(rows_);
+    w.i32(cols_);
+    for (DefectType t : status_) w.u8(static_cast<std::uint8_t>(t));
+  }
+  void load_state(snapshot::StateReader& r) {
+    const std::int32_t rows = r.i32();
+    const std::int32_t cols = r.i32();
+    if (!r.ok() || rows < 0 || cols < 0 ||
+        (rows != 0 && static_cast<std::size_t>(cols) > r.remaining() / static_cast<std::size_t>(rows))) {
+      r.fail();
+      return;
+    }
+    const std::size_t n = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+    if (n > r.remaining()) {
+      r.fail();
+      return;
+    }
+    std::vector<DefectType> status(n, DefectType::kGood);
+    for (DefectType& t : status) {
+      const std::uint8_t v = r.u8();
+      if (v > static_cast<std::uint8_t>(DefectType::kLeakage)) {
+        r.fail();
+        return;
+      }
+      t = static_cast<DefectType>(v);
+    }
+    if (!r.ok()) return;
+    rows_ = rows;
+    cols_ = cols;
+    status_ = std::move(status);
+  }
 
  private:
   int rows_ = 0;

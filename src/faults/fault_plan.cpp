@@ -45,15 +45,17 @@ bool LinkFaultModel::any() const {
 }
 
 void LinkFaultModel::validate() const {
-  auto prob = [](double p, const char* what) {
-    require(p >= 0.0 && p < 1.0,
-            std::string("LinkFaultModel: ") + what + " must be in [0,1)");
+  // Runs once per frame on the lossy wire path (SerialLink::inject_faults),
+  // so the messages stay literals — the std::string overload of `require`
+  // would heap-allocate even when every check passes.
+  auto prob = [](double p, const char* msg) {
+    require(p >= 0.0 && p < 1.0, msg);
   };
-  prob(bit_error_rate, "bit_error_rate");
-  prob(burst_prob, "burst_prob");
-  prob(drop_prob, "drop_prob");
-  prob(truncate_prob, "truncate_prob");
-  prob(timeout_prob, "timeout_prob");
+  prob(bit_error_rate, "LinkFaultModel: bit_error_rate must be in [0,1)");
+  prob(burst_prob, "LinkFaultModel: burst_prob must be in [0,1)");
+  prob(drop_prob, "LinkFaultModel: drop_prob must be in [0,1)");
+  prob(truncate_prob, "LinkFaultModel: truncate_prob must be in [0,1)");
+  prob(timeout_prob, "LinkFaultModel: timeout_prob must be in [0,1)");
   require(burst_length > 0, "LinkFaultModel: burst_length must be positive");
 }
 
@@ -148,6 +150,62 @@ SiteFaultSet FaultPlan::neuro_pixel_faults(int rows, int cols) const {
   }
   BIOSENSE_COUNT("faults.neuro_pixels_materialized", set.total());
   return set;
+}
+
+void FileCorruption::apply(std::vector<std::uint8_t>& bytes) const {
+  if (bytes.empty()) return;
+  switch (kind) {
+    case Kind::kTruncate:
+      bytes.resize(offset < bytes.size() ? offset : bytes.size() - 1);
+      break;
+    case Kind::kBitFlip:
+      bytes[offset % bytes.size()] ^=
+          static_cast<std::uint8_t>(1u << (bit & 7));
+      break;
+    case Kind::kTornTail: {
+      // An interrupted overwrite: the prefix is the new data, the tail is
+      // whatever stale bytes the sector still held.
+      Rng junk(junk_seed);
+      for (std::size_t i = offset % bytes.size(); i < bytes.size(); ++i) {
+        bytes[i] = static_cast<std::uint8_t>(junk.next_u64());
+      }
+      break;
+    }
+  }
+}
+
+FileCorruption FaultPlan::file_corruption(std::uint64_t index,
+                                          std::size_t file_size) const {
+  FileCorruption c;
+  // Each index derives its own stream, so corruption k is the same whether
+  // reached by cursor or addressed directly (call-order independence, as
+  // for the site materializers).
+  Rng rng(config_.seed ^ 0xf11ecu ^ (index * 0x9e3779b97f4a7c15ULL));
+  const std::size_t n = file_size == 0 ? 1 : file_size;
+  switch (index % 3) {
+    case 0:
+      c.kind = FileCorruption::Kind::kTruncate;
+      c.offset = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      break;
+    case 1:
+      c.kind = FileCorruption::Kind::kBitFlip;
+      c.offset = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      c.bit = static_cast<int>(rng.uniform_int(0, 7));
+      break;
+    default:
+      c.kind = FileCorruption::Kind::kTornTail;
+      c.offset = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(n)));
+      c.junk_seed = rng.next_u64();
+      break;
+  }
+  return c;
+}
+
+FileCorruption FaultPlan::next_file_corruption(std::size_t file_size) {
+  return file_corruption(corruption_cursor_++, file_size);
 }
 
 std::vector<double> FaultPlan::channel_gain_drift(int channels) const {

@@ -17,9 +17,12 @@
 // through JSON so a failing run can be archived and replayed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "snapshot/state_io.hpp"
 
 namespace biosense::faults {
 
@@ -94,6 +97,24 @@ struct FaultPlanConfig {
   void validate() const;
 };
 
+/// One deterministic corruption of a serialized artifact (a snapshot file,
+/// a checkpoint on disk): what a dying disk or an interrupted write does.
+struct FileCorruption {
+  enum class Kind : std::uint8_t {
+    kTruncate = 0,  // file cut short at `offset` bytes
+    kBitFlip,       // single bit `bit` of byte `offset` inverted
+    kTornTail,      // bytes from `offset` on replaced with stale garbage
+  };
+
+  Kind kind = Kind::kBitFlip;
+  std::size_t offset = 0;
+  int bit = 0;                   // kBitFlip only
+  std::uint64_t junk_seed = 0;   // kTornTail garbage stream
+
+  /// Applies the corruption in place. A no-op on an empty buffer.
+  void apply(std::vector<std::uint8_t>& bytes) const;
+};
+
 /// Seeded fault generator. Materialization is deterministic: the same plan
 /// produces the same fault sets for the same dimensions, independent of
 /// call order (each materializer derives its own RNG stream from the seed).
@@ -119,6 +140,23 @@ class FaultPlan {
 
   const LinkFaultModel& link_faults() const { return config_.link; }
 
+  /// Index-addressed file-corruption materializer: the same plan, index
+  /// and file size always produce the same corruption, cycling through
+  /// truncation, bit flips and torn tails. Pure — the plan is untouched.
+  FileCorruption file_corruption(std::uint64_t index,
+                                 std::size_t file_size) const;
+
+  /// Cursor-advancing variant for soak loops that corrupt "the next way":
+  /// equivalent to `file_corruption(cursor++, file_size)`. The cursor is
+  /// the plan's only evolving state and travels in snapshots via
+  /// `save_state`/`load_state`, so a resumed soak run replays the same
+  /// corruption schedule it would have seen uninterrupted.
+  FileCorruption next_file_corruption(std::size_t file_size);
+  std::uint64_t file_corruption_cursor() const { return corruption_cursor_; }
+
+  void save_state(snapshot::StateWriter& w) const { w.u64(corruption_cursor_); }
+  void load_state(snapshot::StateReader& r) { corruption_cursor_ = r.u64(); }
+
   /// Flat JSON object with every config field.
   std::string to_json() const;
 
@@ -129,6 +167,7 @@ class FaultPlan {
 
  private:
   FaultPlanConfig config_{};
+  std::uint64_t corruption_cursor_ = 0;
 };
 
 }  // namespace biosense::faults

@@ -276,6 +276,36 @@ Result<FleetClient::SessionInfo, HostStatus> FleetClient::query(
   return info;
 }
 
+Result<FleetClient::CheckpointInfo, HostStatus> FleetClient::checkpoint(
+    std::uint32_t id) {
+  using R = Result<CheckpointInfo, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  const auto status = transact(HostCommand::kCheckpointSession);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  CheckpointInfo info;
+  info.size = reader.u32();
+  info.digest = reader.u64();
+  if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  return info;
+}
+
+Result<FleetClient::RestoreInfo, HostStatus> FleetClient::restore(
+    std::uint32_t id) {
+  using R = Result<RestoreInfo, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  const auto status = transact(HostCommand::kRestoreSession);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  RestoreInfo info;
+  info.frames_produced = reader.u32();
+  info.digest = reader.u64();
+  if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  return info;
+}
+
 Result<void, HostStatus> FleetClient::destroy(std::uint32_t id) {
   using R = Result<void, HostStatus>;
   auto writer = begin_request();

@@ -135,6 +135,16 @@ class FleetClient {
     double backoff_s = 0.0;
   };
 
+  struct CheckpointInfo {
+    std::uint32_t size = 0;     // serialized snapshot bytes
+    std::uint64_t digest = 0;   // FNV-1a over the snapshot bytes
+  };
+
+  struct RestoreInfo {
+    std::uint32_t frames_produced = 0;  // progress at the checkpoint
+    std::uint64_t digest = 0;           // session record digest so far
+  };
+
   struct SessionInfo {
     core::ChipKind kind = core::ChipKind::kNeuro;
     std::uint32_t pending = 0;
@@ -175,6 +185,13 @@ class FleetClient {
   Result<DrainSummary, HostStatus> drain(std::uint32_t id);
   Result<void, HostStatus> destroy(std::uint32_t id);
   Result<SessionInfo, HostStatus> query(std::uint32_t id);
+  /// Snapshots the session server-side (v3+). The checkpoint persists in
+  /// server memory and, when the server runs with a checkpoint directory,
+  /// crash-safely on disk.
+  Result<CheckpointInfo, HostStatus> checkpoint(std::uint32_t id);
+  /// Rebuilds a checkpointed session (v3+) — on this server or on a fresh
+  /// one pointed at the same checkpoint directory (dead-worker recovery).
+  Result<RestoreInfo, HostStatus> restore(std::uint32_t id);
 
   std::uint8_t version() const { return version_; }
   const ClientStats& stats() const { return stats_; }

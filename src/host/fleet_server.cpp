@@ -7,6 +7,9 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "snapshot/atomic_file.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::host {
 
@@ -62,6 +65,21 @@ faults::FaultPlanConfig fault_preset(std::uint8_t preset,
   return plan;
 }
 
+/// Fleet session checkpoint section registry (DESIGN.md §13.2). Distinct
+/// from the core session registry — a fleet checkpoint also carries the
+/// create parameters (so a fresh server can rebuild the session), the
+/// bounded record ring and the idempotency replay cache.
+inline constexpr std::uint16_t kSecMeta = 0x0001;      // create params
+inline constexpr std::uint16_t kSecCounters = 0x0002;  // progress + wire state
+inline constexpr std::uint16_t kSecChip = 0x0003;      // chip evolving state
+inline constexpr std::uint16_t kSecDriver = 0x0004;    // dna host/link state
+inline constexpr std::uint16_t kSecRing = 0x0005;      // undelivered records
+inline constexpr std::uint16_t kSecReplay = 0x0006;    // replay cache
+
+std::string checkpoint_name(std::uint32_t id) {
+  return "s" + std::to_string(id);
+}
+
 }  // namespace
 
 /// One live session. Guarded by `mutex`; everything below it is owned by
@@ -73,6 +91,14 @@ struct FleetServer::Session {
   std::uint32_t id = 0;
   core::ChipKind kind = core::ChipKind::kNeuro;
   std::size_t pool_frames = 0;  // committed against the fleet budget
+
+  // Create parameters, kept verbatim so a checkpoint can carry them and a
+  // restore can rebuild the identical frozen die state by construction.
+  std::uint16_t rows = 0;
+  std::uint16_t cols = 0;
+  std::uint64_t seed = 0;
+  std::uint16_t ring_depth = 0;
+  std::uint8_t preset = 0;
 
   // Replay cache: the last successfully applied mutating command. A retry
   // (same seq + command id) returns the cached response instead of
@@ -153,6 +179,9 @@ void FleetServer::register_handlers() {
   add(HostCommand::kDrainSession, 1, 4, 4, true, &FleetServer::cmd_drain);
   add(HostCommand::kDestroySession, 1, 4, 4, true, &FleetServer::cmd_destroy);
   add(HostCommand::kQuerySession, 1, 4, 4, false, &FleetServer::cmd_query);
+  add(HostCommand::kCheckpointSession, 3, 4, 4, true,
+      &FleetServer::cmd_checkpoint);
+  add(HostCommand::kRestoreSession, 3, 4, 4, true, &FleetServer::cmd_restore);
   add(HostCommand::kServerStats, 2, 0, 0, false,
       &FleetServer::cmd_server_stats);
 }
@@ -179,90 +208,37 @@ std::shared_ptr<FleetServer::Session> FleetServer::find_session(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
-// --- discovery / liveness ---------------------------------------------------
-
-HostStatus FleetServer::cmd_protocol_info(const CommandContext& ctx) {
-  auto& w = *ctx.response;
-  w.u8(kProtocolVersionMin);
-  w.u8(kProtocolVersionCurrent);
-  w.u8(static_cast<std::uint8_t>(kHeaderSize));
-  w.u16(static_cast<std::uint16_t>(kMaxPayload));
-  w.u16(static_cast<std::uint16_t>(dispatcher_.commands().size()));
-  return HostStatus::kOk;
-}
-
-HostStatus FleetServer::cmd_capabilities(const CommandContext& ctx) {
-  ctx.response->u32(kCapDnaSessions | kCapNeuroSessions | kCapFaultInjection |
-                    kCapReplayCache);
-  return HostStatus::kOk;
-}
-
-HostStatus FleetServer::cmd_ping(const CommandContext& ctx) {
-  const auto& req = *ctx.request;
-  if (req.payload_len > 0) {
-    ctx.response->bytes(req.payload, req.payload_len);
-  }
-  return HostStatus::kOk;
-}
-
-// --- session lifecycle ------------------------------------------------------
-
-HostStatus FleetServer::cmd_create(const CommandContext& ctx) {
-  const auto& req = *ctx.request;
-  PayloadReader r(req.payload, req.payload_len);
-  const std::uint32_t id = r.u32();
-  const std::uint8_t kind_raw = r.u8();
-  const std::uint16_t rows = r.u16();
-  const std::uint16_t cols = r.u16();
-  const std::uint64_t seed = r.u64();
-  const std::uint16_t pool_frames = r.u16();
-  const std::uint16_t ring_depth = r.u16();
-  std::uint8_t preset = 0;
-  if (req.header.version >= 2 && r.remaining() == 1) preset = r.u8();
-  if (!r.exhausted()) return HostStatus::kBadPayload;
-
-  if (kind_raw > 1 || preset > 3) return HostStatus::kBadPayload;
+std::shared_ptr<FleetServer::Session> FleetServer::build_session(
+    std::uint32_t id, std::uint8_t kind_raw, std::uint16_t rows,
+    std::uint16_t cols, std::uint64_t seed, std::uint16_t pool_frames,
+    std::uint16_t ring_depth, std::uint8_t preset, HostStatus& status) {
+  status = HostStatus::kBadPayload;
+  if (kind_raw > 1 || preset > 3) return nullptr;
   if (rows < 1 || rows > 512 || cols < 1 || cols > 512 ||
       static_cast<std::uint32_t>(rows) * cols > 16384) {
-    return HostStatus::kBadPayload;
+    return nullptr;
   }
   if (pool_frames < 1 || pool_frames > 64 || ring_depth < 1 ||
       ring_depth > 1024) {
-    return HostStatus::kBadPayload;
+    return nullptr;
   }
   const auto kind =
       kind_raw == 0 ? core::ChipKind::kNeuro : core::ChipKind::kDna;
   // The neural chip's 8:1 output multiplexers need whole mux groups.
-  if (kind == core::ChipKind::kNeuro && rows % 8 != 0) {
-    return HostStatus::kBadPayload;
-  }
+  if (kind == core::ChipKind::kNeuro && rows % 8 != 0) return nullptr;
 
-  std::unique_lock lock(registry_mutex_);
-  if (const auto it = sessions_.find(id); it != sessions_.end()) {
-    Session& s = *it->second;
-    std::lock_guard session_lock(s.mutex);
-    if (s.has_replay && s.replay_seq == req.header.seq &&
-        s.replay_command == HostCommand::kCreateSession) {
-      // Retried create whose first response was lost: echo it.
-      ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
-      return s.replay_status;
-    }
-    return HostStatus::kDuplicateSession;
-  }
-  if (sessions_.size() >= limits_.max_sessions) {
-    return HostStatus::kSessionLimit;
-  }
-  if (committed_frames_ + pool_frames > limits_.frame_budget) {
-    return HostStatus::kSessionLimit;
-  }
-
-  // Build through the audited construction surface. Create is control
-  // plane: allocations and calibration sweeps are expected here, never in
-  // the poll path.
+  // Build through the audited construction surface. Create/restore is
+  // control plane: allocations and calibration sweeps are expected here,
+  // never in the poll path.
   auto session = std::make_shared<Session>();
   session->id = id;
   session->kind = kind;
   session->pool_frames = pool_frames;
+  session->rows = rows;
+  session->cols = cols;
+  session->seed = seed;
+  session->ring_depth = ring_depth;
+  session->preset = preset;
   const std::string label =
       limits_.obs_prefix.empty()
           ? std::string{}
@@ -304,10 +280,79 @@ HostStatus FleetServer::cmd_create(const CommandContext& ctx) {
   } catch (const ConfigError&) {
     // A config the chip models reject (geometry, sizing) is the client's
     // problem, reported in kind — the server never dies for it.
-    return HostStatus::kBadPayload;
+    return nullptr;
   }
   session->ring = std::make_unique<Channel<Record>>(
       ring_depth, label.empty() ? std::string{} : label + ".ring");
+  status = HostStatus::kOk;
+  return session;
+}
+
+// --- discovery / liveness ---------------------------------------------------
+
+HostStatus FleetServer::cmd_protocol_info(const CommandContext& ctx) {
+  auto& w = *ctx.response;
+  w.u8(kProtocolVersionMin);
+  w.u8(kProtocolVersionCurrent);
+  w.u8(static_cast<std::uint8_t>(kHeaderSize));
+  w.u16(static_cast<std::uint16_t>(kMaxPayload));
+  w.u16(static_cast<std::uint16_t>(dispatcher_.commands().size()));
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_capabilities(const CommandContext& ctx) {
+  ctx.response->u32(kCapDnaSessions | kCapNeuroSessions | kCapFaultInjection |
+                    kCapReplayCache | kCapCheckpoint);
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_ping(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  if (req.payload_len > 0) {
+    ctx.response->bytes(req.payload, req.payload_len);
+  }
+  return HostStatus::kOk;
+}
+
+// --- session lifecycle ------------------------------------------------------
+
+HostStatus FleetServer::cmd_create(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  const std::uint8_t kind_raw = r.u8();
+  const std::uint16_t rows = r.u16();
+  const std::uint16_t cols = r.u16();
+  const std::uint64_t seed = r.u64();
+  const std::uint16_t pool_frames = r.u16();
+  const std::uint16_t ring_depth = r.u16();
+  std::uint8_t preset = 0;
+  if (req.header.version >= 2 && r.remaining() == 1) preset = r.u8();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  std::unique_lock lock(registry_mutex_);
+  if (const auto it = sessions_.find(id); it != sessions_.end()) {
+    Session& s = *it->second;
+    std::lock_guard session_lock(s.mutex);
+    if (s.has_replay && s.replay_seq == req.header.seq &&
+        s.replay_command == HostCommand::kCreateSession) {
+      // Retried create whose first response was lost: echo it.
+      ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
+      return s.replay_status;
+    }
+    return HostStatus::kDuplicateSession;
+  }
+  if (sessions_.size() >= limits_.max_sessions) {
+    return HostStatus::kSessionLimit;
+  }
+  if (committed_frames_ + pool_frames > limits_.frame_budget) {
+    return HostStatus::kSessionLimit;
+  }
+
+  HostStatus build_status = HostStatus::kOk;
+  auto session = build_session(id, kind_raw, rows, cols, seed, pool_frames,
+                               ring_depth, preset, build_status);
+  if (!session) return build_status;
 
   committed_frames_ += pool_frames;
   tombstones_.erase(id);
@@ -582,6 +627,291 @@ HostStatus FleetServer::cmd_query(const CommandContext& ctx) {
   w.u64(s.kind == core::ChipKind::kNeuro ? s.wire_totals.retries
                                          : s.dna.host->stats().retries);
   w.u64(s.wire_errors);
+  return HostStatus::kOk;
+}
+
+// --- checkpoint / restore ---------------------------------------------------
+
+std::vector<std::uint8_t> FleetServer::save_session(const Session& s) const {
+  snapshot::SnapshotBuilder builder;
+  {
+    std::vector<std::uint8_t> payload;
+    snapshot::StateWriter w(payload);
+    w.u32(s.id);
+    w.u8(s.kind == core::ChipKind::kNeuro ? 0 : 1);
+    w.u16(s.rows);
+    w.u16(s.cols);
+    w.u64(s.seed);
+    w.u16(static_cast<std::uint16_t>(s.pool_frames));
+    w.u16(s.ring_depth);
+    w.u8(s.preset);
+    builder.add_section(kSecMeta, 1, payload);
+  }
+  {
+    std::vector<std::uint8_t> payload;
+    snapshot::StateWriter w(payload);
+    w.u32(s.pending);
+    w.u32(s.frames_produced);
+    w.u64(s.records_polled);
+    w.u64(s.digest);
+    w.u64(s.wire_errors);
+    w.u16(s.gate_code);
+    w.f64(s.stimulus_v);
+    w.i32(s.site_index);
+    w.u16(s.wire_seq);
+    w.f64(s.t);
+    w.rng(s.link_rng);
+    w.u64(s.wire_totals.frames);
+    w.u64(s.wire_totals.words);
+    w.u64(s.wire_totals.bits);
+    w.u64(s.wire_totals.attempts);
+    w.u64(s.wire_totals.retries);
+    w.u64(s.wire_totals.recovered_words);
+    w.u64(s.wire_totals.lost_words);
+    w.u64(s.wire_totals.incomplete_frames);
+    w.f64(s.wire_totals.backoff_s);
+    builder.add_section(kSecCounters, 1, payload);
+  }
+  {
+    std::vector<std::uint8_t> payload;
+    snapshot::StateWriter w(payload);
+    if (s.kind == core::ChipKind::kNeuro) {
+      s.neuro.chip->save_state(w);
+    } else {
+      s.dna.chip->save_state(w);
+    }
+    builder.add_section(kSecChip, 1, payload);
+  }
+  if (s.kind == core::ChipKind::kDna) {
+    std::vector<std::uint8_t> payload;
+    snapshot::StateWriter w(payload);
+    s.dna.host->save_state(w);
+    builder.add_section(kSecDriver, 1, payload);
+  }
+  {
+    std::vector<std::uint8_t> payload;
+    snapshot::StateWriter w(payload);
+    s.ring->save_state(w, [](snapshot::StateWriter& sw, const Record& rec) {
+      sw.u32(rec.index);
+      sw.u64(rec.payload);
+    });
+    builder.add_section(kSecRing, 1, payload);
+  }
+  {
+    std::vector<std::uint8_t> payload;
+    snapshot::StateWriter w(payload);
+    w.b(s.has_replay);
+    w.u16(s.replay_seq);
+    w.u16(static_cast<std::uint16_t>(s.replay_command));
+    w.u16(static_cast<std::uint16_t>(s.replay_status));
+    w.bytes(s.replay_payload);
+    builder.add_section(kSecReplay, 1, payload);
+  }
+  return builder.finish();
+}
+
+HostStatus FleetServer::cmd_checkpoint(const CommandContext& ctx) {
+  BIOSENSE_SPAN("fleet.checkpoint");
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+  if (s.has_replay && s.replay_seq == req.header.seq &&
+      s.replay_command == HostCommand::kCheckpointSession) {
+    ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
+    return s.replay_status;
+  }
+
+  const std::vector<std::uint8_t> bytes = save_session(s);
+  const std::uint64_t digest = fnv_bytes(kFnvOffset, bytes.data(),
+                                         bytes.size());
+  {
+    std::lock_guard store_lock(checkpoint_mutex_);
+    checkpoints_[id] = bytes;
+  }
+  if (!limits_.checkpoint_dir.empty()) {
+    snapshot::CheckpointStore store(limits_.checkpoint_dir,
+                                    checkpoint_name(id));
+    if (auto saved = store.save(bytes); !saved) {
+      // Disk persistence failed; the in-memory copy is still good but the
+      // crash-safety contract is not met — report it, don't pretend.
+      return HostStatus::kInternal;
+    }
+  }
+  BIOSENSE_COUNT("fleet.checkpoints", 1);
+
+  auto& w = *ctx.response;
+  w.u32(static_cast<std::uint32_t>(bytes.size()));
+  w.u64(digest);
+  s.has_replay = true;
+  s.replay_seq = req.header.seq;
+  s.replay_command = HostCommand::kCheckpointSession;
+  s.replay_status = HostStatus::kOk;
+  s.replay_payload.assign(ctx.response->data(),
+                          ctx.response->data() + ctx.response->size());
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_restore(const CommandContext& ctx) {
+  BIOSENSE_SPAN("fleet.restore");
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  // Fetch the checkpoint: this server's memory first, then the crash-safe
+  // store (which falls back to the previous-good slot on corruption —
+  // that's the dead-worker recovery path for a fresh server).
+  std::vector<std::uint8_t> bytes;
+  {
+    std::lock_guard store_lock(checkpoint_mutex_);
+    if (const auto it = checkpoints_.find(id); it != checkpoints_.end()) {
+      bytes = it->second;
+    }
+  }
+  if (bytes.empty()) {
+    if (limits_.checkpoint_dir.empty()) return HostStatus::kNoSuchSession;
+    snapshot::CheckpointStore store(limits_.checkpoint_dir,
+                                    checkpoint_name(id));
+    auto loaded = store.load();
+    if (!loaded) {
+      return loaded.error() == snapshot::SnapshotError::kIoError
+                 ? HostStatus::kNoSuchSession
+                 : HostStatus::kFault;
+    }
+    bytes = std::move(loaded.value());
+  }
+
+  const auto view = snapshot::SnapshotView::parse(bytes);
+  if (!view) return HostStatus::kFault;
+
+  // Meta: the create parameters the frozen die state is rebuilt from.
+  const snapshot::SectionView* meta = view->find(kSecMeta);
+  if (meta == nullptr) return HostStatus::kFault;
+  snapshot::StateReader mr(meta->payload, meta->size);
+  const std::uint32_t saved_id = mr.u32();
+  const std::uint8_t kind_raw = mr.u8();
+  const std::uint16_t rows = mr.u16();
+  const std::uint16_t cols = mr.u16();
+  const std::uint64_t seed = mr.u64();
+  const std::uint16_t pool_frames = mr.u16();
+  const std::uint16_t ring_depth = mr.u16();
+  const std::uint8_t preset = mr.u8();
+  if (!mr.exhausted() || saved_id != id) return HostStatus::kFault;
+
+  std::unique_lock lock(registry_mutex_);
+  if (const auto it = sessions_.find(id); it != sessions_.end()) {
+    Session& live = *it->second;
+    std::lock_guard session_lock(live.mutex);
+    if (live.has_replay && live.replay_seq == req.header.seq &&
+        live.replay_command == HostCommand::kRestoreSession) {
+      // Retried restore whose first response was lost: echo it.
+      ctx.response->bytes(live.replay_payload.data(),
+                          live.replay_payload.size());
+      return live.replay_status;
+    }
+    return HostStatus::kBadState;
+  }
+  if (sessions_.size() >= limits_.max_sessions) {
+    return HostStatus::kSessionLimit;
+  }
+  if (committed_frames_ + pool_frames > limits_.frame_budget) {
+    return HostStatus::kSessionLimit;
+  }
+
+  HostStatus build_status = HostStatus::kOk;
+  auto session = build_session(id, kind_raw, rows, cols, seed, pool_frames,
+                               ring_depth, preset, build_status);
+  // Parameters straight out of a CRC-valid checkpoint failing construction
+  // means the checkpoint lies about itself — typed fault, not a crash.
+  if (!session) return HostStatus::kFault;
+  Session& s = *session;
+
+  const auto load = [&view](std::uint16_t section_id, auto&& fn) {
+    const snapshot::SectionView* section = view->find(section_id);
+    if (section == nullptr) return false;
+    snapshot::StateReader sr(section->payload, section->size);
+    fn(sr);
+    return sr.exhausted();
+  };
+
+  const bool counters_ok = load(kSecCounters, [&s](snapshot::StateReader& sr) {
+    s.pending = sr.u32();
+    s.frames_produced = sr.u32();
+    s.records_polled = sr.u64();
+    s.digest = sr.u64();
+    s.wire_errors = sr.u64();
+    s.gate_code = sr.u16();
+    s.stimulus_v = sr.f64();
+    s.site_index = sr.i32();
+    s.wire_seq = sr.u16();
+    s.t = sr.f64();
+    sr.rng(s.link_rng);
+    s.wire_totals.frames = sr.u64();
+    s.wire_totals.words = sr.u64();
+    s.wire_totals.bits = sr.u64();
+    s.wire_totals.attempts = sr.u64();
+    s.wire_totals.retries = sr.u64();
+    s.wire_totals.recovered_words = sr.u64();
+    s.wire_totals.lost_words = sr.u64();
+    s.wire_totals.incomplete_frames = sr.u64();
+    s.wire_totals.backoff_s = sr.f64();
+  });
+  const bool chip_ok = load(kSecChip, [&s](snapshot::StateReader& sr) {
+    if (s.kind == core::ChipKind::kNeuro) {
+      s.neuro.chip->load_state(sr);
+    } else {
+      s.dna.chip->load_state(sr);
+    }
+  });
+  const bool driver_ok =
+      s.kind == core::ChipKind::kNeuro ||
+      load(kSecDriver,
+           [&s](snapshot::StateReader& sr) { s.dna.host->load_state(sr); });
+  const bool ring_ok = load(kSecRing, [&s](snapshot::StateReader& sr) {
+    s.ring->load_state(sr, [](snapshot::StateReader& ir) {
+      Record rec;
+      rec.index = ir.u32();
+      rec.payload = ir.u64();
+      return rec;
+    });
+  });
+  const bool replay_ok = load(kSecReplay, [&s](snapshot::StateReader& sr) {
+    s.has_replay = sr.b();
+    s.replay_seq = sr.u16();
+    s.replay_command = static_cast<HostCommand>(sr.u16());
+    s.replay_status = static_cast<HostStatus>(sr.u16());
+    sr.bytes(s.replay_payload, kMaxPayload);
+  });
+  if (!counters_ok || !chip_ok || !driver_ok || !ring_ok || !replay_ok ||
+      s.site_index < 0 || (s.kind == core::ChipKind::kDna &&
+                           s.site_index >= s.dna.chip->sites())) {
+    // The discarded session never entered the registry — no cleanup.
+    return HostStatus::kFault;
+  }
+
+  committed_frames_ += pool_frames;
+  tombstones_.erase(id);
+  sessions_.emplace(id, session);
+  BIOSENSE_COUNT("fleet.sessions_restored", 1);
+  BIOSENSE_GAUGE("fleet.live_sessions", sessions_.size());
+  BIOSENSE_GAUGE("fleet.committed_frames", committed_frames_);
+
+  auto& w = *ctx.response;
+  w.u32(s.frames_produced);
+  w.u64(s.digest);
+  std::lock_guard session_lock(s.mutex);
+  s.has_replay = true;
+  s.replay_seq = req.header.seq;
+  s.replay_command = HostCommand::kRestoreSession;
+  s.replay_status = HostStatus::kOk;
+  s.replay_payload.assign(ctx.response->data(),
+                          ctx.response->data() + ctx.response->size());
   return HostStatus::kOk;
 }
 

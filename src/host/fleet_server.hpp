@@ -59,6 +59,11 @@ struct FleetLimits {
   /// Empty disables per-session instruments — the configuration for
   /// throughput-critical fleets of hundreds of sessions.
   std::string obs_prefix{};
+  /// Directory for crash-safe checkpoint persistence (kCheckpointSession).
+  /// Empty keeps checkpoints in server memory only — a restore then only
+  /// works on the same server instance; with a directory, a *fresh* server
+  /// pointed at it can restore sessions a dead worker checkpointed.
+  std::string checkpoint_dir{};
 };
 
 /// Per-session counters surfaced by kQuerySession.
@@ -117,6 +122,8 @@ class FleetServer {
   HostStatus cmd_drain(const CommandContext& ctx);
   HostStatus cmd_destroy(const CommandContext& ctx);
   HostStatus cmd_query(const CommandContext& ctx);
+  HostStatus cmd_checkpoint(const CommandContext& ctx);
+  HostStatus cmd_restore(const CommandContext& ctx);
   HostStatus cmd_server_stats(const CommandContext& ctx);
 
   /// Produces the session's next record (advances chip/link state).
@@ -124,6 +131,23 @@ class FleetServer {
 
   /// Shared-lock session lookup; nullptr when absent.
   std::shared_ptr<Session> find_session(std::uint32_t id) const;
+
+  /// Constructs a session through the audited `core::SessionOptions`
+  /// surface (shared by create and restore). Returns nullptr and sets
+  /// `status` on invalid parameters.
+  std::shared_ptr<Session> build_session(std::uint32_t id,
+                                         std::uint8_t kind_raw,
+                                         std::uint16_t rows,
+                                         std::uint16_t cols,
+                                         std::uint64_t seed,
+                                         std::uint16_t pool_frames,
+                                         std::uint16_t ring_depth,
+                                         std::uint8_t preset,
+                                         HostStatus& status);
+
+  /// Serializes one session (caller holds its mutex) into a snapshot
+  /// container (DESIGN.md §13.2, fleet section registry).
+  std::vector<std::uint8_t> save_session(const Session& s) const;
 
   FleetLimits limits_;
   Dispatcher dispatcher_;
@@ -134,6 +158,11 @@ class FleetServer {
   /// session is gone.
   std::map<std::uint32_t, bool> tombstones_;
   std::size_t committed_frames_ = 0;
+
+  /// Latest checkpoint per session id (always kept in memory; additionally
+  /// persisted crash-safely when `limits_.checkpoint_dir` is set).
+  mutable std::mutex checkpoint_mutex_;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> checkpoints_;
 };
 
 }  // namespace biosense::host

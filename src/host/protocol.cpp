@@ -39,6 +39,8 @@ const char* host_command_name(HostCommand command) {
     case HostCommand::kDrainSession: return "drain_session";
     case HostCommand::kDestroySession: return "destroy_session";
     case HostCommand::kQuerySession: return "query_session";
+    case HostCommand::kCheckpointSession: return "checkpoint_session";
+    case HostCommand::kRestoreSession: return "restore_session";
     case HostCommand::kServerStats: return "server_stats";
   }
   return "unknown";

@@ -41,7 +41,7 @@ namespace biosense::host {
 
 inline constexpr std::uint8_t kFrameMagic = 0xB5;
 inline constexpr std::uint8_t kProtocolVersionMin = 1;
-inline constexpr std::uint8_t kProtocolVersionCurrent = 2;
+inline constexpr std::uint8_t kProtocolVersionCurrent = 3;
 inline constexpr std::size_t kHeaderSize = 12;
 inline constexpr std::size_t kMaxPayload = 1024;
 
@@ -58,6 +58,8 @@ enum class HostCommand : std::uint16_t {
   kDrainSession = 0x14,      // mutating; [session u32]
   kDestroySession = 0x15,    // mutating; [session u32]
   kQuerySession = 0x16,      // [session u32]
+  kCheckpointSession = 0x17, // v3+; mutating; [session u32] -> [size u32, digest u64]
+  kRestoreSession = 0x18,    // v3+; mutating; [session u32] -> [frames u32, digest u64]
   kServerStats = 0x20,       // v2+; server-wide occupancy counters
 };
 
@@ -89,6 +91,7 @@ inline constexpr std::uint32_t kCapDnaSessions = 1u << 0;
 inline constexpr std::uint32_t kCapNeuroSessions = 1u << 1;
 inline constexpr std::uint32_t kCapFaultInjection = 1u << 2;
 inline constexpr std::uint32_t kCapReplayCache = 1u << 3;
+inline constexpr std::uint32_t kCapCheckpoint = 1u << 4;
 
 /// Parsed frame header (byte-order already folded out).
 struct FrameHeader {

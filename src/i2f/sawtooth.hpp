@@ -25,6 +25,7 @@
 #include "circuit/trace.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::i2f {
 
@@ -79,6 +80,19 @@ class SawtoothConverter {
 
   const I2fConfig& config() const { return config_; }
   double comparator_offset() const;
+
+  /// The comparator's noise stream is the converter's only evolving state,
+  /// and its advance is data-dependent (one draw per ramp cycle, cycle
+  /// count depends on the measured current) — it cannot be re-derived from
+  /// a frame counter, only restored.
+  void save_state(snapshot::StateWriter& w) const {
+    w.rng(rng_);
+    comparator_.save_state(w);
+  }
+  void load_state(snapshot::StateReader& r) {
+    r.rng(rng_);
+    comparator_.load_state(r);
+  }
 
  private:
   I2fConfig config_;

@@ -450,4 +450,41 @@ std::pair<double, double> NeuroChip::offset_stats() const {
   return {sum / static_cast<double>(pixels_.size()), mx};
 }
 
+void NeuroChip::save_state(snapshot::StateWriter& w) const {
+  w.rng(rng_);
+  mismatch_.save_state(w);
+  w.u32(static_cast<std::uint32_t>(pixels_.size()));
+  for (const SensorPixel& p : pixels_) p.save_state(w);
+  w.u32(static_cast<std::uint32_t>(row_chains_.size()));
+  for (const circuit::GainChain& c : row_chains_) c.save_state(w);
+  w.u32(static_cast<std::uint32_t>(channel_chains_.size()));
+  for (const circuit::GainChain& c : channel_chains_) c.save_state(w);
+  w.f64(last_calibration_t_);
+  w.b(ever_calibrated_);
+  defect_map_.save_state(w);
+}
+
+void NeuroChip::load_state(snapshot::StateReader& r) {
+  r.rng(rng_);
+  mismatch_.load_state(r);
+  if (r.u32() != pixels_.size()) {
+    r.fail();
+    return;
+  }
+  for (SensorPixel& p : pixels_) p.load_state(r);
+  if (r.u32() != row_chains_.size()) {
+    r.fail();
+    return;
+  }
+  for (circuit::GainChain& c : row_chains_) c.load_state(r);
+  if (r.u32() != channel_chains_.size()) {
+    r.fail();
+    return;
+  }
+  for (circuit::GainChain& c : channel_chains_) c.load_state(r);
+  last_calibration_t_ = r.f64();
+  ever_calibrated_ = r.b();
+  defect_map_.load_state(r);
+}
+
 }  // namespace biosense::neurochip

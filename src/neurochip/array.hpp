@@ -207,6 +207,15 @@ class NeuroChip {
   /// input volts -> output amps (gm * total gain).
   double nominal_conversion_gain() const;
 
+  /// Serializes every evolving piece of chip state: the master RNG, all
+  /// pixel streams/storage caps, gain-chain filter memories and
+  /// calibration corrections, the calibration clock and the installed
+  /// defect map. Frozen die properties (mismatch draws, fault injection,
+  /// channel drift) are reproduced by reconstructing the chip from the
+  /// same config + seed before `load_state`.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
   const NeuroChipConfig& config() const { return config_; }
 
  private:

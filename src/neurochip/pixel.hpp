@@ -24,6 +24,7 @@
 #include "common/units.hpp"
 #include "noise/mismatch.hpp"
 #include "noise/sources.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::neurochip {
 
@@ -77,6 +78,23 @@ class SensorPixel {
   double m2_current() const;
 
   bool calibrated() const { return calibrated_; }
+
+  /// Evolving pixel state: the switch (injection stream + position), the
+  /// front-end noise streams, the storage-cap voltage (calibration +
+  /// droop) and the calibration flag. M1/M2 mismatch and the balance
+  /// points are frozen die state reproduced by reconstruction.
+  void save_state(snapshot::StateWriter& w) const {
+    s1_.save_state(w);
+    noise_.save_state(w);
+    w.f64(v_store_);
+    w.b(calibrated_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    s1_.load_state(r);
+    noise_.load_state(r);
+    v_store_ = r.f64();
+    calibrated_ = r.b();
+  }
 
  private:
   double gate_voltage_for_balance() const;

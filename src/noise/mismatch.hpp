@@ -14,6 +14,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::noise {
 
@@ -44,6 +45,11 @@ class MismatchSampler {
 
   /// Standard deviation of the relative current-factor error.
   double sigma_beta(double width_m, double length_m) const;
+
+  /// The sampler's draw position (devices sampled so far); coefficients
+  /// are frozen config.
+  void save_state(snapshot::StateWriter& w) const { w.rng(rng_); }
+  void load_state(snapshot::StateReader& r) { r.rng(rng_); }
 
  private:
   PelgromCoefficients coeffs_;

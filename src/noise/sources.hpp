@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "snapshot/state_io.hpp"
 
 namespace biosense::noise {
 
@@ -29,6 +30,10 @@ class WhiteNoise {
 
   double sample(double dt);
   double psd() const { return psd_; }
+
+  /// Evolving state only (the PSD is frozen config): the draw stream.
+  void save_state(snapshot::StateWriter& w) const { w.rng(rng_); }
+  void load_state(snapshot::StateReader& r) { r.rng(rng_); }
 
  private:
   double psd_;
@@ -81,6 +86,21 @@ class FlickerNoise {
   /// used by tests to compare against the 1/f target.
   double analytic_psd(double f) const;
 
+  /// Draw stream + the OU pole states (tau/sigma2 are frozen config).
+  void save_state(snapshot::StateWriter& w) const {
+    w.rng(rng_);
+    w.u32(static_cast<std::uint32_t>(poles_.size()));
+    for (const Pole& p : poles_) w.f64(p.state);
+  }
+  void load_state(snapshot::StateReader& r) {
+    r.rng(rng_);
+    if (r.u32() != poles_.size()) {
+      r.fail();
+      return;
+    }
+    for (Pole& p : poles_) p.state = r.f64();
+  }
+
  private:
   struct Pole {
     double tau = 0.0;     // OU time constant
@@ -101,6 +121,15 @@ class RtsNoise {
 
   double sample(double dt);
   bool high() const { return high_; }
+
+  void save_state(snapshot::StateWriter& w) const {
+    w.rng(rng_);
+    w.b(high_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    r.rng(rng_);
+    high_ = r.b();
+  }
 
  private:
   double amplitude_;
@@ -125,6 +154,34 @@ class CompositeNoise {
   /// Integrated RMS over the band [f_lo, f_hi] predicted analytically from
   /// the configured PSDs (white: S*(f_hi-f_lo); flicker: kf*ln(f_hi/f_lo)).
   double analytic_rms(double f_lo, double f_hi) const;
+
+  /// The source composition is frozen at wiring time, so the counts act as
+  /// shape checks and only per-source evolving state is serialized.
+  void save_state(snapshot::StateWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(white_.size()));
+    for (const WhiteNoise& s : white_) s.save_state(w);
+    w.u32(static_cast<std::uint32_t>(flicker_.size()));
+    for (const FlickerNoise& s : flicker_) s.save_state(w);
+    w.u32(static_cast<std::uint32_t>(rts_.size()));
+    for (const RtsNoise& s : rts_) s.save_state(w);
+  }
+  void load_state(snapshot::StateReader& r) {
+    if (r.u32() != white_.size()) {
+      r.fail();
+      return;
+    }
+    for (WhiteNoise& s : white_) s.load_state(r);
+    if (r.u32() != flicker_.size()) {
+      r.fail();
+      return;
+    }
+    for (FlickerNoise& s : flicker_) s.load_state(r);
+    if (r.u32() != rts_.size()) {
+      r.fail();
+      return;
+    }
+    for (RtsNoise& s : rts_) s.load_state(r);
+  }
 
  private:
   std::vector<WhiteNoise> white_;

@@ -1,0 +1,81 @@
+#include "snapshot/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+namespace biosense::snapshot {
+
+Result<void, SnapshotError> write_file_atomic(const std::string& path,
+                                              const std::uint8_t* data,
+                                              std::size_t n) {
+  using R = Result<void, SnapshotError>;
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return R::err(SnapshotError::kIoError);
+  const std::size_t written = n == 0 ? 0 : std::fwrite(data, 1, n, f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != n || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return R::err(SnapshotError::kIoError);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return R::err(SnapshotError::kIoError);
+  }
+  return R::ok();
+}
+
+Result<std::vector<std::uint8_t>, SnapshotError> read_file(
+    const std::string& path) {
+  using R = Result<std::vector<std::uint8_t>, SnapshotError>;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return R::err(SnapshotError::kIoError);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return R::err(SnapshotError::kIoError);
+  return R::ok(std::move(bytes));
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::string name)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // surfaced on save
+  path_ = dir_ + "/" + name + ".ckpt";
+  prev_path_ = path_ + ".prev";
+}
+
+Result<void, SnapshotError> CheckpointStore::save(
+    const std::vector<std::uint8_t>& bytes) {
+  // Demote the current good checkpoint before overwriting it: if the
+  // process dies inside write_file_atomic, load() still finds .prev. A
+  // failed rename (no current checkpoint yet) is fine.
+  std::rename(path_.c_str(), prev_path_.c_str());
+  return write_file_atomic(path_, bytes);
+}
+
+Result<std::vector<std::uint8_t>, SnapshotError> CheckpointStore::load()
+    const {
+  using R = Result<std::vector<std::uint8_t>, SnapshotError>;
+  SnapshotError current_error = SnapshotError::kIoError;
+  for (const std::string* candidate : {&path_, &prev_path_}) {
+    auto bytes = read_file(*candidate);
+    if (!bytes.has_value()) {
+      if (candidate == &path_) current_error = bytes.error();
+      continue;
+    }
+    auto view = SnapshotView::parse(bytes.value());
+    if (view.has_value()) return R::ok(std::move(bytes.value()));
+    if (candidate == &path_) current_error = view.error();
+  }
+  return R::err(current_error);
+}
+
+}  // namespace biosense::snapshot

@@ -1,0 +1,62 @@
+// Crash-safe checkpoint I/O (DESIGN.md §13.3).
+//
+// `write_file_atomic` is the ONLY place in src/snapshot/ that opens a file
+// for writing (lint rule 8 enforces this): bytes go to `<path>.tmp` first
+// and are renamed over `<path>` only after a successful flush+close, so a
+// crash mid-write leaves either the old file or no file — never a torn
+// one. `CheckpointStore` layers a two-deep rotation on top: saving demotes
+// the current good checkpoint to `<name>.ckpt.prev` before the rename, and
+// loading falls back to it when the current file fails validation (bit
+// rot, a torn tmp rename window, an injected corruption plan).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "snapshot/format.hpp"
+
+namespace biosense::snapshot {
+
+/// Writes `n` bytes to `path` via the write-to-temp-then-rename protocol.
+Result<void, SnapshotError> write_file_atomic(const std::string& path,
+                                              const std::uint8_t* data,
+                                              std::size_t n);
+
+inline Result<void, SnapshotError> write_file_atomic(
+    const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  return write_file_atomic(path, bytes.data(), bytes.size());
+}
+
+/// Reads a whole file; kIoError when it cannot be opened or read.
+Result<std::vector<std::uint8_t>, SnapshotError> read_file(
+    const std::string& path);
+
+/// Rotating two-slot checkpoint home for one named state stream.
+class CheckpointStore {
+ public:
+  /// `dir` is created if missing (surfaced as kIoError on first save when
+  /// creation failed). `name` keys the slot files inside it.
+  CheckpointStore(std::string dir, std::string name);
+
+  const std::string& path() const { return path_; }
+  const std::string& prev_path() const { return prev_path_; }
+
+  /// Demotes the current checkpoint (if any) to the .prev slot, then
+  /// writes `bytes` atomically into the current slot.
+  Result<void, SnapshotError> save(const std::vector<std::uint8_t>& bytes);
+
+  /// Loads the newest checkpoint whose container validates: tries the
+  /// current slot first and falls back to .prev when the current one is
+  /// missing, truncated or corrupt. The error reported is the *current*
+  /// slot's failure when both fail (the actionable one).
+  Result<std::vector<std::uint8_t>, SnapshotError> load() const;
+
+ private:
+  std::string dir_;
+  std::string path_;
+  std::string prev_path_;
+};
+
+}  // namespace biosense::snapshot

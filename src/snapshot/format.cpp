@@ -1,0 +1,157 @@
+#include "snapshot/format.hpp"
+
+#include <cstring>
+
+#include "common/crc.hpp"
+#include "common/error.hpp"
+
+namespace biosense::snapshot {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+const char* snapshot_error_name(SnapshotError err) {
+  switch (err) {
+    case SnapshotError::kTruncated: return "truncated";
+    case SnapshotError::kBadMagic: return "bad_magic";
+    case SnapshotError::kBadVersion: return "bad_version";
+    case SnapshotError::kBadHeaderCrc: return "bad_header_crc";
+    case SnapshotError::kBadSectionHeader: return "bad_section_header";
+    case SnapshotError::kBadSectionCrc: return "bad_section_crc";
+    case SnapshotError::kDuplicateSection: return "duplicate_section";
+    case SnapshotError::kMissingSection: return "missing_section";
+    case SnapshotError::kBadPayload: return "bad_payload";
+    case SnapshotError::kStateMismatch: return "state_mismatch";
+    case SnapshotError::kIoError: return "io_error";
+  }
+  return "unknown";
+}
+
+void SnapshotBuilder::add_section(std::uint16_t id, std::uint16_t version,
+                                  const std::vector<std::uint8_t>& payload) {
+  require(payload.size() <= kMaxSectionPayload,
+          "SnapshotBuilder: section payload exceeds kMaxSectionPayload");
+  require(sections_.size() < kMaxSections,
+          "SnapshotBuilder: too many sections");
+  for (const Section& s : sections_) {
+    require(s.id != id, "SnapshotBuilder: duplicate section id");
+  }
+  sections_.push_back(Section{id, version, payload});
+}
+
+std::vector<std::uint8_t> SnapshotBuilder::finish() const {
+  std::size_t total = kHeaderSize;
+  for (const Section& s : sections_) total += kSectionHeaderSize + s.payload.size();
+  require(total <= 0xFFFFFFFFull, "SnapshotBuilder: snapshot exceeds 4 GiB");
+
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  out.insert(out.end(), kSnapshotMagic, kSnapshotMagic + 4);
+  put_u16(out, kSnapshotVersion);
+  put_u16(out, static_cast<std::uint16_t>(sections_.size()));
+  put_u32(out, static_cast<std::uint32_t>(total));
+  out.push_back(crc8(out.data(), kHeaderSize - 1));
+
+  for (const Section& s : sections_) {
+    const std::size_t header_at = out.size();
+    put_u16(out, s.id);
+    put_u16(out, s.version);
+    put_u32(out, static_cast<std::uint32_t>(s.payload.size()));
+    out.push_back(0);  // crc placeholder, zeroed while the CRC is computed
+    out.insert(out.end(), s.payload.begin(), s.payload.end());
+    out[header_at + kSectionHeaderSize - 1] =
+        crc8(out.data() + header_at, kSectionHeaderSize + s.payload.size());
+  }
+  return out;
+}
+
+Result<SnapshotView, SnapshotError> SnapshotView::parse(
+    const std::uint8_t* bytes, std::size_t n) {
+  using R = Result<SnapshotView, SnapshotError>;
+  if (n < kHeaderSize) return R::err(SnapshotError::kTruncated);
+  if (std::memcmp(bytes, kSnapshotMagic, 4) != 0) {
+    return R::err(SnapshotError::kBadMagic);
+  }
+  if (crc8(bytes, kHeaderSize - 1) != bytes[kHeaderSize - 1]) {
+    return R::err(SnapshotError::kBadHeaderCrc);
+  }
+  const std::uint16_t version = get_u16(bytes + 4);
+  if (version == 0 || version > kSnapshotVersion) {
+    return R::err(SnapshotError::kBadVersion);
+  }
+  const std::uint16_t section_count = get_u16(bytes + 6);
+  const std::uint32_t total_len = get_u32(bytes + 8);
+  if (total_len != n) return R::err(SnapshotError::kTruncated);
+  if (section_count > kMaxSections) {
+    return R::err(SnapshotError::kBadSectionHeader);
+  }
+
+  SnapshotView view;
+  view.sections_.reserve(section_count);
+  std::size_t pos = kHeaderSize;
+  for (std::uint16_t i = 0; i < section_count; ++i) {
+    if (n - pos < kSectionHeaderSize) return R::err(SnapshotError::kTruncated);
+    const std::uint8_t* header = bytes + pos;
+    const std::uint32_t payload_len = get_u32(header + 4);
+    if (payload_len > kMaxSectionPayload) {
+      return R::err(SnapshotError::kBadSectionHeader);
+    }
+    if (n - pos - kSectionHeaderSize < payload_len) {
+      return R::err(SnapshotError::kTruncated);
+    }
+    // The section CRC covers its header (crc byte zeroed) plus payload, so
+    // a flipped id or length cannot smuggle a valid payload elsewhere.
+    std::uint8_t scratch[kSectionHeaderSize];
+    std::memcpy(scratch, header, kSectionHeaderSize);
+    const std::uint8_t stored_crc = scratch[kSectionHeaderSize - 1];
+    scratch[kSectionHeaderSize - 1] = 0;
+    const std::uint8_t crc = crc8_update(
+        crc8(scratch, kSectionHeaderSize), header + kSectionHeaderSize,
+        payload_len);
+    if (crc != stored_crc) return R::err(SnapshotError::kBadSectionCrc);
+
+    SectionView section;
+    section.id = get_u16(header);
+    section.version = get_u16(header + 2);
+    section.payload = header + kSectionHeaderSize;
+    section.size = payload_len;
+    for (const SectionView& seen : view.sections_) {
+      if (seen.id == section.id) {
+        return R::err(SnapshotError::kDuplicateSection);
+      }
+    }
+    view.sections_.push_back(section);
+    pos += kSectionHeaderSize + payload_len;
+  }
+  if (pos != n) return R::err(SnapshotError::kTruncated);
+  return R::ok(std::move(view));
+}
+
+const SectionView* SnapshotView::find(std::uint16_t id) const {
+  for (const SectionView& s : sections_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace biosense::snapshot

@@ -1,0 +1,186 @@
+// Little-endian state cursors for snapshot section payloads (DESIGN.md §13).
+//
+// `StateWriter` appends primitive fields to a byte buffer; `StateReader`
+// parses them back with the same bounds-checked ok()-flag idiom as the
+// host protocol's PayloadReader: reads past the end (or reads of malformed
+// values) latch the failure flag and return zeros, so `save_state` /
+// `load_state` hooks are written as straight-line field lists and callers
+// check `ok() && exhausted()` exactly once per section. This is what makes
+// multi-bit corruption that slips past a section CRC collapse into a typed
+// error instead of UB: every length is validated against the remaining
+// bytes and against a caller-supplied cap before any container grows.
+//
+// Header-only on purpose — leaf libraries (noise, circuit, i2f, chips)
+// implement their hooks against these cursors without linking the snapshot
+// container library.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace biosense::snapshot {
+
+/// Little-endian field appender for one section payload.
+class StateWriter {
+ public:
+  explicit StateWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { put(v, 1); }
+  void u16(std::uint16_t v) { put(v, 2); }
+  void u32(std::uint32_t v) { put(v, 4); }
+  void u64(std::uint64_t v) { put(v, 8); }
+  void i32(std::int32_t v) { put(static_cast<std::uint32_t>(v), 4); }
+  void i64(std::int64_t v) { put(static_cast<std::uint64_t>(v), 8); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  /// Full Rng state: 4 engine words + the Box-Muller cache.
+  void rng(const Rng& r) {
+    const RngState st = r.state();
+    for (std::uint64_t word : st.s) u64(word);
+    f64(st.cached_normal);
+    b(st.has_cached_normal);
+  }
+
+  /// Length-prefixed double vector.
+  void vec_f64(const std::vector<double>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (double x : v) f64(x);
+  }
+
+  /// Length-prefixed u64 vector.
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (std::uint64_t x : v) u64(x);
+  }
+
+  /// Length-prefixed raw byte blob.
+  void bytes(const std::vector<std::uint8_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_->insert(out_->end(), v.begin(), v.end());
+  }
+
+  std::size_t size() const { return out_->size(); }
+
+ private:
+  void put(std::uint64_t v, std::size_t width) {
+    for (std::size_t i = 0; i < width; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian field parser for one section payload.
+class StateReader {
+ public:
+  StateReader(const std::uint8_t* bytes, std::size_t n)
+      : bytes_(bytes), n_(n) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Strict bool: any encoding other than 0/1 marks the payload bad.
+  bool b() {
+    const std::uint8_t v = u8();
+    if (v > 1) ok_ = false;
+    return v == 1;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  void rng(Rng& r) {
+    RngState st;
+    for (std::uint64_t& word : st.s) word = u64();
+    st.cached_normal = f64();
+    st.has_cached_normal = b();
+    if (ok_) r.restore(st);
+  }
+
+  /// Reads a double vector written by `vec_f64`. The element count must be
+  /// exactly `expected` when `expected` is non-negative (fixed-shape state,
+  /// e.g. one entry per site); otherwise it is only bounds-checked against
+  /// the remaining payload. Never grows `out` beyond what the payload can
+  /// actually back.
+  void vec_f64(std::vector<double>& out, std::int64_t expected = -1) {
+    const std::uint32_t count = u32();
+    if (!ok_ || (expected >= 0 && count != static_cast<std::uint64_t>(expected)) ||
+        static_cast<std::size_t>(count) * 8 > remaining()) {
+      ok_ = false;
+      return;
+    }
+    out.assign(count, 0.0);
+    for (double& x : out) x = f64();
+  }
+
+  void vec_u64(std::vector<std::uint64_t>& out, std::int64_t expected = -1) {
+    const std::uint32_t count = u32();
+    if (!ok_ || (expected >= 0 && count != static_cast<std::uint64_t>(expected)) ||
+        static_cast<std::size_t>(count) * 8 > remaining()) {
+      ok_ = false;
+      return;
+    }
+    out.assign(count, 0);
+    for (std::uint64_t& x : out) x = u64();
+  }
+
+  /// Reads a blob written by `bytes`, bounded by `max` and the remaining
+  /// payload — a corrupt length can never grow `out` past either.
+  void bytes(std::vector<std::uint8_t>& out, std::size_t max) {
+    const std::uint32_t count = u32();
+    if (!ok_ || count > max || count > remaining()) {
+      ok_ = false;
+      return;
+    }
+    out.assign(bytes_ + pos_, bytes_ + pos_ + count);
+    pos_ += count;
+  }
+
+  bool ok() const { return ok_; }
+  /// True when every byte has been consumed — section schemas are
+  /// exact-length, trailing garbage is corruption.
+  bool exhausted() const { return ok_ && pos_ == n_; }
+  std::size_t remaining() const { return n_ - pos_; }
+
+  /// Latches the failure flag from a hook that detected a semantic
+  /// mismatch (wrong element count, wrong capacity, ...).
+  void fail() { ok_ = false; }
+
+ private:
+  std::uint64_t take(std::size_t width) {
+    if (!ok_ || n_ - pos_ < width) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    return v;
+  }
+
+  const std::uint8_t* bytes_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace biosense::snapshot

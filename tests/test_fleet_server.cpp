@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "host/client.hpp"
 #include "host/fleet_server.hpp"
 #include "obs/metrics.hpp"
+#include "snapshot/atomic_file.hpp"
 
 namespace biosense::host {
 namespace {
@@ -338,6 +340,175 @@ TEST(FleetServer, MixedFleetDeterministicAcrossWorkerThreads) {
   const auto four = run_fleet(4);
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, four);
+}
+
+// --- checkpoint / restore (protocol v3) -------------------------------------
+
+/// Drives a session from wherever it stands to completion: polls until the
+/// backlog and ring are empty, then drains. Production is a pure function
+/// of the command sequence, so running this same helper after a restore
+/// replays the exact post-checkpoint record stream.
+FleetClient::DrainSummary finish_session(FleetClient& client,
+                                         std::uint32_t id) {
+  std::vector<FleetClient::Record> records;
+  for (;;) {
+    const auto polled = client.poll(id, 10, records);
+    EXPECT_TRUE(polled);
+    if (!polled || (polled->returned == 0 && !polled->backpressure)) break;
+  }
+  const auto drained = client.drain(id);
+  EXPECT_TRUE(drained);
+  return drained ? *drained : FleetClient::DrainSummary{};
+}
+
+TEST(FleetServer, CheckpointResumeMatchesUninterruptedRun) {
+  for (const bool dna : {false, true}) {
+    FleetServer server;
+    ServerLink link(server);
+    FleetClient client(link);
+    const auto spec = dna ? dna_spec(4) : neuro_spec(4);
+
+    ASSERT_TRUE(client.create(spec));
+    ASSERT_TRUE(client.start(4, 40));
+    std::vector<FleetClient::Record> head;
+    ASSERT_TRUE(client.poll(4, 10, head));
+
+    const auto info = client.checkpoint(4);
+    ASSERT_TRUE(info) << host_status_name(info.error());
+    EXPECT_GT(info->size, 0u);
+
+    // Reference leg: run the checkpointed session to completion.
+    const auto reference = finish_session(client, 4);
+    EXPECT_EQ(reference.frames, 40u);
+    ASSERT_TRUE(client.destroy(4));
+
+    // Resume leg: rebuild from the checkpoint (server memory) and replay
+    // the identical post-checkpoint command sequence.
+    FleetClient replayer(link);
+    const auto restored = replayer.restore(4);
+    ASSERT_TRUE(restored) << host_status_name(restored.error());
+    const auto resumed = finish_session(replayer, 4);
+    EXPECT_EQ(resumed.frames, reference.frames);
+    EXPECT_EQ(resumed.digest, reference.digest) << (dna ? "dna" : "neuro");
+  }
+}
+
+TEST(FleetServer, KilledWorkerRecoversOnFreshServerFromDisk) {
+  const std::string dir = ::testing::TempDir() + "fleet_ckpt_recover";
+  FleetLimits limits;
+  limits.checkpoint_dir = dir;
+
+  std::uint64_t reference_digest = 0;
+  std::uint32_t reference_frames = 0;
+  {
+    FleetServer worker(limits);
+    ServerLink link(worker);
+    FleetClient client(link);
+    ASSERT_TRUE(client.create(dna_spec(9)));
+    ASSERT_TRUE(client.configure(9, 0, 5));
+    ASSERT_TRUE(client.start(9, 24));
+    std::vector<FleetClient::Record> head;
+    ASSERT_TRUE(client.poll(9, 8, head));
+    ASSERT_TRUE(client.checkpoint(9));
+    // Reference: what the worker WOULD have produced uninterrupted.
+    const auto reference = finish_session(client, 9);
+    reference_digest = reference.digest;
+    reference_frames = reference.frames;
+  }  // worker dies here; only the checkpoint directory survives
+
+  FleetServer replacement(limits);
+  ServerLink link(replacement);
+  FleetClient client(link);
+  const auto restored = client.restore(9);
+  ASSERT_TRUE(restored) << host_status_name(restored.error());
+  EXPECT_EQ(replacement.live_sessions(), 1u);
+  const auto resumed = finish_session(client, 9);
+  EXPECT_EQ(resumed.frames, reference_frames);
+  EXPECT_EQ(resumed.digest, reference_digest);
+}
+
+TEST(FleetServer, CorruptCheckpointFallsBackThenFaultsTyped) {
+  const std::string dir = ::testing::TempDir() + "fleet_ckpt_corrupt";
+  FleetLimits limits;
+  limits.checkpoint_dir = dir;
+
+  std::uint32_t first_frames = 0;
+  {
+    FleetServer worker(limits);
+    ServerLink link(worker);
+    FleetClient client(link);
+    ASSERT_TRUE(client.create(neuro_spec(2)));
+    ASSERT_TRUE(client.start(2, 16));
+    std::vector<FleetClient::Record> records;
+    ASSERT_TRUE(client.poll(2, 4, records));
+    ASSERT_TRUE(client.checkpoint(2));
+    const auto q1 = client.query(2);
+    ASSERT_TRUE(q1);
+    first_frames = q1->frames_produced;
+    ASSERT_TRUE(client.poll(2, 4, records));
+    ASSERT_TRUE(client.checkpoint(2));  // rotates the first to .prev
+  }
+
+  // Bit rot in the current slot: a fresh server falls back to the
+  // previous good checkpoint — earlier progress, but typed-safe.
+  const snapshot::CheckpointStore store(dir, "s2");
+  auto current = snapshot::read_file(store.path());
+  ASSERT_TRUE(current);
+  (*current)[current->size() / 3] ^= 0x08;
+  ASSERT_TRUE(snapshot::write_file_atomic(store.path(), *current));
+  {
+    FleetServer replacement(limits);
+    ServerLink link(replacement);
+    FleetClient client(link);
+    const auto restored = client.restore(2);
+    ASSERT_TRUE(restored) << host_status_name(restored.error());
+    EXPECT_EQ(restored->frames_produced, first_frames);
+  }
+
+  // Both slots corrupt: restore answers kFault — typed, no crash, no
+  // half-registered session.
+  auto prev = snapshot::read_file(store.prev_path());
+  ASSERT_TRUE(prev);
+  (*prev)[prev->size() / 2] ^= 0x01;
+  ASSERT_TRUE(snapshot::write_file_atomic(store.prev_path(), *prev));
+  FleetServer replacement(limits);
+  ServerLink link(replacement);
+  FleetClient client(link);
+  const auto restored = client.restore(2);
+  ASSERT_FALSE(restored);
+  EXPECT_EQ(restored.error(), HostStatus::kFault);
+  EXPECT_EQ(replacement.live_sessions(), 0u);
+}
+
+TEST(FleetServer, RestoreGuardsAndVersionGate) {
+  FleetServer server;
+  ServerLink link(server);
+  FleetClient client(link);
+  ASSERT_TRUE(client.create(neuro_spec(1)));
+  ASSERT_TRUE(client.start(1, 4));
+  ASSERT_TRUE(client.checkpoint(1));
+
+  // Restoring over a live session is a typed state error.
+  const auto live = client.restore(1);
+  ASSERT_FALSE(live);
+  EXPECT_EQ(live.error(), HostStatus::kBadState);
+
+  // A checkpoint that never happened is kNoSuchSession.
+  const auto absent = client.restore(42);
+  ASSERT_FALSE(absent);
+  EXPECT_EQ(absent.error(), HostStatus::kNoSuchSession);
+
+  // v2 clients cannot reach the v3 surface: the command id is unknown
+  // inside their version window.
+  FleetClient old_client(link, 2);
+  const auto refused = old_client.checkpoint(1);
+  ASSERT_FALSE(refused);
+  EXPECT_EQ(refused.error(), HostStatus::kUnknownCommand);
+
+  // Capability bit advertises the surface to v3 clients.
+  const auto caps = client.capabilities();
+  ASSERT_TRUE(caps);
+  EXPECT_TRUE(*caps & kCapCheckpoint);
 }
 
 TEST(FleetServer, PerSessionInstrumentsAreCollisionFree) {

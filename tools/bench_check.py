@@ -24,6 +24,16 @@ Comparison rules, per artifact kind:
   * Scaling summaries (objects with an ``all_identical`` key):
       - ``all_identical`` must be true (the determinism contract);
       - the thread counts covered must not shrink.
+  * Soak-replay reports (objects with a ``shard_merge_identical`` key):
+      - ``segmented_identical``, ``resume_identical`` and
+        ``shard_merge_identical`` must all be true in the fresh run —
+        checkpoint/resume bit-exactness is an absolute contract, not a
+        diffed quantity;
+      - ``steady_allocs_per_frame`` must be exactly zero (a resumed
+        session keeps the pooled pipeline's alloc-free steady state);
+      - the shard count and frame count must not shrink below the
+        baseline's, so the soak cannot quietly degenerate into a single
+        unsharded run.
   * Fleet-server load reports (objects with a ``latency`` key):
       - ``deterministic`` and ``pass`` must be true, ``errors`` and
         ``steady_allocs_per_command`` must be zero in the fresh run
@@ -154,6 +164,28 @@ class Gate:
         if lost:
             self.fail(name, f"thread counts no longer covered: {lost}")
 
+    # -- soak-replay reports -------------------------------------------------
+
+    def check_soak(self, name, baseline, current):
+        for key in ("segmented_identical", "resume_identical",
+                    "shard_merge_identical"):
+            if not current.get(key, False):
+                self.fail(name, f"{key} is no longer true: checkpoint/resume "
+                                "lost bit-exactness")
+        allocs = current.get("steady_allocs_per_frame", None)
+        if allocs != 0:
+            self.fail(name, "resumed session allocates in steady state: "
+                            f"{allocs} per frame (contract is 0)")
+        for scale_key in ("shards", "frames"):
+            base_n = baseline.get(scale_key, 0)
+            cur_n = current.get(scale_key, 0)
+            if cur_n < base_n:
+                self.fail(name, f"{scale_key} shrank: {base_n} -> {cur_n}")
+        for shard in current.get("shard_results", []):
+            if not shard.get("identical", False):
+                self.fail(name, f"shard {shard.get('shard', '?')} replay "
+                                "diverged from its reference range")
+
     # -- fleet-server load reports -------------------------------------------
 
     def check_fleet(self, name, baseline, current):
@@ -214,6 +246,8 @@ class Gate:
             return
         if isinstance(baseline, list):
             self.check_claims(name, baseline, current)
+        elif "shard_merge_identical" in baseline:
+            self.check_soak(name, baseline, current)
         elif "all_identical" in baseline:
             self.check_scaling(name, baseline, current)
         elif "latency" in baseline:

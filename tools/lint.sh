@@ -32,6 +32,11 @@
 #     into one bit and invites silently-ignored errors. Pure predicates
 #     (is_*/has_*, ok/exhausted/empty/closed/any/decoded) are fine — they
 #     report state, not success of an attempted operation.
+#  8. Raw file writes in src/snapshot/: every byte a checkpoint puts on
+#     disk must go through the atomic write-temp-then-rename protocol in
+#     atomic_file.cpp, or a crash mid-write leaves a torn file that the
+#     CRC layer can only reject, not recover. fopen/ofstream/fstream
+#     anywhere else in src/snapshot/ bypasses that crash-safety boundary.
 #
 # A line can opt out of rule 4 with a `lint:allow-raw-unit` comment when a
 # raw double is deliberate (e.g. a hot-loop-internal cache), of rule 6
@@ -127,6 +132,19 @@ if [[ ${#host_headers[@]} -gt 0 ]]; then
     fail "bool-returning fallible API in a src/host/ header; return \
 Result<T, HostStatus> (common/result.hpp, DESIGN.md §12) or, for a genuine \
 single-bit fact, annotate lint:allow-bool" "${hits}"
+  fi
+fi
+
+# --- rule 8: raw file writes in src/snapshot/ outside the atomic writer ------
+mapfile -t snapshot_sources < <(find src/snapshot \
+    \( -name '*.cpp' -o -name '*.hpp' \) ! -name 'atomic_file.cpp' | sort)
+if [[ ${#snapshot_sources[@]} -gt 0 ]]; then
+  hits=$(grep -nE 'std::fopen|[^_[:alnum:]]fopen *\(|std::ofstream|std::fstream|std::FILE' \
+      "${snapshot_sources[@]}" /dev/null || true)
+  if [[ -n "${hits}" ]]; then
+    fail "raw file I/O in src/snapshot/ is banned outside atomic_file.cpp; \
+checkpoint bytes must go through write_file_atomic / CheckpointStore \
+(crash-safe write-temp-then-rename)" "${hits}"
   fi
 fi
 
