@@ -10,7 +10,9 @@
 # bench-regression gate (reruns the key benches and diffs their JSON
 # artifacts against bench/baselines/ via tools/bench_check.py), clang-tidy
 # (if installed — skipped with a note otherwise) and the repo-invariant
-# linter tools/lint.sh.
+# analyzer via the deprecated tools/lint.sh shim. Each configuration also
+# builds biosense-analyze first and runs it before the full build, so an
+# invariant break fails fast instead of after a long sanitizer compile.
 #
 # Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
@@ -26,6 +28,9 @@ run_config() {
        "BIOSENSE_OBS=${obs}) ==="
   cmake -B "${dir}" -S . -DBIOSENSE_SANITIZE="${sanitize}" \
         -DBIOSENSE_OBS="${obs}" -DBIOSENSE_WERROR=ON >/dev/null
+  echo "=== [${name}] analyze (repo invariants, before the full build) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target biosense-analyze
+  "${dir}/tools/analyze/biosense-analyze" --root .
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${name}] ctest ==="

@@ -55,8 +55,9 @@ class Comparator {
   }
 
  private:
-  ComparatorParams params_;
+  ComparatorParams params_;  // analyze:transient - frozen config
   Rng rng_;
+  // analyze:transient - as-fabricated offset, re-derived at construction
   double offset_ = 0.0;
   bool out_ = false;
   bool pending_ = false;

@@ -70,9 +70,10 @@ class GainStage {
   }
 
  private:
-  GainStageParams params_;
+  GainStageParams params_;  // analyze:transient - frozen config
+  // analyze:transient - as-fabricated values, re-derived at construction
   double actual_gain_;
-  double offset_;
+  double offset_;  // analyze:transient - as-fabricated, re-derived at construction
   double corr_gain_ = 1.0;    // digital gain correction
   double corr_offset_ = 0.0;  // output-referred offset correction, A
   bool calibrated_ = false;

@@ -41,9 +41,9 @@ class BandgapReference {
   void load_state(snapshot::StateReader& r) { r.rng(rng_); }
 
  private:
-  BandgapParams params_;
+  BandgapParams params_;  // analyze:transient - frozen config
   Rng rng_;
-  double trim_error_;
+  double trim_error_;  // analyze:transient - as-fabricated trim, re-derived at construction
 };
 
 struct CurrentReferenceParams {

@@ -49,7 +49,7 @@ class AnalogSwitch {
   }
 
  private:
-  SwitchParams params_;
+  SwitchParams params_;  // analyze:transient - frozen config
   Rng rng_;
   bool closed_ = false;
 };

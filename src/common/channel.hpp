@@ -218,16 +218,17 @@ class Channel {
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  std::condition_variable not_full_;   // analyze:transient - sync primitive
+  std::condition_variable not_empty_;  // analyze:transient - sync primitive
   std::vector<T> ring_;       // fixed ring; moved-from slots stay constructed
   std::size_t head_ = 0;      // index of the oldest queued item
   std::size_t count_ = 0;     // queued items
   bool closed_ = false;
   ChannelStats stats_{};
+  // analyze:transient - obs handles, re-resolved at construction
   obs::Gauge* depth_gauge_ = nullptr;
-  obs::Counter* push_stall_counter_ = nullptr;
-  obs::Counter* pop_stall_counter_ = nullptr;
+  obs::Counter* push_stall_counter_ = nullptr;  // analyze:transient - obs handle
+  obs::Counter* pop_stall_counter_ = nullptr;   // analyze:transient - obs handle
 };
 
 }  // namespace biosense

@@ -226,13 +226,13 @@ class FramePool {
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::condition_variable available_;
+  std::condition_variable available_;  // analyze:transient - sync primitive
   std::vector<std::unique_ptr<T>> free_;
   std::size_t created_ = 0;
-  bool closed_ = false;
+  bool closed_ = false;  // analyze:transient - teardown flag; a restored pool starts open
   FramePoolStats stats_{};
-  obs::Gauge* available_gauge_ = nullptr;
-  obs::Counter* stall_counter_ = nullptr;
+  obs::Gauge* available_gauge_ = nullptr;  // analyze:transient - obs handle
+  obs::Counter* stall_counter_ = nullptr;  // analyze:transient - obs handle
 };
 
 }  // namespace biosense

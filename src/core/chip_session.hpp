@@ -123,14 +123,14 @@ class ChipSession {
                            int n, StreamSink<neurochip::NeuroFrame>& sink,
                            int threads);
 
-  neurochip::NeuroChip* chip_;
-  SessionConfig config_;
+  neurochip::NeuroChip* chip_;  // analyze:transient - non-owning, rebound at construction
+  SessionConfig config_;        // analyze:transient - frozen config
   Rng rng_;
   /// Collision-free instrument prefix claimed from the obs registry: the
   /// first session named "session" keeps it, later ones get "session#2",
   /// ... so a fleet of same-named sessions never aliases gauges. Ordered
   /// before pool_, which derives its instrument names from it.
-  std::string obs_name_;
+  std::string obs_name_;  // analyze:transient - registry claim, re-claimed at construction
   FramePool<neurochip::NeuroFrame> pool_;
 };
 

@@ -107,7 +107,7 @@ class DnaChip {
   std::vector<bool> status();
   void apply_count_faults(std::vector<std::uint64_t>& counts) const;
 
-  DnaChipConfig config_;
+  DnaChipConfig config_;  // analyze:transient - frozen config
   Rng rng_;
   std::uint16_t selected_site_ = 0;
   std::vector<i2f::SawtoothConverter> converters_;
@@ -116,16 +116,18 @@ class DnaChip {
   std::vector<std::uint64_t> counts_;
   std::vector<std::uint64_t> cal_counts_;
   std::vector<std::uint64_t> test_counts_;
+  // analyze:transient - injected fault config, re-applied by the fault plan
   faults::SiteFaultSet site_faults_{};
-  bool has_site_faults_ = false;
+  bool has_site_faults_ = false;  // analyze:transient - fault config, re-applied
   // Last-seen sequence tags for idempotent retries (-1 = none yet).
   int last_conv_seq_ = -1;
   int last_cal_seq_ = -1;
   int last_test_seq_ = -1;
   circuit::BandgapReference bandgap_;
-  circuit::CurrentReference iref_;
+  circuit::CurrentReference iref_;  // analyze:transient - frozen die state, reproduced by reconstruction
+  // analyze:transient - stateless converters, reproduced by reconstruction
   circuit::ResistorStringDac dac_generator_;
-  circuit::ResistorStringDac dac_collector_;
+  circuit::ResistorStringDac dac_collector_;  // analyze:transient - stateless, reconstructed
   double v_generator_ = 0.0;
   double v_collector_ = 0.0;
   double last_gate_time_ = 0.0;
@@ -292,10 +294,10 @@ class HostInterface {
   void note_failed_attempt(int attempt);
   Frame acquire_autorange_impl(StreamSink<SiteReading>* sink);
 
-  DnaChip* chip_;
+  DnaChip* chip_;  // analyze:transient - non-owning, rebound at construction
   SerialLink link_;
-  i2f::I2fConfig nominal_;
-  RetryPolicy retry_;
+  i2f::I2fConfig nominal_;  // analyze:transient - frozen config
+  RetryPolicy retry_;       // analyze:transient - frozen config
   ProtocolStats stats_{};
   std::uint8_t seq_ = 0;
   std::vector<double> cal_baseline_hz_;

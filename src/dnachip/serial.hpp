@@ -252,10 +252,11 @@ class SerialLink {
   double bit_error_rate() const { return ber_; }
 
  private:
-  double ber_;
+  double ber_;  // analyze:transient - frozen config
   Rng rng_;
+  // analyze:transient - injected fault config, re-applied by the fault plan
   faults::LinkFaultModel faults_{};
-  bool has_frame_faults_ = false;
+  bool has_frame_faults_ = false;  // analyze:transient - fault config, re-applied
   LinkEvent last_event_ = LinkEvent::kOk;
   LinkStats stats_{};
   std::uint64_t bits_transferred_ = 0;

@@ -166,7 +166,7 @@ class FaultPlan {
   static FaultPlan from_json(const std::string& json);
 
  private:
-  FaultPlanConfig config_{};
+  FaultPlanConfig config_{};  // analyze:transient - frozen config
   std::uint64_t corruption_cursor_ = 0;
 };
 

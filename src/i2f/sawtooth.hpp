@@ -95,7 +95,7 @@ class SawtoothConverter {
   }
 
  private:
-  I2fConfig config_;
+  I2fConfig config_;  // analyze:transient - frozen config
   Rng rng_;
   circuit::Comparator comparator_;
 };

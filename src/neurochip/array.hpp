@@ -223,13 +223,16 @@ class NeuroChip {
   std::int32_t apply_pixel_fault(std::size_t idx, std::int32_t code) const;
   void mask_frame(NeuroFrame& frame, double adc_lsb, double conv_gain) const;
 
-  NeuroChipConfig config_;
+  NeuroChipConfig config_;  // analyze:transient - frozen config
   Rng rng_;
   noise::MismatchSampler mismatch_;
   std::vector<SensorPixel> pixels_;
+  // analyze:transient - injected fault config, re-applied by the fault plan
   faults::SiteFaultSet pixel_faults_{};
-  bool has_pixel_faults_ = false;
-  std::vector<double> channel_drift_;  // gain multiplier per output channel
+  bool has_pixel_faults_ = false;  // analyze:transient - fault config, re-applied
+  // Gain multiplier per output channel.
+  // analyze:transient - frozen die state, reproduced by reconstruction
+  std::vector<double> channel_drift_;
   faults::DefectMap defect_map_{};
   // Row chains carry the on-chip stages (x100, x7); channel chains the
   // off-chip stages (x4, x2).
@@ -237,8 +240,8 @@ class NeuroChip {
   std::vector<circuit::GainChain> channel_chains_;
   // Column-major scratch for batched signal evaluation:
   // signal_scratch_[col * rows + row]. Reused across frames.
-  std::vector<double> signal_scratch_;
-  double gm_nominal_ = 0.0;
+  std::vector<double> signal_scratch_;  // analyze:transient - scratch buffer
+  double gm_nominal_ = 0.0;  // analyze:transient - derived constant, recomputed at construction
   double last_calibration_t_ = 0.0;
   bool ever_calibrated_ = false;
 };

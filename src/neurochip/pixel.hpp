@@ -99,15 +99,19 @@ class SensorPixel {
  private:
   double gate_voltage_for_balance() const;
 
-  PixelParams params_;
+  PixelParams params_;  // analyze:transient - frozen config
+  // analyze:transient - frozen die state, reproduced by reconstruction
   circuit::Mosfet m1_;
-  circuit::Mosfet m2_;
+  circuit::Mosfet m2_;  // analyze:transient - frozen die state, reconstructed
   circuit::AnalogSwitch s1_;
   noise::CompositeNoise noise_;
   double v_store_ = 0.0;   // voltage held on the storage cap
-  double i_m2_actual_ = 0.0;       // M2's as-fabricated current, A
-  double v_balance_ = 0.0;         // M1 gate voltage balancing M2
-  double v_bias_nominal_m1_ = 0.0; // power-up (uncalibrated) gate bias
+  // M2's as-fabricated current (A), the M1 gate voltage balancing M2,
+  // and the power-up (uncalibrated) gate bias.
+  // analyze:transient - frozen die state, reproduced by reconstruction
+  double i_m2_actual_ = 0.0;
+  double v_balance_ = 0.0;          // analyze:transient - frozen die state
+  double v_bias_nominal_m1_ = 0.0;  // analyze:transient - frozen die state
   bool calibrated_ = false;
 };
 

@@ -52,7 +52,7 @@ class MismatchSampler {
   void load_state(snapshot::StateReader& r) { r.rng(rng_); }
 
  private:
-  PelgromCoefficients coeffs_;
+  PelgromCoefficients coeffs_;  // analyze:transient - frozen config
   Rng rng_;
 };
 

@@ -36,7 +36,7 @@ class WhiteNoise {
   void load_state(snapshot::StateReader& r) { r.rng(rng_); }
 
  private:
-  double psd_;
+  double psd_;  // analyze:transient - frozen config
   Rng rng_;
 };
 
@@ -132,9 +132,9 @@ class RtsNoise {
   }
 
  private:
-  double amplitude_;
-  double rate_down_;  // 1/mean_time_high
-  double rate_up_;    // 1/mean_time_low
+  double amplitude_;  // analyze:transient - frozen config
+  double rate_down_;  // 1/mean_time_high; analyze:transient - frozen config
+  double rate_up_;    // 1/mean_time_low; analyze:transient - frozen config
   bool high_;
   Rng rng_;
 };
@@ -187,8 +187,8 @@ class CompositeNoise {
   std::vector<WhiteNoise> white_;
   std::vector<FlickerNoise> flicker_;
   std::vector<RtsNoise> rts_;
-  std::vector<double> white_psd_;
-  std::vector<double> flicker_kf_;
+  std::vector<double> white_psd_;    // analyze:transient - frozen config
+  std::vector<double> flicker_kf_;   // analyze:transient - frozen config
 };
 
 }  // namespace biosense::noise

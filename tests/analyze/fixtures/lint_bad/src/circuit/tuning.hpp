@@ -1,0 +1,11 @@
+// Seeded violation: raw-unit-literal in a typed config header.
+#pragma once
+
+namespace demo {
+
+struct TuningParams {
+  double v_ref = 1.2;  // V  [MUST-FIRE: raw-unit-literal]
+  double gain = 4.0;   // dimensionless, not a unit comment: no finding
+};
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+// Seeded violation: no-batch-return in a src/ header.
+#pragma once
+
+#include <vector>
+
+namespace neurochip {
+struct NeuroFrame {};
+}  // namespace neurochip
+
+namespace demo {
+
+std::vector<neurochip::NeuroFrame> capture_all(int frames);  // [MUST-FIRE]
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+// Seeded violations: no-c-rand, no-wallclock-seed, no-std-random-engine.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace demo {
+
+int draw() {
+  srand(42);                     // [MUST-FIRE: no-c-rand]
+  int a = rand();                // [MUST-FIRE: no-c-rand]
+  long b = time(NULL);           // [MUST-FIRE: no-wallclock-seed]
+  std::random_device rd;         // [MUST-FIRE: no-std-random-engine]
+  std::mt19937 gen;              // [MUST-FIRE: no-std-random-engine]
+  return a + static_cast<int>(b) + static_cast<int>(rd()) +
+         static_cast<int>(gen());
+}
+
+}  // namespace demo

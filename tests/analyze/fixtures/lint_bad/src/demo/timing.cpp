@@ -1,0 +1,11 @@
+// Seeded violation: no-chrono-in-src.
+#include <chrono>
+
+namespace demo {
+
+long long stamp() {
+  auto t0 = std::chrono::steady_clock::now();  // [MUST-FIRE]
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace demo

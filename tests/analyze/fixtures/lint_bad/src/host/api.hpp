@@ -1,0 +1,12 @@
+// Seeded violation: no-bool-fallible in a src/host/ header.
+#pragma once
+
+namespace demo {
+
+struct Client {
+  bool send_command(int id);  // [MUST-FIRE: fallible bool]
+  bool is_connected() const;  // predicate prefix: no finding
+  bool ok() const;            // allow-listed predicate: no finding
+};
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// Seeded violation: atomic-file-only.
+#include <fstream>
+#include <string>
+
+namespace demo {
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path);  // [MUST-FIRE: raw I/O in src/snapshot/]
+  out << bytes;
+}
+
+}  // namespace demo

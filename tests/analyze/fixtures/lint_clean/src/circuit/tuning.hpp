@@ -1,0 +1,13 @@
+// Clean control: the lint:allow-raw-unit escape, a zero initializer and
+// a non-unit comment are all accepted.
+#pragma once
+
+namespace demo {
+
+struct TuningParams {
+  double v_ref = 1.2;   // V, board-level reference; lint:allow-raw-unit
+  double v_trim = 0.0;  // V (zero default, tuned at runtime)
+  double gain = 4.0;    // dimensionless ratio
+};
+
+}  // namespace demo

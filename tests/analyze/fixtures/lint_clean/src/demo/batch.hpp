@@ -1,0 +1,15 @@
+// Clean control: a tagged compat wrapper may return the full vector.
+#pragma once
+
+#include <vector>
+
+namespace neurochip {
+struct NeuroFrame {};
+}  // namespace neurochip
+
+namespace demo {
+
+// Compat wrapper over the streaming API.
+std::vector<neurochip::NeuroFrame> capture_all(int frames);  // lint:allow-batch-return
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Clean control: seeded engines, two-arg time() and member functions
+// that merely contain banned substrings are all accepted.
+#include <ctime>
+#include <random>
+
+namespace demo {
+
+int draw(unsigned seed) {
+  std::mt19937 gen(seed);  // explicitly seeded: no finding
+  std::time_t now = 0;
+  time(&now);  // two-arg form is not wall-clock seeding
+  return static_cast<int>(gen()) + static_cast<int>(now);
+}
+
+}  // namespace demo

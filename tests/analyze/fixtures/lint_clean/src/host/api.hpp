@@ -1,0 +1,13 @@
+// Clean control: predicates and tagged single-bit facts are accepted.
+#pragma once
+
+namespace demo {
+
+struct Client {
+  bool is_connected() const;
+  bool has_pending() const;
+  bool ok() const;
+  bool drain_requested() const;  // lint:allow-bool: single-bit fact
+};
+
+}  // namespace demo

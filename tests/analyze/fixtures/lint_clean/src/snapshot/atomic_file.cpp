@@ -1,0 +1,13 @@
+// Clean control: atomic_file.cpp is the one file in src/snapshot/
+// allowed to perform raw file I/O (it implements the atomic protocol).
+#include <fstream>
+#include <string>
+
+namespace demo {
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path);
+  out << bytes;
+}
+
+}  // namespace demo

@@ -1,0 +1,7 @@
+namespace demo {
+
+void bump_chip_side() {
+  BIOSENSE_COUNT("host.shared", 1);  // [MUST-FIRE: cross-module duplicate]
+}
+
+}  // namespace demo

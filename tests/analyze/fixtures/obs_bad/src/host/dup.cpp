@@ -1,0 +1,7 @@
+namespace demo {
+
+void bump_host_side() {
+  BIOSENSE_COUNT("host.shared", 1);
+}
+
+}  // namespace demo

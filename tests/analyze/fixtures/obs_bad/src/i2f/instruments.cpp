@@ -1,0 +1,22 @@
+// Seeded violations: obs-name (kind conflict, malformed name, unclaimed
+// prefix, non-literal name). The cross-module duplicate lives in
+// ../host + ../dnachip; the foreign-prefix mint in ../neurochip.
+#include <string>
+
+namespace demo {
+
+void count_events() {
+  BIOSENSE_COUNT("i2f.events", 1);
+}
+
+void gauge_events() {
+  BIOSENSE_GAUGE("i2f.events", 2.0);  // [MUST-FIRE: kind conflict]
+}
+
+void bad_shapes(const std::string& name) {
+  BIOSENSE_COUNT("I2F.Events", 1);  // [MUST-FIRE: malformed name]
+  BIOSENSE_COUNT("zzz.thing", 1);   // [MUST-FIRE: unclaimed prefix]
+  BIOSENSE_COUNT(name, 1);          // [MUST-FIRE: non-literal name]
+}
+
+}  // namespace demo

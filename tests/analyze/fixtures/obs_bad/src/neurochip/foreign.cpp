@@ -1,0 +1,7 @@
+namespace demo {
+
+void mint_under_foreign_prefix() {
+  BIOSENSE_COUNT("i2f.stolen", 1);  // [MUST-FIRE: prefix claimed by i2f]
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Clean control for obs-name: literal lowercase dotted names under the
+// module's own claimed prefix; the same counter bumped from two call
+// sites in one module is legal.
+namespace demo {
+
+void on_conversion() {
+  BIOSENSE_COUNT("i2f.conversions", 1);
+}
+
+void on_batch(int n) {
+  BIOSENSE_COUNT("i2f.conversions", n);
+  BIOSENSE_GAUGE("i2f.ramp_level", 0.5);
+}
+
+}  // namespace demo

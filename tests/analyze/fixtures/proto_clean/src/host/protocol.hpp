@@ -1,0 +1,47 @@
+// Clean control for the protocol rules: every command has exactly one
+// schema entry inside the version window, both name functions cover
+// every enumerator, and every capability bit is referenced.
+#pragma once
+
+#include <cstdint>
+
+namespace demo::host {
+
+inline constexpr std::uint32_t kProtocolVersionMin = 1;
+inline constexpr std::uint32_t kProtocolVersionCurrent = 3;
+
+inline constexpr std::uint32_t kCapSessions = 1u << 0;
+
+enum class HostCommand : std::uint8_t {
+  kPing = 0x01,
+  kQuery = 0x02,
+};
+
+enum class HostStatus : std::uint8_t {
+  kOk = 0,
+  kBadFrame = 1,
+};
+
+inline const char* host_command_name(HostCommand c) {
+  switch (c) {
+    case HostCommand::kPing:
+      return "Ping";
+    case HostCommand::kQuery:
+      return "Query";
+    default:
+      return "?";
+  }
+}
+
+inline const char* host_status_name(HostStatus s) {
+  switch (s) {
+    case HostStatus::kOk:
+      return "Ok";
+    case HostStatus::kBadFrame:
+      return "BadFrame";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace demo::host

@@ -1,0 +1,16 @@
+#include "host/protocol.hpp"
+
+namespace demo::host {
+
+struct Server {
+  void register_handlers();
+  void add(HostCommand c, int min_version);
+  std::uint32_t caps() const { return kCapSessions; }
+};
+
+void Server::register_handlers() {
+  add(HostCommand::kPing, 1);
+  add(HostCommand::kQuery, 2);
+}
+
+}  // namespace demo::host

@@ -1,0 +1,69 @@
+// Seeded violations: snapshot-coverage (uncovered member, stale
+// annotation, bare annotation), snapshot-pair, snapshot-mirror (width
+// desync and length desync). Each must-fire line is tagged MUST-FIRE.
+#pragma once
+
+#include <cstdint>
+
+#include "snapshot/state_io.hpp"
+
+namespace demo {
+
+class Widget {
+ public:
+  void save_state(snapshot::StateWriter& w) const {
+    w.u32(mode_);
+    w.f64(level_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    mode_ = r.u32();
+    level_ = r.f64();
+  }
+
+ private:
+  std::uint32_t mode_ = 0;  // analyze:transient - stale reason  [MUST-FIRE: stale]
+  double level_ = 0.0;
+  double gain_ = 1.0;  // [MUST-FIRE: uncovered]
+  // [MUST-FIRE: bare marker on the next line]
+  int scratch_ = 0;  // analyze:transient
+};
+
+class HalfOpen {  // [MUST-FIRE: snapshot-pair]
+ public:
+  void save_state(snapshot::StateWriter& w) const { w.u32(count_); }
+
+ private:
+  std::uint32_t count_ = 0;
+};
+
+class Skewed {
+ public:
+  void save_state(snapshot::StateWriter& w) const {
+    w.u32(a_);
+    w.u16(b_);  // [MUST-FIRE: snapshot-mirror width]
+  }
+  void load_state(snapshot::StateReader& r) {
+    a_ = r.u32();
+    b_ = static_cast<std::uint16_t>(r.u32());
+  }
+
+ private:
+  std::uint32_t a_ = 0;
+  std::uint16_t b_ = 0;
+};
+
+class Longer {
+ public:
+  void save_state(snapshot::StateWriter& w) const { w.u32(a_); w.f64(b_); }
+  void load_state(snapshot::StateReader& r) {
+    a_ = r.u32();
+    b_ = r.f64();
+    b_ += r.f64();  // [MUST-FIRE: snapshot-mirror length]
+  }
+
+ private:
+  std::uint32_t a_ = 0;
+  double b_ = 0.0;
+};
+
+}  // namespace demo

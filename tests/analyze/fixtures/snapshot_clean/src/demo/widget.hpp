@@ -1,0 +1,47 @@
+// Clean control for the snapshot rules: full coverage, annotated
+// transients, mirrored sequences with a nested hook and a named
+// callback pair. Also the seed for the mutation self-check, which
+// deletes one save_state line and expects snapshot-coverage to fire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/state_io.hpp"
+
+namespace demo {
+
+struct Inner {
+  void save_state(snapshot::StateWriter& w) const { w.u64(ticks_); }
+  void load_state(snapshot::StateReader& r) { ticks_ = r.u64(); }
+  std::uint64_t ticks_ = 0;
+};
+
+class Widget {
+ public:
+  void save_state(snapshot::StateWriter& w) const {
+    w.u32(mode_);
+    w.f64(gain_);
+    inner_.save_state(w);
+    save_items(w, history_);
+  }
+  void load_state(snapshot::StateReader& r) {
+    mode_ = r.u32();
+    gain_ = r.f64();
+    inner_.load_state(r);
+    load_items(r, history_);
+  }
+
+ private:
+  static void save_items(snapshot::StateWriter& w,
+                         const std::vector<double>& items);
+  static void load_items(snapshot::StateReader& r, std::vector<double>& items);
+
+  std::uint32_t mode_ = 0;
+  double gain_ = 1.0;
+  Inner inner_;
+  std::vector<double> history_;
+  int scratch_ = 0;  // analyze:transient - per-frame scratch, rebuilt on use
+};
+
+}  // namespace demo

@@ -1,0 +1,235 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace biosense::analyze {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuation, longest first within each leading char.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "##",
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& content) {
+  LexedFile out;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokenKind kind, std::string text, int at) {
+    out.tokens.push_back(Token{kind, std::move(text), at});
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: swallow the whole logical line, including
+    // backslash continuations (macro definitions are invisible to rules).
+    if (c == '#') {
+      bool at_line_start = true;
+      for (std::size_t j = i; j-- > 0;) {
+        if (content[j] == '\n') break;
+        if (content[j] != ' ' && content[j] != '\t') {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        while (i < n) {
+          if (content[i] == '\n') {
+            // A backslash (optionally followed by \r) continues the line.
+            std::size_t k = i;
+            bool continued = false;
+            while (k > 0) {
+              const char p = content[k - 1];
+              if (p == '\r') {
+                --k;
+                continue;
+              }
+              continued = (p == '\\');
+              break;
+            }
+            ++line;
+            ++i;
+            if (!continued) break;
+            continue;
+          }
+          ++i;
+        }
+        continue;
+      }
+      // '#' mid-line (token paste in plain code — should not happen).
+      push(TokenKind::kPunct, "#", line);
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const int start = line;
+      i += 2;
+      std::string text;
+      while (i < n && content[i] != '\n') text.push_back(content[i++]);
+      out.comments.push_back(Comment{std::move(text), start, start});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start = line;
+      i += 2;
+      std::string text;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') ++line;
+        text.push_back(content[i++]);
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      out.comments.push_back(Comment{std::move(text), start, line});
+      continue;
+    }
+
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(' && delim.size() <= 16) {
+        delim.push_back(content[j++]);
+      }
+      if (j < n && content[j] == '(') {
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = content.find(close, j + 1);
+        const int start = line;
+        std::string text = content.substr(
+            j + 1, (end == std::string::npos ? n : end) - (j + 1));
+        for (char t : text) {
+          if (t == '\n') ++line;
+        }
+        push(TokenKind::kString, std::move(text), start);
+        i = (end == std::string::npos) ? n : end + close.size();
+        continue;
+      }
+      // 'R' not starting a raw string: fall through as identifier below.
+    }
+
+    // String / char literals (with escapes; unterminated runs to newline).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start = line;
+      std::string text;
+      ++i;
+      while (i < n && content[i] != quote && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n) {
+          text.push_back(content[i]);
+          text.push_back(content[i + 1]);
+          i += 2;
+          continue;
+        }
+        text.push_back(content[i++]);
+      }
+      if (i < n && content[i] == quote) ++i;
+      push(quote == '"' ? TokenKind::kString : TokenKind::kChar,
+           std::move(text), start);
+      continue;
+    }
+
+    // Numbers (generous: hex, floats, exponents, suffixes, ' separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      std::string text;
+      while (i < n) {
+        const char d = content[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          text.push_back(d);
+          ++i;
+          // Exponent signs: 1e-3, 0x1p+2.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i < n &&
+              (content[i] == '+' || content[i] == '-') && text.size() > 1 &&
+              (std::isdigit(static_cast<unsigned char>(text[0])) ||
+               text[0] == '.')) {
+            text.push_back(content[i++]);
+          }
+          continue;
+        }
+        break;
+      }
+      push(TokenKind::kNumber, std::move(text), line);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::string text;
+      while (i < n && ident_char(content[i])) text.push_back(content[i++]);
+      push(TokenKind::kIdentifier, std::move(text), line);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (content.compare(i, len, p) == 0) {
+        push(TokenKind::kPunct, p, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokenKind::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool line_has_marker(const LexedFile& file, int line,
+                     const std::string& marker) {
+  for (const Comment& c : file.comments) {
+    if (c.line <= line && line <= c.end_line &&
+        c.text.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string marker_payload(const LexedFile& file, int line,
+                           const std::string& marker) {
+  for (const Comment& c : file.comments) {
+    if (c.line > line || line > c.end_line) continue;
+    const std::size_t pos = c.text.find(marker);
+    if (pos == std::string::npos) continue;
+    std::string rest = c.text.substr(pos + marker.size());
+    // Trim separators a reason clause may open with.
+    std::size_t k = 0;
+    while (k < rest.size() &&
+           (rest[k] == ' ' || rest[k] == ':' || rest[k] == '-' ||
+            rest[k] == '(' || static_cast<unsigned char>(rest[k]) >= 0x80)) {
+      ++k;
+    }
+    return rest.substr(k);
+  }
+  return std::string();
+}
+
+}  // namespace biosense::analyze

@@ -1,0 +1,65 @@
+// Minimal C++ lexer for biosense-analyze (DESIGN.md §14).
+//
+// Produces the token stream the declaration scanner and the rule engine
+// work on: identifiers, numbers, string/char literals and punctuation,
+// each tagged with its 1-based source line. Comments are not tokens —
+// they are collected into a side list so rules can look up escape
+// markers (`lint:allow-*`, `analyze:transient`) by line. Preprocessor
+// directives (including backslash-continued macro definitions) are
+// swallowed entirely: the analyzer reasons about declarations and call
+// sites, never about macro bodies.
+//
+// This is deliberately not a conforming lexer: no trigraphs, no
+// universal-character-names, no digit separators beyond ', and `>>` is
+// one token (the scanner splits it when closing nested template
+// argument lists). It is exact for the subset of C++ this repo writes,
+// and the fixture corpus under tests/analyze/fixtures/ pins that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace biosense::analyze {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords alike
+  kNumber,
+  kString,  // "..." including raw strings; text excludes quotes
+  kChar,    // '...'
+  kPunct,   // longest-match punctuation, e.g. "::", "->", "<<", ">>"
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// One comment (`//...` or `/*...*/`). `line` is the line the comment
+/// starts on; `end_line` the line it ends on (equal for line comments).
+struct Comment {
+  std::string text;  // without the // or /* */ delimiters
+  int line = 0;
+  int end_line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `content`. Never fails: unrecognized bytes become 1-char
+/// punctuation tokens, unterminated literals run to end of line/file.
+LexedFile lex(const std::string& content);
+
+/// True when some comment overlapping `line` contains `marker` as a
+/// substring. Used for escape annotations tied to the flagged line.
+bool line_has_marker(const LexedFile& file, int line, const std::string& marker);
+
+/// The comment text following `marker` on `line` (empty when the marker
+/// is absent or bare). Lets rules require a reason clause after
+/// `analyze:transient`.
+std::string marker_payload(const LexedFile& file, int line,
+                           const std::string& marker);
+
+}  // namespace biosense::analyze

@@ -1,0 +1,68 @@
+// biosense-analyze CLI (DESIGN.md §14).
+//
+// Usage:
+//   biosense-analyze --root DIR    analyze the tree rooted at DIR
+//   biosense-analyze --list-rules  print the rule catalogue
+//
+// Exit status: 0 = no findings, 1 = findings printed, 2 = usage/IO error.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "analyzer.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --root DIR | --list-rules\n"
+               "  --root DIR    analyze src/, tests/, bench/, examples/,\n"
+               "                tools/ under DIR (fixture corpus excluded)\n"
+               "  --list-rules  print the rule catalogue and exit\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& [name, description] :
+         biosense::analyze::rule_catalogue()) {
+      std::printf("%-22s %s\n", name.c_str(), description.c_str());
+    }
+    return 0;
+  }
+  if (root.empty()) return usage(argv[0]);
+
+  try {
+    const auto files = biosense::analyze::load_tree(root);
+    const auto findings = biosense::analyze::analyze(files);
+    for (const auto& f : findings) {
+      std::printf("%s\n", biosense::analyze::format_finding(f).c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "analyze: %zu finding(s) in %zu files\n",
+                   findings.size(), files.size());
+      return 1;
+    }
+    std::printf("analyze: %zu files, all invariants hold\n", files.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,151 @@
+// Obs instrument naming rules (DESIGN.md §14).
+//
+// The metrics registry (src/obs/metrics.hpp) keys instruments by name
+// string; the macros cache the resolved instrument per call site. Two
+// call sites may legitimately share a name *within* a module (one
+// logical counter bumped from several paths), but the registry offers
+// no protection against a different module reusing the name — the
+// counters silently merge — or against one name being registered both
+// as a counter and a gauge. Rule `obs-name` enforces:
+//
+//   * the name argument is a string literal (the macros cache per call
+//     site, so a computed name is latched to its first value anyway);
+//   * names are lowercase dotted paths: `<prefix>.<instrument>`;
+//   * one name, one instrument kind (COUNT xor GAUGE xor OBSERVE);
+//   * one name, one module (src/<module>/) — cross-module reuse merges
+//     unrelated instruments;
+//   * the prefix is one this module has claimed (table below — the
+//     static mirror of the Registry::claim_prefix discipline used for
+//     dynamic per-instance names). Adding a module's first instrument
+//     means claiming its prefix here, which is the point: the claim
+//     becomes reviewable instead of implicit.
+#include <map>
+#include <set>
+
+#include "rules.hpp"
+
+namespace biosense::analyze {
+namespace {
+
+/// prefix -> modules (src/<module>/) allowed to mint literals under it.
+/// "host." is claimed twice on purpose: the dnachip host-side retry
+/// protocol predates the fleet host layer and the two keep disjoint
+/// instrument names (the cross-module duplicate check enforces that).
+const std::map<std::string, std::set<std::string>>& claimed_prefixes() {
+  static const std::map<std::string, std::set<std::string>> kClaims = {
+      {"parallel", {"common"}},  {"channel", {"common"}},
+      {"pool", {"common"}},      {"wire", {"core"}},
+      {"session", {"core"}},     {"serial", {"dnachip"}},
+      {"host", {"dnachip", "host"}},
+      {"faults", {"faults", "dnachip", "neurochip"}},
+      {"fleet", {"host"}},       {"i2f", {"i2f"}},
+      {"neurochip", {"neurochip"}},
+  };
+  return kClaims;
+}
+
+bool well_formed(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool has_dot = false;
+  for (char c : name) {
+    if (c == '.') {
+      has_dot = true;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return has_dot;
+}
+
+struct Site {
+  const AnalyzedFile* file;
+  const MacroCall* call;
+  std::string module;
+};
+
+}  // namespace
+
+void rule_obs_names(const Tree& tree, Findings& out) {
+  std::map<std::string, std::vector<Site>> by_name;
+
+  for (const AnalyzedFile& file : tree) {
+    const std::string module = src_module(file.src.path);
+    if (module.empty() || module == "obs") continue;  // registry internals
+    for (const MacroCall& call : file.facts.macro_calls) {
+      if (!call.first_arg_is_literal) {
+        out.push_back(Finding{
+            file.src.path, call.line, "obs-name",
+            call.macro + " name must be a string literal (each call site "
+                         "caches its instrument; a computed name latches "
+                         "to its first value)"});
+        continue;
+      }
+      by_name[call.literal].push_back(Site{&file, &call, module});
+    }
+  }
+
+  for (const auto& [name, sites] : by_name) {
+    const Site& first = sites.front();
+    if (!well_formed(name)) {
+      out.push_back(Finding{
+          first.file->src.path, first.call->line, "obs-name",
+          "instrument name '" + name + "' is not a lowercase dotted path "
+              "(expected <prefix>.<instrument>, [a-z0-9_.])"});
+      continue;
+    }
+
+    // One name, one macro kind.
+    for (const Site& site : sites) {
+      if (site.call->macro != first.call->macro) {
+        out.push_back(Finding{
+            site.file->src.path, site.call->line, "obs-name",
+            "instrument '" + name + "' is registered as " +
+                site.call->macro + " here but as " + first.call->macro +
+                " at " + first.file->src.path + ":" +
+                std::to_string(first.call->line) +
+                "; one name, one instrument kind"});
+        break;
+      }
+    }
+
+    // One name, one module.
+    for (const Site& site : sites) {
+      if (site.module != first.module) {
+        out.push_back(Finding{
+            site.file->src.path, site.call->line, "obs-name",
+            "instrument '" + name + "' is minted by module '" +
+                site.module + "' here and by '" + first.module + "' at " +
+                first.file->src.path + ":" +
+                std::to_string(first.call->line) +
+                "; instrument names are unique across modules"});
+        break;
+      }
+    }
+
+    // Claimed prefix.
+    const std::string prefix = name.substr(0, name.find('.'));
+    const auto claim = claimed_prefixes().find(prefix);
+    if (claim == claimed_prefixes().end()) {
+      out.push_back(Finding{
+          first.file->src.path, first.call->line, "obs-name",
+          "instrument prefix '" + prefix + ".' is not claimed by any "
+              "module; claim it in tools/analyze/rules_obs.cpp "
+              "(claimed_prefixes) so the namespace stays reviewable"});
+      continue;
+    }
+    for (const Site& site : sites) {
+      if (claim->second.count(site.module) == 0) {
+        out.push_back(Finding{
+            site.file->src.path, site.call->line, "obs-name",
+            "module '" + site.module + "' mints instrument '" + name +
+                "' under prefix '" + prefix + ".' claimed by another "
+                "module; use this module's own prefix or extend the claim "
+                "in tools/analyze/rules_obs.cpp"});
+      }
+    }
+  }
+}
+
+}  // namespace biosense::analyze

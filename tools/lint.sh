@@ -1,154 +1,36 @@
 #!/usr/bin/env bash
-# Repo-invariant linter, wired as a tier-1 ctest (see tests/CMakeLists.txt)
-# and as a ci.sh gate. Every rule greps for a pattern that has bitten a
-# simulation codebase before:
+# DEPRECATED SHIM. The grep rules that used to live here are now rules
+# 1-8 of biosense-analyze (tools/analyze/, DESIGN.md §14), alongside the
+# cross-file rule families (snapshot completeness, protocol schema, obs
+# naming) a per-line grep could never check. This script survives only
+# so existing muscle memory and CI hooks keep working: it locates a
+# built biosense-analyze and execs it, preserving the clickable
+# `file:line: rule: message` output and the nonzero-on-findings exit.
 #
-#  1. C rand()/srand(): not reproducible across libcs, poor statistics.
-#     All randomness must flow through common/rng.hpp (PCG, forkable).
-#  2. Wall-clock seeding (time(NULL)/time(nullptr)): makes runs
-#     unreproducible; seeds are explicit everywhere in this repo.
-#  3. std::random_device / unseeded std::mt19937: nondeterministic or
-#     default-seeded standard-library engines bypass the Rng discipline.
-#  4. Raw unit-suffixed magic numbers in typed config headers: once a
-#     module's config surface uses Quantity types, a nonzero double member
-#     initializer annotated with a bare electrical unit (e.g. `= 1e-3;
-#     // V`) is a regression — it belongs in a typed literal (1.0_mV).
-#     Modules not yet migrated (neuro/, dsp/, most of dna/) are out of
-#     scope until their surfaces are typed.
-#  5. Ad-hoc wall-clock timing in library code: std::chrono clocks in src/
-#     bypass the observability subsystem (obs::now_ns, BIOSENSE_SPAN,
-#     obs::PhaseTimer), which is the one place timing is allowed to touch
-#     the clock — it keeps instrumentation centrally gated and the
-#     simulation paths free of hidden time dependence. Benches and tests
-#     may time things directly.
-#  6. Collect-all frame APIs in src/ headers: a function returning
-#     `std::vector<NeuroFrame>` buffers an unbounded recording in memory,
-#     which the streaming pipeline (StreamSink + FramePool) exists to
-#     avoid. New acquisition APIs must take a StreamSink; only the
-#     explicitly tagged batch compat wrappers may return the full vector.
-#  7. Bool-returning fallible APIs in src/host/ headers: the host layer's
-#     error convention is Result<T, HostStatus> / typed statuses (see
-#     DESIGN.md §12); a `bool do_thing(...)` collapses every failure mode
-#     into one bit and invites silently-ignored errors. Pure predicates
-#     (is_*/has_*, ok/exhausted/empty/closed/any/decoded) are fine — they
-#     report state, not success of an attempted operation.
-#  8. Raw file writes in src/snapshot/: every byte a checkpoint puts on
-#     disk must go through the atomic write-temp-then-rename protocol in
-#     atomic_file.cpp, or a crash mid-write leaves a torn file that the
-#     CRC layer can only reject, not recover. fopen/ofstream/fstream
-#     anywhere else in src/snapshot/ bypasses that crash-safety boundary.
-#
-# A line can opt out of rule 4 with a `lint:allow-raw-unit` comment when a
-# raw double is deliberate (e.g. a hot-loop-internal cache), of rule 6
-# with `lint:allow-batch-return` on the declaration line (reserved for the
-# documented compat wrappers), and of rule 7 with `lint:allow-bool` when
-# the bool genuinely is a single-bit fact (e.g. ByteLink::roundtrip's
-# delivered-or-lost transport signal).
-set -uo pipefail
+# Prefer calling the analyzer directly:
+#   cmake --build <builddir> --target biosense-analyze
+#   <builddir>/tools/analyze/biosense-analyze --root .
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
-status=0
-
-fail() {
-  echo "lint: $1"
-  echo "$2" | sed 's/^/    /'
-  echo
-  status=1
-}
-
-# All first-party sources; build trees excluded.
-mapfile -t all_sources < <(find src tests bench examples tools \
-    -name '*.cpp' -o -name '*.hpp' -o -name '*.sh' | sort)
-
-# --- rule 1: C rand()/srand() -----------------------------------------------
-hits=$(grep -nE '(std::rand|std::srand|[^_[:alnum:]]srand *\(|[^_[:alnum:]]rand *\( *\))' \
-    "${all_sources[@]}" /dev/null | grep -v 'lint\.sh' || true)
-if [[ -n "${hits}" ]]; then
-  fail "C rand()/srand() is banned; use common/rng.hpp (Rng)" "${hits}"
+bin="${BIOSENSE_ANALYZE_BIN:-}"
+if [[ -z "${bin}" ]]; then
+  for dir in build build-ci-default build-ci-asan build-ci-tsan \
+             build-ci-ubsan build*; do
+    candidate="${dir}/tools/analyze/biosense-analyze"
+    if [[ -x "${candidate}" ]]; then
+      bin="${candidate}"
+      break
+    fi
+  done
 fi
 
-# --- rule 2: wall-clock seeding ---------------------------------------------
-hits=$(grep -nE 'time *\( *(NULL|nullptr|0) *\)' \
-    "${all_sources[@]}" /dev/null | grep -v 'lint\.sh' || true)
-if [[ -n "${hits}" ]]; then
-  fail "wall-clock seeding (time(NULL)) is banned; seeds are explicit" \
-       "${hits}"
+if [[ -z "${bin}" || ! -x "${bin}" ]]; then
+  echo "tools/lint.sh (deprecated shim): no built biosense-analyze found." >&2
+  echo "Build it first:  cmake --build <builddir> --target biosense-analyze" >&2
+  echo "or point BIOSENSE_ANALYZE_BIN at the binary." >&2
+  exit 2
 fi
 
-# --- rule 3: nondeterministic / default-seeded std engines -------------------
-hits=$(grep -nE 'std::random_device|mt19937(_64)? +[_[:alnum:]]+ *;|mt19937(_64)? *\( *\)' \
-    "${all_sources[@]}" /dev/null | grep -v 'lint\.sh' || true)
-if [[ -n "${hits}" ]]; then
-  fail "std::random_device / unseeded mt19937 bypass the Rng discipline" \
-       "${hits}"
-fi
-
-# --- rule 4: raw unit-suffixed initializers in typed config headers ----------
-typed_headers=$(find src/i2f src/dnachip src/neurochip src/circuit src/noise \
-    -name '*.hpp' | sort)
-typed_headers+=" src/dna/electrochemistry.hpp src/dna/electrode.hpp"
-typed_headers+=" src/dna/labelfree.hpp src/core/dna_workbench.hpp"
-typed_headers+=" src/core/neural_workbench.hpp"
-units='V|mV|uV|A|mA|uA|nA|pA|fA|F|uF|nF|pF|fF|s|ms|us|ns|Hz|kHz|MHz'
-units+='|Ohm|kOhm|MOhm|m|um|nm|M|mM|uM|nM|pM'
-# shellcheck disable=SC2086
-hits=$(grep -nE "double [_[:alnum:]]+ = [0-9][0-9.e+-]*; *// *\(?(${units})([ ,).]|\$)" \
-    ${typed_headers} /dev/null |
-    grep -vE '= *0(\.0*)? *;' | grep -v 'lint:allow-raw-unit' || true)
-if [[ -n "${hits}" ]]; then
-  fail "raw unit-suffixed magic number in a typed config header; use a \
-Quantity literal (e.g. 1.0_mV) or annotate lint:allow-raw-unit" "${hits}"
-fi
-
-# --- rule 5: ad-hoc std::chrono clocks in library code -----------------------
-mapfile -t lib_sources < <(find src -name '*.cpp' -o -name '*.hpp' |
-    grep -v '^src/obs/' | sort)
-hits=$(grep -nE 'std::chrono::(steady_clock|system_clock|high_resolution_clock)' \
-    "${lib_sources[@]}" /dev/null || true)
-if [[ -n "${hits}" ]]; then
-  fail "std::chrono clocks in src/ are banned outside src/obs/; use \
-obs::now_ns / BIOSENSE_SPAN / obs::PhaseTimer" "${hits}"
-fi
-
-# --- rule 6: collect-all frame returns in src/ headers -----------------------
-mapfile -t src_headers < <(find src -name '*.hpp' | sort)
-hits=$(grep -nE 'std::vector<(neurochip::)?NeuroFrame> +[_[:alnum:]]+\(' \
-    "${src_headers[@]}" /dev/null | grep -v 'lint:allow-batch-return' || true)
-if [[ -n "${hits}" ]]; then
-  fail "APIs returning std::vector<NeuroFrame> are banned in src/ headers; \
-take a StreamSink<NeuroFrame>& (see common/stream.hpp) or tag a documented \
-compat wrapper with lint:allow-batch-return" "${hits}"
-fi
-
-# --- rule 7: bool-returning fallible APIs in src/host/ headers ---------------
-mapfile -t host_headers < <(find src/host -name '*.hpp' | sort)
-if [[ ${#host_headers[@]} -gt 0 ]]; then
-  hits=$(grep -nE '(virtual +)?bool +[_[:alnum:]]+ *\(' \
-      "${host_headers[@]}" /dev/null |
-      grep -vE 'bool +(is_|has_)[_[:alnum:]]+ *\(' |
-      grep -vE 'bool +(ok|exhausted|empty|closed|any|decoded) *\(' |
-      grep -v 'lint:allow-bool' || true)
-  if [[ -n "${hits}" ]]; then
-    fail "bool-returning fallible API in a src/host/ header; return \
-Result<T, HostStatus> (common/result.hpp, DESIGN.md §12) or, for a genuine \
-single-bit fact, annotate lint:allow-bool" "${hits}"
-  fi
-fi
-
-# --- rule 8: raw file writes in src/snapshot/ outside the atomic writer ------
-mapfile -t snapshot_sources < <(find src/snapshot \
-    \( -name '*.cpp' -o -name '*.hpp' \) ! -name 'atomic_file.cpp' | sort)
-if [[ ${#snapshot_sources[@]} -gt 0 ]]; then
-  hits=$(grep -nE 'std::fopen|[^_[:alnum:]]fopen *\(|std::ofstream|std::fstream|std::FILE' \
-      "${snapshot_sources[@]}" /dev/null || true)
-  if [[ -n "${hits}" ]]; then
-    fail "raw file I/O in src/snapshot/ is banned outside atomic_file.cpp; \
-checkpoint bytes must go through write_file_atomic / CheckpointStore \
-(crash-safe write-temp-then-rename)" "${hits}"
-  fi
-fi
-
-if [[ ${status} -eq 0 ]]; then
-  echo "lint: all invariants hold"
-fi
-exit ${status}
+echo "tools/lint.sh is deprecated; running ${bin} --root . instead." >&2
+exec "${bin}" --root .
