@@ -14,7 +14,16 @@
 //      session id.
 //   3. Zero steady-state heap allocation in the dispatch hot path — a
 //      global operator-new counter shows that growing a warm session's
-//      start/poll/query/ping script by 9x adds zero allocations.
+//      start/poll/query/ping script by 9x adds zero allocations, and that
+//      a warm kGetSessionHealth probe allocates nothing either.
+//   4. Telemetry is near-free and invisible to the data plane — every
+//      worker count runs twice, flight recorders off then on (with a
+//      throttled monitor thread polling kGetSessionHealth round-robin and
+//      periodically fetching the chunked kGetMetrics snapshot), and the
+//      per-session digests must be bitwise identical across ALL legs.
+//      The telemetry tax (aggregate throughput delta) and the monitor's
+//      health/metrics latency percentiles are reported; the server-wide
+//      flight ring must drop nothing at this load.
 //
 //   ./bench_fleet_server [--sessions N] [--commands N]
 //
@@ -41,8 +50,10 @@
 #include "common/table.hpp"
 #include "host/client.hpp"
 #include "host/fleet_server.hpp"
+#include "host/protocol.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/wire.hpp"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter (same discipline as bench_streaming_pipeline):
@@ -196,6 +207,7 @@ std::uint64_t run_command(FleetClient& client, std::uint32_t id, int k,
 
 struct Leg {
   int workers = 1;
+  bool telemetry = false;
   double seconds = 0.0;
   double throughput_cps = 0.0;
   double closed_p50_us = 0.0, closed_p95_us = 0.0, closed_p99_us = 0.0;
@@ -236,11 +248,39 @@ int main(int argc, char** argv) {
   std::vector<Leg> legs;
   std::map<std::uint32_t, std::uint64_t> reference_digests;
   bool deterministic = true;
+  bool telemetry_deterministic = true;
+  // Monitor-side telemetry latencies, pooled across the telemetry legs.
+  std::vector<float> health_latency_us;
+  std::vector<float> metrics_latency_us;
+  std::uint64_t monitor_errors = 0;
+  std::uint64_t flight_dropped = 0;
 
-  for (int workers : worker_counts) {
-    biosense::obs::PhaseTimer phase("fleet.workers_" +
-                                    std::to_string(workers));
-    host::FleetServer server;
+  // Every worker count runs twice: flight recorders off (the shipped
+  // configuration, which sets the throughput reference) then on with the
+  // monitor attached (the telemetry leg). Same sessions, same scripts —
+  // so the digests must match across all six legs.
+  struct LegSpec {
+    int workers;
+    bool telemetry;
+  };
+  std::vector<LegSpec> leg_specs;
+  for (int w : worker_counts) {
+    leg_specs.push_back({w, false});
+    leg_specs.push_back({w, true});
+  }
+
+  for (const LegSpec leg_spec : leg_specs) {
+    const int workers = leg_spec.workers;
+    const bool telemetry = leg_spec.telemetry;
+    biosense::obs::PhaseTimer phase(
+        "fleet.workers_" + std::to_string(workers) +
+        (telemetry ? ".telemetry" : ".off"));
+    host::FleetLimits limits;
+    if (telemetry) {
+      limits.flight_events = 256;
+      limits.server_flight_events = 2048;
+    }
+    host::FleetServer server(limits);
     host::ServerLink link(server);
 
     // Per-worker client fleets, fully constructed (buffers reserved)
@@ -279,6 +319,43 @@ int main(int argc, char** argv) {
       }
     };
 
+    // Telemetry legs run a throttled monitor alongside the fleet: a
+    // round-robin kGetSessionHealth probe every 500us (a dead or not-yet
+    // created session answering kNoSuchSession is expected traffic), plus
+    // the full chunked kGetMetrics snapshot every 100 probes. Its client
+    // keeps its own response digest, so the workers' streams are the
+    // determinism evidence.
+    std::atomic<bool> monitor_stop{false};
+    std::thread monitor;
+    if (telemetry) {
+      monitor = std::thread([&] {
+        FleetClient mon(link);
+        std::uint32_t next = 1;
+        int probes_since_metrics = 0;
+        while (!monitor_stop.load(std::memory_order_relaxed)) {
+          const auto h0 = std::chrono::steady_clock::now();
+          const auto health = mon.session_health(next);
+          const auto h1 = std::chrono::steady_clock::now();
+          health_latency_us.push_back(static_cast<float>(
+              std::chrono::duration<double, std::micro>(h1 - h0).count()));
+          if (!health && health.error() != HostStatus::kNoSuchSession) {
+            ++monitor_errors;
+          }
+          next = next % static_cast<std::uint32_t>(sessions) + 1;
+          if (++probes_since_metrics >= 100) {
+            probes_since_metrics = 0;
+            const auto m0 = std::chrono::steady_clock::now();
+            const auto snap = mon.metrics();
+            const auto m1 = std::chrono::steady_clock::now();
+            metrics_latency_us.push_back(static_cast<float>(
+                std::chrono::duration<double, std::micro>(m1 - m0).count()));
+            if (!snap) ++monitor_errors;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+      });
+    }
+
     const auto start = std::chrono::steady_clock::now();
     if (workers == 1) {
       run_worker(0);
@@ -290,8 +367,24 @@ int main(int argc, char** argv) {
     }
     const auto stop = std::chrono::steady_clock::now();
 
+    if (telemetry) {
+      monitor_stop.store(true, std::memory_order_relaxed);
+      monitor.join();
+      // The server ring saw every session's lifecycle; at bench load it
+      // must not have wrapped (dropping post-mortem evidence silently
+      // would defeat the flight recorder's purpose).
+      FleetClient audit(link);
+      const auto dump = audit.dump_flight_recorder(host::kServerFlightScope);
+      if (dump) {
+        flight_dropped += dump->dropped;
+      } else {
+        ++monitor_errors;
+      }
+    }
+
     Leg leg;
     leg.workers = workers;
+    leg.telemetry = telemetry;
     leg.seconds = std::chrono::duration<double>(stop - start).count();
     std::vector<float> all_latency;
     std::map<std::uint32_t, std::uint64_t> digests;
@@ -336,16 +429,45 @@ int main(int argc, char** argv) {
       reference_digests = digests;
     } else if (digests != reference_digests) {
       deterministic = false;
+      if (telemetry) telemetry_deterministic = false;
     }
     legs.push_back(leg);
 
+    if (!telemetry) {
+      // The shipped (untelemetered) numbers are what the manifest gauges
+      // record; the telemetry legs report through the tax instead.
+      auto& registry = biosense::obs::Registry::global();
+      const std::string prefix =
+          "fleet.bench.w" + std::to_string(workers) + ".";
+      registry.gauge(prefix + "throughput_cps").set(leg.throughput_cps);
+      registry.gauge(prefix + "p50_us").set(leg.closed_p50_us);
+      registry.gauge(prefix + "p95_us").set(leg.closed_p95_us);
+      registry.gauge(prefix + "p99_us").set(leg.closed_p99_us);
+    }
+  }
+
+  // Telemetry tax: aggregate throughput delta between the off and on legs
+  // (equal workloads command-for-command, so wall-clock sums compare
+  // directly). Clamped at zero — on a loaded machine the on legs can win.
+  double off_seconds = 0.0, on_seconds = 0.0;
+  for (const auto& leg : legs) {
+    (leg.telemetry ? on_seconds : off_seconds) += leg.seconds;
+  }
+  const double telemetry_tax =
+      on_seconds > off_seconds && on_seconds > 0.0
+          ? (on_seconds - off_seconds) / on_seconds
+          : 0.0;
+  const double health_p50 = percentile_us(health_latency_us, 0.50);
+  const double health_p95 = percentile_us(health_latency_us, 0.95);
+  const double health_p99 = percentile_us(health_latency_us, 0.99);
+  const double metrics_p50 = percentile_us(metrics_latency_us, 0.50);
+  const double metrics_p95 = percentile_us(metrics_latency_us, 0.95);
+  const double metrics_p99 = percentile_us(metrics_latency_us, 0.99);
+  {
     auto& registry = biosense::obs::Registry::global();
-    const std::string prefix =
-        "fleet.bench.w" + std::to_string(workers) + ".";
-    registry.gauge(prefix + "throughput_cps").set(leg.throughput_cps);
-    registry.gauge(prefix + "p50_us").set(leg.closed_p50_us);
-    registry.gauge(prefix + "p95_us").set(leg.closed_p95_us);
-    registry.gauge(prefix + "p99_us").set(leg.closed_p99_us);
+    registry.gauge("fleet.bench.telemetry_tax").set(telemetry_tax);
+    registry.gauge("fleet.bench.health_p99_us").set(health_p99);
+    registry.gauge("fleet.bench.metrics_p99_us").set(metrics_p99);
   }
 
   // Gate 3: zero steady-state allocation in the dispatch hot path. One
@@ -354,10 +476,17 @@ int main(int argc, char** argv) {
   // exactly zero (the DNA chip model's transaction path is control-plane
   // and allocates by design; the dispatch/poll path must not).
   std::uint64_t steady_allocs = 0;
+  std::uint64_t health_allocs = 0;
   int steady_commands = 0;
+  const int health_probes = 256;
   {
     biosense::obs::PhaseTimer phase("fleet.alloc_gate");
-    host::FleetServer server;
+    // Telemetry stays ON here: the zero-alloc contract covers the command
+    // hot path with flight recording and outcome tracking live.
+    host::FleetLimits limits;
+    limits.flight_events = 64;
+    limits.server_flight_events = 256;
+    host::FleetServer server(limits);
     host::ServerLink link(server);
     FleetClient client(link);
     std::vector<FleetClient::Record> scratch;
@@ -383,6 +512,16 @@ int main(int argc, char** argv) {
     steady_allocs = long_allocs > short_allocs ? long_allocs - short_allocs
                                                : 0;
     steady_commands = 9 * block;
+    // A warm health probe is part of the hot path too — a monitor polling
+    // the fleet must not make the server allocate.
+    for (int i = 0; i < 8; ++i) {
+      if (!client.session_health(id)) ++errors;
+    }
+    const std::uint64_t before_health = g_alloc_count.load();
+    for (int i = 0; i < health_probes; ++i) {
+      if (!client.session_health(id)) ++errors;
+    }
+    health_allocs = g_alloc_count.load() - before_health;
     if (errors != 0) {
       std::fprintf(stderr, "FAIL: alloc-gate script hit %llu errors\n",
                    static_cast<unsigned long long>(errors));
@@ -405,23 +544,37 @@ int main(int argc, char** argv) {
           " mixed DNA+neuro sessions x " +
           std::to_string(commands_per_session) + " commands (" +
           std::to_string(total_commands) + " total per worker config)");
-  t.set_columns({"workers", "wall [s]", "cmd/s", "p50 [us]", "p95 [us]",
-                 "p99 [us]", "open p99 [us]"});
+  t.set_columns({"workers", "telemetry", "wall [s]", "cmd/s", "p50 [us]",
+                 "p95 [us]", "p99 [us]", "open p99 [us]"});
   for (const auto& leg : legs) {
-    t.add_row({static_cast<long long>(leg.workers), leg.seconds,
+    t.add_row({static_cast<long long>(leg.workers),
+               std::string(leg.telemetry ? "on" : "off"), leg.seconds,
                leg.throughput_cps, leg.closed_p50_us, leg.closed_p95_us,
                leg.closed_p99_us, leg.open_p99_us});
   }
   t.add_note(std::string("per-session response streams bitwise ") +
              (deterministic ? "identical" : "DIVERGENT") +
-             " across 1/2/8 workers (FNV-1a over response frames)");
+             " across 1/2/8 workers and telemetry off/on (FNV-1a over "
+             "response frames)");
   t.add_note("open-loop percentiles: virtual-time replay at 80% of the "
              "measured closed-loop rate");
   t.add_note("steady-state heap allocations per command: " +
-             std::to_string(allocs_per_command) + " (gate: exactly 0)");
+             std::to_string(allocs_per_command) + " (gate: exactly 0); per "
+             "health probe: " +
+             std::to_string(static_cast<double>(health_allocs) /
+                            static_cast<double>(health_probes)) +
+             " (gate: exactly 0)");
+  t.add_note("telemetry tax: " + std::to_string(100.0 * telemetry_tax) +
+             "% aggregate throughput; monitor health p99 " +
+             std::to_string(health_p99) + " us, metrics p99 " +
+             std::to_string(metrics_p99) + " us; server flight ring "
+             "dropped " + std::to_string(flight_dropped) + " events");
   t.print(std::cout);
 
-  const bool pass = deterministic && steady_allocs == 0 && total_errors == 0;
+  const bool pass = deterministic && telemetry_deterministic &&
+                    steady_allocs == 0 && health_allocs == 0 &&
+                    total_errors == 0 && monitor_errors == 0 &&
+                    flight_dropped == 0;
 
   const std::string out_dir = biosense::obs::results_dir();
   std::error_code ec;
@@ -437,11 +590,27 @@ int main(int argc, char** argv) {
          << ", \"steady_allocs_per_command\": " << allocs_per_command
          << ", \"errors\": " << total_errors
          << ", \"pass\": " << (pass ? "true" : "false")
+         << ", \"telemetry\": {\"tax\": " << telemetry_tax
+         << ", \"telemetry_deterministic\": "
+         << (telemetry_deterministic ? "true" : "false")
+         << ", \"flight_dropped\": " << flight_dropped
+         << ", \"monitor_errors\": " << monitor_errors
+         << ", \"health_probes\": " << health_latency_us.size()
+         << ", \"health_allocs_per_probe\": "
+         << (static_cast<double>(health_allocs) /
+             static_cast<double>(health_probes))
+         << ", \"health\": {\"p50_us\": " << health_p50
+         << ", \"p95_us\": " << health_p95
+         << ", \"p99_us\": " << health_p99 << "}"
+         << ", \"metrics\": {\"p50_us\": " << metrics_p50
+         << ", \"p95_us\": " << metrics_p95
+         << ", \"p99_us\": " << metrics_p99 << "}}"
          << ", \"latency\": [";
     for (std::size_t i = 0; i < legs.size(); ++i) {
       const auto& leg = legs[i];
       if (i > 0) json << ", ";
       json << "{\"workers\": " << leg.workers
+           << ", \"telemetry\": " << (leg.telemetry ? "true" : "false")
            << ", \"seconds\": " << leg.seconds
            << ", \"throughput_cps\": " << leg.throughput_cps
            << ", \"records\": " << leg.records
@@ -456,6 +625,24 @@ int main(int argc, char** argv) {
     }
     json << "]}\n";
     std::cout << "\nartifact: " << json_path << "\n";
+  }
+
+  // Fetch the process registry back over the wire (v4 kGetMetrics,
+  // chunked) and render the decoded snapshot — the same bytes a live
+  // monitor would see, and the artifact tools/obs_report.py consumes.
+  {
+    host::FleetServer server;
+    host::ServerLink link(server);
+    FleetClient client(link);
+    if (const auto snap = client.metrics()) {
+      const std::string metrics_path =
+          out_dir + "/bench_fleet_server.metrics.json";
+      std::ofstream metrics_out(metrics_path);
+      if (metrics_out) {
+        metrics_out << biosense::obs::snapshot_to_json(*snap) << "\n";
+        std::cout << "artifact: " << metrics_path << "\n";
+      }
+    }
   }
 
   if (!deterministic) {
@@ -474,6 +661,26 @@ int main(int argc, char** argv) {
   if (total_errors != 0) {
     std::fprintf(stderr, "FAIL: %llu unexpected command statuses\n",
                  static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  if (health_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu allocations across %d warm health probes "
+                 "(gate: 0 per probe)\n",
+                 static_cast<unsigned long long>(health_allocs),
+                 health_probes);
+    return 1;
+  }
+  if (monitor_errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu unexpected monitor statuses\n",
+                 static_cast<unsigned long long>(monitor_errors));
+    return 1;
+  }
+  if (flight_dropped != 0) {
+    std::fprintf(stderr,
+                 "FAIL: server flight ring dropped %llu events at bench "
+                 "load (gate: 0)\n",
+                 static_cast<unsigned long long>(flight_dropped));
     return 1;
   }
   return 0;

@@ -75,6 +75,11 @@ if command -v python3 >/dev/null 2>&1; then
   BIOSENSE_RESULTS_DIR="${BENCH_SCRATCH}" \
     build-ci-default/bench/bench_soak_replay >/dev/null
   python3 tools/bench_check.py --results-dir "${BENCH_SCRATCH}"
+  # Smoke the first-party report tool over the fresh artifacts: run
+  # manifests plus the wire-decoded metrics snapshot the fleet bench
+  # fetched via the v4 kGetMetrics command.
+  python3 tools/obs_report.py --results-dir "${BENCH_SCRATCH}" \
+    --metrics "${BENCH_SCRATCH}/bench_fleet_server.metrics.json" >/dev/null
 else
   echo "python3 not installed; skipping bench gate (tools/bench_check.py)"
 fi

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -124,6 +125,16 @@ WireStats FrameWire::process(neurochip::NeuroFrame& frame, std::uint16_t seq,
   s.lost_words = codec_.decode(merger_.words(), seq, frame);
   s.incomplete_frames = s.lost_words > 0 ? 1 : 0;
   BIOSENSE_COUNT("wire.frames", 1);
+  // Flight events for the notable cases only — a retry storm (the link
+  // burned every attempt) and genuine data loss. Healthy frames record
+  // nothing, so the ring retains the interesting history.
+  if (s.retries + 1 >= static_cast<std::uint64_t>(retry_.max_attempts) &&
+      retry_.max_attempts > 1) {
+    BIOSENSE_FLIGHT("wire.retry_storm", seq, s.retries);
+  }
+  if (s.lost_words > 0) {
+    BIOSENSE_FLIGHT("wire.words_lost", seq, s.lost_words);
+  }
   return s;
 }
 

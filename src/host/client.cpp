@@ -1,8 +1,10 @@
 #include "host/client.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "common/error.hpp"
+#include "obs/wire.hpp"
 
 namespace biosense::host {
 
@@ -303,6 +305,92 @@ Result<FleetClient::RestoreInfo, HostStatus> FleetClient::restore(
   info.frames_produced = reader.u32();
   info.digest = reader.u64();
   if (!reader.ok()) return R::err(HostStatus::kBadPayload);
+  return info;
+}
+
+Result<FleetClient::HealthInfo, HostStatus> FleetClient::session_health(
+    std::uint32_t id) {
+  using R = Result<HealthInfo, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  const auto status = transact(HostCommand::kGetSessionHealth);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  HealthInfo info;
+  info.kind = reader.u8() == 0 ? core::ChipKind::kNeuro : core::ChipKind::kDna;
+  info.last_command = static_cast<HostCommand>(reader.u16());
+  info.last_status = static_cast<HostStatus>(reader.u16());
+  info.pending = reader.u32();
+  info.frames_produced = reader.u32();
+  info.ring_size = reader.u16();
+  info.ring_capacity = reader.u16();
+  info.pool_frames = reader.u16();
+  info.records_polled = reader.u64();
+  info.commands_handled = reader.u64();
+  info.retries = reader.u64();
+  info.lost_words = reader.u64();
+  info.wire_errors = reader.u64();
+  info.ring_push_stalls = reader.u64();
+  info.flight_recorded = reader.u64();
+  info.flight_dropped = reader.u64();
+  const auto backoff_bits = reader.u64();
+  if (!reader.exhausted()) return R::err(HostStatus::kBadPayload);
+  std::memcpy(&info.backoff_s, &backoff_bits, sizeof(info.backoff_s));
+  return info;
+}
+
+Result<obs::MetricsSnapshot, HostStatus> FleetClient::metrics() {
+  using R = Result<obs::MetricsSnapshot, HostStatus>;
+  // Chunked fetch: offset 0 makes the server snapshot-and-cache, later
+  // offsets page through the cached encoding of that one snapshot.
+  std::vector<std::uint8_t> wire;
+  std::uint32_t offset = 0;
+  for (;;) {
+    auto writer = begin_request();
+    writer.u32(offset);
+    writer.u16(static_cast<std::uint16_t>(kMaxPayload));
+    const auto status = transact(HostCommand::kGetMetrics);
+    if (status != HostStatus::kOk) return R::err(status);
+    PayloadReader reader(reply_payload_, reply_len_);
+    const std::uint32_t total = reader.u32();
+    const std::uint32_t echo_offset = reader.u32();
+    if (!reader.ok() || echo_offset != offset) {
+      return R::err(HostStatus::kBadPayload);
+    }
+    const std::size_t chunk = reader.remaining();
+    wire.insert(wire.end(), reply_payload_ + 8, reply_payload_ + 8 + chunk);
+    offset += static_cast<std::uint32_t>(chunk);
+    if (offset > total || (chunk == 0 && offset < total)) {
+      return R::err(HostStatus::kBadPayload);
+    }
+    if (offset == total) break;
+  }
+  auto decoded = obs::decode_snapshot(wire.data(), wire.size());
+  // The frame CRC already vouched for transport integrity, so a snapshot
+  // that fails its own validation is a server-side encoding bug.
+  if (!decoded) return R::err(HostStatus::kInternal);
+  return std::move(decoded.value());
+}
+
+Result<FleetClient::FlightDumpInfo, HostStatus>
+FleetClient::dump_flight_recorder(std::uint32_t id) {
+  using R = Result<FlightDumpInfo, HostStatus>;
+  auto writer = begin_request();
+  writer.u32(id);
+  const auto status = transact(HostCommand::kDumpFlightRecorder);
+  if (status != HostStatus::kOk) return R::err(status);
+  PayloadReader reader(reply_payload_, reply_len_);
+  FlightDumpInfo info;
+  info.events = reader.u32();
+  info.recorded = reader.u64();
+  info.dropped = reader.u64();
+  const std::uint16_t path_len = reader.u16();
+  if (!reader.ok() || reader.remaining() != path_len) {
+    return R::err(HostStatus::kBadPayload);
+  }
+  info.path.assign(
+      reinterpret_cast<const char*>(reply_payload_ + (reply_len_ - path_len)),
+      path_len);
   return info;
 }
 

@@ -17,12 +17,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "host/fleet_server.hpp"
 #include "host/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace biosense::host {
 
@@ -159,6 +161,37 @@ class FleetClient {
     std::uint64_t wire_errors = 0;
   };
 
+  /// Live health summary (v4+): one fixed-shape response a monitor polls
+  /// cheaply — progress, flow control, link quality, last outcome and
+  /// flight-recorder occupancy in a single round trip.
+  struct HealthInfo {
+    core::ChipKind kind = core::ChipKind::kNeuro;
+    HostCommand last_command = HostCommand::kPing;
+    HostStatus last_status = HostStatus::kOk;
+    std::uint32_t pending = 0;
+    std::uint32_t frames_produced = 0;
+    std::uint16_t ring_size = 0;
+    std::uint16_t ring_capacity = 0;
+    std::uint16_t pool_frames = 0;
+    std::uint64_t records_polled = 0;
+    std::uint64_t commands_handled = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t lost_words = 0;
+    std::uint64_t wire_errors = 0;
+    std::uint64_t ring_push_stalls = 0;
+    std::uint64_t flight_recorded = 0;
+    std::uint64_t flight_dropped = 0;
+    double backoff_s = 0.0;
+  };
+
+  /// Flight-recorder dump receipt (v4+).
+  struct FlightDumpInfo {
+    std::uint32_t events = 0;       // retained in the ring at dump time
+    std::uint64_t recorded = 0;     // lifetime events recorded
+    std::uint64_t dropped = 0;      // lifetime events lost to wrap-around
+    std::string path;               // artifact path on the server host
+  };
+
   /// `version` is what the client *speaks*; it auto-downgrades into the
   /// server's window on the first kBadVersion answer.
   explicit FleetClient(ByteLink& link,
@@ -192,6 +225,14 @@ class FleetClient {
   /// Rebuilds a checkpointed session (v3+) — on this server or on a fresh
   /// one pointed at the same checkpoint directory (dead-worker recovery).
   Result<RestoreInfo, HostStatus> restore(std::uint32_t id);
+  /// Polls one session's health summary (v4+; needs server telemetry on).
+  Result<HealthInfo, HostStatus> session_health(std::uint32_t id);
+  /// Fetches and decodes the server's full metrics-registry snapshot
+  /// (v4+), transparently chunking across as many frames as it takes.
+  Result<obs::MetricsSnapshot, HostStatus> metrics();
+  /// Dumps a session's flight-recorder ring (v4+) — or the server-wide
+  /// ring when `id` is kServerFlightScope — as a Chrome-trace artifact.
+  Result<FlightDumpInfo, HostStatus> dump_flight_recorder(std::uint32_t id);
 
   std::uint8_t version() const { return version_; }
   const ClientStats& stats() const { return stats_; }

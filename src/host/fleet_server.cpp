@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/wire.hpp"
 #include "snapshot/atomic_file.hpp"
 #include "snapshot/format.hpp"
 #include "snapshot/state_io.hpp"
@@ -75,6 +76,7 @@ inline constexpr std::uint16_t kSecChip = 0x0003;      // chip evolving state
 inline constexpr std::uint16_t kSecDriver = 0x0004;    // dna host/link state
 inline constexpr std::uint16_t kSecRing = 0x0005;      // undelivered records
 inline constexpr std::uint16_t kSecReplay = 0x0006;    // replay cache
+inline constexpr std::uint16_t kSecFlight = 0x0007;    // flight-recorder ring
 
 std::string checkpoint_name(std::uint32_t id) {
   return "s" + std::to_string(id);
@@ -137,21 +139,37 @@ struct FleetServer::Session {
   // DNA data path.
   core::DnaSession dna{};
   int site_index = 0;
+
+  // Telemetry (v4): post-mortem event ring + health outcome counters.
+  // `flight` is null when FleetLimits::flight_events is 0; the outcome
+  // counters are only maintained while telemetry is on.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::uint64_t commands_handled = 0;
+  std::uint16_t last_command = 0;
+  std::uint16_t last_status = 0;
 };
 
-FleetServer::FleetServer(FleetLimits limits) : limits_(std::move(limits)) {
+FleetServer::FleetServer(FleetLimits limits)
+    : limits_(std::move(limits)), server_flight_(limits_.server_flight_events) {
   require(limits_.max_sessions >= 1, "FleetServer: max_sessions must be >= 1");
   require(limits_.max_poll_records >= 1,
           "FleetServer: max_poll_records must be >= 1");
   register_handlers();
 }
 
-FleetServer::~FleetServer() = default;
+FleetServer::~FleetServer() {
+  if (limits_.flight_auto_dump && server_flight_.enabled()) {
+    server_flight_.dump("fleet.server");
+  }
+}
 
 void FleetServer::register_handlers() {
+  // Session-scoped commands (payload leads with the session id) run the
+  // note_outcome telemetry hook after the handler; it is skipped entirely
+  // — one branch — while telemetry is off.
   auto add = [this](HostCommand id, std::uint8_t min_version,
                     std::uint16_t min_payload, std::uint16_t max_payload,
-                    bool mutating,
+                    bool mutating, bool session_scoped,
                     HostStatus (FleetServer::*fn)(const CommandContext&)) {
     CommandSpec spec;
     spec.id = id;
@@ -160,30 +178,68 @@ void FleetServer::register_handlers() {
     spec.min_payload = min_payload;
     spec.max_payload = max_payload;
     spec.mutating = mutating;
-    spec.handler = [this, fn](const CommandContext& ctx) {
-      return (this->*fn)(ctx);
+    spec.handler = [this, fn, session_scoped](const CommandContext& ctx) {
+      const HostStatus status = (this->*fn)(ctx);
+      if (session_scoped && limits_.flight_events > 0) {
+        note_outcome(ctx, status);
+      }
+      return status;
     };
     dispatcher_.register_command(std::move(spec));
   };
 
-  add(HostCommand::kGetProtocolInfo, 1, 0, 0, false,
+  add(HostCommand::kGetProtocolInfo, 1, 0, 0, false, false,
       &FleetServer::cmd_protocol_info);
-  add(HostCommand::kGetCapabilities, 1, 0, 0, false,
+  add(HostCommand::kGetCapabilities, 1, 0, 0, false, false,
       &FleetServer::cmd_capabilities);
-  add(HostCommand::kPing, 1, 0, 64, false, &FleetServer::cmd_ping);
-  add(HostCommand::kCreateSession, 1, 21, 22, true, &FleetServer::cmd_create);
-  add(HostCommand::kConfigureSession, 1, 13, 13, true,
+  add(HostCommand::kPing, 1, 0, 64, false, false, &FleetServer::cmd_ping);
+  add(HostCommand::kCreateSession, 1, 21, 22, true, true,
+      &FleetServer::cmd_create);
+  add(HostCommand::kConfigureSession, 1, 13, 13, true, true,
       &FleetServer::cmd_configure);
-  add(HostCommand::kStartAcquisition, 1, 8, 8, true, &FleetServer::cmd_start);
-  add(HostCommand::kPollFrames, 1, 6, 6, false, &FleetServer::cmd_poll);
-  add(HostCommand::kDrainSession, 1, 4, 4, true, &FleetServer::cmd_drain);
-  add(HostCommand::kDestroySession, 1, 4, 4, true, &FleetServer::cmd_destroy);
-  add(HostCommand::kQuerySession, 1, 4, 4, false, &FleetServer::cmd_query);
-  add(HostCommand::kCheckpointSession, 3, 4, 4, true,
+  add(HostCommand::kStartAcquisition, 1, 8, 8, true, true,
+      &FleetServer::cmd_start);
+  add(HostCommand::kPollFrames, 1, 6, 6, false, true, &FleetServer::cmd_poll);
+  add(HostCommand::kDrainSession, 1, 4, 4, true, true,
+      &FleetServer::cmd_drain);
+  add(HostCommand::kDestroySession, 1, 4, 4, true, false,
+      &FleetServer::cmd_destroy);
+  add(HostCommand::kQuerySession, 1, 4, 4, false, true,
+      &FleetServer::cmd_query);
+  add(HostCommand::kCheckpointSession, 3, 4, 4, true, true,
       &FleetServer::cmd_checkpoint);
-  add(HostCommand::kRestoreSession, 3, 4, 4, true, &FleetServer::cmd_restore);
-  add(HostCommand::kServerStats, 2, 0, 0, false,
+  add(HostCommand::kRestoreSession, 3, 4, 4, true, true,
+      &FleetServer::cmd_restore);
+  add(HostCommand::kServerStats, 2, 0, 0, false, false,
       &FleetServer::cmd_server_stats);
+  add(HostCommand::kGetSessionHealth, 4, 4, 4, false, true,
+      &FleetServer::cmd_session_health);
+  add(HostCommand::kGetMetrics, 4, 6, 6, false, false,
+      &FleetServer::cmd_get_metrics);
+  add(HostCommand::kDumpFlightRecorder, 4, 4, 4, true, false,
+      &FleetServer::cmd_dump_flight);
+}
+
+void FleetServer::note_outcome(const CommandContext& ctx, HostStatus status) {
+  const auto& req = *ctx.request;
+  if (req.payload_len < 4) return;  // malformed; the handler already said so
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  const auto session = find_session(id);
+  if (!session) return;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+  ++s.commands_handled;
+  s.last_command = static_cast<std::uint16_t>(req.header.command);
+  s.last_status = static_cast<std::uint16_t>(status);
+  if (status != HostStatus::kOk && s.flight) {
+    BIOSENSE_FLIGHT_TO("fleet.cmd_rejected", *s.flight, s.id,
+                       static_cast<std::uint16_t>(req.header.command),
+                       static_cast<std::uint16_t>(status));
+    if (status == HostStatus::kFault && limits_.flight_auto_dump) {
+      s.flight->dump("fleet.s" + std::to_string(s.id));
+    }
+  }
 }
 
 HostStatus FleetServer::handle(const std::uint8_t* request, std::size_t n,
@@ -213,6 +269,7 @@ std::shared_ptr<FleetServer::Session> FleetServer::build_session(
     std::uint16_t cols, std::uint64_t seed, std::uint16_t pool_frames,
     std::uint16_t ring_depth, std::uint8_t preset, HostStatus& status) {
   status = HostStatus::kBadPayload;
+  if (id == kServerFlightScope) return nullptr;  // reserved for the server ring
   if (kind_raw > 1 || preset > 3) return nullptr;
   if (rows < 1 || rows > 512 || cols < 1 || cols > 512 ||
       static_cast<std::uint32_t>(rows) * cols > 16384) {
@@ -284,6 +341,10 @@ std::shared_ptr<FleetServer::Session> FleetServer::build_session(
   }
   session->ring = std::make_unique<Channel<Record>>(
       ring_depth, label.empty() ? std::string{} : label + ".ring");
+  if (limits_.flight_events > 0) {
+    session->flight =
+        std::make_unique<obs::FlightRecorder>(limits_.flight_events);
+  }
   status = HostStatus::kOk;
   return session;
 }
@@ -302,7 +363,7 @@ HostStatus FleetServer::cmd_protocol_info(const CommandContext& ctx) {
 
 HostStatus FleetServer::cmd_capabilities(const CommandContext& ctx) {
   ctx.response->u32(kCapDnaSessions | kCapNeuroSessions | kCapFaultInjection |
-                    kCapReplayCache | kCapCheckpoint);
+                    kCapReplayCache | kCapCheckpoint | kCapTelemetry);
   return HostStatus::kOk;
 }
 
@@ -360,6 +421,12 @@ HostStatus FleetServer::cmd_create(const CommandContext& ctx) {
   BIOSENSE_COUNT("fleet.sessions_created", 1);
   BIOSENSE_GAUGE("fleet.live_sessions", sessions_.size());
   BIOSENSE_GAUGE("fleet.committed_frames", committed_frames_);
+  if (session->flight) {
+    BIOSENSE_FLIGHT_TO("fleet.session_created", *session->flight, id,
+                       kind_raw, preset);
+  }
+  BIOSENSE_FLIGHT_TO("fleet.session_created", server_flight_, id, kind_raw,
+                     preset);
 
   ctx.response->u32(id);
   std::lock_guard session_lock(session->mutex);
@@ -476,6 +543,11 @@ FleetServer::Record FleetServer::produce_record(Session& s) {
       record.payload =
           kRecordErrorBit | static_cast<std::uint64_t>(current.error());
       ++s.wire_errors;
+      if (s.flight) {
+        BIOSENSE_FLIGHT_TO("fleet.record_error", *s.flight, s.id,
+                           record.index,
+                           static_cast<std::uint64_t>(current.error()));
+      }
     }
   }
   s.digest = fnv_bytes(s.digest, &record.payload, sizeof(record.payload));
@@ -519,6 +591,10 @@ HostStatus FleetServer::cmd_poll(const CommandContext& ctx) {
   // empty backlog: the bounded ring could not absorb the queued work, so
   // the response tells the client to keep polling before starting more.
   const std::uint8_t backpressure = s.pending > 0 ? 1 : 0;
+  if (backpressure != 0 && s.flight) {
+    BIOSENSE_FLIGHT_TO("fleet.ring_backpressure", *s.flight, s.id, s.pending,
+                       s.ring->size());
+  }
 
   auto& w = *ctx.response;
   w.u16(count);
@@ -555,6 +631,10 @@ HostStatus FleetServer::cmd_drain(const CommandContext& ctx) {
     --s.pending;
   }
   while (s.ring->try_pop()) {
+  }
+  if (s.flight) {
+    BIOSENSE_FLIGHT_TO("fleet.drain_mark", *s.flight, s.id,
+                       s.frames_produced, s.wire_errors);
   }
 
   auto& w = *ctx.response;
@@ -593,12 +673,19 @@ HostStatus FleetServer::cmd_destroy(const CommandContext& ctx) {
     return tombstones_.count(id) ? HostStatus::kOk
                                  : HostStatus::kNoSuchSession;
   }
-  committed_frames_ -= it->second->pool_frames;
+  const std::shared_ptr<Session> going = it->second;
+  committed_frames_ -= going->pool_frames;
   sessions_.erase(it);
   tombstones_.emplace(id, true);
   BIOSENSE_COUNT("fleet.sessions_destroyed", 1);
   BIOSENSE_GAUGE("fleet.live_sessions", sessions_.size());
   BIOSENSE_GAUGE("fleet.committed_frames", committed_frames_);
+  BIOSENSE_FLIGHT_TO("fleet.session_destroyed", server_flight_, id,
+                     going->frames_produced, going->wire_errors);
+  if (limits_.flight_auto_dump && going->flight) {
+    std::lock_guard session_lock(going->mutex);
+    going->flight->dump("fleet.s" + std::to_string(id));
+  }
   return HostStatus::kOk;
 }
 
@@ -707,6 +794,14 @@ std::vector<std::uint8_t> FleetServer::save_session(const Session& s) const {
     w.bytes(s.replay_payload);
     builder.add_section(kSecReplay, 1, payload);
   }
+  if (s.flight && s.flight->enabled()) {
+    // Optional section: a telemetry-off restore of a telemetry-on
+    // checkpoint simply skips it (unknown sections are skipped anyway).
+    std::vector<std::uint8_t> payload;
+    snapshot::StateWriter w(payload);
+    s.flight->save_state(w);
+    builder.add_section(kSecFlight, 1, payload);
+  }
   return builder.finish();
 }
 
@@ -727,6 +822,14 @@ HostStatus FleetServer::cmd_checkpoint(const CommandContext& ctx) {
     return s.replay_status;
   }
 
+  // The mark goes in before serialization so the checkpoint itself carries
+  // it — a restored session's ring shows its own checkpoint history.
+  if (s.flight) {
+    BIOSENSE_FLIGHT_TO("fleet.checkpoint_mark", *s.flight, s.id,
+                       s.frames_produced, s.pending);
+  }
+  BIOSENSE_FLIGHT_TO("fleet.checkpoint_mark", server_flight_, s.id,
+                     s.frames_produced, s.pending);
   const std::vector<std::uint8_t> bytes = save_session(s);
   const std::uint64_t digest = fnv_bytes(kFnvOffset, bytes.data(),
                                          bytes.size());
@@ -888,9 +991,21 @@ HostStatus FleetServer::cmd_restore(const CommandContext& ctx) {
     s.replay_status = static_cast<HostStatus>(sr.u16());
     sr.bytes(s.replay_payload, kMaxPayload);
   });
+  // Flight history is optional (the checkpoint may predate telemetry or
+  // come from a telemetry-off server) but must parse cleanly when present
+  // and the restoring server has a recorder to receive it.
+  bool flight_ok = true;
+  if (s.flight) {
+    if (const snapshot::SectionView* section = view->find(kSecFlight)) {
+      snapshot::StateReader sr(section->payload, section->size);
+      s.flight->load_state(sr);
+      flight_ok = sr.exhausted();
+    }
+  }
   if (!counters_ok || !chip_ok || !driver_ok || !ring_ok || !replay_ok ||
-      s.site_index < 0 || (s.kind == core::ChipKind::kDna &&
-                           s.site_index >= s.dna.chip->sites())) {
+      !flight_ok || s.site_index < 0 ||
+      (s.kind == core::ChipKind::kDna &&
+       s.site_index >= s.dna.chip->sites())) {
     // The discarded session never entered the registry — no cleanup.
     return HostStatus::kFault;
   }
@@ -901,6 +1016,12 @@ HostStatus FleetServer::cmd_restore(const CommandContext& ctx) {
   BIOSENSE_COUNT("fleet.sessions_restored", 1);
   BIOSENSE_GAUGE("fleet.live_sessions", sessions_.size());
   BIOSENSE_GAUGE("fleet.committed_frames", committed_frames_);
+  if (s.flight) {
+    BIOSENSE_FLIGHT_TO("fleet.restore_mark", *s.flight, s.id,
+                       s.frames_produced, s.pending);
+  }
+  BIOSENSE_FLIGHT_TO("fleet.restore_mark", server_flight_, s.id,
+                     s.frames_produced, s.pending);
 
   auto& w = *ctx.response;
   w.u32(s.frames_produced);
@@ -923,6 +1044,132 @@ HostStatus FleetServer::cmd_server_stats(const CommandContext& ctx) {
   w.u32(static_cast<std::uint32_t>(limits_.frame_budget));
   w.u32(static_cast<std::uint32_t>(limits_.max_sessions));
   w.u32(static_cast<std::uint32_t>(tombstones_.size()));
+  return HostStatus::kOk;
+}
+
+// --- telemetry (v4) ---------------------------------------------------------
+
+HostStatus FleetServer::cmd_session_health(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+
+  // One flat summary a monitor can poll cheaply: progress, flow control,
+  // link quality and outcome tracking in a single fixed-shape response.
+  // Allocation-free on the server side — monitors may poll it hot.
+  const auto ring_stats = s.ring->stats();
+  const std::uint64_t retries = s.kind == core::ChipKind::kNeuro
+                                    ? s.wire_totals.retries
+                                    : s.dna.host->stats().retries;
+  const double backoff = s.kind == core::ChipKind::kNeuro
+                             ? s.wire_totals.backoff_s
+                             : s.dna.host->stats().backoff_s;
+  std::uint64_t backoff_bits = 0;
+  std::memcpy(&backoff_bits, &backoff, sizeof(backoff_bits));
+
+  auto& w = *ctx.response;
+  w.u8(static_cast<std::uint8_t>(s.kind));
+  w.u16(s.last_command);
+  w.u16(s.last_status);
+  w.u32(s.pending);
+  w.u32(s.frames_produced);
+  w.u16(static_cast<std::uint16_t>(s.ring->size()));
+  w.u16(static_cast<std::uint16_t>(s.ring->capacity()));
+  w.u16(static_cast<std::uint16_t>(s.pool_frames));
+  w.u64(s.records_polled);
+  w.u64(s.commands_handled);
+  w.u64(retries);
+  w.u64(s.wire_totals.lost_words);
+  w.u64(s.wire_errors);
+  w.u64(ring_stats.push_stalls);
+  w.u64(s.flight ? s.flight->recorded() : 0);
+  w.u64(s.flight ? s.flight->dropped() : 0);
+  w.u64(backoff_bits);
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_get_metrics(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t offset = r.u32();
+  const std::uint16_t max_bytes = r.u16();
+  if (!r.exhausted() || max_bytes == 0) return HostStatus::kBadPayload;
+
+  // A registry snapshot easily exceeds one frame, so the export is
+  // chunked: offset 0 re-encodes into the cache, later offsets serve the
+  // cached bytes — one consistent snapshot per scan, not per chunk.
+  std::lock_guard lock(metrics_mutex_);
+  if (offset == 0) {
+    metrics_wire_ = obs::encode_snapshot(obs::Registry::global().snapshot());
+  }
+  if (offset > metrics_wire_.size()) return HostStatus::kBadPayload;
+  // Response room: the writer's kMaxPayload bound covers the header
+  // placeholder too, minus the 8-byte total+offset preamble.
+  const std::size_t room = kMaxPayload - kHeaderSize - 8;
+  const std::size_t chunk =
+      std::min({static_cast<std::size_t>(max_bytes), room,
+                metrics_wire_.size() - offset});
+
+  auto& w = *ctx.response;
+  w.u32(static_cast<std::uint32_t>(metrics_wire_.size()));
+  w.u32(offset);
+  if (chunk > 0) w.bytes(metrics_wire_.data() + offset, chunk);
+  return HostStatus::kOk;
+}
+
+HostStatus FleetServer::cmd_dump_flight(const CommandContext& ctx) {
+  const auto& req = *ctx.request;
+  PayloadReader r(req.payload, req.payload_len);
+  const std::uint32_t id = r.u32();
+  if (!r.exhausted()) return HostStatus::kBadPayload;
+
+  if (id == kServerFlightScope) {
+    // Server-wide ring: no session, no replay cache — dumping twice just
+    // writes the artifact twice, which is naturally idempotent.
+    if (!server_flight_.enabled()) return HostStatus::kBadState;
+    const std::string path = server_flight_.dump("fleet.server");
+    if (path.empty()) return HostStatus::kInternal;
+    auto& w = *ctx.response;
+    w.u32(static_cast<std::uint32_t>(server_flight_.events().size()));
+    w.u64(server_flight_.recorded());
+    w.u64(server_flight_.dropped());
+    w.u16(static_cast<std::uint16_t>(path.size()));
+    w.bytes(reinterpret_cast<const std::uint8_t*>(path.data()), path.size());
+    return HostStatus::kOk;
+  }
+
+  const auto session = find_session(id);
+  if (!session) return HostStatus::kNoSuchSession;
+  std::lock_guard lock(session->mutex);
+  Session& s = *session;
+  if (s.has_replay && s.replay_seq == req.header.seq &&
+      s.replay_command == HostCommand::kDumpFlightRecorder) {
+    ctx.response->bytes(s.replay_payload.data(), s.replay_payload.size());
+    return s.replay_status;
+  }
+  if (!s.flight || !s.flight->enabled()) return HostStatus::kBadState;
+
+  const std::string path = s.flight->dump("fleet.s" + std::to_string(s.id));
+  if (path.empty()) return HostStatus::kInternal;
+
+  auto& w = *ctx.response;
+  w.u32(static_cast<std::uint32_t>(s.flight->events().size()));
+  w.u64(s.flight->recorded());
+  w.u64(s.flight->dropped());
+  w.u16(static_cast<std::uint16_t>(path.size()));
+  w.bytes(reinterpret_cast<const std::uint8_t*>(path.data()), path.size());
+  s.has_replay = true;
+  s.replay_seq = req.header.seq;
+  s.replay_command = HostCommand::kDumpFlightRecorder;
+  s.replay_status = HostStatus::kOk;
+  s.replay_payload.assign(ctx.response->data(),
+                          ctx.response->data() + ctx.response->size());
   return HostStatus::kOk;
 }
 

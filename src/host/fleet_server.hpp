@@ -41,6 +41,7 @@
 #include "host/dispatcher.hpp"
 #include "host/protocol.hpp"
 #include "neurochip/signal_source.hpp"
+#include "obs/flight.hpp"
 
 namespace biosense::host {
 
@@ -64,6 +65,17 @@ struct FleetLimits {
   /// works on the same server instance; with a directory, a *fresh* server
   /// pointed at it can restore sessions a dead worker checkpointed.
   std::string checkpoint_dir{};
+  /// Per-session flight-recorder ring capacity in events. 0 (the default)
+  /// disables session telemetry entirely — no recorders, no per-command
+  /// outcome tracking — so an untelemetered fleet pays nothing.
+  std::size_t flight_events = 0;
+  /// Server-wide flight-recorder ring capacity (session lifecycle,
+  /// checkpoint/restore marks). 0 disables it.
+  std::size_t server_flight_events = 0;
+  /// Auto-dump flight recorders as Chrome-trace artifacts (under
+  /// BIOSENSE_RESULTS_DIR): a session's ring when a command returns kFault
+  /// and when the session is destroyed; the server ring at shutdown.
+  bool flight_auto_dump = false;
 };
 
 /// Per-session counters surfaced by kQuerySession.
@@ -125,6 +137,13 @@ class FleetServer {
   HostStatus cmd_checkpoint(const CommandContext& ctx);
   HostStatus cmd_restore(const CommandContext& ctx);
   HostStatus cmd_server_stats(const CommandContext& ctx);
+  HostStatus cmd_session_health(const CommandContext& ctx);
+  HostStatus cmd_get_metrics(const CommandContext& ctx);
+  HostStatus cmd_dump_flight(const CommandContext& ctx);
+
+  /// Post-dispatch hook for session-scoped commands when telemetry is on:
+  /// health outcome counters, rejection events, kFault auto-dump.
+  void note_outcome(const CommandContext& ctx, HostStatus status);
 
   /// Produces the session's next record (advances chip/link state).
   Record produce_record(Session& s);
@@ -151,6 +170,8 @@ class FleetServer {
 
   FleetLimits limits_;
   Dispatcher dispatcher_;
+  /// Server-wide event ring (disabled at capacity 0).
+  obs::FlightRecorder server_flight_;
 
   mutable std::shared_mutex registry_mutex_;
   std::map<std::uint32_t, std::shared_ptr<Session>> sessions_;
@@ -163,6 +184,11 @@ class FleetServer {
   /// persisted crash-safely when `limits_.checkpoint_dir` is set).
   mutable std::mutex checkpoint_mutex_;
   std::map<std::uint32_t, std::vector<std::uint8_t>> checkpoints_;
+
+  /// kGetMetrics chunk cache: a snapshot encoding can exceed one payload
+  /// frame, so offset 0 re-encodes and later offsets serve from the cache.
+  mutable std::mutex metrics_mutex_;
+  std::vector<std::uint8_t> metrics_wire_;
 };
 
 }  // namespace biosense::host

@@ -41,7 +41,10 @@ const char* host_command_name(HostCommand command) {
     case HostCommand::kQuerySession: return "query_session";
     case HostCommand::kCheckpointSession: return "checkpoint_session";
     case HostCommand::kRestoreSession: return "restore_session";
+    case HostCommand::kGetSessionHealth: return "get_session_health";
     case HostCommand::kServerStats: return "server_stats";
+    case HostCommand::kGetMetrics: return "get_metrics";
+    case HostCommand::kDumpFlightRecorder: return "dump_flight_recorder";
   }
   return "unknown";
 }

@@ -41,7 +41,7 @@ namespace biosense::host {
 
 inline constexpr std::uint8_t kFrameMagic = 0xB5;
 inline constexpr std::uint8_t kProtocolVersionMin = 1;
-inline constexpr std::uint8_t kProtocolVersionCurrent = 3;
+inline constexpr std::uint8_t kProtocolVersionCurrent = 4;
 inline constexpr std::size_t kHeaderSize = 12;
 inline constexpr std::size_t kMaxPayload = 1024;
 
@@ -60,7 +60,10 @@ enum class HostCommand : std::uint16_t {
   kQuerySession = 0x16,      // [session u32]
   kCheckpointSession = 0x17, // v3+; mutating; [session u32] -> [size u32, digest u64]
   kRestoreSession = 0x18,    // v3+; mutating; [session u32] -> [frames u32, digest u64]
+  kGetSessionHealth = 0x19,  // v4+; [session u32] -> health summary
   kServerStats = 0x20,       // v2+; server-wide occupancy counters
+  kGetMetrics = 0x21,        // v4+; [offset u32, max u16] -> snapshot chunk
+  kDumpFlightRecorder = 0x22,// v4+; mutating; [session u32] -> dump receipt
 };
 
 /// Typed outcome of a command, carried in every response header.
@@ -92,6 +95,12 @@ inline constexpr std::uint32_t kCapNeuroSessions = 1u << 1;
 inline constexpr std::uint32_t kCapFaultInjection = 1u << 2;
 inline constexpr std::uint32_t kCapReplayCache = 1u << 3;
 inline constexpr std::uint32_t kCapCheckpoint = 1u << 4;
+inline constexpr std::uint32_t kCapTelemetry = 1u << 5;
+
+/// kDumpFlightRecorder session-id sentinel addressing the server-wide
+/// event ring instead of a session's (no valid session can use it: create
+/// ids are arbitrary u32, but the server refuses this one at create).
+inline constexpr std::uint32_t kServerFlightScope = 0xffffffffu;
 
 /// Parsed frame header (byte-order already folded out).
 struct FrameHeader {

@@ -1,0 +1,157 @@
+// Flight recorder: fixed-capacity lock-free ring of structured events
+// for post-mortem analysis (DESIGN.md §15).
+//
+// Metrics answer "how much"; the flight recorder answers "what happened
+// last". Each recorder keeps the most recent `capacity` events — command
+// rejections, retry storms, channel stalls, fault activations,
+// checkpoint/restore marks — and can dump them as a Chrome-trace JSON
+// artifact when something goes wrong, so a wedged or faulted session
+// leaves a record of its final moments.
+//
+// Design rules (same contract as the metrics registry):
+//  1. Lock-free hot path. `record` is one relaxed fetch_add to claim a
+//     slot plus six relaxed/release stores; every slot field is an
+//     atomic, so concurrent recording and snapshotting are race-free
+//     under TSan. A reader racing a wrap-around may observe a slot mid
+//     overwrite — each field is individually valid, and recorders are
+//     quiesced (session lock held, or run finished) before any dump the
+//     tests compare.
+//  2. Determinism-safe. Recording never touches RNG streams and nothing
+//     on a data path reads the ring back; event timestamps are wall
+//     clock and live only in dump artifacts and the checkpoint section,
+//     which no digest covers.
+//  3. Zero steady-state allocation. `record` never allocates; snapshot
+//     and dump do (control plane only).
+//
+// Event names follow the instrument-name discipline: string literals,
+// lowercase dotted paths under a module's claimed prefix — enforced by
+// the analyzer on the BIOSENSE_FLIGHT / BIOSENSE_FLIGHT_TO macros below.
+// A capacity of 0 disables a recorder entirely (record returns on the
+// first branch), which is how the fleet server keeps telemetry opt-in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snapshot/state_io.hpp"
+
+namespace biosense::obs {
+
+/// One recorded event. `name` points at a string literal (or an interned
+/// copy after a checkpoint restore) and is valid for the process
+/// lifetime; `a`/`b` are event-defined arguments (a command id and a
+/// status, a stall count, ...).
+struct FlightEvent {
+  const char* name = "";
+  std::uint64_t t_ns = 0;
+  std::uint32_t session = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is the ring size in events; 0 disables the recorder.
+  explicit FlightRecorder(std::size_t capacity);
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Records one event (lock-free, allocation-free; a no-op when
+  /// disabled). `name` must outlive the recorder — pass a literal.
+  void record(const char* name, std::uint32_t session, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+  /// Same, with an explicit timestamp (checkpoint restore replays saved
+  /// events through this).
+  void record_at(const char* name, std::uint64_t t_ns, std::uint32_t session,
+                 std::uint64_t a, std::uint64_t b);
+
+  /// Events ever recorded (including those since overwritten).
+  std::uint64_t recorded() const;
+  /// Events lost to ring wrap-around over the recorder's lifetime
+  /// (carried across checkpoint/restore).
+  std::uint64_t dropped() const;
+
+  /// The retained events, oldest first. Safe against concurrent
+  /// recording; exact when the recorder is quiesced.
+  std::vector<FlightEvent> events() const;
+
+  /// Drops every retained event and zeroes the lifetime counters. Not
+  /// safe against concurrent recording — tests and benches only.
+  void clear();
+
+  /// Chrome-trace JSON ("i" instant events; ts in microseconds, tid is
+  /// the session id) — loadable next to span traces in Perfetto.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Writes the trace to `<results_dir()>/<label>.flight.json` and
+  /// prints `artifact: <path>`. Returns the path, or "" when the
+  /// recorder is disabled or the write failed.
+  std::string dump(const std::string& label) const;
+
+  /// Checkpoint hooks: the retained events plus the lifetime counters,
+  /// so a restored session keeps its recent history. `load_state`
+  /// interns event names (the literals of the saving process are gone).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+  /// Process-wide recorder behind BIOSENSE_FLIGHT, for library code that
+  /// has no session-scoped recorder to hand.
+  static FlightRecorder& global();
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> t_ns{0};
+    std::atomic<std::uint32_t> session{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    // 1-based sequence number of the event occupying the slot; 0 while
+    // never written. The release store publishes the fields above.
+    std::atomic<std::uint64_t> stamp{0};
+  };
+
+  // The ring is checkpointed logically — save_state writes the retained
+  // events and lifetime counters, load_state rebuilds the slots from
+  // them — so the raw fields are transient to the snapshot rules.
+  std::size_t capacity_;  // analyze:transient fixed at construction
+  std::unique_ptr<Slot[]> slots_;  // analyze:transient rebuilt from events
+  // analyze:transient re-derived from the saved event list on load
+  std::atomic<std::uint64_t> head_{0};  // events recorded since clear/load
+  // analyze:transient re-derived from the saved recorded-total on load
+  std::atomic<std::uint64_t> base_{0};  // events predating the restored ring
+};
+
+/// Interns a dynamic event name into process-lifetime storage, returning
+/// a pointer as durable as a literal. For restore paths only — hot-path
+/// events use literals.
+const char* intern_event_name(const std::string& name);
+
+}  // namespace biosense::obs
+
+// --- event-recording macros -------------------------------------------------
+//
+// BIOSENSE_FLIGHT records to the process-wide recorder and is compiled
+// out unless -DBIOSENSE_OBS=ON, exactly like BIOSENSE_COUNT — library
+// hot paths pay nothing in shipped builds. BIOSENSE_FLIGHT_TO records to
+// an explicit recorder (a fleet session's ring) and is always compiled:
+// the server gates it at runtime via recorder capacity, so operators get
+// post-mortem rings without an instrumented rebuild. Both take the event
+// name as the first argument, and it must be a string literal — the
+// analyzer applies the obs naming rules to these call sites.
+#if defined(BIOSENSE_OBS_ENABLED)
+#define BIOSENSE_FLIGHT(name, a, b)                                          \
+  ::biosense::obs::FlightRecorder::global().record(                          \
+      name, 0, static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(b))
+#else
+#define BIOSENSE_FLIGHT(name, a, b) ((void)0)
+#endif
+
+#define BIOSENSE_FLIGHT_TO(name, recorder, session, a, b)                    \
+  (recorder).record(name, static_cast<std::uint32_t>(session),               \
+                    static_cast<std::uint64_t>(a),                           \
+                    static_cast<std::uint64_t>(b))

@@ -133,6 +133,28 @@ std::string Registry::to_json() const {
   return os.str();
 }
 
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c.value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g.value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramValue v;
+    v.bounds = h.bounds();
+    v.counts.reserve(h.bounds().size() + 1);
+    for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+      v.counts.push_back(h.bucket_count(i));
+    }
+    v.total = h.total_count();
+    v.sum = h.sum();
+    snap.histograms.emplace_back(name, std::move(v));
+  }
+  return snap;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& kv : counters_) kv.second.reset();

@@ -26,6 +26,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace biosense::obs {
@@ -87,6 +88,28 @@ std::vector<double> decade_buckets(double lo, int n);
 /// `n` linear bucket upper bounds: lo, lo+width, ..., lo+(n-1)*width.
 std::vector<double> linear_buckets(double lo, double width, int n);
 
+/// Point-in-time value copy of one histogram (bounds + per-bucket counts;
+/// `counts` has one entry per bound plus the trailing overflow bucket).
+struct HistogramValue {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramValue&) const = default;
+};
+
+/// Point-in-time value copy of every instrument in a registry, each kind
+/// sorted by name. This is the unit the wire codec (obs/wire.hpp) encodes
+/// for remote export, and what tools render into reports.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramValue>> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
 /// Process-wide instrument registry. Lookup registers on first use and is
 /// mutex-protected; returned references are stable forever.
 class Registry {
@@ -112,6 +135,12 @@ class Registry {
   ///    "histograms": {"name": {"buckets": [{"le": b, "count": n}, ...],
   ///                            "overflow": n, "count": N, "sum": S}}}
   std::string to_json() const;
+
+  /// Value copy of every instrument, each kind sorted by name. Relaxed
+  /// loads under the registration mutex: cheap, and safe against
+  /// concurrent registration (instrument values may still be moving —
+  /// a snapshot is a point-in-time observation, not a barrier).
+  MetricsSnapshot snapshot() const;
 
   /// Zeroes every instrument's value. References stay valid; intended for
   /// tests and for benches isolating phases.

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -65,6 +66,13 @@ class StateWriter {
   void bytes(const std::vector<std::uint8_t>& v) {
     u32(static_cast<std::uint32_t>(v.size()));
     out_->insert(out_->end(), v.begin(), v.end());
+  }
+
+  /// Length-prefixed byte string (u16 length — state strings are names
+  /// and labels, never bulk data).
+  void str(const std::string& s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    for (char c : s) out_->push_back(static_cast<std::uint8_t>(c));
   }
 
   std::size_t size() const { return out_->size(); }
@@ -150,6 +158,18 @@ class StateReader {
       return;
     }
     out.assign(bytes_ + pos_, bytes_ + pos_ + count);
+    pos_ += count;
+  }
+
+  /// Reads a string written by `str`, bounded by `max` and the remaining
+  /// payload — a corrupt length can never grow `out` past either.
+  void str(std::string& out, std::size_t max) {
+    const std::uint16_t count = u16();
+    if (!ok_ || count > max || count > remaining()) {
+      ok_ = false;
+      return;
+    }
+    out.assign(reinterpret_cast<const char*>(bytes_) + pos_, count);
     pos_ += count;
   }
 

@@ -1,5 +1,6 @@
 // Seeded violations: obs-name (kind conflict, malformed name, unclaimed
-// prefix, non-literal name). The cross-module duplicate lives in
+// prefix, non-literal name) for both the registry macros and the
+// flight-recorder macros. The cross-module duplicate lives in
 // ../host + ../dnachip; the foreign-prefix mint in ../neurochip.
 #include <string>
 
@@ -17,6 +18,13 @@ void bad_shapes(const std::string& name) {
   BIOSENSE_COUNT("I2F.Events", 1);  // [MUST-FIRE: malformed name]
   BIOSENSE_COUNT("zzz.thing", 1);   // [MUST-FIRE: unclaimed prefix]
   BIOSENSE_COUNT(name, 1);          // [MUST-FIRE: non-literal name]
+}
+
+void bad_flight_shapes(const std::string& name, FlightRecorder& rec) {
+  BIOSENSE_COUNT("i2f.retry_storm", 1);
+  BIOSENSE_FLIGHT("i2f.retry_storm", 1, 2);  // [MUST-FIRE: kind conflict]
+  BIOSENSE_FLIGHT("yyy.blackbox", 1, 2);     // [MUST-FIRE: unclaimed prefix]
+  BIOSENSE_FLIGHT_TO(name, rec, 0, 1, 2);    // [MUST-FIRE: non-literal name]
 }
 
 }  // namespace demo

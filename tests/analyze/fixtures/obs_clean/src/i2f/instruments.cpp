@@ -1,6 +1,7 @@
 // Clean control for obs-name: literal lowercase dotted names under the
 // module's own claimed prefix; the same counter bumped from two call
-// sites in one module is legal.
+// sites in one module is legal, and so is recording one flight event
+// through both the global-ring and explicit-recorder macros.
 namespace demo {
 
 void on_conversion() {
@@ -10,6 +11,11 @@ void on_conversion() {
 void on_batch(int n) {
   BIOSENSE_COUNT("i2f.conversions", n);
   BIOSENSE_GAUGE("i2f.ramp_level", 0.5);
+}
+
+void on_ramp_wrap(FlightRecorder& rec) {
+  BIOSENSE_FLIGHT("i2f.ramp_wrap", 1, 0);
+  BIOSENSE_FLIGHT_TO("i2f.ramp_wrap", rec, 3, 1, 0);
 }
 
 }  // namespace demo

@@ -1,7 +1,8 @@
 // Seeded violations: proto-schema (duplicate wire value, missing entry,
 // duplicate entry, unknown enumerator, min_version out of window),
 // proto-caps (unreferenced capability bit), proto-names (enumerator
-// missing from host_command_name).
+// missing from host_command_name). kGetMetrics models a v4 telemetry
+// command that was added to the enum but wired nowhere else.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +20,7 @@ enum class HostCommand : std::uint8_t {
   kQuery = 0x02,
   kClash = 0x02,  // [MUST-FIRE: duplicate wire value]
   kOrphan = 0x03,  // [MUST-FIRE: no schema entry]
+  kGetMetrics = 0x21,  // [MUST-FIRE: no schema entry, no name case]
 };
 
 enum class HostStatus : std::uint8_t {

@@ -1,6 +1,7 @@
 // Clean control for the protocol rules: every command has exactly one
 // schema entry inside the version window, both name functions cover
-// every enumerator, and every capability bit is referenced.
+// every enumerator (including the v4 telemetry commands), and every
+// capability bit is referenced.
 #pragma once
 
 #include <cstdint>
@@ -8,13 +9,17 @@
 namespace demo::host {
 
 inline constexpr std::uint32_t kProtocolVersionMin = 1;
-inline constexpr std::uint32_t kProtocolVersionCurrent = 3;
+inline constexpr std::uint32_t kProtocolVersionCurrent = 4;
 
 inline constexpr std::uint32_t kCapSessions = 1u << 0;
+inline constexpr std::uint32_t kCapTelemetry = 1u << 1;
 
 enum class HostCommand : std::uint8_t {
   kPing = 0x01,
   kQuery = 0x02,
+  kGetSessionHealth = 0x19,
+  kGetMetrics = 0x21,
+  kDumpFlightRecorder = 0x22,
 };
 
 enum class HostStatus : std::uint8_t {
@@ -28,6 +33,12 @@ inline const char* host_command_name(HostCommand c) {
       return "Ping";
     case HostCommand::kQuery:
       return "Query";
+    case HostCommand::kGetSessionHealth:
+      return "GetSessionHealth";
+    case HostCommand::kGetMetrics:
+      return "GetMetrics";
+    case HostCommand::kDumpFlightRecorder:
+      return "DumpFlightRecorder";
     default:
       return "?";
   }

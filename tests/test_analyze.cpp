@@ -118,6 +118,13 @@ TEST(AnalyzeProtocol, SeededViolationsFire) {
       << dump(findings);
   EXPECT_TRUE(has_finding(findings, "proto-names", "'kOrphan'"))
       << dump(findings);
+  // A v4 telemetry command added to the enum but wired nowhere else must
+  // trip both the schema-table and the name-switch coverage.
+  EXPECT_TRUE(has_finding(findings, "proto-schema",
+                          "'kGetMetrics' has no dispatcher schema entry"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "proto-names", "'kGetMetrics'"))
+      << dump(findings);
 }
 
 TEST(AnalyzeProtocol, CleanControlIsClean) {
@@ -127,7 +134,7 @@ TEST(AnalyzeProtocol, CleanControlIsClean) {
 
 TEST(AnalyzeObs, SeededViolationsFire) {
   const auto findings = analyze_fixture("obs_bad");
-  EXPECT_GE(count_rule(findings, "obs-name"), 6) << dump(findings);
+  EXPECT_GE(count_rule(findings, "obs-name"), 9) << dump(findings);
   EXPECT_TRUE(has_finding(findings, "obs-name", "one instrument kind"))
       << dump(findings);
   EXPECT_TRUE(has_finding(findings, "obs-name", "unique across modules"))
@@ -139,6 +146,16 @@ TEST(AnalyzeObs, SeededViolationsFire) {
   EXPECT_TRUE(has_finding(findings, "obs-name", "claimed by another"))
       << dump(findings);
   EXPECT_TRUE(has_finding(findings, "obs-name", "string literal"))
+      << dump(findings);
+  // The flight macros join the same namespace: a flight event colliding
+  // with a counter is a kind conflict, and both macros obey the literal
+  // and claimed-prefix rules.
+  EXPECT_TRUE(has_finding(findings, "obs-name", "as BIOSENSE_FLIGHT here"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "obs-name", "'yyy.' is not claimed"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "obs-name",
+                          "BIOSENSE_FLIGHT_TO name must be a string literal"))
       << dump(findings);
 }
 

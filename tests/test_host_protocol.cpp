@@ -171,6 +171,37 @@ TEST_F(DispatcherTest, V2CommandUnknownToV1Conversation) {
             HostStatus::kOk);
 }
 
+TEST_F(DispatcherTest, V4TelemetryCommandsUnknownToOlderConversations) {
+  // The telemetry surface arrived at v4: a v3 (or older) conversation gets
+  // exactly what a v3-era server would have said — unknown command — so an
+  // old client degrades gracefully instead of misparsing a new payload.
+  const std::vector<std::uint8_t> session_id{1, 2, 3, 4};
+  const std::vector<std::uint8_t> metrics_req{0, 0, 0, 0, 0xff, 0xff};
+  for (const std::uint8_t version : {std::uint8_t{2}, std::uint8_t{3}}) {
+    EXPECT_EQ(send(request_header(HostCommand::kGetSessionHealth, 20,
+                                  version),
+                   session_id),
+              HostStatus::kUnknownCommand);
+    EXPECT_EQ(send(request_header(HostCommand::kGetMetrics, 21, version),
+                   metrics_req),
+              HostStatus::kUnknownCommand);
+    EXPECT_EQ(send(request_header(HostCommand::kDumpFlightRecorder, 22,
+                                  version),
+                   session_id),
+              HostStatus::kUnknownCommand);
+  }
+  // At v4 the same frames pass the version gate (and fail later for
+  // reasons of their own — no session, telemetry disabled).
+  EXPECT_EQ(send(request_header(HostCommand::kGetSessionHealth, 23),
+                 session_id),
+            HostStatus::kNoSuchSession);
+  EXPECT_EQ(send(request_header(HostCommand::kGetMetrics, 24), metrics_req),
+            HostStatus::kOk);
+  EXPECT_EQ(send(request_header(HostCommand::kDumpFlightRecorder, 25),
+                 session_id),
+            HostStatus::kNoSuchSession);
+}
+
 TEST_F(DispatcherTest, UnknownCommandId) {
   EXPECT_EQ(send(request_header(static_cast<HostCommand>(0xEE))),
             HostStatus::kUnknownCommand);
@@ -231,6 +262,8 @@ TEST_F(DispatcherTest, DiscoveryReportsCapabilitiesAndCommandCount) {
   EXPECT_TRUE(bits & kCapNeuroSessions);
   EXPECT_TRUE(bits & kCapFaultInjection);
   EXPECT_TRUE(bits & kCapReplayCache);
+  EXPECT_TRUE(bits & kCapCheckpoint);
+  EXPECT_TRUE(bits & kCapTelemetry);
 
   EXPECT_EQ(send(request_header(HostCommand::kGetProtocolInfo)),
             HostStatus::kOk);

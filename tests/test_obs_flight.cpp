@@ -1,0 +1,167 @@
+// Flight recorder (DESIGN.md §15): ring retention and wrap-around
+// accounting, Chrome-trace dumping, checkpoint save/load, and the
+// results-dir artifact contract.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "snapshot/state_io.hpp"
+
+namespace biosense::obs {
+namespace {
+
+TEST(FlightRecorder, CapacityZeroDisablesRecording) {
+  FlightRecorder rec(0);
+  EXPECT_FALSE(rec.enabled());
+  rec.record("fleet.cmd_rejected", 1, 2, 3);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.dump("nope"), "");
+}
+
+TEST(FlightRecorder, RetainsNewestEventsOldestFirst) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record("fleet.checkpoint_mark", 7, i, i * 2);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 6u + i);  // events 6..9 survive, oldest first
+    EXPECT_EQ(events[i].session, 7u);
+    EXPECT_STREQ(events[i].name, "fleet.checkpoint_mark");
+  }
+}
+
+TEST(FlightRecorder, ClearZeroesCountersAndRing) {
+  FlightRecorder rec(4);
+  rec.record("fleet.drain_mark", 1);
+  rec.clear();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(FlightRecorder, ConcurrentRecordingLosesNothing) {
+  // 4 threads x 1000 events into a large ring: every recording must be
+  // claimed exactly once (the lock-free contract), none dropped.
+  FlightRecorder rec(8192);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        rec.record("fleet.ring_backpressure", static_cast<std::uint32_t>(t),
+                   i, 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.recorded(), 4000u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.events().size(), 4000u);
+}
+
+TEST(FlightRecorder, ChromeTraceShapeIsLoadable) {
+  FlightRecorder rec(8);
+  rec.record_at("fleet.session_created", 2'500ull, 42, 1, 2);
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"fleet.session_created\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 42"), std::string::npos);
+  // ts is microseconds (2500 ns -> 2.5).
+  EXPECT_NE(json.find("\"ts\": 2.5"), std::string::npos);
+}
+
+TEST(FlightRecorder, SaveLoadKeepsHistoryAndCounters) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    rec.record_at("fleet.cmd_rejected", 100 + i, 9, i, i + 1);
+  }
+  std::vector<std::uint8_t> bytes;
+  snapshot::StateWriter w(bytes);
+  rec.save_state(w);
+
+  FlightRecorder restored(4);
+  snapshot::StateReader r(bytes.data(), bytes.size());
+  restored.load_state(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.recorded(), rec.recorded());
+  EXPECT_EQ(restored.dropped(), rec.dropped());
+  const auto before = rec.events();
+  const auto after = restored.events();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    // Names survive via interning — value equality, distinct storage.
+    EXPECT_STREQ(after[i].name, before[i].name);
+    EXPECT_EQ(after[i].t_ns, before[i].t_ns);
+    EXPECT_EQ(after[i].session, before[i].session);
+    EXPECT_EQ(after[i].a, before[i].a);
+    EXPECT_EQ(after[i].b, before[i].b);
+  }
+  // History continues past the restore: new events stack on the old.
+  restored.record_at("fleet.restore_mark", 200, 9, 0, 0);
+  EXPECT_EQ(restored.recorded(), 7u);
+}
+
+TEST(FlightRecorder, SmallerRingRestoreKeepsNewestTail) {
+  FlightRecorder rec(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    rec.record_at("fleet.drain_mark", i, 1, i, 0);
+  }
+  std::vector<std::uint8_t> bytes;
+  snapshot::StateWriter w(bytes);
+  rec.save_state(w);
+
+  FlightRecorder restored(2);
+  snapshot::StateReader r(bytes.data(), bytes.size());
+  restored.load_state(r);
+  ASSERT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.recorded(), 5u);
+  const auto events = restored.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[1].a, 4u);
+}
+
+TEST(FlightRecorder, DumpWritesArtifactUnderResultsDir) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "biosense_flight_dump_test";
+  fs::remove_all(dir);
+  ASSERT_EQ(setenv("BIOSENSE_RESULTS_DIR", dir.c_str(), 1), 0);
+
+  FlightRecorder rec(4);
+  rec.record("fleet.session_destroyed", 3, 1, 0);
+  const std::string path = rec.dump("fleet.s3");
+  ASSERT_NE(path, "");
+  EXPECT_NE(path.find(dir.string()), std::string::npos);
+  EXPECT_NE(path.find("fleet.s3.flight.json"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("fleet.session_destroyed"), std::string::npos);
+
+  unsetenv("BIOSENSE_RESULTS_DIR");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace biosense::obs

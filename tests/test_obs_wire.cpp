@@ -1,0 +1,151 @@
+// Metrics-snapshot wire format (DESIGN.md §15): round-trip fidelity on a
+// populated registry, plus the hostile-input contract the snapshot
+// container set the standard for — EVERY single-bit flip and EVERY
+// truncation length must be rejected with a typed error.
+#include "obs/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace biosense::obs {
+namespace {
+
+/// A snapshot exercising every encoder feature: all three instrument
+/// kinds, shared dotted prefixes (front-coding), negative and non-finite
+/// bit patterns, an empty-bounds histogram and a multi-bucket one.
+MetricsSnapshot sample_snapshot() {
+  // The registry is process-global (its constructor is private); resetting
+  // zeroes values without invalidating earlier registrations, so repeated
+  // calls rebuild the identical snapshot.
+  Registry& reg = Registry::global();
+  reg.reset();
+  reg.counter("fleet.bench.w1.commands").add(123456789);
+  reg.counter("fleet.bench.w1.errors").add(0);
+  reg.counter("fleet.bench.w2.commands").add(42);
+  reg.gauge("fleet.live_sessions").set(-3.25);
+  reg.gauge("fleet.tax").set(0.0375);
+  auto& h = reg.histogram("fleet.poll.latency", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(12.0);
+  h.observe(5000.0);
+  reg.histogram("fleet.quiet", {});
+  return reg.snapshot();
+}
+
+TEST(MetricsWire, RoundTripIsLossless) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const auto bytes = encode_snapshot(snap);
+  ASSERT_GE(bytes.size(), kMetricsWireHeader);
+  const auto decoded = decode_snapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, snap);
+}
+
+TEST(MetricsWire, EmptySnapshotRoundTrips) {
+  const MetricsSnapshot empty;
+  const auto bytes = encode_snapshot(empty);
+  EXPECT_EQ(bytes.size(), kMetricsWireHeader);
+  const auto decoded = decode_snapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, empty);
+}
+
+TEST(MetricsWire, FrontCodingSharesDottedPrefixes) {
+  // Three 24-char names sharing a 15-char prefix must encode smaller
+  // than the naive concatenation — the point of the name table.
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("fleet.bench.w1.commands", 1);
+  snap.counters.emplace_back("fleet.bench.w1.errors", 2);
+  snap.counters.emplace_back("fleet.bench.w1.retries", 3);
+  const auto bytes = encode_snapshot(snap);
+  std::size_t naive = 0;
+  for (const auto& [name, value] : snap.counters) naive += name.size();
+  const std::size_t table = bytes.size() - kMetricsWireHeader -
+                            snap.counters.size() * (8 + 3);
+  EXPECT_LT(table, naive);
+  const auto decoded = decode_snapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, snap);
+}
+
+TEST(MetricsWire, GaugeBitsAreFaithful) {
+  // IEEE bit patterns survive exactly — including negative zero.
+  MetricsSnapshot snap;
+  snap.gauges.emplace_back("a.neg_zero", -0.0);
+  snap.gauges.emplace_back("a.tiny", 5e-324);
+  const auto bytes = encode_snapshot(snap);
+  const auto decoded = decode_snapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(std::signbit(decoded->gauges[0].second));
+  EXPECT_EQ(decoded->gauges[1].second, 5e-324);
+}
+
+TEST(MetricsWire, EverySingleBitFlipIsRejectedTyped) {
+  const auto good = encode_snapshot(sample_snapshot());
+  ASSERT_TRUE(decode_snapshot(good.data(), good.size()));
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = good;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const auto decoded = decode_snapshot(corrupt.data(), corrupt.size());
+      ASSERT_FALSE(decoded) << "flip survived at byte " << byte << " bit "
+                            << bit;
+      EXPECT_STRNE(wire_error_name(decoded.error()), "unknown");
+    }
+  }
+}
+
+TEST(MetricsWire, EveryTruncationLengthIsRejectedTyped) {
+  const auto good = encode_snapshot(sample_snapshot());
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    const auto decoded = decode_snapshot(good.data(), n);
+    ASSERT_FALSE(decoded) << "truncation to " << n << " bytes survived";
+    EXPECT_EQ(decoded.error(), WireError::kTruncated);
+  }
+  // Trailing garbage is corruption too, not slack.
+  auto extended = good;
+  extended.push_back(0x00);
+  const auto decoded = decode_snapshot(extended.data(), extended.size());
+  ASSERT_FALSE(decoded);
+  EXPECT_EQ(decoded.error(), WireError::kBadLayout);
+}
+
+TEST(MetricsWire, WrongMagicAndVersionAreTyped) {
+  auto bytes = encode_snapshot(sample_snapshot());
+  auto wrong_magic = bytes;
+  wrong_magic[0] = 0x00;
+  auto r1 = decode_snapshot(wrong_magic.data(), wrong_magic.size());
+  ASSERT_FALSE(r1);
+  EXPECT_EQ(r1.error(), WireError::kBadMagic);
+
+  auto wrong_version = bytes;
+  wrong_version[2] = kMetricsWireVersion + 1;
+  auto r2 = decode_snapshot(wrong_version.data(), wrong_version.size());
+  ASSERT_FALSE(r2);
+  EXPECT_EQ(r2.error(), WireError::kBadVersion);
+}
+
+TEST(MetricsWire, JsonMirrorsRegistryShape) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const std::string json = snapshot_to_json(snap);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"fleet.bench.w1.commands\": 123456789"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"fleet.poll.latency\""), std::string::npos);
+  // Decoding an encoding and rendering it must be byte-identical to
+  // rendering the original snapshot — the remote/local report paths agree.
+  const auto bytes = encode_snapshot(snap);
+  const auto decoded = decode_snapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(snapshot_to_json(*decoded), json);
+}
+
+}  // namespace
+}  // namespace biosense::obs

@@ -27,7 +27,8 @@ std::string src_module(const std::string& path) {
 
 std::vector<Finding> analyze(const std::vector<SourceFile>& files) {
   static const std::vector<std::string> kMacros = {
-      "BIOSENSE_COUNT", "BIOSENSE_GAUGE", "BIOSENSE_OBSERVE"};
+      "BIOSENSE_COUNT", "BIOSENSE_GAUGE", "BIOSENSE_OBSERVE",
+      "BIOSENSE_FLIGHT", "BIOSENSE_FLIGHT_TO"};
 
   Tree tree;
   tree.reserve(files.size());
@@ -79,8 +80,9 @@ std::vector<std::pair<std::string, std::string>> rule_catalogue() {
       {"proto-names",
        "host_command_name/host_status_name cover every enumerator"},
       {"obs-name",
-       "instrument names are string literals, unique per kind and across "
-       "modules, and use their module's claimed registry prefix"},
+       "instrument and flight-event names are string literals, unique per "
+       "kind and across modules, and use their module's claimed registry "
+       "prefix"},
       {"no-c-rand", "C rand()/srand() banned; use common/rng.hpp (Rng)"},
       {"no-wallclock-seed",
        "time(NULL)/time(nullptr) seeding banned; seeds are explicit"},

@@ -11,7 +11,9 @@
 //   * the name argument is a string literal (the macros cache per call
 //     site, so a computed name is latched to its first value anyway);
 //   * names are lowercase dotted paths: `<prefix>.<instrument>`;
-//   * one name, one instrument kind (COUNT xor GAUGE xor OBSERVE);
+//   * one name, one instrument kind (COUNT xor GAUGE xor OBSERVE xor
+//     flight event — the two FLIGHT macros share a kind, since both
+//     mint the same event stream into different rings);
 //   * one name, one module (src/<module>/) — cross-module reuse merges
 //     unrelated instruments;
 //   * the prefix is one this module has claimed (table below — the
@@ -65,6 +67,15 @@ struct Site {
   std::string module;
 };
 
+/// BIOSENSE_FLIGHT (global ring) and BIOSENSE_FLIGHT_TO (explicit
+/// recorder) record the same kind of thing; a name used by both is one
+/// event stream, not a kind conflict.
+const std::string& macro_kind(const std::string& macro) {
+  static const std::string kFlight = "BIOSENSE_FLIGHT";
+  if (macro == "BIOSENSE_FLIGHT_TO") return kFlight;
+  return macro;
+}
+
 }  // namespace
 
 void rule_obs_names(const Tree& tree, Findings& out) {
@@ -98,7 +109,7 @@ void rule_obs_names(const Tree& tree, Findings& out) {
 
     // One name, one macro kind.
     for (const Site& site : sites) {
-      if (site.call->macro != first.call->macro) {
+      if (macro_kind(site.call->macro) != macro_kind(first.call->macro)) {
         out.push_back(Finding{
             site.file->src.path, site.call->line, "obs-name",
             "instrument '" + name + "' is registered as " +

@@ -41,7 +41,12 @@ Comparison rules, per artifact kind:
       - per worker entry the closed- and open-loop percentiles must be
         ordered (p50 <= p95 <= p99);
       - the worker counts covered must not shrink, and the fresh run must
-        not cover fewer sessions or commands than the baseline did.
+        not cover fewer sessions or commands than the baseline did;
+      - the ``telemetry`` section must show digests unchanged with flight
+        recorders on (``telemetry_deterministic``), an aggregate
+        throughput tax of at most 5%, zero server flight-ring drops and
+        zero monitor errors at baseline load, zero allocations per warm
+        health probe, and ordered health/metrics latency percentiles.
       Raw latency magnitudes are machine-dependent and deliberately not
       gated here; ordering + scale + determinism are the invariants.
 
@@ -227,6 +232,49 @@ class Gate:
         lost = sorted(base_workers - cur_workers)
         if lost:
             self.fail(name, f"worker counts no longer covered: {lost}")
+        if "telemetry" in baseline:
+            self.check_fleet_telemetry(name, current.get("telemetry"))
+
+    # -- fleet telemetry contract (PR 9) -------------------------------------
+
+    TELEMETRY_TAX_LIMIT = 0.05
+
+    def check_fleet_telemetry(self, name, tel):
+        if not isinstance(tel, dict):
+            self.fail(name, "telemetry section missing from fresh run")
+            return
+        if not tel.get("telemetry_deterministic", False):
+            self.fail(name, "session digests change when flight recorders "
+                            "are enabled (telemetry must be invisible to "
+                            "the data plane)")
+        tax = tel.get("tax", None)
+        if tax is None:
+            self.fail(name, "telemetry tax missing")
+        elif tax > self.TELEMETRY_TAX_LIMIT:
+            self.fail(name, f"telemetry tax {tax:.1%} exceeds the "
+                            f"{self.TELEMETRY_TAX_LIMIT:.0%} budget")
+        if tel.get("flight_dropped", 1) != 0:
+            self.fail(name, "server flight ring dropped "
+                            f"{tel.get('flight_dropped')} events at "
+                            "baseline load (contract is 0)")
+        if tel.get("monitor_errors", 1) != 0:
+            self.fail(name, f"monitor hit {tel.get('monitor_errors')} "
+                            "unexpected statuses")
+        if tel.get("health_allocs_per_probe", 1) != 0:
+            self.fail(name, "warm health probes allocate: "
+                            f"{tel.get('health_allocs_per_probe')} per "
+                            "probe (contract is 0)")
+        for probe in ("health", "metrics"):
+            pcts = tel.get(probe, {})
+            p50 = pcts.get("p50_us")
+            p95 = pcts.get("p95_us")
+            p99 = pcts.get("p99_us")
+            if p50 is None or p95 is None or p99 is None:
+                self.fail(name, f"telemetry {probe} latency entry is "
+                                "missing a percentile")
+            elif not p50 <= p95 <= p99:
+                self.fail(name, f"telemetry {probe} percentiles are "
+                                f"unordered: p50={p50} p95={p95} p99={p99}")
 
     # -- dispatch ------------------------------------------------------------
 
