@@ -18,14 +18,14 @@ GainStage::GainStage(GainStageParams params, Rng rng) : params_(params) {
 }
 
 double GainStage::step(double i_in, double dt) {
-  double target = actual_gain_ * (i_in + offset_);
-  if (calibrated_) target = target * corr_gain_ + corr_offset_;
-  if (params_.out_limit > 0.0) {
-    target = std::clamp(target, -params_.out_limit, params_.out_limit);
-  }
+  // tau > 0 always (bandwidth required positive), so one_pole_step reduces
+  // to the decay/step_with pair exactly.
+  return step_with(i_in, decay(dt));
+}
+
+double GainStage::decay(double dt) const {
   const double tau = 1.0 / (2.0 * constants::kPi * params_.bandwidth_hz);
-  i_out_ = one_pole_step(i_out_, target, dt, tau);
-  return i_out_;
+  return std::exp(-dt / tau);
 }
 
 void GainStage::calibrate(double i_ref, double residual) {
@@ -84,6 +84,10 @@ double GainChain::step(double i_in, double dt) {
   double x = i_in;
   for (auto& s : stages) x = s.step(x, dt);
   return x;
+}
+
+void GainChain::decays(double dt, double* out) const {
+  for (std::size_t k = 0; k < stages.size(); ++k) out[k] = stages[k].decay(dt);
 }
 
 void GainChain::calibrate(double i_ref, double residual) {

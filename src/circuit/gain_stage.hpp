@@ -10,6 +10,8 @@
 // factors.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -37,6 +39,23 @@ class GainStage {
   /// current after the single-pole response (and calibration corrections if
   /// calibrated).
   double step(double i_in, double dt);
+
+  /// Single-pole decay factor exp(-dt/tau) for this stage's bandwidth. A
+  /// fixed-dt caller (the frame capture kernel steps every stage with the
+  /// same half-dwell) hoists this once per frame and uses step_with(),
+  /// which is bit-identical to step() at the same dt.
+  double decay(double dt) const;
+
+  /// step() with the exp(-dt/tau) factor precomputed by decay().
+  double step_with(double i_in, double a) {
+    double target = actual_gain_ * (i_in + offset_);
+    if (calibrated_) target = target * corr_gain_ + corr_offset_;
+    if (params_.out_limit > 0.0) {
+      target = std::clamp(target, -params_.out_limit, params_.out_limit);
+    }
+    i_out_ = i_out_ * a + target * (1.0 - a);
+    return i_out_;
+  }
 
   /// Measures the stage with two reference inputs and stores gain/offset
   /// corrections, emulating the chip's calibration phase. After this,
@@ -109,6 +128,19 @@ struct GainChain {
 
   /// Steps all four stages in cascade.
   double step(double i_in, double dt);
+
+  /// Fills `out[k]` with stages[k].decay(dt); `out` must hold
+  /// stages.size() entries. Pair with step_with() in fixed-dt loops.
+  void decays(double dt, double* out) const;
+
+  /// step() with per-stage decay factors precomputed by decays().
+  double step_with(double i_in, const double* a) {
+    double x = i_in;
+    for (std::size_t k = 0; k < stages.size(); ++k) {
+      x = stages[k].step_with(x, a[k]);
+    }
+    return x;
+  }
   /// Calibrates each stage with a reference current scaled to its input
   /// range.
   void calibrate(double i_ref, double residual = 1e-3);

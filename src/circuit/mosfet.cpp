@@ -9,20 +9,7 @@
 
 namespace biosense::circuit {
 
-namespace {
-
-// F(x) = ln^2(1 + exp(x/2)), computed overflow-safely.
-double ekv_f(double x) {
-  double ln_term;
-  if (x > 60.0) {
-    ln_term = 0.5 * x;  // exp dominates
-  } else {
-    ln_term = std::log1p(std::exp(0.5 * x));
-  }
-  return ln_term * ln_term;
-}
-
-}  // namespace
+using detail::ekv_f;
 
 Mosfet::Mosfet(MosfetParams params, noise::DeviceMismatch mismatch)
     : params_(params), mismatch_(mismatch) {
@@ -78,6 +65,26 @@ double Mosfet::vgs_for_current(double id, double vd, double vs) const {
   // the root generously — subthreshold pA needs gate voltages well below VT,
   // strong inversion well above. bisect() accepts either orientation.
   auto f = [&](double vg) { return drain_current(vg, vd, vs) - id; };
+  return bisect(f, -10.0, 15.0, 80);
+}
+
+void MosfetSpan::reset(const MosfetParams& params, std::size_t count) {
+  params_ = params;
+  vt_th_ = thermal_voltage(params.temp_k).value();
+  evt_.assign(count, 0.0);
+  i_spec_.assign(count, 0.0);
+}
+
+void MosfetSpan::set(std::size_t i, const Mosfet& d) {
+  evt_[i] = d.effective_vt();
+  // Same association order as Mosfet::ekv_current: 2.0 * n * beta * vt * vt.
+  i_spec_[i] = 2.0 * params_.n * d.beta() * vt_th_ * vt_th_;
+}
+
+double MosfetSpan::vgs_for_current(std::size_t i, double id, double vd,
+                                   double vs) const {
+  require(id > 0.0, "Mosfet::vgs_for_current: current must be positive");
+  auto f = [&](double vg) { return drain_current(i, vg, vd, vs) - id; };
   return bisect(f, -10.0, 15.0, 80);
 }
 

@@ -1,0 +1,58 @@
+// Cache-line-aligned contiguous storage for plane-structured hot-path state.
+//
+// The SoA pixel engine (neurochip/pixel_bank.hpp, DESIGN.md §16) keeps
+// per-pixel state in contiguous planes that parallel capture workers write
+// in interleaved runs: output channel `ch` owns rows [8ch, 8ch+8) of every
+// column, i.e. one 8-element run per column of a column-major plane.
+// Aligning each plane base to the cache-line size makes every such run
+// start on a line boundary (8 doubles = 64 bytes), so two channel workers
+// never store to the same cache line — the false-sharing fix behind the
+// multi-thread scaling work.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace biosense {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal stateless aligned allocator (C++17 aligned operator new).
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T),
+                "AlignedAllocator: alignment below the type's natural one");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// A contiguous cache-line-aligned array — the storage type of every
+/// PixelBank / MosfetSpan plane.
+template <typename T>
+using Plane = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace biosense

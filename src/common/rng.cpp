@@ -16,31 +16,12 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& w : state_) w = splitmix64(s);
   has_cached_normal_ = false;
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high-quality bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
@@ -53,23 +34,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   while (draw >= limit) draw = next_u64();
   return lo + static_cast<std::int64_t>(draw % span);
 }
-
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
-  }
-  double u1 = uniform();
-  while (u1 <= 0.0) u1 = uniform();
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * constants::kPi * u2;
-  cached_normal_ = r * std::sin(theta);
-  has_cached_normal_ = true;
-  return r * std::cos(theta);
-}
-
-double Rng::normal(double mean, double sigma) { return mean + sigma * normal(); }
 
 double Rng::exponential(double lambda) {
   double u = uniform();

@@ -9,10 +9,19 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace biosense {
+
+namespace detail {
+inline std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace detail
 
 /// Complete serialized state of an `Rng` — the four xoshiro256++ words plus
 /// the Box-Muller cache. `restore()`-ing this state reproduces the exact
@@ -35,15 +44,32 @@ class Rng {
 
   void reseed(std::uint64_t seed);
 
-  /// Raw 64-bit draw.
-  std::uint64_t next_u64();
+  /// Raw 64-bit draw. Inline (with uniform/normal below) because the SoA
+  /// pixel kernel draws ~12 normals per pixel per frame; the arithmetic is
+  /// identical to the previous out-of-line definition, so draw streams are
+  /// unchanged bit for bit.
+  std::uint64_t next_u64() {
+    const std::uint64_t result =
+        detail::rotl64(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = detail::rotl64(state_[3], 45);
+    return result;
+  }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
   result_type operator()() { return next_u64(); }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -52,10 +78,23 @@ class Rng {
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Standard normal via Box-Muller (cached second value).
-  double normal();
+  double normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * constants::kPi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
 
   /// Normal with given mean and standard deviation.
-  double normal(double mean, double sigma);
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
 
   /// Exponential with given rate lambda (mean 1/lambda).
   double exponential(double lambda);

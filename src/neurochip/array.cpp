@@ -26,6 +26,8 @@ void NeuroChipConfig::validate() const {
           "NeuroChip: gain spreads must be non-negative");
   require(recalibration_interval > Time(0.0),
           "NeuroChip: recalibration interval must be positive");
+  require(quiescence_threshold >= Voltage(0.0),
+          "NeuroChip: quiescence threshold must be non-negative");
 }
 
 NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
@@ -34,11 +36,9 @@ NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
       mismatch_(config.pelgrom, rng_.fork()) {
   config.validate();
 
-  const auto n = static_cast<std::size_t>(config.rows * config.cols);
-  pixels_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    pixels_.emplace_back(config.pixel, mismatch_, rng_.fork());
-  }
+  // Same per-pixel draw sequence as constructing the old pixel vector:
+  // row-major, one master fork + two mismatch samples per pixel.
+  bank_.build(config.pixel, config.rows, config.cols, mismatch_, rng_);
 
   row_chains_.reserve(static_cast<std::size_t>(config.rows));
   for (int r = 0; r < config.rows; ++r) {
@@ -55,16 +55,16 @@ NeuroChip::NeuroChip(NeuroChipConfig config, Rng rng)
         (config.gain_offset_sigma * 700.0).value()));
   }
 
-  signal_scratch_.assign(n, 0.0);
+  signal_scratch_.assign(bank_.size(), 0.0);
   channel_drift_.assign(static_cast<std::size_t>(n_channels), 1.0);
-  gm_nominal_ = pixels_.front().gm();
+  gm_nominal_ = bank_.gm(0);
 }
 
 void NeuroChip::inject_faults(const faults::SiteFaultSet& set,
                               std::vector<double> channel_drift) {
   require(set.rows == config_.rows && set.cols == config_.cols,
           "NeuroChip: fault set dimensions mismatch");
-  require(set.type.size() == pixels_.size() &&
+  require(set.type.size() == bank_.size() &&
               set.value.size() == set.type.size(),
           "NeuroChip: fault set is incomplete");
   pixel_faults_ = set;
@@ -146,10 +146,13 @@ TimingBudget NeuroChip::timing() const {
 void NeuroChip::calibrate_pixels() {
   // Each pixel's calibration draws only from its own switch RNG stream, so
   // the sweep parallelizes without affecting results.
-  auto* pixels = pixels_.data();
+  PixelBank* bank = &bank_;
   parallel_for(
-      0, static_cast<std::int64_t>(pixels_.size()),
-      [pixels](std::int64_t i) { pixels[i].calibrate(); }, 256);
+      0, static_cast<std::int64_t>(bank_.size()),
+      [bank](std::int64_t i) {
+        bank->calibrate(static_cast<std::size_t>(i));
+      },
+      256);
 }
 
 void NeuroChip::calibrate_all() {
@@ -165,7 +168,7 @@ void NeuroChip::calibrate_all() {
 }
 
 void NeuroChip::decalibrate_all() {
-  for (auto& p : pixels_) p.decalibrate();
+  for (std::size_t i = 0; i < bank_.size(); ++i) bank_.decalibrate(i);
   ever_calibrated_ = false;
 }
 
@@ -205,20 +208,48 @@ void NeuroChip::capture_frame_into(const SignalSource& source, double t,
     double t;
     double column_dwell;
   } col_ctx{source, scratch, rows, t, tb.column_dwell};
-  parallel_for(0, cols, [&col_ctx](std::int64_t col) {
-    col_ctx.source.eval_column(
-        static_cast<int>(col), col_ctx.t + col * col_ctx.column_dwell,
-        std::span<double>(col_ctx.scratch + col * col_ctx.rows,
-                          static_cast<std::size_t>(col_ctx.rows)));
-  });
+  // Grain 4: a single column's evaluation is too small a work item once the
+  // SoA kernel dominates the frame; batching columns keeps the dynamic
+  // chunk-claim overhead out of the scaling profile.
+  parallel_for(
+      0, cols,
+      [&col_ctx](std::int64_t col) {
+        col_ctx.source.eval_column(
+            static_cast<int>(col), col_ctx.t + col * col_ctx.column_dwell,
+            std::span<double>(col_ctx.scratch + col * col_ctx.rows,
+                              static_cast<std::size_t>(col_ctx.rows)));
+      },
+      4);
+
+  // Per-frame invariants hoisted out of the pixel loop: the per-dt noise
+  // constants (white sigma + flicker pole decays), the gain stages'
+  // single-pole decay factors (identical across chains of a kind — decay
+  // depends only on bandwidth), the per-frame droop step, and the sparse
+  // threshold. Each was previously recomputed rows*cols (or more) times
+  // per frame with bit-identical results.
+  const PixelBank::FrameConsts& fc = bank_.prepare(tb.column_dwell);
+  require(row_chains_.front().stages.size() == 2 &&
+              channel_chains_.front().stages.size() == 2,
+          "NeuroChip: expected two-stage gain chains");
+  double row_decay[2];
+  double ch_decay[2];
+  row_chains_.front().decays(0.5 * tb.column_dwell, row_decay);
+  channel_chains_.front().decays(0.5 * tb.mux_slot, ch_decay);
+  const double droop_step = bank_.droop_dv(tb.frame_period);
+  const double quiesce = config_.quiescence_threshold.value();
 
   // Phase 2 — the analog signal path, one output channel per work item.
-  // A channel owns its mux group of rows: their pixels (and noise RNG
+  // A channel owns its mux group of rows: their plane runs (and noise RNG
   // streams), their row chains, and the shared channel chain. Columns stay
   // in sequence inside a channel because the amplifiers' single-pole
   // settling state carries from column to column; every state object sees
   // the exact operation sequence of the serial scan, so frames are
-  // bitwise-identical for any thread count.
+  // bitwise-identical for any thread count. The planes are column-major, so
+  // a channel's 8-row run per column is one contiguous cache line — no
+  // false sharing between channel workers. Hold-time droop is folded into
+  // this phase (each pixel is read exactly once, then drooped; masking and
+  // recalibration below only run after the parallel region), which saves
+  // the seed's separate whole-array phase-3 sweep.
   struct ChannelCtx {
     NeuroChip& chip;
     NeuroFrame& frame;
@@ -226,34 +257,50 @@ void NeuroChip::capture_frame_into(const SignalSource& source, double t,
     int rows;
     int cols;
     int mux;
-    double column_dwell;
-    double mux_slot;
     double full_scale;
     double adc_lsb;
     double conv_gain;
-  } ch_ctx{*this,       frame,       scratch,  rows,    cols,     mux,
-           tb.column_dwell, tb.mux_slot, full_scale, adc_lsb, conv_gain};
+    const PixelBank::FrameConsts& fc;
+    const double* row_decay;
+    const double* ch_decay;
+    double droop_step;
+    double quiesce;
+  } ch_ctx{*this,    frame,   scratch,   rows,     cols,
+           mux,      full_scale, adc_lsb, conv_gain, fc,
+           row_decay, ch_decay, droop_step, quiesce};
   parallel_for(0, channels(), [&ch_ctx](std::int64_t ch) {
     NeuroChip& chip = ch_ctx.chip;
+    PixelBank& bank = chip.bank_;
     const int row_begin = static_cast<int>(ch) * ch_ctx.mux;
     auto& cc = chip.channel_chains_[static_cast<std::size_t>(ch)];
+    const double drift = chip.channel_drift_[static_cast<std::size_t>(ch)];
     for (int col = 0; col < ch_ctx.cols; ++col) {
       for (int row = row_begin; row < row_begin + ch_ctx.mux; ++row) {
-        auto& px = chip.pixel(row, col);
-        const double v_sig = ch_ctx.scratch[col * ch_ctx.rows + row];
-        const double i_diff = px.read_current(v_sig, ch_ctx.column_dwell);
+        // Column-major planes: the pixel's plane slot is the same index
+        // phase 1 wrote its signal to.
+        const std::size_t pi =
+            static_cast<std::size_t>(col) * static_cast<std::size_t>(ch_ctx.rows) +
+            static_cast<std::size_t>(row);
+        const double v_sig = ch_ctx.scratch[pi];
+        // Sparse path: a quiescent pixel (source signal below threshold)
+        // reports its cached zero-signal current and draws no noise. The
+        // decision depends only on phase-1 output, which is identical for
+        // every thread count — see DESIGN.md §16.
+        const double i_diff =
+            (ch_ctx.quiesce > 0.0 && std::abs(v_sig) < ch_ctx.quiesce)
+                ? bank.quiet_current(pi)
+                : bank.read_current_prepared(pi, v_sig, ch_ctx.fc);
         // Row amplifier settles within the column dwell; two half-dwell
         // steps capture the residual first-order settling.
         auto& rc = chip.row_chains_[static_cast<std::size_t>(row)];
-        rc.step(i_diff, 0.5 * ch_ctx.column_dwell);
-        const double i_row = rc.step(i_diff, 0.5 * ch_ctx.column_dwell);
+        rc.step_with(i_diff, ch_ctx.row_decay);
+        const double i_row = rc.step_with(i_diff, ch_ctx.row_decay);
 
         // The channel chain serves mux_factor rows in sequence within the
         // column dwell (one mux slot each). Gain-chain drift scales the
         // delivered current.
-        cc.step(i_row, 0.5 * ch_ctx.mux_slot);
-        const double i_out = cc.step(i_row, 0.5 * ch_ctx.mux_slot) *
-                             chip.channel_drift_[static_cast<std::size_t>(ch)];
+        cc.step_with(i_row, ch_ctx.ch_decay);
+        const double i_out = cc.step_with(i_row, ch_ctx.ch_decay) * drift;
 
         // Off-chip ADC.
         const double clipped =
@@ -266,6 +313,9 @@ void NeuroChip::capture_frame_into(const SignalSource& source, double t,
         ch_ctx.frame.codes[idx] = code;
         ch_ctx.frame.v_in[idx] =
             static_cast<double>(code) * ch_ctx.adc_lsb / ch_ctx.conv_gain;
+
+        // Hold-time droop for this frame (the seed's phase 3, folded in).
+        bank.droop(pi, ch_ctx.droop_step);
       }
     }
   });
@@ -274,14 +324,8 @@ void NeuroChip::capture_frame_into(const SignalSource& source, double t,
   // mean before anything downstream sees the frame.
   if (!defect_map_.empty()) mask_frame(frame, adc_lsb, conv_gain);
 
-  // Phase 3 — hold-time effects and periodic recalibration (per-pixel
-  // state only).
+  // Periodic recalibration (after the parallel phase; per-pixel state only).
   const double frame_period = tb.frame_period;
-  auto* pixels = pixels_.data();
-  parallel_for(
-      0, static_cast<std::int64_t>(pixels_.size()),
-      [pixels, frame_period](std::int64_t i) { pixels[i].elapse(frame_period); },
-      1024);
   if (ever_calibrated_ && t + frame_period - last_calibration_t_ >=
                               config_.recalibration_interval.value()) {
     BIOSENSE_COUNT("neurochip.recalibrations", 1);
@@ -317,26 +361,38 @@ std::vector<double> NeuroChip::capture_pixel_highrate(int row, int col,
       2.0 * full_scale / static_cast<double>(1 << config_.adc.bits);
   const double conv_gain = nominal_conversion_gain();
 
-  auto& px = pixel(row, col);
+  const std::size_t pi = bank_.plane_index(row, col);
   auto& rc = row_chains_[static_cast<std::size_t>(row)];
   const auto ch = static_cast<std::size_t>(row / config_.mux_factor);
   auto& cc = channel_chains_[ch];
   const std::size_t idx = static_cast<std::size_t>(row * config_.cols + col);
 
+  // Fixed dt throughout: hoist the per-dt constants once, like the frame
+  // kernel (bit-identical to stepping with dt directly).
+  const PixelBank::FrameConsts& fc = bank_.prepare(dt);
+  require(rc.stages.size() == 2 && cc.stages.size() == 2,
+          "NeuroChip: expected two-stage gain chains");
+  double row_decay[2];
+  double ch_decay[2];
+  rc.decays(0.5 * dt, row_decay);
+  cc.decays(0.5 * dt, ch_decay);
+  const double droop_step = bank_.droop_dv(dt);
+
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n_samples));
   for (int k = 0; k < n_samples; ++k) {
     const double t = t0 + k * dt;
-    const double i_diff = px.read_current(source.eval(row, col, t), dt);
-    rc.step(i_diff, 0.5 * dt);
-    const double i_row = rc.step(i_diff, 0.5 * dt);
-    cc.step(i_row, 0.5 * dt);
-    const double i_out = cc.step(i_row, 0.5 * dt) * channel_drift_[ch];
+    const double i_diff =
+        bank_.read_current_prepared(pi, source.eval(row, col, t), fc);
+    rc.step_with(i_diff, row_decay);
+    const double i_row = rc.step_with(i_diff, row_decay);
+    cc.step_with(i_row, ch_decay);
+    const double i_out = cc.step_with(i_row, ch_decay) * channel_drift_[ch];
     const double clipped = std::clamp(i_out, -full_scale, full_scale);
     auto code = static_cast<std::int32_t>(std::lround(clipped / adc_lsb));
     if (has_pixel_faults_) code = apply_pixel_fault(idx, code);
     out.push_back(static_cast<double>(code) * adc_lsb / conv_gain);
-    px.elapse(dt);
+    bank_.droop(pi, droop_step);
   }
   return out;
 }
@@ -440,21 +496,32 @@ std::vector<NeuroFrame> NeuroChip::record(const SignalField& field, double t0,
 }
 
 std::pair<double, double> NeuroChip::offset_stats() const {
+  // Row-major accumulation (the old pixel-vector order) so the floating
+  // sum is unchanged.
   double sum = 0.0;
   double mx = 0.0;
-  for (const auto& p : pixels_) {
-    const double o = std::abs(p.input_referred_offset());
-    sum += o;
-    mx = std::max(mx, o);
+  for (int r = 0; r < config_.rows; ++r) {
+    for (int c = 0; c < config_.cols; ++c) {
+      const double o =
+          std::abs(bank_.input_referred_offset(bank_.plane_index(r, c)));
+      sum += o;
+      mx = std::max(mx, o);
+    }
   }
-  return {sum / static_cast<double>(pixels_.size()), mx};
+  return {sum / static_cast<double>(bank_.size()), mx};
 }
 
 void NeuroChip::save_state(snapshot::StateWriter& w) const {
   w.rng(rng_);
   mismatch_.save_state(w);
-  w.u32(static_cast<std::uint32_t>(pixels_.size()));
-  for (const SensorPixel& p : pixels_) p.save_state(w);
+  // Row-major per-pixel sections in the exact byte layout of the old
+  // per-pixel object model (old checkpoints and the bank interchange).
+  w.u32(static_cast<std::uint32_t>(bank_.size()));
+  for (int r = 0; r < bank_.rows(); ++r) {
+    for (int c = 0; c < bank_.cols(); ++c) {
+      bank_.save_pixel_state(bank_.plane_index(r, c), w);
+    }
+  }
   w.u32(static_cast<std::uint32_t>(row_chains_.size()));
   for (const circuit::GainChain& c : row_chains_) c.save_state(w);
   w.u32(static_cast<std::uint32_t>(channel_chains_.size()));
@@ -467,11 +534,16 @@ void NeuroChip::save_state(snapshot::StateWriter& w) const {
 void NeuroChip::load_state(snapshot::StateReader& r) {
   r.rng(rng_);
   mismatch_.load_state(r);
-  if (r.u32() != pixels_.size()) {
+  if (r.u32() != bank_.size()) {
     r.fail();
     return;
   }
-  for (SensorPixel& p : pixels_) p.load_state(r);
+  for (int row = 0; row < bank_.rows(); ++row) {
+    for (int col = 0; col < bank_.cols(); ++col) {
+      bank_.load_pixel_state(bank_.plane_index(row, col), r);
+    }
+  }
+  bank_.refresh_quiet_all();
   if (r.u32() != row_chains_.size()) {
     r.fail();
     return;

@@ -61,6 +61,13 @@ struct NeuroChipConfig {
   /// Pixels are re-calibrated every this interval (droop otherwise
   /// accumulates).
   Time recalibration_interval = 0.25_s;
+  /// Event-driven sparse readout: pixels whose source signal magnitude is
+  /// below this threshold skip the full front-end physics and report their
+  /// cached quiescent current (noise streams pause while quiescent — see
+  /// DESIGN.md §16 for the determinism argument and the approximations).
+  /// 0 (the default) disables the sparse path; frames are then bitwise
+  /// identical to the dense kernel.
+  Voltage quiescence_threshold = 0.0_V;
 
   /// Throws ConfigError when the configuration is inconsistent (empty
   /// array, mux factor not dividing rows, non-positive rates, ...).
@@ -89,8 +96,15 @@ struct NeuroFrame {
   double t = 0.0;                    // frame start time, s
   int masked = 0;                    // pixels masked via the defect map
 
-  double& at(int r, int c) { return v_in[static_cast<std::size_t>(r * cols + c)]; }
+  /// Bounds-checked input-referred voltage accessor (mirrors `code_at`).
+  double& at(int r, int c) {
+    require(r >= 0 && r < rows && c >= 0 && c < cols,
+            "NeuroFrame::at: pixel out of range");
+    return v_in[static_cast<std::size_t>(r * cols + c)];
+  }
   double at(int r, int c) const {
+    require(r >= 0 && r < rows && c >= 0 && c < cols,
+            "NeuroFrame::at: pixel out of range");
     return v_in[static_cast<std::size_t>(r * cols + c)];
   }
 
@@ -196,12 +210,13 @@ class NeuroChip {
   /// quality. Pair: (mean absolute, max absolute).
   std::pair<double, double> offset_stats() const;
 
-  SensorPixel& pixel(int r, int c) {
-    return pixels_[static_cast<std::size_t>(r * config_.cols + c)];
+  /// Accessor view over one pixel of the bank (valid while the chip lives).
+  SensorPixel pixel(int r, int c) {
+    return SensorPixel(bank_, bank_.plane_index(r, c));
   }
-  const SensorPixel& pixel(int r, int c) const {
-    return pixels_[static_cast<std::size_t>(r * config_.cols + c)];
-  }
+
+  /// The plane-structured pixel engine (read access for diagnostics).
+  const PixelBank& bank() const { return bank_; }
 
   /// Nominal end-to-end transimpedance factor used for reconstruction:
   /// input volts -> output amps (gm * total gain).
@@ -226,7 +241,8 @@ class NeuroChip {
   NeuroChipConfig config_;  // analyze:transient - frozen config
   Rng rng_;
   noise::MismatchSampler mismatch_;
-  std::vector<SensorPixel> pixels_;
+  // SoA pixel engine: contiguous column-major planes (DESIGN.md §16).
+  PixelBank bank_;
   // analyze:transient - injected fault config, re-applied by the fault plan
   faults::SiteFaultSet pixel_faults_{};
   bool has_pixel_faults_ = false;  // analyze:transient - fault config, re-applied

@@ -1,83 +1,11 @@
 #include "neurochip/pixel.hpp"
 
-#include <cmath>
-
-#include "common/error.hpp"
-
 namespace biosense::neurochip {
 
 SensorPixel::SensorPixel(PixelParams params, noise::MismatchSampler& mismatch,
                          Rng rng)
-    : params_(params),
-      m1_(params.m1, mismatch.sample(params.m1.w, params.m1.l)),
-      m2_(params.m2, mismatch.sample(params.m2.w, params.m2.l)),
-      s1_(params.s1, rng.fork()) {
-  require(params.store_cap > Capacitance(0.0),
-          "SensorPixel: storage cap must be positive");
-  require(params.i_cal > Current(0.0),
-          "SensorPixel: calibration current must be positive");
-  noise_.add_white(params.noise_white_psd.value(), rng.fork());
-  if (params.noise_flicker_kf > VoltageSq(0.0)) {
-    noise_.add_flicker(params.noise_flicker_kf.value(), 1.0, 100e3,
-                       rng.fork());
-  }
-  // M2 is a current source biased to nominally i_cal; its mismatch makes
-  // the actual forced current deviate. The shared bias generator puts a
-  // *nominal* device exactly at i_cal; M2's threshold/beta errors displace
-  // the current. All three operating-point solves below are frozen die
-  // properties, computed once.
-  const circuit::Mosfet nominal_m2(params_.m2);
-  const double v_drain = params_.v_drain.value();
-  const double v_bias =
-      nominal_m2.vgs_for_current(params_.i_cal.value(), v_drain, 0.0);
-  i_m2_actual_ = m2_.drain_current(v_bias, v_drain, 0.0);
-  v_balance_ = m1_.vgs_for_current(i_m2_actual_, v_drain, 0.0);
-  const circuit::Mosfet nominal_m1(params_.m1);
-  v_bias_nominal_m1_ =
-      nominal_m1.vgs_for_current(params_.i_cal.value(), v_drain, 0.0);
-  decalibrate();
-}
-
-double SensorPixel::m2_current() const { return i_m2_actual_; }
-
-double SensorPixel::gate_voltage_for_balance() const { return v_balance_; }
-
-void SensorPixel::calibrate() {
-  // Feedback through S1 stores exactly the gate voltage that balances M1
-  // against M2's actual current ...
-  v_store_ = gate_voltage_for_balance();
-  // ... then S1 opens and dumps its channel charge onto the storage node
-  // (charge / capacitance = pedestal voltage).
-  s1_.close();
-  v_store_ += (Charge(s1_.open()) / params_.store_cap).value();
-  calibrated_ = true;
-}
-
-void SensorPixel::decalibrate() {
-  // Uncalibrated: the gate sits at the voltage a *nominal* M1 would need —
-  // every pixel gets the same bias, so the full mismatch shows up.
-  v_store_ = v_bias_nominal_m1_;
-  calibrated_ = false;
-}
-
-void SensorPixel::elapse(double dt) {
-  // I*t/C carries dimension voltage.
-  v_store_ -= (params_.droop_leak * Time(dt) / params_.store_cap).value();
-}
-
-double SensorPixel::read_current(double v_signal, double dt) {
-  double v_gate = v_store_ + v_signal;
-  if (dt > 0.0) v_gate += noise_.sample(dt);
-  return m1_.drain_current(v_gate, params_.v_drain.value(), 0.0) -
-         i_m2_actual_;
-}
-
-double SensorPixel::input_referred_offset() const {
-  return v_store_ - gate_voltage_for_balance();
-}
-
-double SensorPixel::gm() const {
-  return m1_.gm(gate_voltage_for_balance(), params_.v_drain.value(), 0.0);
+    : owned_(std::make_shared<PixelBank>()), bank_(owned_.get()) {
+  owned_->build_single(params, mismatch, rng);
 }
 
 }  // namespace biosense::neurochip

@@ -16,103 +16,81 @@
 //    signal coupled onto M1's gate unbalances M1 against M2 and the
 //    difference current Delta_I = gm * (v_signal + v_residual) flows into
 //    the column regulation loop (A, M3, M4) toward the gain stages.
+//
+// Since the SoA refactor (DESIGN.md §16) the physics state lives in
+// `PixelBank` planes; `SensorPixel` is a thin accessor view (bank pointer +
+// plane index) so existing tests and the ablation bench keep compiling. The
+// standalone constructor builds a private 1x1 bank, preserving the original
+// single-pixel semantics and draw order exactly.
 #pragma once
 
-#include "circuit/mosfet.hpp"
-#include "circuit/switch.hpp"
+#include <memory>
+
 #include "common/rng.hpp"
-#include "common/units.hpp"
+#include "neurochip/pixel_bank.hpp"
 #include "noise/mismatch.hpp"
-#include "noise/sources.hpp"
 #include "snapshot/state_io.hpp"
 
 namespace biosense::neurochip {
 
-struct PixelParams {
-  circuit::MosfetParams m1{};       // sensor transistor
-  circuit::MosfetParams m2{};       // calibration current source
-  Capacitance store_cap = 80.0_fF;  // gate storage capacitance
-  circuit::SwitchParams s1{};       // calibration switch
-  Current i_cal = 2.0_uA;           // nominal calibration current
-  /// Storage-node leakage. ~10 aA is typical for a reverse-biased junction
-  /// at room temperature; it sets how often the array must re-calibrate
-  /// (droop = leak/C_store ~ 0.125 mV/s with the defaults, i.e. ~60 uV per
-  /// 0.5 s — just inside the 100 uV signal floor).
-  Current droop_leak = Current(10e-18);
-  Voltage v_drain = 2.0_V;          // M1 drain operating point
-  /// Input-referred noise of the pixel front-end.
-  VoltagePsd noise_white_psd = VoltagePsd(2.5e-15);  // V^2/Hz (~50 nV/rtHz)
-  VoltageSq noise_flicker_kf = VoltageSq(1e-10);     // V^2 (1/f coefficient)
-};
-
 class SensorPixel {
  public:
   /// Draws M1/M2 mismatch from `mismatch` (frozen per pixel, like a die).
+  /// Standalone form: owns a private 1x1 PixelBank.
   SensorPixel(PixelParams params, noise::MismatchSampler& mismatch, Rng rng);
+
+  /// View over pixel `index` of an externally owned bank.
+  SensorPixel(PixelBank& bank, std::size_t index) : bank_(&bank), idx_(index) {}
 
   /// Runs one in-pixel calibration cycle (S1 close -> settle -> S1 open
   /// with charge injection). Electrode assumed quiet during calibration.
-  void calibrate();
+  void calibrate() { bank_->calibrate(idx_); }
 
   /// Clears calibration (power-up state): the gate holds the nominal bias
   /// voltage; mismatch is NOT compensated. Used by the ablation bench.
-  void decalibrate();
+  void decalibrate() { bank_->decalibrate(idx_); }
 
   /// Advances hold-time effects (droop) by dt.
-  void elapse(double dt);
+  void elapse(double dt) { bank_->elapse(idx_, dt); }
 
   /// Difference current Delta_I = I_M1 - I_M2 for an electrode signal
   /// voltage riding on M1's gate. `dt` is the sample interval used to draw
   /// the front-end noise (pass 0 to disable noise).
-  double read_current(double v_signal, double dt = 0.0);
+  double read_current(double v_signal, double dt = 0.0) {
+    return bank_->read_current(idx_, v_signal, dt);
+  }
 
   /// Input-referred offset voltage currently present (pedestal + droop, or
   /// the full mismatch if uncalibrated): the voltage a zero signal appears
   /// to have.
-  double input_referred_offset() const;
+  double input_referred_offset() const {
+    return bank_->input_referred_offset(idx_);
+  }
 
   /// Transconductance of M1 at the calibrated operating point.
-  double gm() const;
+  double gm() const { return bank_->gm(idx_); }
 
   /// Actual current of the pixel's M2 (with its mismatch), A.
-  double m2_current() const;
+  double m2_current() const { return bank_->m2_current(idx_); }
 
-  bool calibrated() const { return calibrated_; }
+  bool calibrated() const { return bank_->calibrated(idx_); }
 
   /// Evolving pixel state: the switch (injection stream + position), the
   /// front-end noise streams, the storage-cap voltage (calibration +
-  /// droop) and the calibration flag. M1/M2 mismatch and the balance
-  /// points are frozen die state reproduced by reconstruction.
+  /// droop) and the calibration flag — the bank emits the same byte layout
+  /// the per-pixel object model wrote.
   void save_state(snapshot::StateWriter& w) const {
-    s1_.save_state(w);
-    noise_.save_state(w);
-    w.f64(v_store_);
-    w.b(calibrated_);
+    bank_->save_pixel_state(idx_, w);
   }
   void load_state(snapshot::StateReader& r) {
-    s1_.load_state(r);
-    noise_.load_state(r);
-    v_store_ = r.f64();
-    calibrated_ = r.b();
+    bank_->load_pixel_state(idx_, r);
   }
 
  private:
-  double gate_voltage_for_balance() const;
-
-  PixelParams params_;  // analyze:transient - frozen config
-  // analyze:transient - frozen die state, reproduced by reconstruction
-  circuit::Mosfet m1_;
-  circuit::Mosfet m2_;  // analyze:transient - frozen die state, reconstructed
-  circuit::AnalogSwitch s1_;
-  noise::CompositeNoise noise_;
-  double v_store_ = 0.0;   // voltage held on the storage cap
-  // M2's as-fabricated current (A), the M1 gate voltage balancing M2,
-  // and the power-up (uncalibrated) gate bias.
-  // analyze:transient - frozen die state, reproduced by reconstruction
-  double i_m2_actual_ = 0.0;
-  double v_balance_ = 0.0;          // analyze:transient - frozen die state
-  double v_bias_nominal_m1_ = 0.0;  // analyze:transient - frozen die state
-  bool calibrated_ = false;
+  // analyze:transient - standalone-pixel ownership shell, not evolving state
+  std::shared_ptr<PixelBank> owned_;
+  PixelBank* bank_ = nullptr;
+  std::size_t idx_ = 0;
 };
 
 }  // namespace biosense::neurochip

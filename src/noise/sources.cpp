@@ -31,6 +31,29 @@ double shot_current_psd(double dc_current_a) {
   return 2.0 * constants::kElectronCharge * std::abs(dc_current_a);
 }
 
+FlickerPlan::FlickerPlan(double kf, double f_lo, double f_hi,
+                         int poles_per_decade) {
+  require(kf >= 0.0, "FlickerNoise: kf must be non-negative");
+  require(f_hi > f_lo && f_lo > 0.0, "FlickerNoise: need 0 < f_lo < f_hi");
+  require(poles_per_decade >= 1, "FlickerNoise: need >= 1 pole per decade");
+  // Identical pole placement to the FlickerNoise constructor below.
+  const double ratio = std::pow(10.0, 1.0 / poles_per_decade);
+  sigma2 = kf * std::log(ratio);
+  state_sigma = std::sqrt(sigma2);
+  for (double fc = f_lo; fc <= f_hi * (1.0 + 1e-12); fc *= ratio) {
+    tau.push_back(1.0 / (2.0 * constants::kPi * fc));
+  }
+}
+
+void FlickerStepConsts::prepare(const FlickerPlan& plan, double dt) {
+  a.resize(plan.poles());
+  s.resize(plan.poles());
+  for (std::size_t k = 0; k < plan.poles(); ++k) {
+    a[k] = std::exp(-dt / plan.tau[k]);
+    s[k] = std::sqrt(plan.sigma2 * (1.0 - a[k] * a[k]));
+  }
+}
+
 FlickerNoise::FlickerNoise(double kf, double f_lo, double f_hi, Rng rng,
                            int poles_per_decade)
     : rng_(rng) {

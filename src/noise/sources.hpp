@@ -12,6 +12,8 @@
 // current model (shot noise on pA-level currents).
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -20,6 +22,65 @@
 #include "snapshot/state_io.hpp"
 
 namespace biosense::noise {
+
+/// Discrete-step sigma of band-limited white noise with the given one-sided
+/// PSD: variance = S * f_s / 2 = S / (2 dt). This is the per-frame-hoisted
+/// form of WhiteNoise::sample's internal sigma — a bank of same-PSD sources
+/// computes it once and draws rng.normal(0, sigma) per source.
+inline double white_step_sigma(double psd_one_sided, double dt) {
+  return std::sqrt(psd_one_sided / (2.0 * dt));
+}
+
+/// Frozen configuration of a FlickerNoise pole bank (identical pole
+/// placement to the FlickerNoise constructor), shared by every source in a
+/// plane-structured bank: per-pole OU time constants plus the common
+/// stationary variance. The per-source evolving state (pole values + draw
+/// stream) lives in the owner's planes.
+struct FlickerPlan {
+  std::vector<double> tau;     // OU time constant per pole
+  double sigma2 = 0.0;         // stationary variance per pole
+  double state_sigma = 0.0;    // sqrt(sigma2): initial-state draw sigma
+
+  FlickerPlan() = default;
+  FlickerPlan(double kf, double f_lo, double f_hi, int poles_per_decade = 2);
+
+  std::size_t poles() const { return tau.size(); }
+};
+
+/// Per-dt step constants of a FlickerPlan: the decay a = exp(-dt/tau) and
+/// innovation sigma sqrt(sigma2*(1-a^2)) of every pole, hoisted once per
+/// frame instead of recomputed per pixel per pole.
+struct FlickerStepConsts {
+  std::vector<double> a;
+  std::vector<double> s;
+
+  void prepare(const FlickerPlan& plan, double dt);
+  std::size_t poles() const { return a.size(); }
+};
+
+/// Draws the stationary initial state of each pole into a strided plane
+/// (`states[k * stride]` for pole k), matching the FlickerNoise
+/// constructor's draw order.
+inline void flicker_init_strided(const FlickerPlan& plan, Rng& rng,
+                                 double* states, std::size_t stride) {
+  for (std::size_t k = 0; k < plan.poles(); ++k) {
+    states[k * stride] = rng.normal(0.0, plan.state_sigma);
+  }
+}
+
+/// One flicker sample from strided pole state: advances every pole by the
+/// prepared step constants and returns the sum — bit-identical to
+/// FlickerNoise::sample(dt) at the dt the constants were prepared for.
+inline double flicker_sample_strided(const FlickerStepConsts& c, Rng& rng,
+                                     double* states, std::size_t stride) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < c.a.size(); ++k) {
+    double& st = states[k * stride];
+    st = st * c.a[k] + rng.normal(0.0, c.s[k]);
+    sum += st;
+  }
+  return sum;
+}
 
 /// Band-limited white noise with a given one-sided PSD (units^2/Hz).
 class WhiteNoise {

@@ -187,6 +187,43 @@ TEST(AnalyzeLint, CleanControlHonorsEscapes) {
   EXPECT_TRUE(findings.empty()) << dump(findings);
 }
 
+TEST(AnalyzeNeuro, SeededViolationsFire) {
+  const auto findings = analyze_fixture("neuro_bad");
+  // Accessor surface: pixel(), calibrate(), sample(), read_current(),
+  // elapse() — one finding each.
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'pixel(...)'"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'calibrate(...)'"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'sample(...)'"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'read_current(...)'"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'elapse(...)'"))
+      << dump(findings);
+  // Heap traffic: new, make_unique<...>(), push_back().
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'new'"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'make_unique(...)'"))
+      << dump(findings);
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "'push_back(...)'"))
+      << dump(findings);
+  // Type-erased indirection.
+  EXPECT_TRUE(has_finding(findings, "neuro-hot-loop", "std::function"))
+      << dump(findings);
+  EXPECT_GE(count_rule(findings, "neuro-hot-loop"), 9) << dump(findings);
+}
+
+TEST(AnalyzeNeuro, CleanControlHonorsEscape) {
+  const auto findings = analyze_fixture("neuro_clean");
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+// The guard must hold on the real tree, not just fixtures: the actual
+// capture kernel keeps its hot loop on the prepared plane API, so the
+// rule reports nothing for src/neurochip/ (checked indirectly by
+// test_repo_invariants, which analyzes the live repo).
+
 // The corpus as a whole seeds at least a dozen violations, and every
 // violation carries a rule name that exists in the catalogue.
 TEST(AnalyzeCorpus, SeedsAtLeastTwelveViolationsAllCatalogued) {
@@ -197,7 +234,7 @@ TEST(AnalyzeCorpus, SeedsAtLeastTwelveViolationsAllCatalogued) {
   }
   std::size_t total = 0;
   for (const char* corpus :
-       {"snapshot_bad", "proto_bad", "obs_bad", "lint_bad"}) {
+       {"snapshot_bad", "proto_bad", "obs_bad", "lint_bad", "neuro_bad"}) {
     const auto findings = analyze_fixture(corpus);
     total += findings.size();
     for (const Finding& f : findings) {

@@ -1,0 +1,482 @@
+// Golden-frame contract of the SoA pixel engine (DESIGN.md §16).
+//
+// The capture hot path stores pixel state in plane buffers (PixelBank),
+// but its numerics are pinned to the original array-of-objects model:
+// this test rebuilds that model — one Mosfet/AnalogSwitch/CompositeNoise
+// object per pixel, serial scan — from the public circuit/noise classes
+// with the exact construction and draw order of the seed implementation,
+// and requires the chip's frames to match it BITWISE with noise on,
+// faults injected, a defect map installed and a recalibration crossing
+// inside the recorded window. Any hoisting or batching in the engine
+// that changes a single ulp fails here.
+//
+// The same reference model serializes its pixel state through the
+// original per-pixel section layout (switch stream, composite-noise
+// streams, storage voltage, calibration flag), which must stay
+// byte-identical to NeuroChip::save_state so checkpoints written before
+// the PixelBank refactor keep restoring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "circuit/gain_stage.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/switch.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "faults/defect_map.hpp"
+#include "faults/fault_plan.hpp"
+#include "neurochip/array.hpp"
+#include "noise/mismatch.hpp"
+#include "noise/sources.hpp"
+#include "snapshot/state_io.hpp"
+
+namespace biosense::neurochip {
+namespace {
+
+/// The seed's per-pixel object model, reproduced member for member.
+struct RefPixel {
+  PixelParams params;
+  circuit::Mosfet m1;
+  circuit::Mosfet m2;
+  circuit::AnalogSwitch s1;
+  noise::CompositeNoise noise;
+  double v_store = 0.0;
+  double i_m2_actual = 0.0;
+  double v_balance = 0.0;
+  double v_bias_nominal_m1 = 0.0;
+  bool calibrated = false;
+
+  RefPixel(const PixelParams& p, noise::MismatchSampler& mismatch, Rng rng)
+      : params(p),
+        m1(p.m1, mismatch.sample(p.m1.w, p.m1.l)),
+        m2(p.m2, mismatch.sample(p.m2.w, p.m2.l)),
+        s1(p.s1, rng.fork()) {
+    noise.add_white(p.noise_white_psd.value(), rng.fork());
+    if (p.noise_flicker_kf > VoltageSq(0.0)) {
+      noise.add_flicker(p.noise_flicker_kf.value(), 1.0, 100e3, rng.fork());
+    }
+    const circuit::Mosfet nominal_m2(p.m2);
+    const double v_drain = p.v_drain.value();
+    const double v_bias =
+        nominal_m2.vgs_for_current(p.i_cal.value(), v_drain, 0.0);
+    i_m2_actual = m2.drain_current(v_bias, v_drain, 0.0);
+    v_balance = m1.vgs_for_current(i_m2_actual, v_drain, 0.0);
+    const circuit::Mosfet nominal_m1(p.m1);
+    v_bias_nominal_m1 =
+        nominal_m1.vgs_for_current(p.i_cal.value(), v_drain, 0.0);
+    decalibrate();
+  }
+
+  void calibrate() {
+    v_store = v_balance;
+    s1.close();
+    v_store += (Charge(s1.open()) / params.store_cap).value();
+    calibrated = true;
+  }
+  void decalibrate() {
+    v_store = v_bias_nominal_m1;
+    calibrated = false;
+  }
+  void elapse(double dt) {
+    v_store -= (params.droop_leak * Time(dt) / params.store_cap).value();
+  }
+  double read_current(double v_signal, double dt) {
+    double v_gate = v_store + v_signal;
+    if (dt > 0.0) v_gate += noise.sample(dt);
+    return m1.drain_current(v_gate, params.v_drain.value(), 0.0) -
+           i_m2_actual;
+  }
+  double gm() const {
+    return m1.gm(v_balance, params.v_drain.value(), 0.0);
+  }
+
+  /// The pre-PixelBank per-pixel section layout, byte for byte.
+  void save_state(snapshot::StateWriter& w) const {
+    s1.save_state(w);
+    noise.save_state(w);
+    w.f64(v_store);
+    w.b(calibrated);
+  }
+};
+
+/// Serial re-implementation of the seed capture engine over RefPixels.
+struct RefChip {
+  NeuroChipConfig config;
+  Rng rng;
+  noise::MismatchSampler mismatch;
+  std::vector<RefPixel> pixels;
+  std::vector<circuit::GainChain> row_chains;
+  std::vector<circuit::GainChain> channel_chains;
+  std::vector<double> channel_drift;
+  faults::SiteFaultSet pixel_faults{};
+  bool has_pixel_faults = false;
+  faults::DefectMap defect_map{};
+  double gm_nominal = 0.0;
+  double last_calibration_t = 0.0;
+  bool ever_calibrated = false;
+
+  RefChip(const NeuroChipConfig& cfg, Rng seed_rng)
+      : config(cfg), rng(seed_rng), mismatch(cfg.pelgrom, rng.fork()) {
+    const auto n = static_cast<std::size_t>(cfg.rows * cfg.cols);
+    pixels.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pixels.emplace_back(cfg.pixel, mismatch, rng.fork());
+    }
+    for (int r = 0; r < cfg.rows; ++r) {
+      row_chains.push_back(circuit::GainChain::on_chip(
+          rng.fork(), cfg.gain_sigma, cfg.gain_offset_sigma.value()));
+    }
+    const int n_channels = cfg.rows / cfg.mux_factor;
+    for (int c = 0; c < n_channels; ++c) {
+      channel_chains.push_back(circuit::GainChain::off_chip(
+          rng.fork(), cfg.gain_sigma,
+          (cfg.gain_offset_sigma * 700.0).value()));
+    }
+    channel_drift.assign(static_cast<std::size_t>(n_channels), 1.0);
+    gm_nominal = pixels.front().gm();
+  }
+
+  int channels() const { return config.rows / config.mux_factor; }
+
+  void calibrate_all() {
+    for (auto& p : pixels) p.calibrate();
+    const double i_ref = (Conductance(gm_nominal) * 1.0_mV).value();
+    for (auto& ch : row_chains) ch.calibrate(i_ref);
+    for (auto& ch : channel_chains) ch.calibrate(i_ref * 700.0);
+    ever_calibrated = true;
+  }
+
+  std::int32_t apply_pixel_fault(std::size_t idx, std::int32_t code) const {
+    const auto full_code =
+        static_cast<std::int32_t>(1 << (config.adc.bits - 1));
+    switch (pixel_faults.type[idx]) {
+      case faults::SiteFaultType::kDead:
+        return 0;
+      case faults::SiteFaultType::kStuck:
+        return static_cast<std::int32_t>(
+            std::lround(pixel_faults.value[idx] * full_code));
+      case faults::SiteFaultType::kRailedHigh:
+        return full_code;
+      case faults::SiteFaultType::kRailedLow:
+        return -full_code;
+      default:
+        return code;
+    }
+  }
+
+  NeuroFrame capture_frame(const SignalSource& source, double t) {
+    const int rows = config.rows;
+    const int cols = config.cols;
+    const int mux = config.mux_factor;
+    const double frame_period = (1.0 / config.frame_rate).value();
+    const double column_dwell = frame_period / cols;
+    const double mux_slot = column_dwell / mux;
+
+    NeuroFrame frame;
+    frame.rows = rows;
+    frame.cols = cols;
+    frame.t = t;
+    frame.v_in.assign(static_cast<std::size_t>(rows * cols), 0.0);
+    frame.codes.assign(static_cast<std::size_t>(rows * cols), 0);
+
+    const double full_scale = config.adc.full_scale.value();
+    const double adc_lsb =
+        2.0 * full_scale / static_cast<double>(1 << config.adc.bits);
+    const double conv_gain = gm_nominal * 100.0 * 7.0 * 4.0 * 2.0;
+
+    std::vector<double> scratch(static_cast<std::size_t>(rows * cols), 0.0);
+    for (int col = 0; col < cols; ++col) {
+      source.eval_column(col, t + col * column_dwell,
+                         std::span<double>(scratch.data() + col * rows,
+                                           static_cast<std::size_t>(rows)));
+    }
+
+    for (int ch = 0; ch < channels(); ++ch) {
+      const int row_begin = ch * mux;
+      auto& cc = channel_chains[static_cast<std::size_t>(ch)];
+      for (int col = 0; col < cols; ++col) {
+        for (int row = row_begin; row < row_begin + mux; ++row) {
+          auto& px = pixels[static_cast<std::size_t>(row * cols + col)];
+          const double v_sig = scratch[static_cast<std::size_t>(col * rows + row)];
+          const double i_diff = px.read_current(v_sig, column_dwell);
+          auto& rc = row_chains[static_cast<std::size_t>(row)];
+          rc.step(i_diff, 0.5 * column_dwell);
+          const double i_row = rc.step(i_diff, 0.5 * column_dwell);
+          cc.step(i_row, 0.5 * mux_slot);
+          const double i_out = cc.step(i_row, 0.5 * mux_slot) *
+                               channel_drift[static_cast<std::size_t>(ch)];
+          const double clipped =
+              std::clamp(i_out, -full_scale, full_scale);
+          auto code =
+              static_cast<std::int32_t>(std::lround(clipped / adc_lsb));
+          const auto idx = static_cast<std::size_t>(row * cols + col);
+          if (has_pixel_faults) code = apply_pixel_fault(idx, code);
+          frame.codes[idx] = code;
+          frame.v_in[idx] =
+              static_cast<double>(code) * adc_lsb / conv_gain;
+        }
+      }
+    }
+
+    if (!defect_map.empty()) {
+      for (const auto& [r, c] : defect_map.defects()) {
+        std::int64_t sum = 0;
+        int n = 0;
+        const int nbr[4][2] = {{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}};
+        for (const auto& rc : nbr) {
+          if (rc[0] < 0 || rc[0] >= frame.rows || rc[1] < 0 ||
+              rc[1] >= frame.cols) {
+            continue;
+          }
+          if (!defect_map.good(rc[0], rc[1])) continue;
+          sum += frame.codes[static_cast<std::size_t>(rc[0] * frame.cols +
+                                                      rc[1])];
+          ++n;
+        }
+        const auto code =
+            n > 0 ? static_cast<std::int32_t>(std::lround(
+                        static_cast<double>(sum) / static_cast<double>(n)))
+                  : 0;
+        const auto idx = static_cast<std::size_t>(r * frame.cols + c);
+        frame.codes[idx] = code;
+        frame.v_in[idx] = static_cast<double>(code) * adc_lsb / conv_gain;
+        ++frame.masked;
+      }
+    }
+
+    for (auto& p : pixels) p.elapse(frame_period);
+    if (ever_calibrated && t + frame_period - last_calibration_t >=
+                               config.recalibration_interval.value()) {
+      for (auto& p : pixels) p.calibrate();
+      last_calibration_t = t + frame_period;
+    }
+    return frame;
+  }
+
+  /// NeuroChip::save_state's original byte layout, end to end.
+  void save_state(snapshot::StateWriter& w) const {
+    w.rng(rng);
+    mismatch.save_state(w);
+    w.u32(static_cast<std::uint32_t>(pixels.size()));
+    for (const RefPixel& p : pixels) p.save_state(w);
+    w.u32(static_cast<std::uint32_t>(row_chains.size()));
+    for (const auto& c : row_chains) c.save_state(w);
+    w.u32(static_cast<std::uint32_t>(channel_chains.size()));
+    for (const auto& c : channel_chains) c.save_state(w);
+    w.f64(last_calibration_t);
+    w.b(ever_calibrated);
+    defect_map.save_state(w);
+  }
+};
+
+/// Deterministic travelling-wave stimulus exercising the batched source
+/// path, same shape as the scaling bench.
+class GoldenWave final : public SignalSource {
+ public:
+  double eval(int row, int col, double t) const override {
+    return 1e-3 * std::sin(6283.185307179586 * t + 0.13 * col + 0.07 * row);
+  }
+  void eval_column(int col, double t, std::span<double> out) const override {
+    const double phase = 6283.185307179586 * t + 0.13 * col;
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      out[r] = 1e-3 * std::sin(phase + 0.07 * static_cast<double>(r));
+    }
+  }
+};
+
+NeuroChipConfig golden_config() {
+  NeuroChipConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  // Recalibration crosses inside a short recording: frame period 0.5 ms,
+  // interval 1.5 ms -> pixels recalibrate after frame 3.
+  cfg.recalibration_interval = Time(1.5e-3);
+  return cfg;
+}
+
+faults::SiteFaultSet golden_faults(const NeuroChipConfig& cfg) {
+  faults::SiteFaultSet set;
+  set.rows = cfg.rows;
+  set.cols = cfg.cols;
+  set.type.assign(static_cast<std::size_t>(cfg.rows * cfg.cols),
+                  faults::SiteFaultType::kNone);
+  set.value.assign(set.type.size(), 0.0);
+  set.type[3] = faults::SiteFaultType::kDead;
+  set.type[20] = faults::SiteFaultType::kStuck;
+  set.value[20] = 0.37;
+  set.type[100] = faults::SiteFaultType::kRailedHigh;
+  set.type[200] = faults::SiteFaultType::kRailedLow;
+  return set;
+}
+
+faults::DefectMap golden_defects(const NeuroChipConfig& cfg) {
+  faults::DefectMap map(cfg.rows, cfg.cols);
+  map.mark(0, 3, faults::DefectType::kDead);
+  map.mark(6, 4, faults::DefectType::kStuck);
+  map.mark(12, 8, faults::DefectType::kRailed);
+  return map;
+}
+
+void expect_frames_bitwise_equal(const NeuroFrame& a, const NeuroFrame& b,
+                                 int frame_no) {
+  ASSERT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.cols, b.cols);
+  EXPECT_EQ(a.masked, b.masked) << "frame " << frame_no;
+  ASSERT_EQ(a.codes.size(), b.codes.size());
+  EXPECT_EQ(0, std::memcmp(a.codes.data(), b.codes.data(),
+                           a.codes.size() * sizeof(std::int32_t)))
+      << "codes diverge in frame " << frame_no;
+  // memcmp, not ==: bitwise identity is the contract (0.0 vs -0.0 and
+  // NaN payloads must match too, not just compare equal).
+  EXPECT_EQ(0, std::memcmp(a.v_in.data(), b.v_in.data(),
+                           a.v_in.size() * sizeof(double)))
+      << "v_in diverges in frame " << frame_no;
+}
+
+TEST(NeuroGolden, SoAFramesMatchSeedObjectModelBitwise) {
+  const NeuroChipConfig cfg = golden_config();
+  const GoldenWave source;
+
+  NeuroChip chip(cfg, Rng(2026));
+  RefChip ref(cfg, Rng(2026));
+
+  const auto set = golden_faults(cfg);
+  std::vector<double> drift(static_cast<std::size_t>(chip.channels()), 1.0);
+  drift[0] = 1.013;
+  drift[1] = 0.989;
+  chip.inject_faults(set, drift);
+  ref.pixel_faults = set;
+  ref.has_pixel_faults = true;
+  ref.channel_drift = drift;
+
+  chip.set_defect_map(golden_defects(cfg));
+  ref.defect_map = golden_defects(cfg);
+
+  chip.calibrate_all();
+  ref.calibrate_all();
+
+  const double period = (1.0 / cfg.frame_rate).value();
+  for (int k = 0; k < 6; ++k) {
+    const NeuroFrame got = chip.capture_frame(source, k * period);
+    const NeuroFrame want = ref.capture_frame(source, k * period);
+    expect_frames_bitwise_equal(got, want, k);
+  }
+}
+
+TEST(NeuroGolden, SaveStateMatchesSeedPerPixelLayoutByteForByte) {
+  const NeuroChipConfig cfg = golden_config();
+  const GoldenWave source;
+
+  NeuroChip chip(cfg, Rng(7));
+  RefChip ref(cfg, Rng(7));
+  chip.set_defect_map(golden_defects(cfg));
+  ref.defect_map = golden_defects(cfg);
+  chip.calibrate_all();
+  ref.calibrate_all();
+
+  const double period = (1.0 / cfg.frame_rate).value();
+  for (int k = 0; k < 2; ++k) {
+    (void)chip.capture_frame(source, k * period);
+    (void)ref.capture_frame(source, k * period);
+  }
+
+  std::vector<std::uint8_t> got_bytes;
+  snapshot::StateWriter got_w(got_bytes);
+  chip.save_state(got_w);
+
+  std::vector<std::uint8_t> want_bytes;
+  snapshot::StateWriter want_w(want_bytes);
+  ref.save_state(want_w);
+
+  ASSERT_EQ(got_bytes.size(), want_bytes.size());
+  EXPECT_EQ(got_bytes, want_bytes);
+}
+
+TEST(NeuroGolden, RestoresCheckpointWrittenByOldPerPixelLayout) {
+  const NeuroChipConfig cfg = golden_config();
+  const GoldenWave source;
+
+  // The "old" writer: a reference chip advanced past calibration and two
+  // frames, serialized through the pre-refactor per-pixel layout.
+  RefChip ref(cfg, Rng(99));
+  ref.defect_map = golden_defects(cfg);
+  ref.calibrate_all();
+  const double period = (1.0 / cfg.frame_rate).value();
+  for (int k = 0; k < 2; ++k) (void)ref.capture_frame(source, k * period);
+
+  std::vector<std::uint8_t> old_bytes;
+  snapshot::StateWriter w(old_bytes);
+  ref.save_state(w);
+
+  // A freshly reconstructed chip must restore from those bytes and then
+  // continue bitwise in lockstep with the reference.
+  NeuroChip chip(cfg, Rng(99));
+  snapshot::StateReader r(old_bytes.data(), old_bytes.size());
+  chip.load_state(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.exhausted());
+
+  for (int k = 2; k < 5; ++k) {
+    const NeuroFrame got = chip.capture_frame(source, k * period);
+    const NeuroFrame want = ref.capture_frame(source, k * period);
+    expect_frames_bitwise_equal(got, want, k);
+  }
+}
+
+TEST(NeuroGolden, ThreadCountsAgreeWithSerialReference) {
+  // The reference model is strictly serial; the chip must match it at
+  // every thread count, not only at 1 (the determinism contract).
+  const NeuroChipConfig cfg = golden_config();
+  const GoldenWave source;
+  const double period = (1.0 / cfg.frame_rate).value();
+
+  RefChip ref(cfg, Rng(31));
+  ref.calibrate_all();
+  std::vector<NeuroFrame> want;
+  for (int k = 0; k < 3; ++k) want.push_back(ref.capture_frame(source, k * period));
+
+  for (int threads : {1, 2, 8}) {
+    set_max_threads(threads);
+    NeuroChip chip(cfg, Rng(31));
+    chip.calibrate_all();
+    for (int k = 0; k < 3; ++k) {
+      const NeuroFrame got = chip.capture_frame(source, k * period);
+      expect_frames_bitwise_equal(got, want[static_cast<std::size_t>(k)], k);
+    }
+  }
+  set_max_threads(1);
+}
+
+TEST(NeuroFrame, CheckedAccessorsAgreeWithCodeAt) {
+  NeuroChipConfig cfg = golden_config();
+  NeuroChip chip(cfg, Rng(5));
+  chip.calibrate_all();
+  NeuroFrame frame = chip.capture_frame(ConstantSource(1e-3), 0.0);
+
+  // In-range: both surfaces address the same pixel.
+  EXPECT_EQ(frame.at(3, 4),
+            static_cast<double>(frame.code_at(3, 4)) *
+                (2.0 * cfg.adc.full_scale.value() /
+                 static_cast<double>(1 << cfg.adc.bits)) /
+                chip.nominal_conversion_gain());
+
+  // Out of range: `at` must reject exactly like `code_at` instead of
+  // reading out of bounds.
+  EXPECT_THROW(frame.at(-1, 0), ConfigError);
+  EXPECT_THROW(frame.at(0, -1), ConfigError);
+  EXPECT_THROW(frame.at(cfg.rows, 0), ConfigError);
+  EXPECT_THROW(frame.at(0, cfg.cols), ConfigError);
+  EXPECT_THROW(frame.code_at(cfg.rows, 0), ConfigError);
+  const NeuroFrame& cframe = frame;
+  EXPECT_THROW(cframe.at(cfg.rows, 0), ConfigError);
+  EXPECT_THROW((void)cframe.code_at(0, cfg.cols), ConfigError);
+}
+
+}  // namespace
+}  // namespace biosense::neurochip

@@ -45,6 +45,7 @@ std::vector<Finding> analyze(const std::vector<SourceFile>& files) {
   rule_protocol(tree, out);
   rule_obs_names(tree, out);
   rule_lint_ported(tree, out);
+  rule_neuro_hot_loop(tree, out);
 
   std::stable_sort(out.begin(), out.end(),
                    [](const Finding& a, const Finding& b) {
@@ -101,6 +102,10 @@ std::vector<std::pair<std::string, std::string>> rule_catalogue() {
        "(escape: lint:allow-bool)"},
       {"atomic-file-only",
        "raw file I/O in src/snapshot/ banned outside atomic_file.cpp"},
+      {"neuro-hot-loop",
+       "per-pixel accessor calls, heap allocation and std::function "
+       "banned inside capture_frame_into's pixel loop — the SoA kernel "
+       "stays on plane buffers (escape: analyze:allow-hot-loop)"},
   };
 }
 

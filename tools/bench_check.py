@@ -23,7 +23,16 @@ Comparison rules, per artifact kind:
         --check-time, which enforces ``wall_s <= baseline * (1 + tol)``.
   * Scaling summaries (objects with an ``all_identical`` key):
       - ``all_identical`` must be true (the determinism contract);
-      - the thread counts covered must not shrink.
+      - the thread counts covered must not shrink;
+      - the single-thread frames/s must not drop below half the baseline's
+        (the no-regress floor for the SoA capture kernel);
+      - with >= 4 hardware threads the best multi-thread speedup must
+        exceed 1.0 (negative scaling is a bug, not a machine property);
+        on smaller machines oversubscription must still keep >= 0.5x;
+      - when the baseline has a ``sparse`` section (the event-driven
+        quiescent-pixel leg), the fresh run must too, its cross-thread
+        digests must match, and its single-thread frames/s obeys the same
+        half-of-baseline floor.
   * Soak-replay reports (objects with a ``shard_merge_identical`` key):
       - ``segmented_identical``, ``resume_identical`` and
         ``shard_merge_identical`` must all be true in the fresh run —
@@ -160,6 +169,15 @@ class Gate:
 
     # -- scaling summaries ---------------------------------------------------
 
+    FPS_FLOOR_FRACTION = 0.5
+
+    @staticmethod
+    def _fps_at(summary, threads):
+        for r in summary.get("results", []):
+            if r.get("threads") == threads:
+                return r.get("frames_per_s")
+        return None
+
     def check_scaling(self, name, baseline, current):
         if not current.get("all_identical", False):
             self.fail(name, "parallel capture is no longer bitwise identical")
@@ -168,6 +186,59 @@ class Gate:
         lost = sorted(base_threads - cur_threads)
         if lost:
             self.fail(name, f"thread counts no longer covered: {lost}")
+
+        # frames/s no-regress floor on the single-thread dense leg: the SoA
+        # kernel's throughput trajectory must never quietly fall back toward
+        # the per-pixel object model's. Half the committed baseline is the
+        # floor so slower CI machines don't trip it; an AoS regression costs
+        # far more than 2x.
+        base_t1 = self._fps_at(baseline, 1)
+        cur_t1 = self._fps_at(current, 1)
+        if base_t1 and cur_t1 is not None:
+            floor = base_t1 * self.FPS_FLOOR_FRACTION
+            if cur_t1 < floor:
+                self.fail(name, f"single-thread frames/s regressed: "
+                                f"{base_t1:.1f} -> {cur_t1:.1f} "
+                                f"(floor {floor:.1f})")
+
+        # Multi-thread scaling gate. With real cores available, the top
+        # thread count must beat single-thread (speedup > 1); negative
+        # scaling means false sharing or chunking bugs crept back in. On
+        # boxes with < 4 hardware threads a speedup is physically
+        # unavailable, so only guard against oversubscription collapse.
+        hw = current.get("hardware_threads", 0)
+        multi = [r for r in current.get("results", [])
+                 if r.get("threads", 1) > 1 and "speedup" in r]
+        if multi:
+            best = max(r["speedup"] for r in multi)
+            if hw >= 4 and best <= 1.0:
+                self.fail(name, f"negative multi-thread scaling: best "
+                                f"speedup {best:.3f} <= 1.0 with "
+                                f"{hw} hardware threads")
+            elif hw < 4 and best < 0.5:
+                self.fail(name, f"oversubscription collapse: best speedup "
+                                f"{best:.3f} < 0.5 on a {hw}-thread machine")
+
+        # Event-driven sparse leg: once the baseline records it, it can
+        # neither disappear nor lose its cross-thread bitwise identity, and
+        # its single-thread frames/s obeys the same half-of-baseline floor.
+        base_sparse = baseline.get("sparse")
+        if base_sparse:
+            cur_sparse = current.get("sparse")
+            if not isinstance(cur_sparse, dict):
+                self.fail(name, "sparse (event-driven) leg disappeared")
+                return
+            if not cur_sparse.get("identical", False):
+                self.fail(name, "sparse capture is no longer bitwise "
+                                "identical across thread counts")
+            base_s1 = self._fps_at(base_sparse, 1)
+            cur_s1 = self._fps_at(cur_sparse, 1)
+            if base_s1 and cur_s1 is not None:
+                floor = base_s1 * self.FPS_FLOOR_FRACTION
+                if cur_s1 < floor:
+                    self.fail(name, f"sparse single-thread frames/s "
+                                    f"regressed: {base_s1:.1f} -> "
+                                    f"{cur_s1:.1f} (floor {floor:.1f})")
 
     # -- soak-replay reports -------------------------------------------------
 
